@@ -1,0 +1,411 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/incr"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/paths"
+	"repro/internal/pgrid"
+	"repro/internal/power"
+	"repro/internal/rcnet"
+	"repro/internal/seq"
+	"repro/internal/ssta"
+	"repro/internal/symbolic"
+	"repro/internal/synth"
+	"repro/internal/verilog"
+	"repro/internal/vpoly"
+	"repro/internal/xtalk"
+)
+
+// Core circuit types.
+type (
+	// Circuit is a frozen gate-level netlist.
+	Circuit = netlist.Circuit
+	// Node is one net and its driving gate.
+	Node = netlist.Node
+	// NodeID identifies a net within a Circuit.
+	NodeID = netlist.NodeID
+	// GateType identifies a gate's Boolean function.
+	GateType = logic.GateType
+	// Value is a four-value logic value (0, 1, r, f).
+	Value = logic.Value
+	// InputStats is the cycle statistics of a launch point.
+	InputStats = logic.InputStats
+	// Dir is a transition direction (DirRise or DirFall).
+	Dir = ssta.Dir
+	// Normal is a normal distribution N(Mu, Sigma²).
+	Normal = dist.Normal
+	// Grid is the shared discretization grid of an analysis.
+	Grid = dist.Grid
+	// PMF is a discretized (sub-)distribution; t.o.p. functions are
+	// PMFs whose mass is the transition occurrence probability.
+	PMF = dist.PMF
+	// Canonical is the first-order canonical timing form of the
+	// symbolic analyzers.
+	Canonical = vpoly.Canonical
+	// DelayModel maps a gate to its delay distribution.
+	DelayModel = ssta.DelayModel
+	// Profile describes a synthetic benchmark's shape.
+	Profile = synth.Profile
+)
+
+// Four-value logic constants.
+const (
+	Zero = logic.Zero
+	One  = logic.One
+	Rise = logic.Rise
+	Fall = logic.Fall
+)
+
+// Transition directions.
+const (
+	DirRise = ssta.DirRise
+	DirFall = ssta.DirFall
+)
+
+// Analysis result types.
+type (
+	// SPSTAResult is the discretized SPSTA analysis result.
+	SPSTAResult = core.Result
+	// SPSTAMomentResult is the analytic (Clark-based) SPSTA result.
+	SPSTAMomentResult = core.MomentResult
+	// ToggleMomentsResult holds toggling-rate means, variances and
+	// correlations (the paper's Eq. 13).
+	ToggleMomentsResult = core.ToggleMoments
+	// SSTAResult is the min-max-separated SSTA baseline result.
+	SSTAResult = ssta.Result
+	// STAResult holds static min/max arrival bounds.
+	STAResult = ssta.STAResult
+	// MonteCarloResult is the reference simulation result.
+	MonteCarloResult = montecarlo.Result
+	// MonteCarloConfig parameterizes the reference simulation.
+	MonteCarloConfig = montecarlo.Config
+	// SymbolicSSTAResult is the canonical-form SSTA result.
+	SymbolicSSTAResult = symbolic.SSTAResult
+	// SymbolicSPSTAResult is the canonical-form SPSTA result.
+	SymbolicSPSTAResult = symbolic.SPSTAResult
+	// SymbolicDelayModel maps a gate to a canonical delay form.
+	SymbolicDelayModel = symbolic.DelayModel
+)
+
+// NewCircuit creates an empty circuit; add nodes with
+// Circuit.AddNode, then Circuit.Freeze.
+func NewCircuit(name string) *Circuit { return netlist.New(name) }
+
+// ParseBench reads an ISCAS'89 bench-format netlist.
+func ParseBench(r io.Reader, name string) (*Circuit, error) { return bench.Parse(r, name) }
+
+// WriteBench writes a circuit in bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// Profiles returns the nine ISCAS'89-matched benchmark profiles of
+// the paper's evaluation.
+func Profiles() []Profile { return synth.Profiles() }
+
+// GenerateBenchmark generates the named profile-matched synthetic
+// benchmark circuit (s208 … s1238), deterministically.
+func GenerateBenchmark(name string) (*Circuit, error) {
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		return nil, &UnknownBenchmarkError{Name: name}
+	}
+	return synth.Generate(p)
+}
+
+// GenerateProfile generates a circuit from a custom profile.
+func GenerateProfile(p Profile) (*Circuit, error) { return synth.Generate(p) }
+
+// UnknownBenchmarkError reports a benchmark name with no profile.
+type UnknownBenchmarkError struct{ Name string }
+
+func (e *UnknownBenchmarkError) Error() string {
+	return "repro: unknown benchmark " + e.Name
+}
+
+// UniformStats returns the paper's scenario I launch statistics
+// (P0 = P1 = Pr = Pf = 0.25, transitions ~ N(0,1)).
+func UniformStats() InputStats { return logic.UniformStats() }
+
+// SkewedStats returns the paper's scenario II launch statistics
+// (75% zero, 15% one, 2% rise, 8% fall).
+func SkewedStats() InputStats { return logic.SkewedStats() }
+
+// UniformInputs assigns scenario I statistics to every launch point.
+func UniformInputs(c *Circuit) map[NodeID]InputStats {
+	return experiments.Inputs(c, experiments.ScenarioI)
+}
+
+// SkewedInputs assigns scenario II statistics to every launch point.
+func SkewedInputs(c *Circuit) map[NodeID]InputStats {
+	return experiments.Inputs(c, experiments.ScenarioII)
+}
+
+// UnitDelay is the paper's experimental delay model: deterministic
+// one time unit per gate, zero net delay.
+func UnitDelay(n *Node) Normal { return ssta.UnitDelay(n) }
+
+// AnalyzeSPSTA runs the discretized SPSTA analyzer with the default
+// grid and unit gate delays.
+func AnalyzeSPSTA(c *Circuit, inputs map[NodeID]InputStats) (*SPSTAResult, error) {
+	var a core.Analyzer
+	return a.Run(c, inputs)
+}
+
+// AnalyzeSPSTAWith runs the discretized SPSTA analyzer with an
+// explicit grid and delay model.
+func AnalyzeSPSTAWith(c *Circuit, inputs map[NodeID]InputStats, grid Grid, delay DelayModel) (*SPSTAResult, error) {
+	a := core.Analyzer{Grid: grid, Delay: delay}
+	return a.Run(c, inputs)
+}
+
+// AnalyzeSPSTAMoments runs the analytic (Clark-based) SPSTA
+// abstraction.
+func AnalyzeSPSTAMoments(c *Circuit, inputs map[NodeID]InputStats) (*SPSTAMomentResult, error) {
+	var a core.MomentTiming
+	return a.Run(c, inputs)
+}
+
+// AnalyzeToggleMoments propagates toggling-rate means, variances and
+// correlations per the paper's Eq. 13.
+func AnalyzeToggleMoments(c *Circuit, inputs map[NodeID]InputStats) *ToggleMomentsResult {
+	return core.AnalyzeToggleMoments(c, inputs)
+}
+
+// AnalyzeSSTA runs the min-max-separated SSTA baseline (nil delay
+// selects unit delays).
+func AnalyzeSSTA(c *Circuit, inputs map[NodeID]InputStats, delay DelayModel) *SSTAResult {
+	return ssta.Analyze(c, inputs, delay)
+}
+
+// AnalyzeSTA computes static min/max arrival bounds with launch
+// intervals mu ± k·sigma.
+func AnalyzeSTA(c *Circuit, inputs map[NodeID]InputStats, delay DelayModel, k float64) *STAResult {
+	return ssta.AnalyzeSTA(c, inputs, delay, k)
+}
+
+// SimulateMonteCarlo runs the four-value logic reference simulation.
+func SimulateMonteCarlo(c *Circuit, inputs map[NodeID]InputStats, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	return montecarlo.Simulate(c, inputs, cfg)
+}
+
+// AnalyzeSymbolicSSTA runs canonical first-order SSTA over nvars
+// global variation sources.
+func AnalyzeSymbolicSSTA(c *Circuit, inputs map[NodeID]InputStats, delay SymbolicDelayModel, nvars int) (*SymbolicSSTAResult, error) {
+	return symbolic.AnalyzeSSTA(c, inputs, delay, nvars)
+}
+
+// AnalyzeSymbolicSPSTA runs canonical SPSTA over nvars global
+// variation sources.
+func AnalyzeSymbolicSPSTA(c *Circuit, inputs map[NodeID]InputStats, delay SymbolicDelayModel, nvars int) (*SymbolicSPSTAResult, error) {
+	return symbolic.AnalyzeSPSTA(c, inputs, delay, nvars)
+}
+
+// SymbolicUnitDelay returns the deterministic unit delay as a
+// canonical form.
+func SymbolicUnitDelay(nvars int) SymbolicDelayModel { return symbolic.UnitDelay(nvars) }
+
+// SymbolicLevelDelay returns a spatially-correlated variational
+// delay model (see symbolic.LevelDelay).
+func SymbolicLevelDelay(nvars int, mu, globalFrac, localFrac float64) SymbolicDelayModel {
+	return symbolic.LevelDelay(nvars, mu, globalFrac, localFrac)
+}
+
+// SignalProbabilities computes per-net one-probabilities under the
+// independence assumption (Section 2.2.1).
+func SignalProbabilities(c *Circuit, inputP map[NodeID]float64) []float64 {
+	return power.SignalProbabilities(c, inputP)
+}
+
+// TransitionDensities propagates Najm transition densities (Eq. 6).
+func TransitionDensities(c *Circuit, inputP, inputDensity map[NodeID]float64) []float64 {
+	return power.TransitionDensities(c, inputP, inputDensity)
+}
+
+// DynamicPower estimates switching power from transition densities.
+func DynamicPower(c *Circuit, rho []float64, vdd, freq float64) float64 {
+	return power.DynamicPower(c, rho, vdd, freq)
+}
+
+// ExactSignalProbabilities computes per-net one-probabilities on
+// global BDDs, capturing reconvergent-fanout correlations exactly
+// (Section 3.5). limit bounds the BDD size (0 for the default).
+func ExactSignalProbabilities(c *Circuit, inputP map[NodeID]float64, limit int) ([]float64, error) {
+	s, err := power.BuildSymbolic(c, limit)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExactProbabilities(inputP)
+}
+
+// TimingGrid returns the default analysis grid for a circuit depth
+// and launch arrival statistics.
+func TimingGrid(depth int, mu, sigma float64) Grid { return dist.TimingGrid(depth, mu, sigma) }
+
+// AnalyzeSPSTAExact runs the discretized SPSTA analyzer with the
+// Section 3.5 higher-order-correlation correction: four-value
+// probabilities and t.o.p. masses are rescaled to the exact pair-BDD
+// values, capturing reconvergent-fanout correlations.
+func AnalyzeSPSTAExact(c *Circuit, inputs map[NodeID]InputStats) (*SPSTAResult, error) {
+	a := core.Analyzer{ExactProbabilities: true}
+	return a.Run(c, inputs)
+}
+
+// ExactFourValueProbabilities computes exact four-value signal
+// probabilities for every net on pair-BDDs (Section 3.5). limit
+// bounds the BDD size (0 for the default).
+func ExactFourValueProbabilities(c *Circuit, inputs map[NodeID]InputStats, limit int) ([][4]float64, error) {
+	ps, err := power.BuildPairSymbolic(c, limit)
+	if err != nil {
+		return nil, err
+	}
+	return ps.FourValue(inputs)
+}
+
+// Path is a launch-to-endpoint pin sequence from path-based analysis.
+type Path = paths.Path
+
+// EnumeratePaths returns up to k longest paths ending at endpoint,
+// longest first (path-based SSTA's candidate set).
+func EnumeratePaths(c *Circuit, endpoint NodeID, k int) []Path {
+	return paths.Enumerate(c, endpoint, k)
+}
+
+// PathDelay returns a path's delay distribution: launch arrival plus
+// the sum of gate delays (nil delay selects unit delays).
+func PathDelay(c *Circuit, p Path, launch Normal, delay DelayModel) Normal {
+	return paths.Delay(c, p, launch, delay)
+}
+
+// PathCriticalities returns each path's probability of being the
+// slowest, with path-sharing correlations handled exactly through
+// per-gate variation variables.
+func PathCriticalities(c *Circuit, ps []Path, launch map[NodeID]InputStats, delay DelayModel) []float64 {
+	return paths.Criticalities(c, ps, launch, delay)
+}
+
+// Coupling describes one crosstalk aggressor→victim coupling.
+type Coupling = xtalk.Coupling
+
+// CrosstalkAnalysis is the crosstalk-adjusted view of one victim
+// transition direction.
+type CrosstalkAnalysis = xtalk.Analysis
+
+// AnalyzeCrosstalk computes alignment probabilities and the
+// crosstalk-adjusted victim arrival from a base SPSTA result — the
+// paper's motivating aggressor-alignment effect.
+func AnalyzeCrosstalk(base *SPSTAResult, cp Coupling, d Dir) (*CrosstalkAnalysis, error) {
+	return xtalk.Analyze(base, cp, d)
+}
+
+// RCTree is an RC interconnect tree for Elmore delay analysis.
+type RCTree = rcnet.Tree
+
+// RCLoad describes one gate's output RC network.
+type RCLoad = rcnet.Load
+
+// NewRCTree builds an RC tree from topologically-numbered parent,
+// resistance and capacitance arrays.
+func NewRCTree(parent []int, r, c []float64) (*RCTree, error) {
+	return rcnet.NewTree(parent, r, c)
+}
+
+// RCLine builds a uniform distributed RC line.
+func RCLine(segments int, rDriver, rTotal, cTotal, cLoad float64) (*RCTree, error) {
+	return rcnet.Line(segments, rDriver, rTotal, cTotal, cLoad)
+}
+
+// RCDelayModel adapts per-gate RC loads into a DelayModel with
+// sensitivity-based variational Elmore delays.
+func RCDelayModel(loads map[NodeID]RCLoad, base DelayModel) DelayModel {
+	return rcnet.GateDelayModel(loads, base)
+}
+
+// SequentialOptions controls the sequential fixed-point iteration.
+type SequentialOptions = seq.Options
+
+// SequentialResult is a converged sequential analysis.
+type SequentialResult = seq.Result
+
+// AnalyzeSequential iterates SPSTA around the flip-flop loop until
+// the flop statistics reach a steady state (sequential
+// switching-activity estimation).
+func AnalyzeSequential(c *Circuit, inputs map[NodeID]InputStats, opt SequentialOptions) (*SequentialResult, error) {
+	return seq.FixedPoint(c, inputs, opt)
+}
+
+// PowerMesh is a resistive power-grid mesh.
+type PowerMesh = pgrid.Mesh
+
+// NewPowerMesh builds a W×H mesh with corner VDD pads.
+func NewPowerMesh(w, h int, r, vdd float64) (*PowerMesh, error) {
+	return pgrid.NewMesh(w, h, r, vdd)
+}
+
+// CouplePowerGrid derates gate delays by the IR droop induced by the
+// given per-net toggling rates (activity → droop → timing).
+func CouplePowerGrid(c *Circuit, m *PowerMesh, toggling []float64, iPerToggle, k float64, base DelayModel) (DelayModel, []float64, float64, error) {
+	return pgrid.Couple(c, m, toggling, iPerToggle, k, nil, base)
+}
+
+// IncrementalSSTA wraps SSTA for in-place re-analysis after delay or
+// launch-statistics changes (only the affected cone is recomputed).
+type IncrementalSSTA = incr.SSTA
+
+// NewIncrementalSSTA runs the initial full SSTA analysis.
+func NewIncrementalSSTA(c *Circuit, inputs map[NodeID]InputStats, base DelayModel) *IncrementalSSTA {
+	return incr.NewSSTA(c, inputs, base)
+}
+
+// IncrementalSPSTA wraps SPSTA for in-place re-analysis.
+type IncrementalSPSTA = incr.SPSTA
+
+// NewIncrementalSPSTA runs the initial full SPSTA analysis.
+func NewIncrementalSPSTA(c *Circuit, inputs map[NodeID]InputStats) (*IncrementalSPSTA, error) {
+	return incr.NewSPSTA(core.Analyzer{}, c, inputs)
+}
+
+// ParseVerilog reads a gate-level structural Verilog module.
+func ParseVerilog(r io.Reader, fallbackName string) (*Circuit, error) {
+	return verilog.Parse(r, fallbackName)
+}
+
+// WriteVerilog writes a circuit as a structural Verilog module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// EvaluateVectors runs the deterministic four-value simulation of
+// one explicit launch assignment — the single-test-vector primitive
+// the Monte Carlo loop repeats with random vectors.
+func EvaluateVectors(c *Circuit, values map[NodeID]Value, times map[NodeID]float64, delay DelayModel) (*montecarlo.Evaluation, error) {
+	return montecarlo.Evaluate(c, values, times, delay)
+}
+
+// MISModel maps a gate and its simultaneously-switching input count
+// to a delay (the multiple-input-switching model of reference [2]).
+type MISModel = ssta.MISModel
+
+// AnalyzeSPSTAMIS runs the discretized SPSTA analyzer with a
+// multiple-input-switching delay model.
+func AnalyzeSPSTAMIS(c *Circuit, inputs map[NodeID]InputStats, mis MISModel) (*SPSTAResult, error) {
+	a := core.Analyzer{MIS: mis}
+	return a.Run(c, inputs)
+}
+
+// SplitWideGates returns an equivalent circuit with every gate's
+// fanin bounded by maxFanin (wide gates become balanced trees) so
+// arbitrary parsed netlists fit the analyzers' enumeration caps.
+func SplitWideGates(c *Circuit, maxFanin int) (*Circuit, error) {
+	return netlist.SplitWideGates(c, maxFanin)
+}
+
+// ExtractCone returns the transitive fanin cone of a net as a
+// standalone circuit (flip-flops become cone inputs).
+func ExtractCone(c *Circuit, root NodeID) (*Circuit, error) {
+	return netlist.ExtractCone(c, root)
+}

@@ -1,0 +1,87 @@
+// Command benchgen emits synthetic ISCAS'89-profile benchmark
+// circuits in bench format.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen s344 > s344.bench
+//	benchgen -inputs 8 -outputs 4 -dffs 6 -gates 120 -depth 9 custom > custom.bench
+//	benchgen -all -dir ./benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list the built-in profiles")
+	all := flag.Bool("all", false, "generate every built-in profile")
+	dir := flag.String("dir", ".", "output directory for -all")
+	inputs := flag.Int("inputs", 0, "custom profile: primary inputs")
+	outputs := flag.Int("outputs", 0, "custom profile: primary outputs")
+	dffs := flag.Int("dffs", 0, "custom profile: flip-flops")
+	gates := flag.Int("gates", 0, "custom profile: gates")
+	depth := flag.Int("depth", 0, "custom profile: logic depth")
+	seed := flag.Int64("seed", 0, "custom profile: RNG seed override")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %6s %6s %5s %6s %6s\n", "name", "inputs", "outputs", "dffs", "gates", "depth")
+		for _, p := range synth.Profiles() {
+			fmt.Printf("%-8s %6d %6d %5d %6d %6d\n", p.Name, p.Inputs, p.Outputs, p.DFFs, p.Gates, p.Depth)
+		}
+		return nil
+	}
+	if *all {
+		for _, p := range synth.Profiles() {
+			c, err := synth.Generate(p)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*dir, p.Name+".bench")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := bench.Write(f, c); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	}
+
+	name := flag.Arg(0)
+	if name == "" {
+		return fmt.Errorf("pass a profile name (see -list), -all, or custom dimensions; see -h")
+	}
+	p, ok := synth.ProfileByName(name)
+	if !ok || *gates > 0 {
+		p = synth.Profile{
+			Name: name, Inputs: *inputs, Outputs: *outputs,
+			DFFs: *dffs, Gates: *gates, Depth: *depth, Seed: *seed,
+		}
+	}
+	c, err := synth.Generate(p)
+	if err != nil {
+		return err
+	}
+	return bench.Write(os.Stdout, c)
+}

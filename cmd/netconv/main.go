@@ -1,0 +1,77 @@
+// Command netconv converts gate-level netlists between the ISCAS'89
+// bench format and structural Verilog, optionally decomposing wide
+// gates on the way.
+//
+// Usage:
+//
+//	netconv -to verilog s344.bench > s344.v
+//	netconv -to bench design.v > design.bench
+//	netconv -to bench -split 4 wide.v > narrow.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netconv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	to := flag.String("to", "", "output format: bench or verilog")
+	split := flag.Int("split", 0, "decompose gates wider than this fanin (0 disables)")
+	flag.Parse()
+	path := flag.Arg(0)
+	if path == "" || *to == "" {
+		return fmt.Errorf("usage: netconv -to bench|verilog [-split N] <file>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	name := stem(path)
+	var c *netlist.Circuit
+	if strings.HasSuffix(path, ".v") || strings.HasSuffix(path, ".sv") {
+		c, err = verilog.Parse(f, name)
+	} else {
+		c, err = bench.Parse(f, name)
+	}
+	if err != nil {
+		return err
+	}
+	if *split > 0 {
+		if c, err = netlist.SplitWideGates(c, *split); err != nil {
+			return err
+		}
+	}
+	switch *to {
+	case "bench":
+		return bench.Write(os.Stdout, c)
+	case "verilog":
+		return verilog.Write(os.Stdout, c)
+	}
+	return fmt.Errorf("unknown output format %q", *to)
+}
+
+func stem(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}

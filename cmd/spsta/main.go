@@ -1,0 +1,335 @@
+// Command spsta analyzes a gate-level circuit with the SPSTA, SSTA,
+// STA or Monte Carlo engines and prints per-endpoint arrival-time
+// statistics.
+//
+// Usage:
+//
+//	spsta [flags] [circuit.bench]
+//
+// With no file argument, -gen selects a built-in synthetic benchmark
+// profile (s208 … s1238).
+//
+//	spsta -gen s344 -scenario II -analyzer all
+//	spsta -analyzer spsta -net G17 mydesign.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/paths"
+	"repro/internal/report"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+	"repro/internal/verilog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spsta:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gen := flag.String("gen", "", "generate a built-in synthetic benchmark (s208 … s1238) instead of reading a file")
+	scenario := flag.String("scenario", "I", "input statistics scenario: I (uniform) or II (skewed)")
+	analyzer := flag.String("analyzer", "spsta", "analyzer: spsta, spsta-moments, ssta, sta, mc, critical, paths, yield, or all")
+	runs := flag.Int("runs", 10000, "Monte Carlo run count")
+	seed := flag.Int64("seed", 1, "Monte Carlo seed")
+	net := flag.String("net", "", "report a single net instead of the endpoints")
+	split := flag.Int("split", 0, "decompose gates wider than this fanin into trees (0 disables)")
+	flag.Parse()
+
+	c, err := loadCircuit(*gen, flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *split > 0 {
+		if c, err = netlist.SplitWideGates(c, *split); err != nil {
+			return err
+		}
+	}
+	var s experiments.Scenario
+	switch *scenario {
+	case "I", "i", "1":
+		s = experiments.ScenarioI
+	case "II", "ii", "2":
+		s = experiments.ScenarioII
+	default:
+		return fmt.Errorf("unknown scenario %q (want I or II)", *scenario)
+	}
+	in := experiments.Inputs(c, s)
+
+	st := c.Stats()
+	fmt.Printf("%s: %d inputs, %d outputs, %d DFFs, %d gates, depth %d; scenario %s\n\n",
+		st.Name, st.Inputs, st.Outputs, st.DFFs, st.Gates, st.Depth, s)
+
+	targets, err := targetNets(c, *net)
+	if err != nil {
+		return err
+	}
+
+	switch *analyzer {
+	case "spsta":
+		return runSPSTA(c, in, targets)
+	case "spsta-moments":
+		return runSPSTAMoments(c, in, targets)
+	case "ssta":
+		return runSSTA(c, in, targets)
+	case "sta":
+		return runSTA(c, in, targets)
+	case "mc":
+		return runMC(c, in, targets, *runs, *seed)
+	case "critical":
+		return runCritical(c, in)
+	case "paths":
+		return runPaths(c, in)
+	case "yield":
+		return runYield(c, in)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return runSPSTA(c, in, targets) },
+			func() error { return runSSTA(c, in, targets) },
+			func() error { return runSTA(c, in, targets) },
+			func() error { return runMC(c, in, targets, *runs, *seed) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown analyzer %q", *analyzer)
+}
+
+func loadCircuit(gen, path string) (*netlist.Circuit, error) {
+	switch {
+	case gen != "" && path != "":
+		return nil, fmt.Errorf("pass either -gen or a file, not both")
+	case gen != "":
+		p, ok := synth.ProfileByName(gen)
+		if !ok {
+			var names []string
+			for _, pr := range synth.Profiles() {
+				names = append(names, pr.Name)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown profile %q (have %v)", gen, names)
+		}
+		return synth.Generate(p)
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(path, ".v") || strings.HasSuffix(path, ".sv") {
+			return verilog.Parse(f, stem(path))
+		}
+		return bench.Parse(f, stem(path))
+	}
+	return nil, fmt.Errorf("pass a .bench file or -gen <profile>; see -h")
+}
+
+func stem(path string) string {
+	base := path
+	if i := lastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := lastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func targetNets(c *netlist.Circuit, net string) ([]netlist.NodeID, error) {
+	if net == "" {
+		return c.Endpoints(), nil
+	}
+	n, ok := c.Node(net)
+	if !ok {
+		return nil, fmt.Errorf("no net named %q", net)
+	}
+	return []netlist.NodeID{n.ID}, nil
+}
+
+func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
+	var a core.Analyzer
+	res, err := a.Run(c, in)
+	if err != nil {
+		return err
+	}
+	t := report.Table{
+		Title:   "SPSTA (discretized t.o.p.)",
+		Headers: []string{"net", "lvl", "P0", "P1", "Pr", "Pf", "rise mu", "sigma", "fall mu", "sigma"},
+	}
+	for _, id := range targets {
+		n := c.Nodes[id]
+		rm, rs, _ := res.Arrival(id, ssta.DirRise)
+		fm, fs, _ := res.Arrival(id, ssta.DirFall)
+		t.Add(n.Name, fmt.Sprint(n.Level),
+			report.F3(res.Probability(id, logic.Zero)), report.F3(res.Probability(id, logic.One)),
+			report.F3(res.Probability(id, logic.Rise)), report.F3(res.Probability(id, logic.Fall)),
+			report.F(rm), report.F(rs), report.F(fm), report.F(fs))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
+	var a core.MomentTiming
+	res, err := a.Run(c, in)
+	if err != nil {
+		return err
+	}
+	t := report.Table{
+		Title:   "SPSTA (analytic moments)",
+		Headers: []string{"net", "Pr", "rise mu", "sigma", "Pf", "fall mu", "sigma"},
+	}
+	for _, id := range targets {
+		n := c.Nodes[id]
+		ra, rp := res.Arrival(id, ssta.DirRise)
+		fa, fp := res.Arrival(id, ssta.DirFall)
+		t.Add(n.Name, report.F3(rp), report.F(ra.Mu), report.F(ra.Sigma),
+			report.F3(fp), report.F(fa.Mu), report.F(fa.Sigma))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runSSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
+	res := ssta.Analyze(c, in, nil)
+	t := report.Table{
+		Title:   "SSTA (min-max separated)",
+		Headers: []string{"net", "rise mu", "sigma", "fall mu", "sigma"},
+	}
+	for _, id := range targets {
+		r := res.At(id, ssta.DirRise)
+		f := res.At(id, ssta.DirFall)
+		t.Add(c.Nodes[id].Name, report.F(r.Mu), report.F(r.Sigma), report.F(f.Mu), report.F(f.Sigma))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
+	res := ssta.AnalyzeSTA(c, in, nil, 3)
+	t := report.Table{
+		Title:   "STA (±3σ bounds)",
+		Headers: []string{"net", "rise lo", "hi", "fall lo", "hi"},
+	}
+	for _, id := range targets {
+		r := res.At(id, ssta.DirRise)
+		f := res.At(id, ssta.DirFall)
+		t.Add(c.Nodes[id].Name, report.F(r.Lo), report.F(r.Hi), report.F(f.Lo), report.F(f.Hi))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64) error {
+	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed})
+	if err != nil {
+		return err
+	}
+	t := report.Table{
+		Title:   fmt.Sprintf("Monte Carlo (%d runs)", runs),
+		Headers: []string{"net", "P0", "P1", "Pr", "Pf", "rise mu", "sigma", "fall mu", "sigma"},
+	}
+	for _, id := range targets {
+		r := res.Arrival(id, ssta.DirRise)
+		f := res.Arrival(id, ssta.DirFall)
+		t.Add(c.Nodes[id].Name,
+			report.F3(res.P(id, logic.Zero)), report.F3(res.P(id, logic.One)),
+			report.F3(res.P(id, logic.Rise)), report.F3(res.P(id, logic.Fall)),
+			report.F(r.Mean()), report.F(r.Sigma()), report.F(f.Mean()), report.F(f.Sigma()))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runCritical(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error {
+	var a core.Analyzer
+	res, err := a.Run(c, in)
+	if err != nil {
+		return err
+	}
+	eps := c.Endpoints()
+	crit := res.Criticalities(eps)
+	type row struct {
+		id netlist.NodeID
+		v  float64
+	}
+	rows := make([]row, len(eps))
+	for i, id := range eps {
+		rows[i] = row{id, crit[i]}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	t := report.Table{
+		Title:   "Endpoint criticality probabilities (SPSTA)",
+		Headers: []string{"endpoint", "level", "criticality", "P(toggle)"},
+	}
+	for _, r := range rows {
+		n := c.Nodes[r.id]
+		t.Add(n.Name, fmt.Sprint(n.Level), report.F3(r.v), report.F3(res.TogglingRate(r.id)))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runPaths(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error {
+	end := c.CriticalEndpoint()
+	if end == netlist.InvalidNode {
+		return fmt.Errorf("circuit has no endpoints")
+	}
+	ps := paths.Enumerate(c, end, 8)
+	crit := paths.Criticalities(c, ps, in, nil)
+	t := report.Table{
+		Title:   fmt.Sprintf("Top paths to critical endpoint %s", c.Nodes[end].Name),
+		Headers: []string{"#", "length", "launch", "delay mu", "sigma", "criticality"},
+	}
+	for i, p := range ps {
+		launch := dist.Normal{Mu: 0, Sigma: 1}
+		if st, ok := in[p.Launch()]; ok {
+			launch = dist.Normal{Mu: st.Mu, Sigma: st.Sigma}
+		}
+		d := paths.Delay(c, p, launch, nil)
+		t.Add(fmt.Sprint(i+1), fmt.Sprint(p.Length), c.Nodes[p.Launch()].Name,
+			report.F(d.Mu), report.F(d.Sigma), report.F3(crit[i]))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runYield(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error {
+	var a core.Analyzer
+	res, err := a.Run(c, in)
+	if err != nil {
+		return err
+	}
+	eps := c.Endpoints()
+	t := report.Table{
+		Title:   "Input-aware timing yield (probability every endpoint settles by T)",
+		Headers: []string{"T", "yield"},
+	}
+	depth := float64(c.Depth())
+	for f := 0.25; f <= 1.5; f += 0.125 {
+		T := f * depth
+		t.Add(report.F(T), report.F3(res.Yield(eps, T)))
+	}
+	return t.Render(os.Stdout)
+}

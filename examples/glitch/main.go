@@ -1,0 +1,75 @@
+// Glitch analysis: the four-value logic identifies and filters
+// glitches (simultaneous rising and falling inputs), as Section 3.3
+// argues a two-value weighted sum cannot. This example counts the
+// filtered glitch pulses per logic level with the Monte Carlo
+// event-walk semantics and shows how much activity two-value
+// analysis would overestimate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	c, err := repro.GenerateBenchmark("s1196")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := repro.UniformInputs(c)
+
+	mc, err := repro.SimulateMonteCarlo(c, in, repro.MonteCarloConfig{
+		Runs:          5000,
+		Seed:          3,
+		CountGlitches: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spsta, err := repro.AnalyzeSPSTA(c, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate per logic level: settled transitions vs filtered
+	// glitch edges, and the SPSTA (glitch-filtered) toggling rate.
+	maxLevel := c.Depth()
+	settled := make([]float64, maxLevel+1)
+	glitches := make([]float64, maxLevel+1)
+	spstaRho := make([]float64, maxLevel+1)
+	nets := make([]int, maxLevel+1)
+	runs := float64(mc.Runs)
+	for _, n := range c.Nodes {
+		if !n.Type.Combinational() {
+			continue
+		}
+		l := n.Level
+		nets[l]++
+		settled[l] += mc.TogglingRate(n.ID)
+		glitches[l] += float64(mc.Stats[n.ID].Glitches) / runs
+		spstaRho[l] += spsta.TogglingRate(n.ID)
+	}
+
+	fmt.Printf("circuit %s: glitch-filtered four-value simulation, %d runs\n\n", c.Name, mc.Runs)
+	fmt.Printf("%5s %6s %18s %18s %16s\n", "level", "nets",
+		"settled toggles", "filtered glitches", "SPSTA toggles")
+	var totS, totG float64
+	for l := 1; l <= maxLevel; l++ {
+		if nets[l] == 0 {
+			continue
+		}
+		fmt.Printf("%5d %6d %18.2f %18.2f %16.2f\n",
+			l, nets[l], settled[l], glitches[l], spstaRho[l])
+		totS += settled[l]
+		totG += glitches[l]
+	}
+	fmt.Printf("\ntotal settled transitions per cycle: %.2f\n", totS)
+	fmt.Printf("total filtered glitch edges per cycle: %.2f\n", totG)
+	fmt.Printf("activity overestimate if glitches were counted: %.1f%%\n",
+		100*totG/(totS+1e-12))
+	fmt.Println("\nGlitch edges deepen with logic level as rising and falling")
+	fmt.Println("wavefronts interleave; the four-value logic of Section 3.3 is")
+	fmt.Println("what lets SPSTA and the simulator filter them consistently.")
+}

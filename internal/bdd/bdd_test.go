@@ -1,0 +1,337 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustVar(t *testing.T, m *Manager, i int) Ref {
+	t.Helper()
+	r, err := m.Var(i)
+	if err != nil {
+		t.Fatalf("Var(%d): %v", i, err)
+	}
+	return r
+}
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := New(2, 0)
+	if Const(true) != True || Const(false) != False {
+		t.Error("Const wrong")
+	}
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+	if x == y || x == True || x == False {
+		t.Error("Var returned degenerate refs")
+	}
+	x2 := mustVar(t, m, 0)
+	if x != x2 {
+		t.Error("Var not canonical")
+	}
+	if _, err := m.Var(2); err == nil {
+		t.Error("out-of-range Var accepted")
+	}
+	if _, err := m.Var(-1); err == nil {
+		t.Error("negative Var accepted")
+	}
+}
+
+func TestBasicIdentities(t *testing.T) {
+	m := New(3, 0)
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+
+	and, _ := m.And(x, y)
+	or, _ := m.Or(x, y)
+	nx, _ := m.Not(x)
+
+	// x AND NOT x = false; x OR NOT x = true.
+	if r, _ := m.And(x, nx); r != False {
+		t.Error("x AND !x != false")
+	}
+	if r, _ := m.Or(x, nx); r != True {
+		t.Error("x OR !x != true")
+	}
+	// De Morgan: !(x AND y) == !x OR !y.
+	nand, _ := m.Not(and)
+	ny, _ := m.Not(y)
+	dm, _ := m.Or(nx, ny)
+	if nand != dm {
+		t.Error("De Morgan violated (canonicity)")
+	}
+	// x XOR x = false, x XOR !x = true.
+	if r, _ := m.Xor(x, x); r != False {
+		t.Error("x XOR x != false")
+	}
+	if r, _ := m.Xor(x, nx); r != True {
+		t.Error("x XOR !x != true")
+	}
+	// Absorption: x OR (x AND y) = x.
+	abs, _ := m.Or(x, and)
+	if abs != x {
+		t.Error("absorption violated")
+	}
+	_ = or
+}
+
+func TestEvalMatchesTruthTable(t *testing.T) {
+	m := New(3, 0)
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+	z := mustVar(t, m, 2)
+	// f = (x AND y) XOR z
+	xy, _ := m.And(x, y)
+	f, _ := m.Xor(xy, z)
+	for bits := 0; bits < 8; bits++ {
+		assign := []bool{bits&1 != 0, bits&2 != 0, bits&4 != 0}
+		want := (assign[0] && assign[1]) != assign[2]
+		got, err := m.Eval(f, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("f%v = %v, want %v", assign, got, want)
+		}
+	}
+	if _, err := m.Eval(f, []bool{true}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(2, 0)
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+	f, _ := m.And(x, y)
+	r1, _ := m.Restrict(f, 0, true)
+	if r1 != y {
+		t.Error("(x AND y)|x=1 != y")
+	}
+	r0, _ := m.Restrict(f, 0, false)
+	if r0 != False {
+		t.Error("(x AND y)|x=0 != false")
+	}
+	// Restricting a variable not in the support is a no-op.
+	g, _ := m.Restrict(y, 0, true)
+	if g != y {
+		t.Error("restrict of absent variable changed function")
+	}
+	if _, err := m.Restrict(f, 5, true); err == nil {
+		t.Error("out-of-range restrict accepted")
+	}
+}
+
+func TestBooleanDiff(t *testing.T) {
+	m := New(2, 0)
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+	// ∂(x AND y)/∂x = y: toggling x toggles the output iff y=1.
+	f, _ := m.And(x, y)
+	d, err := m.BooleanDiff(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != y {
+		t.Error("∂(x·y)/∂x != y")
+	}
+	// ∂(x XOR y)/∂x = 1.
+	g, _ := m.Xor(x, y)
+	d, _ = m.BooleanDiff(g, 0)
+	if d != True {
+		t.Error("∂(x⊕y)/∂x != 1")
+	}
+	// ∂y/∂x = 0.
+	d, _ = m.BooleanDiff(y, 0)
+	if d != False {
+		t.Error("∂y/∂x != 0")
+	}
+}
+
+func TestProbabilityANDGate(t *testing.T) {
+	// The paper's Fig. 3 example: P(x1·x2) = P(x1)·P(x2).
+	m := New(2, 0)
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+	f, _ := m.And(x, y)
+	p, err := m.Probability(f, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.21) > 1e-15 {
+		t.Errorf("P(x·y) = %v, want 0.21", p)
+	}
+	or, _ := m.Or(x, y)
+	p, _ = m.Probability(or, []float64{0.3, 0.7})
+	if math.Abs(p-(0.3+0.7-0.21)) > 1e-15 {
+		t.Errorf("P(x+y) = %v", p)
+	}
+	if _, err := m.Probability(f, []float64{0.5}); err == nil {
+		t.Error("short probability vector accepted")
+	}
+}
+
+// TestProbabilityMatchesEnumeration: P(f) computed on the BDD equals
+// brute-force enumeration over all assignments, for random functions
+// built from random gate applications.
+func TestProbabilityMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nv = 5
+		m := New(nv, 0)
+		refs := make([]Ref, nv)
+		for i := range refs {
+			refs[i], _ = m.Var(i)
+		}
+		cur := refs[r.Intn(nv)]
+		for step := 0; step < 8; step++ {
+			o := refs[r.Intn(nv)]
+			switch r.Intn(4) {
+			case 0:
+				cur, _ = m.And(cur, o)
+			case 1:
+				cur, _ = m.Or(cur, o)
+			case 2:
+				cur, _ = m.Xor(cur, o)
+			case 3:
+				cur, _ = m.Not(cur)
+			}
+		}
+		probs := make([]float64, nv)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		got, err := m.Probability(cur, probs)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		assign := make([]bool, nv)
+		for bits := 0; bits < 1<<nv; bits++ {
+			w := 1.0
+			for i := 0; i < nv; i++ {
+				assign[i] = bits&(1<<i) != 0
+				if assign[i] {
+					w *= probs[i]
+				} else {
+					w *= 1 - probs[i]
+				}
+			}
+			v, _ := m.Eval(cur, assign)
+			if v {
+				want += w
+			}
+		}
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3, 0)
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+	f, _ := m.And(x, y) // 2 of 8 assignments
+	if got := m.SatCount(f); got != 2 {
+		t.Errorf("SatCount(x·y) = %v, want 2", got)
+	}
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("SatCount(true) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(false) = %v, want 0", got)
+	}
+	xor3 := False
+	z := mustVar(t, m, 2)
+	for _, v := range []Ref{x, y, z} {
+		xor3, _ = m.Xor(xor3, v)
+	}
+	if got := m.SatCount(xor3); got != 4 {
+		t.Errorf("SatCount(x⊕y⊕z) = %v, want 4", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(4, 0)
+	x := mustVar(t, m, 0)
+	z := mustVar(t, m, 2)
+	f, _ := m.And(x, z)
+	got := m.Support(f)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Support = %v, want [0 2]", got)
+	}
+	if s := m.Support(True); len(s) != 0 {
+		t.Errorf("Support(true) = %v", s)
+	}
+}
+
+func TestNaryReductions(t *testing.T) {
+	m := New(4, 0)
+	var refs []Ref
+	for i := 0; i < 4; i++ {
+		refs = append(refs, mustVar(t, m, i))
+	}
+	and, _ := m.AndN(refs...)
+	or, _ := m.OrN(refs...)
+	xor, _ := m.XorN(refs...)
+	if got := m.SatCount(and); got != 1 {
+		t.Errorf("SatCount(and4) = %v, want 1", got)
+	}
+	if got := m.SatCount(or); got != 15 {
+		t.Errorf("SatCount(or4) = %v, want 15", got)
+	}
+	if got := m.SatCount(xor); got != 8 {
+		t.Errorf("SatCount(xor4) = %v, want 8", got)
+	}
+	e1, _ := m.AndN()
+	e2, _ := m.OrN()
+	e3, _ := m.XorN()
+	if e1 != True || e2 != False || e3 != False {
+		t.Error("empty reductions wrong")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A tiny limit makes a multi-variable conjunction fail with
+	// ErrNodeLimit rather than growing unboundedly.
+	m := New(64, 8)
+	acc := True
+	var err error
+	for i := 0; i < 64 && err == nil; i++ {
+		var v Ref
+		v, err = m.Var(i)
+		if err == nil {
+			acc, err = m.And(acc, v)
+		}
+	}
+	if err != ErrNodeLimit {
+		t.Errorf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestCanonicityAcrossConstructions(t *testing.T) {
+	// Same function built two ways yields the same ref.
+	m := New(3, 0)
+	x := mustVar(t, m, 0)
+	y := mustVar(t, m, 1)
+	z := mustVar(t, m, 2)
+	// (x AND y) OR (x AND z)  ==  x AND (y OR z)
+	xy, _ := m.And(x, y)
+	xz, _ := m.And(x, z)
+	lhs, _ := m.Or(xy, xz)
+	yz, _ := m.Or(y, z)
+	rhs, _ := m.And(x, yz)
+	if lhs != rhs {
+		t.Error("distributivity not canonical")
+	}
+	if m.Size() <= 2 {
+		t.Error("Size did not grow")
+	}
+	if m.NumVars() != 3 {
+		t.Error("NumVars wrong")
+	}
+}

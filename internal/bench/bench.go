@@ -1,0 +1,170 @@
+// Package bench reads and writes circuits in the ISCAS'89 "bench"
+// netlist format, the format the paper's benchmark suite (s208 …
+// s1238) is distributed in:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G7  = DFF(G14)
+//
+// Genuine ISCAS'89 files parse directly; the internal/synth package
+// generates profile-matched synthetic circuits in the same format.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Parse reads a bench-format netlist and returns a frozen circuit.
+// name is used as the circuit name (conventionally the file stem).
+func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	c := netlist.New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(c, line); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %w", err)
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseLine(c *netlist.Circuit, line string) error {
+	// INPUT(x) / OUTPUT(x)
+	if rest, ok := callArgs(line, "INPUT"); ok {
+		args, err := splitArgs(rest)
+		if err != nil || len(args) != 1 {
+			return fmt.Errorf("malformed INPUT declaration %q", line)
+		}
+		_, err = c.AddNode(args[0], logic.Input)
+		return err
+	}
+	if rest, ok := callArgs(line, "OUTPUT"); ok {
+		args, err := splitArgs(rest)
+		if err != nil || len(args) != 1 {
+			return fmt.Errorf("malformed OUTPUT declaration %q", line)
+		}
+		c.MarkOutput(args[0])
+		return nil
+	}
+	// name = GATE(a, b, ...)
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("expected assignment, got %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	closing := strings.LastIndexByte(rhs, ')')
+	if open < 0 || closing < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	gt, err := logic.ParseGateType(strings.TrimSpace(rhs[:open]))
+	if err != nil {
+		return err
+	}
+	args, err := splitArgs(rhs[open+1 : closing])
+	if err != nil {
+		return fmt.Errorf("gate %q: %w", name, err)
+	}
+	_, err = c.AddNode(name, gt, args...)
+	return err
+}
+
+// callArgs matches "KEYWORD( ... )" case-insensitively and returns
+// the text between the parentheses.
+func callArgs(line, keyword string) (string, bool) {
+	if len(line) < len(keyword) || !strings.EqualFold(line[:len(keyword)], keyword) {
+		return "", false
+	}
+	rest := strings.TrimSpace(line[len(keyword):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", false
+	}
+	return rest[1 : len(rest)-1], true
+}
+
+func splitArgs(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil // zero-fanin gate, e.g. CONST1()
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty argument in %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Write emits the circuit in bench format: a header comment, INPUT
+// and OUTPUT declarations, then gate assignments in topological
+// order so the file is human-readable top-down.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	st := c.Stats()
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flipflops, %d gates, depth %d\n",
+		st.Inputs, st.Outputs, st.DFFs, st.Gates, st.Depth)
+	for _, id := range c.Inputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nodes[id].Name)
+	}
+	var outs []string
+	for _, id := range c.Outputs() {
+		outs = append(outs, c.Nodes[id].Name)
+	}
+	sort.Strings(outs)
+	for _, name := range outs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", name)
+	}
+	fmt.Fprintln(bw)
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		if n.Type == logic.Input || n.Type == logic.DFF {
+			continue
+		}
+		writeGate(bw, c, n)
+	}
+	// DFFs are topologically sources; emit them last so their D
+	// nets are already defined above (bench allows any order, this
+	// is purely cosmetic).
+	for _, id := range c.DFFs() {
+		writeGate(bw, c, c.Nodes[id])
+	}
+	return bw.Flush()
+}
+
+func writeGate(w io.Writer, c *netlist.Circuit, n *netlist.Node) {
+	names := make([]string, len(n.Fanin))
+	for i, f := range n.Fanin {
+		names[i] = c.Nodes[f].Name
+	}
+	fmt.Fprintf(w, "%s = %s(%s)\n", n.Name, n.Type, strings.Join(names, ", "))
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// sample is a hand-written bench netlist exercising comments, blank
+// lines, whitespace, case-insensitive keywords and every gate type.
+const sample = `
+# tiny test circuit
+INPUT(a)
+INPUT(b)
+INPUT(c)
+
+OUTPUT(y)
+OUTPUT(z)
+
+q   = DFF(d)
+g1  = NAND(a, b)
+g2  = nor(g1, q)
+g3  = AND(a, b, c)
+g4  = OR(g3, g2)
+g5  = XOR(a, c)
+g6  = XNOR(g5, b)
+g7  = NOT(g6)
+g8  = BUFF(g7)
+d   = NOT(g4)
+y   = AND(g4, g8)   # trailing comment
+z   = BUF(g5)
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample), "tiny")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st := c.Stats()
+	if st.Inputs != 3 || st.Outputs != 2 || st.DFFs != 1 || st.Gates != 11 {
+		t.Errorf("Stats = %+v", st)
+	}
+	g2, ok := c.Node("g2")
+	if !ok || g2.Type != logic.Nor {
+		t.Errorf("g2 = %+v (lower-case gate name not parsed)", g2)
+	}
+	g3, _ := c.Node("g3")
+	if len(g3.Fanin) != 3 {
+		t.Errorf("g3 fanin = %d, want 3", len(g3.Fanin))
+	}
+	y, _ := c.Node("y")
+	if !y.Output {
+		t.Error("y not marked as output")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c1, err := Parse(strings.NewReader(sample), "tiny")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c1); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := Parse(bytes.NewReader(buf.Bytes()), "tiny")
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, buf.String())
+	}
+	if c1.Stats() != c2.Stats() {
+		t.Errorf("round trip changed stats: %+v vs %+v", c1.Stats(), c2.Stats())
+	}
+	for _, n1 := range c1.Nodes {
+		n2, ok := c2.Node(n1.Name)
+		if !ok {
+			t.Fatalf("net %q lost in round trip", n1.Name)
+		}
+		if n1.Type != n2.Type || len(n1.Fanin) != len(n2.Fanin) || n1.Output != n2.Output {
+			t.Errorf("net %q changed: %v/%d/%v vs %v/%d/%v", n1.Name,
+				n1.Type, len(n1.Fanin), n1.Output, n2.Type, len(n2.Fanin), n2.Output)
+		}
+		for i := range n1.Fanin {
+			if c1.Nodes[n1.Fanin[i]].Name != c2.Nodes[n2.Fanin[i]].Name {
+				t.Errorf("net %q fanin %d changed", n1.Name, i)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"garbage", "hello world\n"},
+		{"unknown gate", "INPUT(a)\nx = FROB(a)\n"},
+		{"missing paren", "INPUT(a\n"},
+		{"empty arg", "INPUT(a)\nx = AND(a,)\n"},
+		{"double input paren", "INPUT(a, b)\n"},
+		{"undefined fanin", "x = NOT(ghost)\n"},
+		{"undefined output", "INPUT(a)\nOUTPUT(ghost)\n"},
+		{"duplicate driver", "INPUT(a)\nINPUT(a)\n"},
+		{"bad arity", "INPUT(a)\nx = AND(a)\n"},
+		{"cycle", "INPUT(a)\nx = AND(a, y)\ny = AND(a, x)\n"},
+		{"no assignment rhs", "x = \n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.text), c.name); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestParseEmptyCircuit(t *testing.T) {
+	c, err := Parse(strings.NewReader("# nothing here\n\n"), "empty")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(c.Nodes) != 0 {
+		t.Errorf("empty circuit has %d nodes", len(c.Nodes))
+	}
+}
+
+func TestWriteHeaderCounts(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample), "tiny")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	head := buf.String()
+	if !strings.Contains(head, "3 inputs, 2 outputs, 1 D-type flipflops, 11 gates") {
+		t.Errorf("header missing counts:\n%s", head[:120])
+	}
+	// Every gate assignment present exactly once.
+	if strings.Count(head, "=") != 12 { // 11 gates + 1 DFF
+		t.Errorf("want 12 assignments, got %d", strings.Count(head, "="))
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that anything it
+// accepts round-trips through the writer. Run with `go test -fuzz
+// FuzzParse ./internal/bench` for continuous fuzzing; the seed
+// corpus runs as a normal test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"INPUT(a)\n",
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		sample,
+		"# only a comment\n",
+		"x = AND(a, b\n",
+		"INPUT(a)\nINPUT(a)\n",
+		"y = DFF(y)\n",
+		"OUTPUT(ghost)\n",
+		"q = DFF(d)\nd = NOT(q)\nOUTPUT(d)\n",
+		"x = CONST1()\nOUTPUT(x)\n",
+		strings.Repeat("INPUT(a)\n", 3),
+		"y == AND(a,b)\n",
+		"INPUT(é)\nOUTPUT(é)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("accepted circuit failed to write: %v", err)
+		}
+		c2, err := Parse(bytes.NewReader(buf.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("writer output does not re-parse: %v\n%s", err, buf.String())
+		}
+		if c.Stats() != c2.Stats() {
+			t.Fatalf("round trip changed stats: %+v vs %+v", c.Stats(), c2.Stats())
+		}
+	})
+}

@@ -1,0 +1,448 @@
+// Package core implements SPSTA — signal probability based
+// statistical timing analysis, the paper's contribution (Section 3).
+//
+// For every net the analyzer maintains the four-value signal
+// probabilities P0, P1, Pr, Pf (Eq. 9/10) and, for each transition
+// direction, the signal transition temporal occurrence probability
+// (t.o.p.) function: an unnormalized arrival-time distribution whose
+// total mass is the transition's occurrence probability
+// (Definition 3). Gates combine their inputs' t.o.p. functions with
+// the WEIGHTED SUM operation (Eq. 8/11/12): a mixture over
+// switching-input subsets, each subset's arrival pdf combined with
+// MIN or MAX according to the gate logic and transition direction
+// (Table 1), weighted by the subset's occurrence probability with
+// the remaining inputs at the gate's non-controlling value.
+//
+// Three abstractions are provided:
+//
+//   - Analyzer: discretized t.o.p. functions on a shared grid (the
+//     most accurate; used for the paper's Table 2);
+//   - MomentTiming: per-direction (probability, mean, sigma) tuples
+//     with Clark moment matching inside subsets (Section 3.4 applied
+//     to timing, an accuracy/efficiency tradeoff);
+//   - ToggleMoments: the literal Eq. 13 linear propagation of
+//     toggling-rate means, variances and correlations.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/ssta"
+)
+
+// DefaultMaxParityFanin bounds the O(4^k) parity-gate enumeration.
+const DefaultMaxParityFanin = 6
+
+// Analyzer is the discretized-pdf SPSTA engine.
+type Analyzer struct {
+	// Grid is the shared discretization grid. The zero value
+	// selects dist.TimingGrid for the circuit depth and the widest
+	// launch-point arrival statistics.
+	Grid dist.Grid
+	// Delay is the gate delay model (default ssta.UnitDelay).
+	// Deterministic delays shift the t.o.p. functions; variational
+	// delays convolve them (the SUM operation, Eq. 1).
+	Delay ssta.DelayModel
+	// MaxParityFanin caps XOR/XNOR fanin (default
+	// DefaultMaxParityFanin); wider parity gates are rejected.
+	MaxParityFanin int
+	// ExactProbabilities enables the Section 3.5 higher-order
+	// correlation correction: exact four-value probabilities are
+	// computed on pair-BDDs (power.PairSymbolic) and every net's
+	// probabilities and t.o.p. masses are rescaled to them, so the
+	// occurrence probabilities account for reconvergent-fanout
+	// correlations exactly while the arrival-time shapes keep the
+	// independence approximation.
+	ExactProbabilities bool
+	// BDDLimit bounds the pair-BDD size when ExactProbabilities is
+	// set (0 for the bdd package default).
+	BDDLimit int
+	// MIS, when non-nil, replaces the per-gate Delay with a
+	// multiple-input-switching model (the paper's reference [2]):
+	// the delay of a gate whose output transition is caused by k
+	// simultaneously switching inputs is MIS(gate, k). Evaluation
+	// falls back to the O(2^k) subset enumeration for monotone
+	// gates.
+	MIS MISModel
+}
+
+// MISModel maps a gate and its simultaneously-switching input count
+// to the gate delay (an alias of ssta.MISModel).
+type MISModel = ssta.MISModel
+
+// NetState is the SPSTA view of one net.
+type NetState struct {
+	// P holds the four-value occurrence probabilities indexed by
+	// logic.Value (Eq. 9/10).
+	P [logic.NumValues]float64
+	// TOP holds the unnormalized transition temporal occurrence
+	// probability function per direction, indexed by ssta.Dir.
+	// TOP[d].Mass() equals P[Rise] or P[Fall] up to discretization.
+	TOP [2]*dist.PMF
+}
+
+// Result is a completed SPSTA analysis.
+type Result struct {
+	C     *netlist.Circuit
+	Grid  dist.Grid
+	State []NetState
+}
+
+// Run executes SPSTA over the circuit. inputs maps launch points to
+// their cycle statistics (default: the paper's scenario I).
+func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats) (*Result, error) {
+	maxParity := a.MaxParityFanin
+	if maxParity == 0 {
+		maxParity = DefaultMaxParityFanin
+	}
+	delay := a.Delay
+	if delay == nil {
+		delay = ssta.UnitDelay
+	}
+	grid := a.Grid
+	if grid.N == 0 {
+		mu, sigma := 0.0, 1.0
+		for _, st := range inputs {
+			if st.Sigma > sigma {
+				sigma = st.Sigma
+			}
+		}
+		grid = dist.TimingGrid(c.Depth(), mu, sigma)
+	}
+	for id, st := range inputs {
+		if err := st.Validate(); err != nil {
+			return nil, fmt.Errorf("core: launch %s: %w", c.Nodes[id].Name, err)
+		}
+	}
+
+	var exact [][logic.NumValues]float64
+	if a.ExactProbabilities {
+		ps, err := power.BuildPairSymbolic(c, a.BDDLimit)
+		if err != nil {
+			return nil, err
+		}
+		if exact, err = ps.FourValue(inputs); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{C: c, Grid: grid, State: make([]NetState, len(c.Nodes))}
+	for _, id := range c.TopoOrder() {
+		if err := a.computeNode(res, id, inputs, grid, delay, maxParity); err != nil {
+			return nil, err
+		}
+		if exact != nil {
+			correctToExact(&res.State[id], exact[id])
+		}
+	}
+	return res, nil
+}
+
+// ComputeNode recomputes one net's four-value probabilities and
+// t.o.p. functions from the fanin states already stored in res — the
+// single-node step of Run, exported for incremental re-analysis
+// (package incr). The exact-probability correction is whole-circuit
+// and is not applied here.
+func (a *Analyzer) ComputeNode(res *Result, id netlist.NodeID, inputs map[netlist.NodeID]logic.InputStats) error {
+	delay := a.Delay
+	if delay == nil {
+		delay = ssta.UnitDelay
+	}
+	maxParity := a.MaxParityFanin
+	if maxParity == 0 {
+		maxParity = DefaultMaxParityFanin
+	}
+	return a.computeNode(res, id, inputs, res.Grid, delay, maxParity)
+}
+
+func (a *Analyzer) computeNode(res *Result, id netlist.NodeID, inputs map[netlist.NodeID]logic.InputStats, grid dist.Grid, delay ssta.DelayModel, maxParity int) error {
+	n := res.C.Nodes[id]
+	st := &res.State[id]
+	switch {
+	case n.Type == logic.Const0:
+		*st = NetState{}
+		st.P[logic.Zero] = 1
+		st.TOP[ssta.DirRise] = dist.NewPMF(grid)
+		st.TOP[ssta.DirFall] = dist.NewPMF(grid)
+	case n.Type == logic.Const1:
+		*st = NetState{}
+		st.P[logic.One] = 1
+		st.TOP[ssta.DirRise] = dist.NewPMF(grid)
+		st.TOP[ssta.DirFall] = dist.NewPMF(grid)
+	case !n.Type.Combinational():
+		in, ok := inputs[id]
+		if !ok {
+			in = logic.UniformStats()
+		}
+		*st = NetState{}
+		st.P = in.P
+		arr := dist.FromNormal(grid, dist.Normal{Mu: in.Mu, Sigma: in.Sigma})
+		st.TOP[ssta.DirRise] = arr.Clone().Scale(in.P[logic.Rise])
+		st.TOP[ssta.DirFall] = arr.Scale(in.P[logic.Fall])
+	default:
+		*st = NetState{}
+		return a.gate(res, n, grid, delay, maxParity)
+	}
+	return nil
+}
+
+// correctToExact rescales a net's t.o.p. masses to the exact
+// transition probabilities and overwrites the four-value
+// probabilities (Section 3.5 correction). A transition the
+// independence analysis deems impossible but the exact computation
+// does not keeps an empty t.o.p. — there is no shape information to
+// scale — while the probability is still corrected.
+func correctToExact(st *NetState, exact [logic.NumValues]float64) {
+	for d, v := range [2]logic.Value{logic.Rise, logic.Fall} {
+		mass := st.TOP[d].Mass()
+		if mass > 0 {
+			st.TOP[d].Scale(exact[v] / mass)
+		}
+	}
+	st.P = exact
+}
+
+// gate computes one combinational gate's four-value probabilities
+// and t.o.p. functions from its fanin states.
+func (a *Analyzer) gate(res *Result, n *netlist.Node, grid dist.Grid, delay ssta.DelayModel, maxParity int) error {
+	st := &res.State[n.ID]
+	var rise, fall *dist.PMF
+
+	switch {
+	case n.Type == logic.Buf || n.Type == logic.Not:
+		in := &res.State[n.Fanin[0]]
+		if n.Type == logic.Buf {
+			st.P = in.P
+			rise = in.TOP[ssta.DirRise].Clone()
+			fall = in.TOP[ssta.DirFall].Clone()
+		} else {
+			st.P[logic.Zero] = in.P[logic.One]
+			st.P[logic.One] = in.P[logic.Zero]
+			st.P[logic.Rise] = in.P[logic.Fall]
+			st.P[logic.Fall] = in.P[logic.Rise]
+			rise = in.TOP[ssta.DirFall].Clone()
+			fall = in.TOP[ssta.DirRise].Clone()
+		}
+		st.TOP[ssta.DirRise] = applyDelay(rise, delay(n), grid)
+		st.TOP[ssta.DirFall] = applyDelay(fall, delay(n), grid)
+		return nil
+
+	case n.Type.Monotone():
+		// Non-controlling input constant: 1 for AND/NAND, 0 for
+		// OR/NOR. Transitions toward / away from it select the
+		// mixture inputs (Eq. 11).
+		ctrl, _ := n.Type.Controlling()
+		ncVal := logic.Zero
+		towardNC, towardCtrl := logic.Fall, logic.Rise
+		if !ctrl { // controlling 0 → non-controlling 1
+			ncVal = logic.One
+			towardNC, towardCtrl = logic.Rise, logic.Fall
+		}
+		k := len(n.Fanin)
+		ncdIn := make([]dist.SwitchInput, 0, k)
+		cdIn := make([]dist.SwitchInput, 0, k)
+		pNCD := 1.0 // probability of the constant non-controlled output
+		for _, f := range n.Fanin {
+			in := &res.State[f]
+			stay := in.P[ncVal]
+			pNCD *= stay
+			ncdIn = append(ncdIn, dist.SwitchInput{Stay: stay, TOP: in.TOP[dirOf(towardNC)]})
+			cdIn = append(cdIn, dist.SwitchInput{Stay: stay, TOP: in.TOP[dirOf(towardCtrl)]})
+		}
+		// Transition to the non-controlled output value: every
+		// switching input must arrive — MAX (Eq. 11). Transition to
+		// the controlled value: the first controlling arrival — MIN.
+		var ncdTOP, cdTOP *dist.PMF
+		if a.MIS != nil {
+			misDelay := func(size int) dist.Normal { return a.MIS(n, size) }
+			ncdTOP = dist.SizedMixture(grid, ncdIn, true, misDelay)
+			cdTOP = dist.SizedMixture(grid, cdIn, false, misDelay)
+		} else {
+			ncdTOP = dist.MaxMixture(grid, ncdIn)
+			cdTOP = dist.MinMixture(grid, cdIn)
+		}
+		// Output value with all inputs non-controlling (the
+		// non-controlled value) decides which mixture is rising.
+		ncdOut := n.Type.EvalBool(allBool(k, !ctrl))
+		if ncdOut {
+			rise, fall = ncdTOP, cdTOP
+		} else {
+			rise, fall = cdTOP, ncdTOP
+		}
+		st.P[boolVal(ncdOut)] = pNCD
+		st.P[logic.Rise] = rise.Mass()
+		st.P[logic.Fall] = fall.Mass()
+		st.P[boolVal(!ncdOut)] = clampProb(1 - pNCD - st.P[logic.Rise] - st.P[logic.Fall])
+		if a.MIS != nil {
+			// SizedMixture already applied the per-size delay.
+			st.TOP[ssta.DirRise] = rise
+			st.TOP[ssta.DirFall] = fall
+		} else {
+			st.TOP[ssta.DirRise] = applyDelay(rise, delay(n), grid)
+			st.TOP[ssta.DirFall] = applyDelay(fall, delay(n), grid)
+		}
+		return nil
+
+	case n.Type.Parity():
+		if len(n.Fanin) > maxParity {
+			return fmt.Errorf("core: %s: %v fanin %d exceeds parity cap %d",
+				n.Name, n.Type, len(n.Fanin), maxParity)
+		}
+		rise = dist.NewPMF(grid)
+		fall = dist.NewPMF(grid)
+		vals := make([]logic.Value, len(n.Fanin))
+		a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall)
+		st.P[logic.Rise] = rise.Mass()
+		st.P[logic.Fall] = fall.Mass()
+		if a.MIS != nil {
+			// parityCombos applied the per-combo MIS delay.
+			st.TOP[ssta.DirRise] = rise
+			st.TOP[ssta.DirFall] = fall
+		} else {
+			st.TOP[ssta.DirRise] = applyDelay(rise, delay(n), grid)
+			st.TOP[ssta.DirFall] = applyDelay(fall, delay(n), grid)
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unsupported gate %v", n.Type)
+}
+
+// parityCombos enumerates the 4^k input-value combinations of a
+// parity gate (O(4^k), the paper's Section 3.3 cost), accumulating
+// constant-output probabilities into st.P and transition t.o.p.
+// mass into rise/fall. The settled transition time of a parity gate
+// is the MAX over its switching inputs (every switch toggles the
+// output; see logic.SettleOp).
+func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value, i int, weight float64, st *NetState, rise, fall *dist.PMF) {
+	if weight == 0 {
+		return
+	}
+	if i == len(vals) {
+		out, op := n.Type.SettleOp(vals)
+		if !out.Switching() {
+			st.P[out] += weight
+			return
+		}
+		// Conditional MAX pdf over switching inputs.
+		var acc *dist.PMF
+		for j, v := range vals {
+			if !v.Switching() {
+				continue
+			}
+			in := &res.State[n.Fanin[j]]
+			p := in.P[v]
+			if p == 0 {
+				return
+			}
+			cond := in.TOP[dirOf(v)].Clone().Scale(1 / p)
+			if acc == nil {
+				acc = cond
+			} else if op == logic.OpMax {
+				acc = dist.MaxPMF(acc, cond)
+			} else {
+				acc = dist.MinPMF(acc, cond)
+			}
+		}
+		if acc == nil {
+			return
+		}
+		if a.MIS != nil {
+			k := 0
+			for _, v := range vals {
+				if v.Switching() {
+					k++
+				}
+			}
+			acc = applyDelay(acc, a.MIS(n, k), acc.Grid())
+		}
+		if out == logic.Rise {
+			rise.AccumWeighted(acc, weight)
+		} else {
+			fall.AccumWeighted(acc, weight)
+		}
+		return
+	}
+	in := &res.State[n.Fanin[i]]
+	for v := logic.Zero; v < logic.NumValues; v++ {
+		vals[i] = v
+		a.parityCombos(res, n, vals, i+1, weight*in.P[v], st, rise, fall)
+	}
+}
+
+// applyDelay shifts (deterministic) or convolves (variational) a
+// t.o.p. by the gate delay.
+func applyDelay(top *dist.PMF, d dist.Normal, grid dist.Grid) *dist.PMF {
+	if d.Sigma == 0 {
+		if d.Mu == 0 {
+			return top
+		}
+		return top.Shift(d.Mu)
+	}
+	return top.Convolve(dist.FromNormal(grid, d))
+}
+
+func dirOf(v logic.Value) ssta.Dir {
+	if v == logic.Rise {
+		return ssta.DirRise
+	}
+	return ssta.DirFall
+}
+
+func boolVal(b bool) logic.Value {
+	if b {
+		return logic.One
+	}
+	return logic.Zero
+}
+
+func allBool(n int, v bool) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Probability returns P(net id has value v).
+func (r *Result) Probability(id netlist.NodeID, v logic.Value) float64 {
+	return r.State[id].P[v]
+}
+
+// SignalProbability returns the time-averaged one-probability
+// P1 + (Pr+Pf)/2 of net id.
+func (r *Result) SignalProbability(id netlist.NodeID) float64 {
+	s := &r.State[id]
+	return s.P[logic.One] + (s.P[logic.Rise]+s.P[logic.Fall])/2
+}
+
+// TogglingRate returns Pr + Pf of net id.
+func (r *Result) TogglingRate(id netlist.NodeID) float64 {
+	s := &r.State[id]
+	return s.P[logic.Rise] + s.P[logic.Fall]
+}
+
+// TOP returns the unnormalized t.o.p. function of direction d at
+// net id.
+func (r *Result) TOP(id netlist.NodeID, d ssta.Dir) *dist.PMF { return r.State[id].TOP[d] }
+
+// Arrival returns the conditional arrival-time distribution
+// (normalized t.o.p.) moments of direction d at net id, and the
+// transition occurrence probability.
+func (r *Result) Arrival(id netlist.NodeID, d ssta.Dir) (mean, sigma, prob float64) {
+	top := r.State[id].TOP[d]
+	return top.Mean(), top.Sigma(), top.Mass()
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func parse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.Parse(strings.NewReader(src), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func uniform(c *netlist.Circuit) map[netlist.NodeID]logic.InputStats {
+	m := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		m[id] = logic.UniformStats()
+	}
+	return m
+}
+
+func skewed(c *netlist.Circuit) map[netlist.NodeID]logic.InputStats {
+	m := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		m[id] = logic.SkewedStats()
+	}
+	return m
+}
+
+func run(t *testing.T, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) *Result {
+	t.Helper()
+	var a Analyzer
+	res, err := a.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestANDGateEq10 checks the paper's Eq. 10 closed forms on a
+// 2-input AND with uniform inputs: P1 = 1/16, Pr = Pf = 3/16.
+func TestANDGateEq10(t *testing.T) {
+	c := parse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")
+	res := run(t, c, uniform(c))
+	y, _ := c.Node("y")
+	approx(t, "P1", res.Probability(y.ID, logic.One), 1.0/16, 1e-12)
+	approx(t, "Pr", res.Probability(y.ID, logic.Rise), 3.0/16, 1e-9)
+	approx(t, "Pf", res.Probability(y.ID, logic.Fall), 3.0/16, 1e-9)
+	approx(t, "P0", res.Probability(y.ID, logic.Zero), 9.0/16, 1e-9)
+	// TOP mass equals the transition probability.
+	approx(t, "rise mass", res.TOP(y.ID, ssta.DirRise).Mass(), 3.0/16, 1e-9)
+	approx(t, "toggling", res.TogglingRate(y.ID), 6.0/16, 1e-9)
+	approx(t, "signal prob", res.SignalProbability(y.ID), 1.0/16+3.0/16, 1e-9)
+}
+
+// TestANDGateArrivalMixture checks the conditional rising arrival of
+// the AND output: mixture of two single-switch terms (mean 0) and
+// one both-switch MAX term (mean 1/sqrt(pi)), plus the unit delay.
+func TestANDGateArrivalMixture(t *testing.T) {
+	c := parse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")
+	res := run(t, c, uniform(c))
+	y, _ := c.Node("y")
+	mean, sigma, prob := res.Arrival(y.ID, ssta.DirRise)
+	approx(t, "rise prob", prob, 3.0/16, 1e-9)
+	approx(t, "rise mean", mean, 1+(1.0/3)/math.Sqrt(math.Pi), 5e-3)
+	if sigma <= 0.9 || sigma >= 1.2 {
+		t.Errorf("rise sigma = %v, want ~1", sigma)
+	}
+	meanF, _, probF := res.Arrival(y.ID, ssta.DirFall)
+	approx(t, "fall prob", probF, 3.0/16, 1e-9)
+	approx(t, "fall mean", meanF, 1-(1.0/3)/math.Sqrt(math.Pi), 5e-3)
+}
+
+// TestEq9ClosedFormsAllMonotoneGates compares the analyzer's
+// four-value probabilities with direct evaluation of Eq. 9 for each
+// monotone gate type under skewed input statistics.
+func TestEq9ClosedFormsAllMonotoneGates(t *testing.T) {
+	st := logic.SkewedStats()
+	p0, p1, pr, pf := st.P[logic.Zero], st.P[logic.One], st.P[logic.Rise], st.P[logic.Fall]
+	cases := []struct {
+		gate                string
+		want1, wantR, wantF float64
+	}{
+		// AND: P1=Π P1; Pr=Π(P1+Pr)−P1; Pf=Π(P1+Pf)−P1.
+		{"AND", p1 * p1, (p1+pr)*(p1+pr) - p1*p1, (p1+pf)*(p1+pf) - p1*p1},
+		// OR: P0=Π P0; Pr=Π(P0+Pr)−P0 ... falling/rising swap roles.
+		{"OR", 1 - p0*p0 - ((p0+pr)*(p0+pr) - p0*p0) - ((p0+pf)*(p0+pf) - p0*p0),
+			(p0+pr)*(p0+pr) - p0*p0, (p0+pf)*(p0+pf) - p0*p0},
+	}
+	for _, cse := range cases {
+		c := parse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = "+cse.gate+"(a, b)\n", cse.gate)
+		res := run(t, c, skewed(c))
+		y, _ := c.Node("y")
+		approx(t, cse.gate+" P1", res.Probability(y.ID, logic.One), cse.want1, 1e-9)
+		approx(t, cse.gate+" Pr", res.Probability(y.ID, logic.Rise), cse.wantR, 1e-9)
+		approx(t, cse.gate+" Pf", res.Probability(y.ID, logic.Fall), cse.wantF, 1e-9)
+	}
+	// NAND = complement of AND: P1 and P0 swap, Pr and Pf swap.
+	cAnd := parse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and")
+	cNand := parse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "nand")
+	rAnd := run(t, cAnd, skewed(cAnd))
+	rNand := run(t, cNand, skewed(cNand))
+	ya, _ := cAnd.Node("y")
+	yn, _ := cNand.Node("y")
+	approx(t, "NAND P0", rNand.Probability(yn.ID, logic.Zero), rAnd.Probability(ya.ID, logic.One), 1e-12)
+	approx(t, "NAND Pr", rNand.Probability(yn.ID, logic.Rise), rAnd.Probability(ya.ID, logic.Fall), 1e-12)
+}
+
+// TestProbabilitiesSumToOne: across the whole benchmark suite and
+// both scenarios, every net's four-value probabilities are a
+// distribution.
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, p := range synth.Profiles() {
+		c, err := synth.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range []map[netlist.NodeID]logic.InputStats{uniform(c), skewed(c)} {
+			res := run(t, c, in)
+			for _, n := range c.Nodes {
+				sum := 0.0
+				for v := logic.Zero; v < logic.NumValues; v++ {
+					pv := res.Probability(n.ID, v)
+					if pv < -1e-9 || pv > 1+1e-9 {
+						t.Fatalf("%s/%s: P[%v] = %v", p.Name, n.Name, v, pv)
+					}
+					sum += pv
+				}
+				if math.Abs(sum-1) > 1e-6 {
+					t.Fatalf("%s/%s: probabilities sum to %v", p.Name, n.Name, sum)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchesMonteCarloOnTree: on a reconvergence-free circuit the
+// independence assumption is exact, so SPSTA probabilities and
+// conditional arrival moments must match Monte Carlo within sampling
+// tolerance.
+func TestMatchesMonteCarloOnTree(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = NOR(c, d)
+g3 = NAND(g1, g2)
+y  = OR(g3, e)
+`
+	c := parse(t, src, "tree")
+	for name, in := range map[string]map[netlist.NodeID]logic.InputStats{
+		"uniform": uniform(c), "skewed": skewed(c),
+	} {
+		res := run(t, c, in)
+		mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: 120000, Seed: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range c.Nodes {
+			for v := logic.Zero; v < logic.NumValues; v++ {
+				got := res.Probability(n.ID, v)
+				want := mc.P(n.ID, v)
+				if math.Abs(got-want) > 0.006 {
+					t.Errorf("%s %s: P[%v] = %v, MC %v", name, n.Name, v, got, want)
+				}
+			}
+			for _, d := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+				mean, sigma, prob := res.Arrival(n.ID, d)
+				if prob < 0.02 {
+					continue
+				}
+				m := mc.Arrival(n.ID, d)
+				if math.Abs(mean-m.Mean()) > 0.05 {
+					t.Errorf("%s %s %v: mean %v, MC %v", name, n.Name, d, mean, m.Mean())
+				}
+				if math.Abs(sigma-m.Sigma()) > 0.05 {
+					t.Errorf("%s %s %v: sigma %v, MC %v", name, n.Name, d, sigma, m.Sigma())
+				}
+			}
+		}
+	}
+}
+
+// TestXORMatchesMonteCarlo: the parity-gate O(4^k) enumeration path.
+func TestXORMatchesMonteCarlo(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)\n"
+	c := parse(t, src, "xor3")
+	in := skewed(c)
+	res := run(t, c, in)
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: 150000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	for v := logic.Zero; v < logic.NumValues; v++ {
+		approx(t, "P["+v.String()+"]", res.Probability(y.ID, v), mc.P(y.ID, v), 0.006)
+	}
+	mean, _, prob := res.Arrival(y.ID, ssta.DirRise)
+	if prob > 0.01 {
+		approx(t, "rise mean", mean, mc.Arrival(y.ID, ssta.DirRise).Mean(), 0.1)
+	}
+}
+
+func TestInverterChainSwapsDirections(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nn1 = NOT(a)\ny = NOT(n1)\n"
+	c := parse(t, src, "invchain")
+	in := skewed(c)
+	res := run(t, c, in)
+	n1, _ := c.Node("n1")
+	y, _ := c.Node("y")
+	// After one inverter rise/fall swap; after two they swap back.
+	approx(t, "n1 Pr", res.Probability(n1.ID, logic.Rise), 0.08, 1e-12)
+	approx(t, "y Pr", res.Probability(y.ID, logic.Rise), 0.02, 1e-12)
+	// Arrival means accumulate unit delays.
+	mean, _, _ := res.Arrival(y.ID, ssta.DirRise)
+	approx(t, "y rise mean", mean, 2, 5e-3)
+}
+
+func TestParityFaninCap(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)\n"
+	c := parse(t, src, "xor3")
+	a := Analyzer{MaxParityFanin: 2}
+	if _, err := a.Run(c, uniform(c)); err == nil {
+		t.Error("parity fanin over cap accepted")
+	}
+}
+
+func TestInvalidInputStats(t *testing.T) {
+	c := parse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "buf")
+	aNode, _ := c.Node("a")
+	bad := map[netlist.NodeID]logic.InputStats{
+		aNode.ID: {P: [4]float64{0.5, 0.6, 0, 0}},
+	}
+	var a Analyzer
+	if _, err := a.Run(c, bad); err == nil {
+		t.Error("invalid stats accepted")
+	}
+	var mt MomentTiming
+	if _, err := mt.Run(c, bad); err == nil {
+		t.Error("MomentTiming accepted invalid stats")
+	}
+}
+
+// TestFullCircuitCloseToMonteCarlo is the headline integration test:
+// on a full benchmark circuit (with reconvergence), SPSTA's critical
+// endpoint arrival moments stay close to Monte Carlo — far closer
+// than SSTA's collapsed sigmas (the paper's Table 2 claims).
+func TestFullCircuitCloseToMonteCarlo(t *testing.T) {
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+	res := run(t, c, in)
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: 20000, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sst := ssta.Analyze(c, in, nil)
+	end := c.CriticalEndpoint()
+	for _, d := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+		mean, sigma, prob := res.Arrival(end, d)
+		m := mc.Arrival(end, d)
+		if m.N() < 100 || prob < 0.005 {
+			continue
+		}
+		// SPSTA mean within 15% of MC (paper reports 6.2% average).
+		if rel := math.Abs(mean-m.Mean()) / m.Mean(); rel > 0.15 {
+			t.Errorf("%v: SPSTA mean %v vs MC %v (rel %.1f%%)", d, mean, m.Mean(), 100*rel)
+		}
+		// SPSTA sigma within 35% of MC (paper reports 18.6%
+		// average); SSTA sigma must be farther below.
+		sstaSigma := sst.At(end, d).Sigma
+		if rel := math.Abs(sigma-m.Sigma()) / m.Sigma(); rel > 0.35 {
+			t.Errorf("%v: SPSTA sigma %v vs MC %v (rel %.1f%%)", d, sigma, m.Sigma(), 100*rel)
+		}
+		if sstaSigma >= m.Sigma() {
+			t.Logf("%v: SSTA sigma %v unexpectedly >= MC %v", d, sstaSigma, m.Sigma())
+		}
+		if math.Abs(sigma-m.Sigma()) > math.Abs(sstaSigma-m.Sigma()) {
+			t.Errorf("%v: SPSTA sigma error %v worse than SSTA %v",
+				d, math.Abs(sigma-m.Sigma()), math.Abs(sstaSigma-m.Sigma()))
+		}
+		// Transition occurrence probability close to MC.
+		mcProb := mc.P(end, logic.Rise)
+		if d == ssta.DirFall {
+			mcProb = mc.P(end, logic.Fall)
+		}
+		if math.Abs(prob-mcProb) > 0.08 {
+			t.Errorf("%v: SPSTA P %v vs MC %v", d, prob, mcProb)
+		}
+	}
+}
+
+func TestConstants(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nc1 = CONST1()\ny = AND(a, c1)\n"
+	c := parse(t, src, "const")
+	res := run(t, c, uniform(c))
+	y, _ := c.Node("y")
+	// AND with constant 1 passes the input through.
+	approx(t, "Pr", res.Probability(y.ID, logic.Rise), 0.25, 1e-9)
+	approx(t, "P1", res.Probability(y.ID, logic.One), 0.25, 1e-12)
+}
+
+// TestExactProbabilityCorrection: with the Section 3.5 pair-BDD
+// correction enabled, SPSTA probabilities on a reconvergent circuit
+// become exact (match Monte Carlo), while the default independence
+// analysis deviates.
+func TestExactProbabilityCorrection(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = NOT(a)
+g3 = OR(g1, g2)
+y  = AND(g3, a)
+`
+	c := parse(t, src, "reconv")
+	in := uniform(c)
+	indep := run(t, c, in)
+	ex := Analyzer{ExactProbabilities: true}
+	exact, err := ex.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: 150000, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	for v := logic.Zero; v < logic.NumValues; v++ {
+		if d := math.Abs(exact.Probability(y.ID, v) - mc.P(y.ID, v)); d > 0.005 {
+			t.Errorf("exact P[%v] = %v vs MC %v", v, exact.Probability(y.ID, v), mc.P(y.ID, v))
+		}
+	}
+	// y reduces to AND(a,b): exact P1 = 1/16; the independence
+	// closed forms overestimate it.
+	approx(t, "exact P1", exact.Probability(y.ID, logic.One), 1.0/16, 1e-9)
+	if indep.Probability(y.ID, logic.One) <= 1.0/16+1e-9 {
+		t.Error("independence analysis unexpectedly exact on reconvergent net")
+	}
+	// The corrected t.o.p. masses equal the corrected probabilities.
+	for d, v := range [2]logic.Value{logic.Rise, logic.Fall} {
+		mass := exact.TOP(y.ID, ssta.Dir(d)).Mass()
+		if exact.Probability(y.ID, v) > 0 && math.Abs(mass-exact.Probability(y.ID, v)) > 1e-9 {
+			t.Errorf("%v: t.o.p. mass %v vs P %v", v, mass, exact.Probability(y.ID, v))
+		}
+	}
+}
+
+// TestExactCorrectionOnSuiteCircuit: the corrected analyzer stays a
+// valid distribution per net on a full benchmark circuit and its
+// probabilities match Monte Carlo more closely than independence
+// overall.
+func TestExactCorrectionOnSuiteCircuit(t *testing.T) {
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+	ex := Analyzer{ExactProbabilities: true}
+	exact, err := ex.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := run(t, c, in)
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: 60000, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errExact, errIndep float64
+	for _, n := range c.Nodes {
+		sum := 0.0
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			sum += exact.Probability(n.ID, v)
+			errExact += math.Abs(exact.Probability(n.ID, v) - mc.P(n.ID, v))
+			errIndep += math.Abs(indep.Probability(n.ID, v) - mc.P(n.ID, v))
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("%s: exact probabilities sum to %v", n.Name, sum)
+		}
+	}
+	if errExact >= errIndep {
+		t.Errorf("exact correction error %.4f not below independence %.4f", errExact, errIndep)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+)
+
+// ToggleMoments is the literal Section 3.4 (Eq. 8/13) analyzer: the
+// per-net toggling activity is the WEIGHTED SUM of the fanin
+// activities with Boolean-difference probability weights, so its
+// mean, variance and covariances propagate linearly:
+//
+//	φ̄_y          = Σ_i P(∂y/∂x_i)·φ̄_{x_i}
+//	cov(φ_y,φ_k) = Σ_i P(∂y/∂x_i)·cov(φ_{x_i},φ_k)
+//	σ²(φ_y)      = Σ_{i,j} P(∂y/∂x_i)P(∂y/∂x_j)·cov(φ_{x_i},φ_{x_j})
+//
+// The computation is one netlist traversal with a dense covariance
+// matrix (O(n²) memory), capturing path-sharing correlations that
+// the independence assumption misses.
+type ToggleMoments struct {
+	C *netlist.Circuit
+	// Mean[id] is the expected toggling rate of net id.
+	Mean []float64
+	// cov[id][k] is the toggling covariance between nets id and k.
+	cov [][]float64
+}
+
+// AnalyzeToggleMoments propagates toggling-rate statistics. inputs
+// provides launch-point statistics (default scenario I): the launch
+// mean is the toggling rate Pr+Pf with Bernoulli variance
+// ρ(1−ρ), matching the paper's scenario descriptions (0.5/0.25 for
+// scenario I, 0.1/0.09 for scenario II). Distinct launch points are
+// independent.
+func AnalyzeToggleMoments(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats) *ToggleMoments {
+	n := len(c.Nodes)
+	tm := &ToggleMoments{
+		C:    c,
+		Mean: make([]float64, n),
+		cov:  make([][]float64, n),
+	}
+	for i := range tm.cov {
+		tm.cov[i] = make([]float64, n)
+	}
+	// Signal probabilities for the Boolean-difference weights.
+	inputP := make(map[netlist.NodeID]float64, len(inputs))
+	defaultStats := logic.UniformStats()
+	stats := func(id netlist.NodeID) logic.InputStats {
+		if st, ok := inputs[id]; ok {
+			return st
+		}
+		return defaultStats
+	}
+	for _, id := range c.LaunchPoints() {
+		inputP[id] = stats(id).SignalProbability()
+	}
+	probs := power.SignalProbabilities(c, inputP)
+
+	order := c.TopoOrder()
+	weights := make([]float64, 0, 8)
+	pins := make([]float64, 0, 8)
+	for _, id := range order {
+		node := c.Nodes[id]
+		if !node.Type.Combinational() {
+			st := stats(id)
+			rho := st.TogglingRate()
+			tm.Mean[id] = rho
+			tm.cov[id][id] = st.TogglingVariance()
+			continue
+		}
+		pins = pins[:0]
+		for _, f := range node.Fanin {
+			pins = append(pins, probs[f])
+		}
+		weights = weights[:0]
+		mean := 0.0
+		for i, f := range node.Fanin {
+			w := power.DiffProbability(node.Type, pins, i)
+			weights = append(weights, w)
+			mean += w * tm.Mean[f]
+		}
+		tm.Mean[id] = mean
+		// cov(y, k) for every already-processed net k (linearity).
+		for _, k := range order {
+			if k == id {
+				break
+			}
+			s := 0.0
+			for i, f := range node.Fanin {
+				s += weights[i] * tm.cov[f][k]
+			}
+			tm.cov[id][k] = s
+			tm.cov[k][id] = s
+		}
+		// Variance via the freshly computed cross terms.
+		v := 0.0
+		for i, f := range node.Fanin {
+			v += weights[i] * tm.cov[id][f]
+		}
+		tm.cov[id][id] = v
+	}
+	return tm
+}
+
+// Var returns the toggling-rate variance of net id.
+func (tm *ToggleMoments) Var(id netlist.NodeID) float64 { return tm.cov[id][id] }
+
+// Sigma returns the toggling-rate standard deviation of net id.
+func (tm *ToggleMoments) Sigma(id netlist.NodeID) float64 { return math.Sqrt(tm.Var(id)) }
+
+// Cov returns the toggling covariance between two nets.
+func (tm *ToggleMoments) Cov(a, b netlist.NodeID) float64 { return tm.cov[a][b] }
+
+// Corr returns the toggling correlation coefficient between two
+// nets (Eq. 13's corr), or 0 when either variance vanishes.
+func (tm *ToggleMoments) Corr(a, b netlist.NodeID) float64 {
+	sa, sb := tm.Sigma(a), tm.Sigma(b)
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return tm.cov[a][b] / (sa * sb)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+// buildRandomTree constructs a random fanout-free circuit: every
+// gate's fanins are either fresh primary inputs or roots of fresh
+// subtrees, so no net has fanout > 1 and the independence assumption
+// is exact.
+func buildRandomTree(rng *rand.Rand, maxInputs int) (*netlist.Circuit, error) {
+	c := netlist.New("randtree")
+	inputs := 0
+	gate := 0
+	gates := []logic.GateType{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor, logic.Not, logic.Buf}
+	var grow func(budget int) (string, error)
+	grow = func(budget int) (string, error) {
+		if budget <= 1 || inputs >= maxInputs-1 {
+			name := fmt.Sprintf("i%d", inputs)
+			inputs++
+			_, err := c.AddNode(name, logic.Input)
+			return name, err
+		}
+		gt := gates[rng.Intn(len(gates))]
+		k := 1
+		if gt.MaxFanin() != 1 {
+			k = 2
+			if budget > 4 && rng.Intn(2) == 0 {
+				k = 3
+			}
+		}
+		var fanin []string
+		for i := 0; i < k; i++ {
+			sub, err := grow((budget - 1) / k)
+			if err != nil {
+				return "", err
+			}
+			fanin = append(fanin, sub)
+		}
+		name := fmt.Sprintf("g%d", gate)
+		gate++
+		_, err := c.AddNode(name, gt, fanin...)
+		return name, err
+	}
+	root, err := grow(2 + rng.Intn(8))
+	if err != nil {
+		return nil, err
+	}
+	c.MarkOutput(root)
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// randomStats draws a random four-value distribution.
+func randomStats(rng *rand.Rand) logic.InputStats {
+	var p [logic.NumValues]float64
+	sum := 0.0
+	for v := range p {
+		p[v] = rng.Float64()
+		sum += p[v]
+	}
+	for v := range p {
+		p[v] /= sum
+	}
+	return logic.InputStats{P: p, Mu: rng.NormFloat64(), Sigma: 0.5 + rng.Float64()}
+}
+
+// enumerate computes exact four-value probabilities by summing over
+// all launch value combinations.
+func enumerate(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) [][logic.NumValues]float64 {
+	launches := c.LaunchPoints()
+	out := make([][logic.NumValues]float64, len(c.Nodes))
+	vals := make([]logic.Value, len(c.Nodes))
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
+		if w == 0 {
+			return
+		}
+		if i == len(launches) {
+			for _, id := range c.TopoOrder() {
+				n := c.Nodes[id]
+				if !n.Type.Combinational() {
+					continue
+				}
+				ins := make([]logic.Value, len(n.Fanin))
+				for j, f := range n.Fanin {
+					ins[j] = vals[f]
+				}
+				vals[id] = n.Type.Eval(ins)
+			}
+			for _, n := range c.Nodes {
+				out[n.ID][vals[n.ID]] += w
+			}
+			return
+		}
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			vals[launches[i]] = v
+			rec(i+1, w*in[launches[i]].P[v])
+		}
+	}
+	rec(0, 1)
+	return out
+}
+
+// TestQuickTreeProbabilitiesExact: on random fanout-free circuits
+// with random input statistics, SPSTA's four-value probabilities are
+// exactly the enumeration values, for all three timing abstractions.
+func TestQuickTreeProbabilitiesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := buildRandomTree(rng, 9)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		if len(c.LaunchPoints()) > 8 {
+			return true // keep enumeration small
+		}
+		in := make(map[netlist.NodeID]logic.InputStats)
+		for _, id := range c.LaunchPoints() {
+			in[id] = randomStats(rng)
+		}
+		want := enumerate(c, in)
+
+		var a Analyzer
+		discrete, err := a.Run(c, in)
+		if err != nil {
+			t.Logf("discrete: %v", err)
+			return false
+		}
+		var mt MomentTiming
+		analytic, err := mt.Run(c, in)
+		if err != nil {
+			t.Logf("analytic: %v", err)
+			return false
+		}
+		for _, n := range c.Nodes {
+			for v := logic.Zero; v < logic.NumValues; v++ {
+				if math.Abs(discrete.Probability(n.ID, v)-want[n.ID][v]) > 1e-9 {
+					t.Logf("seed %d: %s discrete P[%v] = %v, want %v",
+						seed, n.Name, v, discrete.Probability(n.ID, v), want[n.ID][v])
+					return false
+				}
+				if math.Abs(analytic.Probability(n.ID, v)-want[n.ID][v]) > 1e-9 {
+					t.Logf("seed %d: %s analytic P[%v] = %v, want %v",
+						seed, n.Name, v, analytic.Probability(n.ID, v), want[n.ID][v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTreeTOPMassConsistency: on random trees the t.o.p. masses
+// equal the transition probabilities for every net (within grid
+// round-off), and the conditional sigma stays finite.
+func TestQuickTreeTOPMassConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		c, err := buildRandomTree(rng, 7)
+		if err != nil {
+			return false
+		}
+		in := make(map[netlist.NodeID]logic.InputStats)
+		for _, id := range c.LaunchPoints() {
+			in[id] = randomStats(rng)
+		}
+		var a Analyzer
+		res, err := a.Run(c, in)
+		if err != nil {
+			return false
+		}
+		for _, n := range c.Nodes {
+			for d, v := range [2]logic.Value{logic.Rise, logic.Fall} {
+				mass := res.TOP(n.ID, ssta.Dir(d)).Mass()
+				if math.Abs(mass-res.Probability(n.ID, v)) > 1e-6 {
+					t.Logf("seed %d: %s %v mass %v vs P %v", seed, n.Name, v, mass, res.Probability(n.ID, v))
+					return false
+				}
+				if s := res.TOP(n.ID, ssta.Dir(d)).Sigma(); math.IsNaN(s) || math.IsInf(s, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+// WaveformAt returns the probability that net id is at logic one at
+// time t, derived from the SPSTA state:
+//
+//	P(1 at t) = P1 + P(rise ∧ risen by t) + P(fall ∧ not yet fallen)
+//	          = P1 + TOPr.CDF(t) + (Pf − TOPf.CDF(t))
+//
+// This is the probability waveform of probabilistic waveform
+// simulation (the paper's reference [15]) recovered from t.o.p.
+// functions; Monte Carlo's Config.ProbeTimes samples the same
+// quantity for validation.
+func (r *Result) WaveformAt(id netlist.NodeID, t float64) float64 {
+	s := &r.State[id]
+	p := s.P[logic.One] +
+		s.TOP[ssta.DirRise].CDFAt(t) +
+		(s.P[logic.Fall] - s.TOP[ssta.DirFall].CDFAt(t))
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Waveform samples the one-probability waveform of net id across the
+// analysis grid, returning bin-center times and probabilities.
+func (r *Result) Waveform(id netlist.NodeID) (xs, ys []float64) {
+	g := r.Grid
+	xs = make([]float64, g.N)
+	ys = make([]float64, g.N)
+	s := &r.State[id]
+	cumR, cumF := 0.0, 0.0
+	for i := 0; i < g.N; i++ {
+		xs[i] = g.X(i)
+		cumR += s.TOP[ssta.DirRise].W(i)
+		cumF += s.TOP[ssta.DirFall].W(i)
+		p := s.P[logic.One] + cumR + (s.P[logic.Fall] - cumF)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		ys[i] = p
+	}
+	return xs, ys
+}
+
+// Criticalities returns, for each endpoint, the probability that it
+// is the last endpoint to settle — the timing criticality
+// probabilities used by path-based signoff (Section 1). Endpoints
+// that do not transition in a cycle do not compete; the result sums
+// to the probability that at least one endpoint transitions.
+// Endpoint settle times are treated as independent (the analyzer's
+// standing assumption).
+func (r *Result) Criticalities(endpoints []netlist.NodeID) []float64 {
+	g := r.Grid
+	n := len(endpoints)
+	// Per endpoint: settle mass per bin (rise + fall) and stay
+	// probability (no transition).
+	settle := make([][]float64, n)
+	stay := make([]float64, n)
+	for i, id := range endpoints {
+		s := &r.State[id]
+		w := make([]float64, g.N)
+		mass := 0.0
+		for k := 0; k < g.N; k++ {
+			w[k] = s.TOP[ssta.DirRise].W(k) + s.TOP[ssta.DirFall].W(k)
+			mass += w[k]
+		}
+		settle[i] = w
+		stay[i] = 1 - mass
+		if stay[i] < 0 {
+			stay[i] = 0
+		}
+	}
+	out := make([]float64, n)
+	cumPrev := make([]float64, n)
+	half := make([]float64, n)
+	for k := 0; k < g.N; k++ {
+		// Same-bin ties split half-and-half so the criticalities
+		// form an exact partition of "at least one endpoint
+		// switches": half_i = stay_i + C_i[k−1] + s_i[k]/2.
+		prod := 1.0
+		for i := range endpoints {
+			half[i] = stay[i] + cumPrev[i] + settle[i][k]/2
+			prod *= half[i]
+		}
+		for i := range endpoints {
+			if settle[i][k] == 0 || half[i] <= 0 {
+				cumPrev[i] += settle[i][k]
+				continue
+			}
+			// Endpoint i settles in bin k and every other endpoint
+			// has either settled before (ties half-weighted) or
+			// never settles.
+			out[i] += settle[i][k] * prod / half[i]
+			cumPrev[i] += settle[i][k]
+		}
+	}
+	return out
+}
+
+// Yield returns the probability that every listed endpoint has
+// settled by time T — the input-aware timing yield (the quantity the
+// paper argues SSTA's corner distributions cannot provide).
+// Endpoints are treated as independent.
+func (r *Result) Yield(endpoints []netlist.NodeID, T float64) float64 {
+	y := 1.0
+	for _, id := range endpoints {
+		s := &r.State[id]
+		late := 0.0
+		for _, d := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+			late += s.TOP[d].Mass() - s.TOP[d].CDFAt(T)
+		}
+		if late < 0 {
+			late = 0
+		}
+		if late > 1 {
+			late = 1
+		}
+		y *= 1 - late
+	}
+	return y
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+)
+
+func TestWaveformLaunchPoint(t *testing.T) {
+	c := parse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "buf")
+	res := run(t, c, uniform(c))
+	a, _ := c.Node("a")
+	// Long before any transition: P(one) = P1 + Pf = 0.5; long
+	// after: P1 + Pr = 0.5; at the arrival median the rise has half
+	// completed and the fall half completed, so still 0.5 (uniform
+	// stats are symmetric).
+	for _, tt := range []float64{-6, 0, 6} {
+		approx(t, "waveform(a)", res.WaveformAt(a.ID, tt), 0.5, 0.02)
+	}
+	// A skewed launch point moves from P1+Pf to P1+Pr.
+	c2 := parse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "buf2")
+	res2 := run(t, c2, skewed(c2))
+	a2, _ := c2.Node("a")
+	approx(t, "early", res2.WaveformAt(a2.ID, -6), 0.15+0.08, 1e-6)
+	approx(t, "late", res2.WaveformAt(a2.ID, 6), 0.15+0.02, 1e-6)
+}
+
+// TestWaveformMatchesMonteCarloProbes: the analytic waveform matches
+// the sampled one-probability at probe times on a tree circuit.
+func TestWaveformMatchesMonteCarloProbes(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = NAND(a, b)
+y  = OR(g1, c)
+`
+	c := parse(t, src, "tree")
+	in := uniform(c)
+	res := run(t, c, in)
+	probes := []float64{-2, -1, 0, 0.5, 1, 1.5, 2, 3, 4, 6}
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{
+		Runs: 120000, Seed: 31, ProbeTimes: probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		for i, pt := range probes {
+			got := res.WaveformAt(n.ID, pt)
+			want := mc.OneProbabilityAt(n.ID, i)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("%s @%v: waveform %v, MC %v", n.Name, pt, got, want)
+			}
+		}
+	}
+}
+
+func TestWaveformMonotonePieces(t *testing.T) {
+	// A net that can only rise has a non-decreasing waveform.
+	c := parse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "buf")
+	a, _ := c.Node("a")
+	in := map[netlist.NodeID]logic.InputStats{
+		a.ID: {P: [4]float64{0.5, 0, 0.5, 0}, Mu: 0, Sigma: 1},
+	}
+	res := run(t, c, in)
+	y, _ := c.Node("y")
+	xs, ys := res.Waveform(y.ID)
+	if len(xs) != res.Grid.N || len(ys) != len(xs) {
+		t.Fatalf("waveform length %d/%d", len(xs), len(ys))
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]-1e-12 {
+			t.Fatalf("rising-only waveform decreases at %v", xs[i])
+		}
+	}
+	approx(t, "final", ys[len(ys)-1], 0.5, 1e-9)
+}
+
+// TestCriticalitiesSumAndDominance on a two-endpoint circuit with
+// one endpoint much deeper than the other.
+func TestCriticalitiesTwoEndpoints(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(fast)
+OUTPUT(slow)
+fast = BUFF(a)
+s1 = NOT(a)
+s2 = NOT(s1)
+s3 = NOT(s2)
+slow = AND(s3, b)
+`
+	c := parse(t, src, "twoend")
+	in := uniform(c)
+	res := run(t, c, in)
+	eps := c.Endpoints()
+	crit := res.Criticalities(eps)
+	byName := map[string]float64{}
+	pAny := 1.0
+	for i, id := range eps {
+		byName[c.Nodes[id].Name] = crit[i]
+		pAny *= 1 - res.TogglingRate(id)
+	}
+	pAny = 1 - pAny
+	sum := 0.0
+	for _, v := range crit {
+		sum += v
+	}
+	// Criticalities sum to P(at least one endpoint transitions)
+	// under independence.
+	approx(t, "criticality sum", sum, pAny, 1e-6)
+	// The 4-deep endpoint dominates when both switch.
+	if byName["slow"] <= byName["fast"]*0.8 {
+		t.Errorf("slow %.3f not dominant over fast %.3f", byName["slow"], byName["fast"])
+	}
+}
+
+// TestCriticalitiesMatchMonteCarlo on a benchmark circuit.
+func TestCriticalitiesMatchMonteCarlo(t *testing.T) {
+	p, _ := synth.ProfileByName("s208")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+	res := run(t, c, in)
+	eps := c.Endpoints()
+	crit := res.Criticalities(eps)
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{
+		Runs: 60000, Seed: 37, CountCriticality: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconvergence makes endpoint settle times correlated, so
+	// allow a loose tolerance; the ranking of the clearly-critical
+	// endpoints must agree.
+	var worst float64
+	for i, id := range eps {
+		d := math.Abs(crit[i] - mc.Criticality(id))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.12 {
+		t.Errorf("worst criticality error = %v", worst)
+	}
+	// Top endpoint by SPSTA criticality is among MC's top three.
+	best := 0
+	for i := range eps {
+		if crit[i] > crit[best] {
+			best = i
+		}
+	}
+	rank := 0
+	for _, id := range eps {
+		if mc.Criticality(id) > mc.Criticality(eps[best]) {
+			rank++
+		}
+	}
+	if rank > 2 {
+		t.Errorf("SPSTA's top endpoint ranks %d by MC", rank+1)
+	}
+}
+
+func TestMonteCarloCriticalityCounts(t *testing.T) {
+	// Single endpoint: criticality equals its toggling rate.
+	c := parse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "buf")
+	in := uniform(c)
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{
+		Runs: 50000, Seed: 39, CountCriticality: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	approx(t, "criticality", mc.Criticality(y.ID), mc.TogglingRate(y.ID), 1e-12)
+	// Endpoint that never switches is never critical.
+	a, _ := c.Node("a")
+	in[a.ID] = logic.InputStats{P: [4]float64{1, 0, 0, 0}}
+	mc2, err := montecarlo.Simulate(c, in, montecarlo.Config{
+		Runs: 1000, Seed: 40, CountCriticality: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc2.Criticality(y.ID) != 0 {
+		t.Error("constant endpoint counted critical")
+	}
+}
+
+func TestWaveformTimeProbeHelper(t *testing.T) {
+	// oneAt semantics through the public API: a net that always
+	// rises at exactly t=2 (plus unit delay = 3).
+	c := parse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "buf")
+	a, _ := c.Node("a")
+	in := map[netlist.NodeID]logic.InputStats{
+		a.ID: {P: [4]float64{0, 0, 1, 0}, Mu: 2, Sigma: 0},
+	}
+	probes := []float64{2.5, 3.5}
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: 100, Seed: 1, ProbeTimes: probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	approx(t, "before", mc.OneProbabilityAt(y.ID, 0), 0, 0)
+	approx(t, "after", mc.OneProbabilityAt(y.ID, 1), 1, 0)
+	_ = ssta.DirRise
+}

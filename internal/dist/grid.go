@@ -1,0 +1,70 @@
+package dist
+
+import "fmt"
+
+// Grid is a uniform time grid shared by all discretized
+// distributions of one analysis. Bin i covers
+// [Lo + i·Dt, Lo + (i+1)·Dt) and is represented by its center.
+//
+// Every binary PMF operation requires both operands to live on the
+// same grid; mixing grids is a programming error and panics.
+type Grid struct {
+	Lo float64 // left edge of bin 0
+	Dt float64 // bin width
+	N  int     // number of bins
+}
+
+// NewGrid builds a grid covering [lo, hi] with bin width dt.
+func NewGrid(lo, hi, dt float64) Grid {
+	if dt <= 0 || hi <= lo {
+		panic(fmt.Sprintf("dist: invalid grid [%v,%v] dt=%v", lo, hi, dt))
+	}
+	n := int((hi-lo)/dt + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return Grid{Lo: lo, Dt: dt, N: n}
+}
+
+// TimingGrid returns the grid used by the timing analyzers for a
+// circuit of the given unit-delay depth with N(mu, sigma)
+// launch-point arrivals: [mu−8σ, depth+mu+8σ] with 16 bins per unit
+// delay, so unit gate delays shift by an exact number of bins.
+func TimingGrid(depth int, mu, sigma float64) Grid {
+	pad := 8 * sigma
+	if pad < 4 {
+		pad = 4
+	}
+	return NewGrid(mu-pad, float64(depth)+mu+pad, 1.0/16)
+}
+
+// Hi returns the right edge of the last bin.
+func (g Grid) Hi() float64 { return g.Lo + float64(g.N)*g.Dt }
+
+// X returns the center of bin i.
+func (g Grid) X(i int) float64 { return g.Lo + (float64(i)+0.5)*g.Dt }
+
+// Edge returns the left edge of bin i (Edge(N) is the right edge of
+// the grid).
+func (g Grid) Edge(i int) float64 { return g.Lo + float64(i)*g.Dt }
+
+// Index returns the bin containing x, clamped to [0, N-1].
+func (g Grid) Index(x float64) int {
+	i := int((x - g.Lo) / g.Dt)
+	if i < 0 {
+		return 0
+	}
+	if i >= g.N {
+		return g.N - 1
+	}
+	return i
+}
+
+// Equal reports whether two grids are identical.
+func (g Grid) Equal(o Grid) bool { return g == o }
+
+func (g Grid) check(o Grid, op string) {
+	if g != o {
+		panic(fmt.Sprintf("dist: %s across different grids: %+v vs %+v", op, g, o))
+	}
+}

@@ -1,0 +1,176 @@
+package dist
+
+// SwitchInput describes one gate input for the WEIGHTED SUM mixture
+// of Eq. 11: the input either holds the gate's non-controlling
+// constant value (probability Stay) or switches at a random time
+// whose unnormalized distribution is TOP (a transition temporal
+// occurrence probability function whose total mass is the input's
+// switching probability). Stay + TOP.Mass() need not be 1: the
+// remaining probability covers input behaviours that produce no
+// output transition and therefore contribute nothing here.
+type SwitchInput struct {
+	Stay float64
+	TOP  *PMF
+}
+
+// MaxMixture evaluates the paper's Eq. 11 for OpMax gates in
+// O(k·n) instead of the paper's O(2^k):
+//
+//	φ(y) = Σ_{∅≠S⊆inputs} (Π_{i∈S} t.o.p._i)(Π_{i∉S} Stay_i) · pdf(MAX_{i∈S})
+//
+// using the identity Π_i (Stay_i + C_i[k]) = Σ_S Π_{i∈S} C_i^S[k]
+// Π_{i∉S} Stay_i, where C_i is the running cumulative of TOP_i: the
+// product is the sub-distribution function of the whole mixture
+// (plus the constant empty-set term Π Stay_i, which is removed).
+// The result is the unnormalized output t.o.p. before gate delay.
+func MaxMixture(g Grid, in []SwitchInput) *PMF {
+	out := NewPMF(g)
+	if len(in) == 0 {
+		return out
+	}
+	prev := 1.0 // H[-1] = Π Stay_i
+	for _, s := range in {
+		prev *= s.Stay
+	}
+	cum := make([]float64, len(in))
+	for k := 0; k < g.N; k++ {
+		h := 1.0
+		for i, s := range in {
+			cum[i] += s.TOP.w[k]
+			h *= s.Stay + cum[i]
+		}
+		out.w[k] = h - prev
+		prev = h
+	}
+	return out
+}
+
+// MinMixture is the OpMin counterpart of MaxMixture:
+//
+//	φ(y) = Σ_{∅≠S} (Π_{i∈S} t.o.p._i)(Π_{i∉S} Stay_i) · pdf(MIN_{i∈S})
+//
+// computed from survival-function products Π_i (Stay_i + (mass_i −
+// C_i[k])).
+func MinMixture(g Grid, in []SwitchInput) *PMF {
+	out := NewPMF(g)
+	if len(in) == 0 {
+		return out
+	}
+	mass := make([]float64, len(in))
+	prev := 1.0 // W[-1] = Π (Stay_i + mass_i)
+	for i, s := range in {
+		mass[i] = s.TOP.Mass()
+		prev *= s.Stay + mass[i]
+	}
+	cum := make([]float64, len(in))
+	for k := 0; k < g.N; k++ {
+		w := 1.0
+		for i, s := range in {
+			cum[i] += s.TOP.w[k]
+			w *= s.Stay + (mass[i] - cum[i])
+		}
+		out.w[k] = prev - w
+		prev = w
+	}
+	return out
+}
+
+// Mixture dispatches to MaxMixture or MinMixture. op must not be
+// OpNone-like; callers pass max=true for latest-arrival semantics.
+func Mixture(g Grid, in []SwitchInput, max bool) *PMF {
+	if max {
+		return MaxMixture(g, in)
+	}
+	return MinMixture(g, in)
+}
+
+// SubsetMixture is the literal O(2^k) subset enumeration of Eq. 11,
+// kept as the reference implementation for property tests against
+// MaxMixture/MinMixture and for the ablation benchmarks.
+func SubsetMixture(g Grid, in []SwitchInput, max bool) *PMF {
+	out := NewPMF(g)
+	var rec func(i int, weight float64, acc *PMF)
+	rec = func(i int, weight float64, acc *PMF) {
+		if weight == 0 {
+			return
+		}
+		if i == len(in) {
+			if acc != nil {
+				out.AccumWeighted(acc, weight)
+			}
+			return
+		}
+		s := in[i]
+		// Input i holds the non-controlling constant.
+		rec(i+1, weight*s.Stay, acc)
+		// Input i switches.
+		m := s.TOP.Mass()
+		if m == 0 {
+			return
+		}
+		cond := s.TOP.Clone()
+		cond.Scale(1 / m)
+		next := cond
+		if acc != nil {
+			if max {
+				next = MaxPMF(acc, cond)
+			} else {
+				next = MinPMF(acc, cond)
+			}
+			next.Scale(1 / next.Mass())
+		}
+		rec(i+1, weight*m, next)
+	}
+	rec(0, 1, nil)
+	return out
+}
+
+// SizedMixture evaluates the WEIGHTED SUM with a per-subset-size
+// gate delay: each switching subset's combined arrival pdf is
+// delayed by delay(|S|) before accumulation. This models the
+// multiple-input switching effect (the paper's reference [2]): a
+// gate whose inputs switch together is faster/slower than the
+// single-switching characterization. O(2^k) like SubsetMixture.
+func SizedMixture(g Grid, in []SwitchInput, max bool, delay func(size int) Normal) *PMF {
+	out := NewPMF(g)
+	var rec func(i, size int, weight float64, acc *PMF)
+	rec = func(i, size int, weight float64, acc *PMF) {
+		if weight == 0 {
+			return
+		}
+		if i == len(in) {
+			if acc == nil {
+				return
+			}
+			d := delay(size)
+			var shifted *PMF
+			if d.Sigma == 0 {
+				shifted = acc.Shift(d.Mu)
+			} else {
+				shifted = acc.Convolve(FromNormal(g, d))
+			}
+			out.AccumWeighted(shifted, weight)
+			return
+		}
+		s := in[i]
+		rec(i+1, size, weight*s.Stay, acc)
+		m := s.TOP.Mass()
+		if m == 0 {
+			return
+		}
+		cond := s.TOP.Clone()
+		cond.Scale(1 / m)
+		next := cond
+		if acc != nil {
+			if max {
+				next = MaxPMF(acc, cond)
+			} else {
+				next = MinPMF(acc, cond)
+			}
+			next.Scale(1 / next.Mass())
+		}
+		rec(i+1, size+1, weight*m, next)
+	}
+	rec(0, 0, 1, nil)
+	return out
+}

@@ -1,0 +1,168 @@
+// Package dist is the statistics kernel shared by the analyzers:
+// normal-distribution primitives, Clark's MAX/MIN moment matching
+// (the SSTA operations of Section 2.1), discretized probability mass
+// functions on a shared uniform grid (the SPSTA t.o.p. machinery of
+// Section 3), and online moment accumulators for Monte Carlo.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// invSqrt2Pi is 1/sqrt(2*pi).
+const invSqrt2Pi = 0.3989422804014327
+
+// NormPDF is the standard normal density φ(x).
+func NormPDF(x float64) float64 {
+	return invSqrt2Pi * math.Exp(-x*x/2)
+}
+
+// NormCDF is the standard normal distribution function Φ(x).
+func NormCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// NormQuantile is the standard normal quantile Φ⁻¹(p), computed by
+// monotone bisection on NormCDF to ~1e-12. It panics for p outside
+// (0, 1).
+func NormQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("dist: NormQuantile(%v) out of (0,1)", p))
+	}
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if NormCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-13 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Normal is a normal distribution N(Mu, Sigma²). Sigma == 0 denotes
+// a deterministic value (point mass at Mu).
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Var returns Sigma².
+func (n Normal) Var() float64 { return n.Sigma * n.Sigma }
+
+// PDF evaluates the density at x.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x == n.Mu {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return NormPDF((x-n.Mu)/n.Sigma) / n.Sigma
+}
+
+// CDF evaluates the distribution function at x.
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return NormCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile returns the p-quantile.
+func (n Normal) Quantile(p float64) float64 {
+	if n.Sigma == 0 {
+		return n.Mu
+	}
+	return n.Mu + n.Sigma*NormQuantile(p)
+}
+
+// Add returns the distribution of the sum of two independent
+// normals: the SSTA SUM operation (Eq. 2 with zero covariance).
+func (n Normal) Add(o Normal) Normal {
+	return Normal{n.Mu + o.Mu, math.Sqrt(n.Sigma*n.Sigma + o.Sigma*o.Sigma)}
+}
+
+// Shift returns the distribution translated by a deterministic
+// delay d.
+func (n Normal) Shift(d float64) Normal { return Normal{n.Mu + d, n.Sigma} }
+
+// MaxNormal returns the moment-matched normal approximation of
+// max(A, B) for jointly normal A, B with correlation rho — Clark's
+// formulas, exactly the paper's Eq. 4:
+//
+//	θ² = σ₁² + σ₂² − 2·cov(t₁,t₂)
+//	λ  = (μ₁ − μ₂)/θ
+//	μ  = μ₁·Q + μ₂·(1−Q) + θ·P
+//	E[max²] = (μ₁²+σ₁²)·Q + (μ₂²+σ₂²)·(1−Q) + (μ₁+μ₂)·θ·P
+//
+// with P = φ(λ) and Q = Φ(λ). The returned Normal matches the exact
+// mean and variance of the (non-normal) max.
+func MaxNormal(a, b Normal, rho float64) Normal {
+	cov := rho * a.Sigma * b.Sigma
+	theta2 := a.Sigma*a.Sigma + b.Sigma*b.Sigma - 2*cov
+	if theta2 <= 1e-24 {
+		// Perfectly correlated equal-variance operands: the max is
+		// simply the larger-mean operand.
+		if a.Mu >= b.Mu {
+			return a
+		}
+		return b
+	}
+	theta := math.Sqrt(theta2)
+	lambda := (a.Mu - b.Mu) / theta
+	p := NormPDF(lambda)
+	q := NormCDF(lambda)
+	mu := a.Mu*q + b.Mu*(1-q) + theta*p
+	m2 := (a.Mu*a.Mu+a.Sigma*a.Sigma)*q +
+		(b.Mu*b.Mu+b.Sigma*b.Sigma)*(1-q) +
+		(a.Mu+b.Mu)*theta*p
+	v := m2 - mu*mu
+	if v < 0 {
+		v = 0
+	}
+	return Normal{mu, math.Sqrt(v)}
+}
+
+// MinNormal returns the moment-matched normal approximation of
+// min(A, B) via MIN(t₁,t₂) = −MAX(−t₁,−t₂).
+func MinNormal(a, b Normal, rho float64) Normal {
+	m := MaxNormal(Normal{-a.Mu, a.Sigma}, Normal{-b.Mu, b.Sigma}, rho)
+	return Normal{-m.Mu, m.Sigma}
+}
+
+// MaxNormals reduces a slice of independent normals with pairwise
+// Clark MAX. It panics on an empty slice.
+func MaxNormals(ns []Normal) Normal {
+	if len(ns) == 0 {
+		panic("dist: MaxNormals of empty slice")
+	}
+	acc := ns[0]
+	for _, n := range ns[1:] {
+		acc = MaxNormal(acc, n, 0)
+	}
+	return acc
+}
+
+// MinNormals reduces a slice of independent normals with pairwise
+// Clark MIN. It panics on an empty slice.
+func MinNormals(ns []Normal) Normal {
+	if len(ns) == 0 {
+		panic("dist: MinNormals of empty slice")
+	}
+	acc := ns[0]
+	for _, n := range ns[1:] {
+		acc = MinNormal(acc, n, 0)
+	}
+	return acc
+}

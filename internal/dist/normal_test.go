@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestNormPDFKnownValues(t *testing.T) {
+	approx(t, "NormPDF(0)", NormPDF(0), 0.3989422804014327, 1e-15)
+	approx(t, "NormPDF(1)", NormPDF(1), 0.24197072451914337, 1e-15)
+	approx(t, "NormPDF(-1)", NormPDF(-1), NormPDF(1), 0)
+}
+
+func TestNormCDFKnownValues(t *testing.T) {
+	approx(t, "NormCDF(0)", NormCDF(0), 0.5, 1e-15)
+	approx(t, "NormCDF(1.96)", NormCDF(1.96), 0.9750021048517795, 1e-12)
+	approx(t, "NormCDF(-1.96)", NormCDF(-1.96), 1-0.9750021048517795, 1e-12)
+	approx(t, "NormCDF(6)", NormCDF(6), 1, 1e-9)
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.84134, 0.975, 0.999} {
+		x := NormQuantile(p)
+		approx(t, "CDF(Quantile(p))", NormCDF(x), p, 1e-10)
+	}
+	approx(t, "NormQuantile(0.5)", NormQuantile(0.5), 0, 1e-10)
+	approx(t, "NormQuantile(0.975)", NormQuantile(0.975), 1.959963985, 1e-6)
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormQuantile(%v) did not panic", bad)
+				}
+			}()
+			NormQuantile(bad)
+		}()
+	}
+}
+
+func TestNormalBasics(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	approx(t, "Mean", n.Mean(), 3, 0)
+	approx(t, "Var", n.Var(), 4, 0)
+	approx(t, "CDF(3)", n.CDF(3), 0.5, 1e-15)
+	approx(t, "PDF(3)", n.PDF(3), NormPDF(0)/2, 1e-15)
+	approx(t, "Quantile(0.5)", n.Quantile(0.5), 3, 1e-9)
+	s := n.Add(Normal{Mu: 1, Sigma: 2})
+	approx(t, "Add.Mu", s.Mu, 4, 0)
+	approx(t, "Add.Sigma", s.Sigma, math.Sqrt(8), 1e-15)
+	sh := n.Shift(2.5)
+	approx(t, "Shift.Mu", sh.Mu, 5.5, 0)
+	approx(t, "Shift.Sigma", sh.Sigma, 2, 0)
+}
+
+func TestDeterministicNormal(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0}
+	if n.CDF(0.999) != 0 || n.CDF(1) != 1 {
+		t.Error("point-mass CDF wrong")
+	}
+	if !math.IsInf(n.PDF(1), 1) || n.PDF(0) != 0 {
+		t.Error("point-mass PDF wrong")
+	}
+	if n.Quantile(0.3) != 1 {
+		t.Error("point-mass quantile wrong")
+	}
+}
+
+// TestClarkMaxAgainstSampling compares Clark's moment formulas with
+// direct Monte Carlo over a spread of operand configurations.
+func TestClarkMaxAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		a, b Normal
+		rho  float64
+	}{
+		{Normal{0, 1}, Normal{0, 1}, 0},
+		{Normal{0, 1}, Normal{0, 2}, 0},
+		{Normal{0, 1}, Normal{3, 1}, 0},
+		{Normal{-2, 0.5}, Normal{0, 3}, 0},
+		{Normal{0, 1}, Normal{0.5, 1}, 0.7},
+		{Normal{1, 2}, Normal{1, 2}, -0.5},
+	}
+	const n = 400000
+	for _, c := range cases {
+		got := MaxNormal(c.a, c.b, c.rho)
+		var m Moments
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()
+			y := c.rho*x + math.Sqrt(1-c.rho*c.rho)*rng.NormFloat64()
+			va := c.a.Mu + c.a.Sigma*x
+			vb := c.b.Mu + c.b.Sigma*y
+			m.Add(math.Max(va, vb))
+		}
+		if math.Abs(got.Mu-m.Mean()) > 0.02 {
+			t.Errorf("MaxNormal(%v,%v,rho=%v).Mu = %v, sampled %v", c.a, c.b, c.rho, got.Mu, m.Mean())
+		}
+		if math.Abs(got.Sigma-m.Sigma()) > 0.02 {
+			t.Errorf("MaxNormal(%v,%v,rho=%v).Sigma = %v, sampled %v", c.a, c.b, c.rho, got.Sigma, m.Sigma())
+		}
+	}
+}
+
+// TestMinIsNegMax checks the identity MIN(t1,t2) = -MAX(-t1,-t2)
+// quoted in Section 2.1.2, via testing/quick.
+func TestMinIsNegMax(t *testing.T) {
+	f := func(mu1, mu2 float64, s1, s2 float64) bool {
+		a := Normal{clamp(mu1, -10, 10), math.Abs(clamp(s1, -4, 4))}
+		b := Normal{clamp(mu2, -10, 10), math.Abs(clamp(s2, -4, 4))}
+		mn := MinNormal(a, b, 0)
+		mx := MaxNormal(Normal{-a.Mu, a.Sigma}, Normal{-b.Mu, b.Sigma}, 0)
+		return math.Abs(mn.Mu+mx.Mu) < 1e-12 && math.Abs(mn.Sigma-mx.Sigma) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxNormalDominance: the mean of the max is at least each
+// operand mean, and far-apart operands return the dominant one.
+func TestMaxNormalDominance(t *testing.T) {
+	f := func(mu1, mu2, s1, s2 float64) bool {
+		a := Normal{clamp(mu1, -10, 10), math.Abs(clamp(s1, -4, 4))}
+		b := Normal{clamp(mu2, -10, 10), math.Abs(clamp(s2, -4, 4))}
+		m := MaxNormal(a, b, 0)
+		return m.Mu >= a.Mu-1e-9 && m.Mu >= b.Mu-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	far := MaxNormal(Normal{0, 1}, Normal{100, 2}, 0)
+	approx(t, "far max Mu", far.Mu, 100, 1e-6)
+	approx(t, "far max Sigma", far.Sigma, 2, 1e-6)
+}
+
+func TestMaxNormalDegenerate(t *testing.T) {
+	// Identical fully-correlated operands: max is the operand.
+	a := Normal{1, 1}
+	m := MaxNormal(a, a, 1)
+	if m != a {
+		t.Errorf("MaxNormal(a,a,1) = %v, want %v", m, a)
+	}
+	// Two point masses.
+	m = MaxNormal(Normal{1, 0}, Normal{2, 0}, 0)
+	if m.Mu != 2 || m.Sigma != 0 {
+		t.Errorf("max of point masses = %v", m)
+	}
+}
+
+func TestMaxMinNormalsReduce(t *testing.T) {
+	ns := []Normal{{0, 1}, {0.5, 1}, {1, 1}, {-2, 3}}
+	mx := MaxNormals(ns)
+	mn := MinNormals(ns)
+	if mx.Mu <= 1 {
+		t.Errorf("MaxNormals.Mu = %v, want > 1", mx.Mu)
+	}
+	if mn.Mu >= -2 {
+		t.Errorf("MinNormals.Mu = %v, want < -2", mn.Mu)
+	}
+	single := MaxNormals(ns[:1])
+	if single != ns[0] {
+		t.Errorf("MaxNormals of singleton = %v", single)
+	}
+	for _, f := range []func([]Normal) Normal{MaxNormals, MinNormals} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("reduce of empty slice did not panic")
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+// TestClarkTheta2Paper verifies the theta/lambda/P/Q intermediate
+// quantities against a hand-computed example: mu1=1, mu2=0,
+// sigma1=sigma2=1, rho=0 gives theta=sqrt(2), lambda=1/sqrt(2).
+func TestClarkTheta2Paper(t *testing.T) {
+	a, b := Normal{1, 1}, Normal{0, 1}
+	lambda := 1 / math.Sqrt2
+	p := NormPDF(lambda)
+	q := NormCDF(lambda)
+	wantMu := 1*q + 0*(1-q) + math.Sqrt2*p
+	got := MaxNormal(a, b, 0)
+	approx(t, "Clark mu", got.Mu, wantMu, 1e-12)
+	wantM2 := (1+1)*q + (0+1)*(1-q) + (1+0)*math.Sqrt2*p
+	approx(t, "Clark sigma", got.Sigma, math.Sqrt(wantM2-wantMu*wantMu), 1e-12)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return lo
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,316 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// PMF is a discretized distribution: probability mass per grid bin.
+// Total mass need not be 1 — a signal transition temporal occurrence
+// probability (t.o.p.) function integrates to the transition's
+// occurrence probability (Definition 3 of the paper), and PMFs with
+// sub-unit mass represent exactly that. Normalize converts a t.o.p.
+// into a conditional arrival-time pdf.
+type PMF struct {
+	grid Grid
+	w    []float64
+}
+
+// NewPMF returns an all-zero PMF on the grid.
+func NewPMF(g Grid) *PMF {
+	return &PMF{grid: g, w: make([]float64, g.N)}
+}
+
+// FromNormal discretizes N(mu, sigma²): each bin receives the exact
+// CDF difference across its edges, and the tail mass beyond the grid
+// is folded into the first and last bins so the total mass is
+// exactly 1.
+func FromNormal(g Grid, n Normal) *PMF {
+	p := NewPMF(g)
+	if n.Sigma == 0 {
+		return Delta(g, n.Mu)
+	}
+	prev := 0.0 // CDF at left grid edge, with tail folded in
+	for i := 0; i < g.N; i++ {
+		c := n.CDF(g.Edge(i + 1))
+		if i == g.N-1 {
+			c = 1
+		}
+		p.w[i] = c - prev
+		prev = c
+	}
+	return p
+}
+
+// Delta returns a point mass 1 at x (clamped to the grid).
+func Delta(g Grid, x float64) *PMF {
+	p := NewPMF(g)
+	p.w[g.Index(x)] = 1
+	return p
+}
+
+// Grid returns the PMF's grid.
+func (p *PMF) Grid() Grid { return p.grid }
+
+// W returns the mass of bin i.
+func (p *PMF) W(i int) float64 { return p.w[i] }
+
+// Clone returns a deep copy.
+func (p *PMF) Clone() *PMF {
+	q := NewPMF(p.grid)
+	copy(q.w, p.w)
+	return q
+}
+
+// Mass returns the total probability mass.
+func (p *PMF) Mass() float64 {
+	s := 0.0
+	for _, v := range p.w {
+		s += v
+	}
+	return s
+}
+
+// Scale multiplies every bin by s and returns p.
+func (p *PMF) Scale(s float64) *PMF {
+	for i := range p.w {
+		p.w[i] *= s
+	}
+	return p
+}
+
+// Normalize scales the PMF to unit mass and returns the prior mass.
+// A zero-mass PMF is left unchanged.
+func (p *PMF) Normalize() float64 {
+	m := p.Mass()
+	if m > 0 {
+		p.Scale(1 / m)
+	}
+	return m
+}
+
+// AccumWeighted adds w·q into p (mixture accumulation) and returns p.
+func (p *PMF) AccumWeighted(q *PMF, w float64) *PMF {
+	p.grid.check(q.grid, "AccumWeighted")
+	for i, v := range q.w {
+		p.w[i] += w * v
+	}
+	return p
+}
+
+// Shift returns the distribution translated by d. Fractional-bin
+// shifts split mass linearly between the two nearest bins; mass
+// pushed past an edge accumulates in the edge bin so total mass is
+// preserved.
+func (p *PMF) Shift(d float64) *PMF {
+	out := NewPMF(p.grid)
+	k := d / p.grid.Dt
+	base := math.Floor(k)
+	frac := k - base
+	ib := int(base)
+	add := func(i int, v float64) {
+		if v == 0 {
+			return
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= p.grid.N {
+			i = p.grid.N - 1
+		}
+		out.w[i] += v
+	}
+	for i, v := range p.w {
+		if v == 0 {
+			continue
+		}
+		add(i+ib, v*(1-frac))
+		if frac > 0 {
+			add(i+ib+1, v*frac)
+		}
+	}
+	return out
+}
+
+// Convolve returns the distribution of the sum of two independent
+// variables (the SSTA SUM operation, Eq. 1, discretized). The mass
+// of each bin-center pair is split linearly between the two bins
+// whose centers bracket the sum; out-of-grid mass clamps to the
+// edge bins so total mass is preserved.
+func (p *PMF) Convolve(q *PMF) *PMF {
+	p.grid.check(q.grid, "Convolve")
+	g := p.grid
+	out := NewPMF(g)
+	clampAdd := func(i int, v float64) {
+		if v == 0 {
+			return
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= g.N {
+			i = g.N - 1
+		}
+		out.w[i] += v
+	}
+	// In bin-center coordinates k = (x−Lo)/Dt − 1/2, the sum of
+	// centers i and j sits at k = i + j + 1/2 + Lo/Dt.
+	off := g.Lo/g.Dt + 0.5
+	for i, a := range p.w {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q.w {
+			if b == 0 {
+				continue
+			}
+			m := a * b
+			k := float64(i+j) + off
+			base := math.Floor(k)
+			frac := k - base
+			clampAdd(int(base), m*(1-frac))
+			clampAdd(int(base)+1, m*frac)
+		}
+	}
+	return out
+}
+
+// cumulative fills c with the inclusive running sum of w.
+func (p *PMF) cumulative(c []float64) {
+	s := 0.0
+	for i, v := range p.w {
+		s += v
+		c[i] = s
+	}
+}
+
+// MaxPMF returns the distribution of max(A, B) for independent A, B
+// given as unit- or sub-unit-mass PMFs. With atoms at bin centers,
+// P(max = k) = a[k]·CB[k] + b[k]·CA[k] − a[k]·b[k] (the joint atom
+// at k is counted once).
+func MaxPMF(a, b *PMF) *PMF {
+	a.grid.check(b.grid, "MaxPMF")
+	out := NewPMF(a.grid)
+	ca := make([]float64, a.grid.N)
+	cb := make([]float64, a.grid.N)
+	a.cumulative(ca)
+	b.cumulative(cb)
+	for k := range out.w {
+		out.w[k] = a.w[k]*cb[k] + b.w[k]*ca[k] - a.w[k]*b.w[k]
+	}
+	return out
+}
+
+// MinPMF returns the distribution of min(A, B) for independent A, B.
+func MinPMF(a, b *PMF) *PMF {
+	a.grid.check(b.grid, "MinPMF")
+	out := NewPMF(a.grid)
+	ma, mb := a.Mass(), b.Mass()
+	ca := make([]float64, a.grid.N)
+	cb := make([]float64, a.grid.N)
+	a.cumulative(ca)
+	b.cumulative(cb)
+	for k := range out.w {
+		// P(min = k) = a[k]·P(B ≥ k) + b[k]·P(A > k)
+		sb := mb - cb[k] + b.w[k] // P(B ≥ k)
+		sa := ma - ca[k]          // P(A > k)
+		out.w[k] = a.w[k]*sb + b.w[k]*sa
+	}
+	return out
+}
+
+// Mean returns the conditional mean over bin centers (conditioned on
+// the PMF's mass; 0 for a zero-mass PMF).
+func (p *PMF) Mean() float64 {
+	m, s := 0.0, 0.0
+	for i, v := range p.w {
+		s += v
+		m += v * p.grid.X(i)
+	}
+	if s == 0 {
+		return 0
+	}
+	return m / s
+}
+
+// Var returns the conditional variance over bin centers.
+func (p *PMF) Var() float64 {
+	mass := p.Mass()
+	if mass == 0 {
+		return 0
+	}
+	mu := p.Mean()
+	v := 0.0
+	for i, w := range p.w {
+		d := p.grid.X(i) - mu
+		v += w * d * d
+	}
+	v /= mass
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Sigma returns the conditional standard deviation.
+func (p *PMF) Sigma() float64 { return math.Sqrt(p.Var()) }
+
+// CDFAt returns the mass at or below x (not normalized).
+func (p *PMF) CDFAt(x float64) float64 {
+	s := 0.0
+	for i, v := range p.w {
+		if p.grid.X(i) <= x {
+			s += v
+		}
+	}
+	return s
+}
+
+// Quantile returns the smallest bin center whose normalized
+// cumulative mass reaches q. It panics on a zero-mass PMF or q
+// outside (0, 1].
+func (p *PMF) Quantile(q float64) float64 {
+	if !(q > 0 && q <= 1) {
+		panic(fmt.Sprintf("dist: Quantile(%v) out of (0,1]", q))
+	}
+	mass := p.Mass()
+	if mass == 0 {
+		panic("dist: Quantile of zero-mass PMF")
+	}
+	target := q * mass
+	s := 0.0
+	for i, v := range p.w {
+		s += v
+		if s >= target-1e-15 {
+			return p.grid.X(i)
+		}
+	}
+	return p.grid.X(p.grid.N - 1)
+}
+
+// Normal returns the moment-matched normal of the (conditional)
+// distribution.
+func (p *PMF) Normal() Normal { return Normal{p.Mean(), p.Sigma()} }
+
+// Skewness returns the standardized third central moment of the
+// conditional distribution (0 for zero-mass or zero-variance PMFs).
+// Section 3.4 lists skewness among the moments SPSTA can track; the
+// MAX operation produces right-skewed results while the WEIGHTED SUM
+// of symmetric inputs stays near-symmetric (Fig. 4).
+func (p *PMF) Skewness() float64 {
+	mass := p.Mass()
+	if mass == 0 {
+		return 0
+	}
+	mu := p.Mean()
+	sigma := p.Sigma()
+	if sigma == 0 {
+		return 0
+	}
+	m3 := 0.0
+	for i, w := range p.w {
+		d := p.grid.X(i) - mu
+		m3 += w * d * d * d
+	}
+	return m3 / mass / (sigma * sigma * sigma)
+}

@@ -1,0 +1,298 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueEdges(t *testing.T) {
+	cases := []struct {
+		v              Value
+		initial, final bool
+	}{
+		{Zero, false, false},
+		{One, true, true},
+		{Rise, false, true},
+		{Fall, true, false},
+	}
+	for _, c := range cases {
+		if got := c.v.Initial(); got != c.initial {
+			t.Errorf("%v.Initial() = %v, want %v", c.v, got, c.initial)
+		}
+		if got := c.v.Final(); got != c.final {
+			t.Errorf("%v.Final() = %v, want %v", c.v, got, c.final)
+		}
+		if got := FromEdge(c.initial, c.final); got != c.v {
+			t.Errorf("FromEdge(%v,%v) = %v, want %v", c.initial, c.final, got, c.v)
+		}
+		if got := c.v.Switching(); got != (c.initial != c.final) {
+			t.Errorf("%v.Switching() = %v", c.v, got)
+		}
+	}
+}
+
+func TestValueInvertInvolution(t *testing.T) {
+	for v := Zero; v < NumValues; v++ {
+		if got := v.Invert().Invert(); got != v {
+			t.Errorf("double inversion of %v gives %v", v, got)
+		}
+		if v.Invert().Initial() == v.Initial() {
+			t.Errorf("%v.Invert() keeps initial value", v)
+		}
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	want := map[Value]string{Zero: "0", One: "1", Rise: "r", Fall: "f"}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+	if Value(9).String() == "" {
+		t.Error("out-of-range Value has empty String")
+	}
+}
+
+// TestPaperTable1AND checks the four-value AND table from the paper
+// (Table 1), including the glitch-filtering entries r*f = 0.
+func TestPaperTable1AND(t *testing.T) {
+	want := [4][4]Value{
+		//         0     1     r     f
+		/* 0 */ {Zero, Zero, Zero, Zero},
+		/* 1 */ {Zero, One, Rise, Fall},
+		/* r */ {Zero, Rise, Rise, Zero},
+		/* f */ {Zero, Fall, Zero, Fall},
+	}
+	for a := Zero; a < NumValues; a++ {
+		for b := Zero; b < NumValues; b++ {
+			if got := And.Eval([]Value{a, b}); got != want[a][b] {
+				t.Errorf("AND(%v,%v) = %v, want %v", a, b, got, want[a][b])
+			}
+		}
+	}
+}
+
+// TestPaperTable1OR checks the four-value OR table from the paper
+// (Table 1), including the glitch-filtering entries r*f = 1.
+func TestPaperTable1OR(t *testing.T) {
+	want := [4][4]Value{
+		//         0     1     r     f
+		/* 0 */ {Zero, One, Rise, Fall},
+		/* 1 */ {One, One, One, One},
+		/* r */ {Rise, One, Rise, One},
+		/* f */ {Fall, One, One, Fall},
+	}
+	for a := Zero; a < NumValues; a++ {
+		for b := Zero; b < NumValues; b++ {
+			if got := Or.Eval([]Value{a, b}); got != want[a][b] {
+				t.Errorf("OR(%v,%v) = %v, want %v", a, b, got, want[a][b])
+			}
+		}
+	}
+}
+
+func TestInvertingGatesMatchComplement(t *testing.T) {
+	pairs := []struct{ g, base GateType }{
+		{Nand, And}, {Nor, Or}, {Xnor, Xor}, {Not, Buf},
+	}
+	for _, p := range pairs {
+		n := 2
+		if p.g == Not {
+			n = 1
+		}
+		forEachValueCombo(n, func(in []Value) {
+			if got, want := p.g.Eval(in), p.base.Eval(in).Invert(); got != want {
+				t.Errorf("%v%v = %v, want %v (complement of %v)", p.g, in, got, want, p.base)
+			}
+		})
+	}
+}
+
+func TestEvalBoolTables(t *testing.T) {
+	cases := []struct {
+		g    GateType
+		in   []bool
+		want bool
+	}{
+		{And, []bool{true, true, true}, true},
+		{And, []bool{true, false, true}, false},
+		{Nand, []bool{true, true}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Xor, []bool{true, true, true}, true},
+		{Xor, []bool{true, true}, false},
+		{Xnor, []bool{true, false}, false},
+		{Not, []bool{true}, false},
+		{Buf, []bool{true}, true},
+		{DFF, []bool{false}, false},
+		{Const0, nil, false},
+		{Const1, nil, true},
+	}
+	for _, c := range cases {
+		if got := c.g.EvalBool(c.in); got != c.want {
+			t.Errorf("%v.EvalBool(%v) = %v, want %v", c.g, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalBoolPanicsOnNonCombinational(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalBool on Input did not panic")
+		}
+	}()
+	Input.EvalBool(nil)
+}
+
+func TestParseGateTypeRoundTrip(t *testing.T) {
+	for g := Input; g < NumGateTypes; g++ {
+		got, err := ParseGateType(g.String())
+		if err != nil {
+			t.Fatalf("ParseGateType(%q): %v", g.String(), err)
+		}
+		if got != g {
+			t.Errorf("ParseGateType(%q) = %v, want %v", g.String(), got, g)
+		}
+	}
+	if _, err := ParseGateType("FLUX"); err == nil {
+		t.Error("ParseGateType accepted unknown gate name")
+	}
+	// Aliases and case-insensitivity.
+	for _, alias := range []string{"buf", "BUFF", "inv", "not", "nand", "Dff"} {
+		if _, err := ParseGateType(alias); err != nil {
+			t.Errorf("ParseGateType(%q): %v", alias, err)
+		}
+	}
+}
+
+func TestGateMetadata(t *testing.T) {
+	if v, ok := And.Controlling(); !ok || v {
+		t.Errorf("And.Controlling() = %v,%v, want false,true", v, ok)
+	}
+	if v, ok := Nor.Controlling(); !ok || !v {
+		t.Errorf("Nor.Controlling() = %v,%v, want true,true", v, ok)
+	}
+	if _, ok := Xor.Controlling(); ok {
+		t.Error("Xor has a controlling value")
+	}
+	if !Nand.Inverting() || And.Inverting() {
+		t.Error("Inverting() wrong for And/Nand")
+	}
+	if !And.Monotone() || Xor.Monotone() || Input.Monotone() {
+		t.Error("Monotone() wrong")
+	}
+	if !Xor.Parity() || And.Parity() {
+		t.Error("Parity() wrong")
+	}
+	if Input.Combinational() || DFF.Combinational() || !And.Combinational() {
+		t.Error("Combinational() wrong")
+	}
+	if And.MinFanin() != 2 || Not.MinFanin() != 1 || Input.MinFanin() != 0 {
+		t.Error("MinFanin wrong")
+	}
+	if And.MaxFanin() != -1 || Not.MaxFanin() != 1 || Const0.MaxFanin() != 0 {
+		t.Error("MaxFanin wrong")
+	}
+}
+
+func TestInputStatsScenarios(t *testing.T) {
+	u := UniformStats()
+	if err := u.Validate(); err != nil {
+		t.Fatalf("UniformStats invalid: %v", err)
+	}
+	if got := u.SignalProbability(); got != 0.5 {
+		t.Errorf("scenario I signal probability = %v, want 0.5", got)
+	}
+	if got := u.TogglingRate(); got != 0.5 {
+		t.Errorf("scenario I toggling rate = %v, want 0.5", got)
+	}
+	if got := u.TogglingVariance(); got != 0.25 {
+		t.Errorf("scenario I toggling variance = %v, want 0.25", got)
+	}
+
+	s := SkewedStats()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("SkewedStats invalid: %v", err)
+	}
+	if got := s.SignalProbability(); !close2(got, 0.2) {
+		t.Errorf("scenario II signal probability = %v, want 0.2", got)
+	}
+	if got := s.TogglingRate(); !close2(got, 0.1) {
+		t.Errorf("scenario II toggling rate = %v, want 0.1", got)
+	}
+	if got := s.TogglingVariance(); !close2(got, 0.09) {
+		t.Errorf("scenario II toggling variance = %v, want 0.09", got)
+	}
+}
+
+func TestInputStatsValidate(t *testing.T) {
+	bad := InputStats{P: [NumValues]float64{0.5, 0.5, 0.5, -0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+	bad = InputStats{P: [NumValues]float64{0.5, 0.1, 0.1, 0.1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-normalized distribution accepted")
+	}
+	bad = UniformStats()
+	bad.Sigma = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func forEachValueCombo(n int, f func([]Value)) {
+	in := make([]Value, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			f(in)
+			return
+		}
+		for v := Zero; v < NumValues; v++ {
+			in[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestQuickEvalConsistentWithEdges: for any gate and inputs, the
+// four-value output's initial/final values equal the Boolean function
+// of the inputs' initial/final values.
+func TestQuickEvalConsistentWithEdges(t *testing.T) {
+	gates := []GateType{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	f := func(raw []uint8, gi uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		g := gates[int(gi)%len(gates)]
+		n := len(raw)
+		if g.MaxFanin() == 1 {
+			n = 1
+		}
+		if n < g.MinFanin() {
+			return true
+		}
+		in := make([]Value, n)
+		initial := make([]bool, n)
+		final := make([]bool, n)
+		for i := 0; i < n; i++ {
+			in[i] = Value(raw[i] % NumValues)
+			initial[i] = in[i].Initial()
+			final[i] = in[i].Final()
+		}
+		out := g.Eval(in)
+		return out.Initial() == g.EvalBool(initial) && out.Final() == g.EvalBool(final)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package montecarlo implements the reference analysis of the
+// paper's Section 4: a four-value logic (0, 1, r, f) Monte Carlo
+// simulator. Each run draws a logic value and a transition arrival
+// time for every launch point, propagates values and settled
+// transition times through the netlist (glitches filtered, MIN/MAX
+// settle semantics per gate logic and transition direction), and
+// accumulates per-net occurrence counts and arrival-time moments.
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Runs is the number of Monte Carlo runs (default 10000, the
+	// paper's setting).
+	Runs int
+	// Seed seeds the deterministic RNG (default 1).
+	Seed int64
+	// Delay is the gate delay model (default ssta.UnitDelay). A
+	// model with Sigma > 0 is sampled independently per gate per
+	// run, adding process variation to the input-statistics
+	// variation.
+	Delay ssta.DelayModel
+	// CountGlitches additionally runs the event-walk semantics to
+	// count filtered glitches per net (slower; used by the glitch
+	// example).
+	CountGlitches bool
+	// ProbeTimes requests time-resolved state sampling: for every
+	// probe time t, the per-net count of runs whose net is at logic
+	// one at t (initial value before its transition, final after).
+	// This is the sampled probability waveform of probabilistic
+	// waveform simulation.
+	ProbeTimes []float64
+	// CountCriticality tracks, per run, which endpoint settles
+	// last (among endpoints that transition) and accumulates
+	// per-endpoint criticality counts.
+	CountCriticality bool
+	// Workers splits the runs across goroutines (default 1,
+	// sequential). Each worker uses an independent seed derived
+	// from Seed, and the per-net moment accumulators are merged
+	// (parallel Welford), so results are deterministic for a given
+	// (Seed, Workers) pair.
+	Workers int
+	// MIS, when non-nil, replaces Delay with a multiple-input
+	// switching model: the sampled gate delay is MIS(gate, k) for k
+	// simultaneously switching inputs (mirrors core.Analyzer.MIS).
+	MIS ssta.MISModel
+}
+
+// NetStats accumulates per-net observations across runs.
+type NetStats struct {
+	// Count holds final-value occurrence counts indexed by
+	// logic.Value.
+	Count [logic.NumValues]int64
+	// Rise and Fall hold arrival-time moments conditioned on the
+	// net transitioning in that direction.
+	Rise, Fall dist.Moments
+	// Glitches counts filtered glitch edges (pairs of cancelling
+	// output changes) when Config.CountGlitches is set.
+	Glitches int64
+	// OneAt[i] counts runs whose net is at logic one at
+	// Config.ProbeTimes[i].
+	OneAt []int64
+	// Critical counts runs in which this net was the last-settling
+	// endpoint (Config.CountCriticality; endpoints only).
+	Critical int64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	C     *netlist.Circuit
+	Runs  int
+	Stats []NetStats
+}
+
+// Simulate runs the Monte Carlo analysis. inputs maps launch points
+// to their cycle statistics; missing launch points default to the
+// paper's scenario I (uniform) statistics.
+func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg Config) (*Result, error) {
+	if cfg.Workers > 1 {
+		return simulateParallel(c, inputs, cfg)
+	}
+	runs := cfg.Runs
+	if runs == 0 {
+		runs = 10000
+	}
+	if runs < 0 {
+		return nil, fmt.Errorf("montecarlo: %d runs", runs)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		delay = ssta.UnitDelay
+	}
+	for id, st := range inputs {
+		if err := st.Validate(); err != nil {
+			return nil, fmt.Errorf("montecarlo: launch %s: %w", c.Nodes[id].Name, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{C: c, Runs: runs, Stats: make([]NetStats, len(c.Nodes))}
+	if len(cfg.ProbeTimes) > 0 {
+		for i := range res.Stats {
+			res.Stats[i].OneAt = make([]int64, len(cfg.ProbeTimes))
+		}
+	}
+	var endpoints []netlist.NodeID
+	if cfg.CountCriticality {
+		endpoints = c.Endpoints()
+	}
+
+	vals := make([]logic.Value, len(c.Nodes))
+	times := make([]float64, len(c.Nodes))
+	inVals := make([]logic.Value, 0, 8)
+	inTimes := make([]float64, 0, 8)
+	order := c.TopoOrder()
+	defaultStats := logic.UniformStats()
+
+	for run := 0; run < runs; run++ {
+		for _, id := range order {
+			n := c.Nodes[id]
+			switch {
+			case n.Type == logic.Const0:
+				vals[id], times[id] = logic.Zero, 0
+			case n.Type == logic.Const1:
+				vals[id], times[id] = logic.One, 0
+			case !n.Type.Combinational():
+				st, ok := inputs[id]
+				if !ok {
+					st = defaultStats
+				}
+				vals[id], times[id] = st.Sample(rng)
+			default:
+				inVals = inVals[:0]
+				inTimes = inTimes[:0]
+				for _, f := range n.Fanin {
+					inVals = append(inVals, vals[f])
+					inTimes = append(inTimes, times[f])
+				}
+				out, op := n.Type.SettleOp(inVals)
+				vals[id] = out
+				if cfg.CountGlitches {
+					_, _, gl, _ := n.Type.SettleTime(inVals, inTimes)
+					res.Stats[id].Glitches += int64(gl)
+				}
+				if out.Switching() {
+					t := settle(op, inVals, inTimes)
+					dn := delay(n)
+					if cfg.MIS != nil {
+						k := 0
+						for _, v := range inVals {
+							if v.Switching() {
+								k++
+							}
+						}
+						dn = cfg.MIS(n, k)
+					}
+					d := dn.Mu
+					if dn.Sigma > 0 {
+						d += dn.Sigma * rng.NormFloat64()
+					}
+					times[id] = t + d
+				} else {
+					times[id] = 0
+				}
+			}
+			s := &res.Stats[id]
+			s.Count[vals[id]]++
+			switch vals[id] {
+			case logic.Rise:
+				s.Rise.Add(times[id])
+			case logic.Fall:
+				s.Fall.Add(times[id])
+			}
+			for i, pt := range cfg.ProbeTimes {
+				if oneAt(vals[id], times[id], pt) {
+					s.OneAt[i]++
+				}
+			}
+		}
+		if cfg.CountCriticality {
+			last := netlist.InvalidNode
+			lastT := 0.0
+			for _, ep := range endpoints {
+				if !vals[ep].Switching() {
+					continue
+				}
+				if last == netlist.InvalidNode || times[ep] > lastT {
+					last, lastT = ep, times[ep]
+				}
+			}
+			if last != netlist.InvalidNode {
+				res.Stats[last].Critical++
+			}
+		}
+	}
+	return res, nil
+}
+
+// oneAt reports whether a net with cycle value v and transition time
+// tt is at logic one at probe time pt.
+func oneAt(v logic.Value, tt, pt float64) bool {
+	switch v {
+	case logic.One:
+		return true
+	case logic.Rise:
+		return pt >= tt
+	case logic.Fall:
+		return pt < tt
+	}
+	return false
+}
+
+// settle combines the switching inputs' arrival times with op.
+func settle(op logic.Op, vals []logic.Value, times []float64) float64 {
+	first := true
+	acc := 0.0
+	for i, v := range vals {
+		if !v.Switching() {
+			continue
+		}
+		t := times[i]
+		if first {
+			acc, first = t, false
+			continue
+		}
+		if op == logic.OpMin && t < acc {
+			acc = t
+		}
+		if op == logic.OpMax && t > acc {
+			acc = t
+		}
+	}
+	return acc
+}
+
+// P returns the sampled occurrence probability of value v at net id.
+func (r *Result) P(id netlist.NodeID, v logic.Value) float64 {
+	return float64(r.Stats[id].Count[v]) / float64(r.Runs)
+}
+
+// SignalProbability returns the sampled time-averaged probability of
+// logic one at net id: P(1) + (P(r)+P(f))/2.
+func (r *Result) SignalProbability(id netlist.NodeID) float64 {
+	return r.P(id, logic.One) + (r.P(id, logic.Rise)+r.P(id, logic.Fall))/2
+}
+
+// TogglingRate returns the sampled transitions-per-cycle at net id.
+func (r *Result) TogglingRate(id netlist.NodeID) float64 {
+	return r.P(id, logic.Rise) + r.P(id, logic.Fall)
+}
+
+// Arrival returns the conditional arrival-time moments of direction
+// d at net id.
+func (r *Result) Arrival(id netlist.NodeID, d ssta.Dir) *dist.Moments {
+	if d == ssta.DirRise {
+		return &r.Stats[id].Rise
+	}
+	return &r.Stats[id].Fall
+}
+
+// OneProbabilityAt returns the sampled probability that net id is at
+// logic one at probe time index i (requires Config.ProbeTimes).
+func (r *Result) OneProbabilityAt(id netlist.NodeID, i int) float64 {
+	return float64(r.Stats[id].OneAt[i]) / float64(r.Runs)
+}
+
+// Criticality returns the sampled probability that net id is the
+// last-settling endpoint (requires Config.CountCriticality).
+func (r *Result) Criticality(id netlist.NodeID) float64 {
+	return float64(r.Stats[id].Critical) / float64(r.Runs)
+}
+
+// simulateParallel shards the runs across Workers goroutines and
+// merges the per-net statistics with the parallel Welford
+// combination.
+func simulateParallel(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg Config) (*Result, error) {
+	workers := cfg.Workers
+	runs := cfg.Runs
+	if runs == 0 {
+		runs = 10000
+	}
+	if runs < 0 {
+		return nil, fmt.Errorf("montecarlo: %d runs", runs)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	type shard struct {
+		res *Result
+		err error
+	}
+	out := make([]shard, workers)
+	var wg sync.WaitGroup
+	base := runs / workers
+	extra := runs % workers
+	for w := 0; w < workers; w++ {
+		w := w
+		sub := cfg
+		sub.Workers = 1
+		sub.Runs = base
+		if w < extra {
+			sub.Runs++
+		}
+		// Distinct, deterministic per-shard seeds.
+		sub.Seed = seed + int64(w)*1_000_003
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if sub.Runs == 0 {
+				out[w] = shard{res: &Result{C: c, Stats: make([]NetStats, len(c.Nodes))}}
+				return
+			}
+			r, err := Simulate(c, inputs, sub)
+			out[w] = shard{res: r, err: err}
+		}()
+	}
+	wg.Wait()
+	res := &Result{C: c, Runs: runs, Stats: make([]NetStats, len(c.Nodes))}
+	if len(cfg.ProbeTimes) > 0 {
+		for i := range res.Stats {
+			res.Stats[i].OneAt = make([]int64, len(cfg.ProbeTimes))
+		}
+	}
+	for _, sh := range out {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		for i := range res.Stats {
+			dst, src := &res.Stats[i], &sh.res.Stats[i]
+			for v := range dst.Count {
+				dst.Count[v] += src.Count[v]
+			}
+			dst.Rise.Merge(&src.Rise)
+			dst.Fall.Merge(&src.Fall)
+			dst.Glitches += src.Glitches
+			dst.Critical += src.Critical
+			for j := range dst.OneAt {
+				dst.OneAt[j] += src.OneAt[j]
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package montecarlo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestEvaluateDeterministic(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = AND(a, b)
+y  = NOT(g1)
+`
+	c, err := bench.Parse(strings.NewReader(src), "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Node("a")
+	b, _ := c.Node("b")
+	g1, _ := c.Node("g1")
+	y, _ := c.Node("y")
+
+	// a rises at 0.5, b constant 1: g1 rises at 1.5, y falls at 2.5.
+	ev, err := Evaluate(c,
+		map[netlist.NodeID]logic.Value{a.ID: logic.Rise, b.ID: logic.One},
+		map[netlist.NodeID]float64{a.ID: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Value[g1.ID] != logic.Rise || math.Abs(ev.Time[g1.ID]-1.5) > 1e-12 {
+		t.Errorf("g1 = %v @ %v", ev.Value[g1.ID], ev.Time[g1.ID])
+	}
+	if ev.Value[y.ID] != logic.Fall || math.Abs(ev.Time[y.ID]-2.5) > 1e-12 {
+		t.Errorf("y = %v @ %v", ev.Value[y.ID], ev.Time[y.ID])
+	}
+	worst, any := ev.WorstArrival()
+	if !any || math.Abs(worst-2.5) > 1e-12 {
+		t.Errorf("worst arrival = %v, %v", worst, any)
+	}
+}
+
+func TestEvaluateGlitchCounting(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	c, err := bench.Parse(strings.NewReader(src), "and2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Node("a")
+	b, _ := c.Node("b")
+	y, _ := c.Node("y")
+	// a rises at 0, b falls at 1: the AND pulses high then settles 0.
+	ev, err := Evaluate(c,
+		map[netlist.NodeID]logic.Value{a.ID: logic.Rise, b.ID: logic.Fall},
+		map[netlist.NodeID]float64{a.ID: 0, b.ID: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Value[y.ID] != logic.Zero {
+		t.Errorf("y = %v, want 0", ev.Value[y.ID])
+	}
+	if ev.Glitches[y.ID] != 2 {
+		t.Errorf("glitch edges = %d, want 2", ev.Glitches[y.ID])
+	}
+	if _, any := ev.WorstArrival(); any {
+		t.Error("non-switching endpoint reported an arrival")
+	}
+}
+
+func TestEvaluateMissingLaunch(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n"
+	c, err := bench.Parse(strings.NewReader(src), "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(c, nil, nil, nil); err == nil {
+		t.Error("missing launch value accepted")
+	}
+}
+
+func TestVectorPair(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n"
+	c, err := bench.Parse(strings.NewReader(src), "or2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Node("a")
+	b, _ := c.Node("b")
+	vals := VectorPair(c,
+		map[netlist.NodeID]bool{a.ID: false, b.ID: true},
+		map[netlist.NodeID]bool{a.ID: true, b.ID: true},
+	)
+	if vals[a.ID] != logic.Rise || vals[b.ID] != logic.One {
+		t.Errorf("VectorPair = %v", vals)
+	}
+	// The pair flows into Evaluate.
+	ev, err := Evaluate(c, vals, map[netlist.NodeID]float64{a.ID: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	// b already 1: OR output constant 1 regardless of a's rise.
+	if ev.Value[y.ID] != logic.One {
+		t.Errorf("y = %v, want 1", ev.Value[y.ID])
+	}
+}
+
+// TestEvaluateConsistentWithSimulate: averaging Evaluate over the
+// sampled vectors reproduces Simulate's statistics (same semantics).
+func TestEvaluateConsistentWithSimulate(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = NAND(a, b)
+y  = XOR(g1, c)
+`
+	cir, err := bench.Parse(strings.NewReader(src), "mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[netlist.NodeID]logic.InputStats{}
+	for _, id := range cir.LaunchPoints() {
+		in[id] = logic.UniformStats()
+	}
+	mc, err := Simulate(cir, in, Config{Runs: 60000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive four-value enumeration via Evaluate, weighted.
+	launches := cir.LaunchPoints()
+	probs := make([]float64, len(cir.Nodes))
+	vals := make(map[netlist.NodeID]logic.Value)
+	var rec func(i int, w float64)
+	y, _ := cir.Node("y")
+	rec = func(i int, w float64) {
+		if w == 0 {
+			return
+		}
+		if i == len(launches) {
+			ev, err := Evaluate(cir, vals, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Value[y.ID] == logic.One {
+				probs[y.ID] += w
+			}
+			return
+		}
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			vals[launches[i]] = v
+			rec(i+1, w*0.25)
+		}
+	}
+	rec(0, 1)
+	if math.Abs(probs[y.ID]-mc.P(y.ID, logic.One)) > 0.01 {
+		t.Errorf("P1(y): enumerated %v vs simulated %v", probs[y.ID], mc.P(y.ID, logic.One))
+	}
+}

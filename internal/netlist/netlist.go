@@ -1,0 +1,395 @@
+// Package netlist implements the gate-level circuit substrate shared
+// by every timing analyzer: a directed graph of nets driven by logic
+// gates, with ISCAS'89-style sequential boundary handling (D
+// flip-flop outputs launch a cycle, flip-flop inputs and primary
+// outputs capture it), levelization, topological traversal, and
+// unit-delay critical-path extraction.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// NodeID identifies a net (equivalently, the gate driving it) within
+// a Circuit. IDs are dense indices into Circuit.Nodes.
+type NodeID int32
+
+// InvalidNode is the zero-value "no node" sentinel.
+const InvalidNode NodeID = -1
+
+// Node is one net of the circuit together with the gate that drives
+// it. A node of type Input has no fanin; a node of type DFF has
+// exactly one fanin (its D pin), which is a timing endpoint, while
+// the node itself is a timing launch point.
+type Node struct {
+	ID   NodeID
+	Name string
+	Type logic.GateType
+	// Fanin lists the driving nets in gate-input order.
+	Fanin []NodeID
+	// Fanout lists the driven nodes (filled by Freeze).
+	Fanout []NodeID
+	// Output marks nets declared as primary outputs.
+	Output bool
+	// Level is the unit-delay logic depth: 0 for launch points,
+	// 1+max(fanin levels) for combinational gates (filled by
+	// Freeze). A DFF node itself has level 0 (its Q pin launches).
+	Level int
+}
+
+// Circuit is an immutable-after-Freeze gate-level netlist.
+type Circuit struct {
+	Name  string
+	Nodes []*Node
+
+	byName map[string]NodeID
+	frozen bool
+	order  []NodeID // topological order of combinational nodes
+	depth  int      // max level over all endpoints
+
+	// pendingFanin[i] holds node i's fanin net names until Freeze
+	// resolves them (forward references are allowed).
+	pendingFanin [][]string
+	// pendingOutputs holds MarkOutput names until Freeze.
+	pendingOutputs []string
+}
+
+// New creates an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]NodeID)}
+}
+
+// AddNode adds a node driving the net called name. The fanin nets
+// are given by name and may be forward references; they are resolved
+// by Freeze. AddNode fails on duplicate net names, illegal arity for
+// the gate type, or if the circuit is already frozen.
+func (c *Circuit) AddNode(name string, t logic.GateType, fanin ...string) (NodeID, error) {
+	if c.frozen {
+		return InvalidNode, fmt.Errorf("netlist: AddNode(%q) on frozen circuit", name)
+	}
+	if name == "" {
+		return InvalidNode, fmt.Errorf("netlist: empty net name")
+	}
+	if _, dup := c.byName[name]; dup {
+		return InvalidNode, fmt.Errorf("netlist: duplicate driver for net %q", name)
+	}
+	if n := len(fanin); n < t.MinFanin() || (t.MaxFanin() >= 0 && n > t.MaxFanin()) {
+		return InvalidNode, fmt.Errorf("netlist: %v gate %q has %d fanins", t, name, len(fanin))
+	}
+	id := NodeID(len(c.Nodes))
+	node := &Node{ID: id, Name: name, Type: t}
+	c.Nodes = append(c.Nodes, node)
+	c.byName[name] = id
+	c.pendingFanin = append(c.pendingFanin, fanin)
+	return id, nil
+}
+
+// MarkOutput declares the named net a primary output. The net must
+// already exist or be added before Freeze; unresolved output names
+// are reported by Freeze.
+func (c *Circuit) MarkOutput(name string) {
+	c.pendingOutputs = append(c.pendingOutputs, name)
+}
+
+// Node returns the node driving the named net.
+func (c *Circuit) Node(name string) (*Node, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return c.Nodes[id], true
+}
+
+// Freeze resolves name references, validates the structure (every
+// fanin defined, no combinational cycles), computes fanouts, levels
+// and the topological order. After Freeze the circuit is immutable.
+func (c *Circuit) Freeze() error {
+	if c.frozen {
+		return nil
+	}
+	// Resolve fanin names.
+	for i, names := range c.pendingFanin {
+		node := c.Nodes[i]
+		node.Fanin = make([]NodeID, len(names))
+		for j, fn := range names {
+			id, ok := c.byName[fn]
+			if !ok {
+				return fmt.Errorf("netlist: net %q (fanin of %q) has no driver", fn, node.Name)
+			}
+			node.Fanin[j] = id
+		}
+	}
+	c.pendingFanin = nil
+	// Resolve outputs.
+	for _, name := range c.pendingOutputs {
+		id, ok := c.byName[name]
+		if !ok {
+			return fmt.Errorf("netlist: output net %q has no driver", name)
+		}
+		c.Nodes[id].Output = true
+	}
+	c.pendingOutputs = nil
+	// Fanouts.
+	for _, n := range c.Nodes {
+		for _, f := range n.Fanin {
+			c.Nodes[f].Fanout = append(c.Nodes[f].Fanout, n.ID)
+		}
+	}
+	// Kahn topological sort over combinational dependencies. DFF
+	// nodes depend on nothing for timing purposes (their fanin is
+	// captured at the cycle boundary), so they are sources.
+	indeg := make([]int, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if n.Type == logic.DFF {
+			continue
+		}
+		indeg[n.ID] = len(n.Fanin)
+	}
+	queue := make([]NodeID, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if indeg[n.ID] == 0 {
+			queue = append(queue, n.ID)
+		}
+	}
+	order := make([]NodeID, 0, len(c.Nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, out := range c.Nodes[id].Fanout {
+			if c.Nodes[out].Type == logic.DFF {
+				continue
+			}
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, out)
+			}
+		}
+	}
+	if len(order) != len(c.Nodes) {
+		var stuck []string
+		for id, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, c.Nodes[id].Name)
+			}
+		}
+		sort.Strings(stuck)
+		if len(stuck) > 8 {
+			stuck = stuck[:8]
+		}
+		return fmt.Errorf("netlist: combinational cycle through %v", stuck)
+	}
+	// Levels in topological order.
+	c.depth = 0
+	for _, id := range order {
+		n := c.Nodes[id]
+		if !n.Type.Combinational() {
+			n.Level = 0
+			continue
+		}
+		lvl := 0
+		for _, f := range n.Fanin {
+			if l := c.Nodes[f].Level; l > lvl {
+				lvl = l
+			}
+		}
+		n.Level = lvl + 1
+		if n.Level > c.depth {
+			c.depth = n.Level
+		}
+	}
+	c.order = order
+	c.frozen = true
+	return nil
+}
+
+// Frozen reports whether Freeze has completed.
+func (c *Circuit) Frozen() bool { return c.frozen }
+
+// TopoOrder returns the combinational topological order (launch
+// points first). The caller must not modify the returned slice.
+func (c *Circuit) TopoOrder() []NodeID {
+	c.mustFreeze("TopoOrder")
+	return c.order
+}
+
+// Depth returns the maximum unit-delay logic level in the circuit.
+func (c *Circuit) Depth() int {
+	c.mustFreeze("Depth")
+	return c.depth
+}
+
+// LaunchPoints returns the timing start points: primary inputs,
+// constants and DFF outputs, in ID order.
+func (c *Circuit) LaunchPoints() []NodeID {
+	var out []NodeID
+	for _, n := range c.Nodes {
+		if !n.Type.Combinational() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Inputs returns the primary input nodes in ID order.
+func (c *Circuit) Inputs() []NodeID {
+	var out []NodeID
+	for _, n := range c.Nodes {
+		if n.Type == logic.Input {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Outputs returns the primary output nodes in ID order.
+func (c *Circuit) Outputs() []NodeID {
+	var out []NodeID
+	for _, n := range c.Nodes {
+		if n.Output {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// DFFs returns the flip-flop nodes in ID order.
+func (c *Circuit) DFFs() []NodeID {
+	var out []NodeID
+	for _, n := range c.Nodes {
+		if n.Type == logic.DFF {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Endpoints returns the nets observed at the cycle boundary: nets
+// marked as primary outputs plus nets feeding DFF D pins,
+// deduplicated, in ID order.
+func (c *Circuit) Endpoints() []NodeID {
+	c.mustFreeze("Endpoints")
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	add := func(id NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.Output {
+			add(n.ID)
+		}
+		if n.Type == logic.DFF {
+			add(n.Fanin[0])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CriticalEndpoint returns the endpoint with the greatest unit-delay
+// level; ties are broken by net name for determinism. This is the
+// "most critical timing path" endpoint reported in the paper's
+// Table 2. It returns InvalidNode for circuits with no endpoints.
+func (c *Circuit) CriticalEndpoint() NodeID {
+	c.mustFreeze("CriticalEndpoint")
+	best := InvalidNode
+	for _, id := range c.Endpoints() {
+		if best == InvalidNode {
+			best = id
+			continue
+		}
+		n, b := c.Nodes[id], c.Nodes[best]
+		if n.Level > b.Level || (n.Level == b.Level && n.Name < b.Name) {
+			best = id
+		}
+	}
+	return best
+}
+
+// CriticalPath returns a maximum-level path from a launch point to
+// the critical endpoint, as node IDs in launch-to-endpoint order.
+func (c *Circuit) CriticalPath() []NodeID {
+	end := c.CriticalEndpoint()
+	if end == InvalidNode {
+		return nil
+	}
+	var rev []NodeID
+	for id := end; ; {
+		rev = append(rev, id)
+		n := c.Nodes[id]
+		if !n.Type.Combinational() {
+			break
+		}
+		// A deepest fanin is always on a maximum-level path since
+		// Level = 1 + max(fanin levels); ties break by name.
+		next := InvalidNode
+		for _, f := range n.Fanin {
+			fn := c.Nodes[f]
+			if next == InvalidNode || fn.Level > c.Nodes[next].Level ||
+				(fn.Level == c.Nodes[next].Level && fn.Name < c.Nodes[next].Name) {
+				next = f
+			}
+		}
+		if next == InvalidNode {
+			break
+		}
+		id = next
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Stats summarizes the circuit for reports.
+type Stats struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	DFFs    int
+	Gates   int // combinational gates
+	Depth   int
+}
+
+// Stats returns summary counts for the circuit.
+func (c *Circuit) Stats() Stats {
+	c.mustFreeze("Stats")
+	s := Stats{Name: c.Name, Depth: c.depth}
+	for _, n := range c.Nodes {
+		switch {
+		case n.Type == logic.Input:
+			s.Inputs++
+		case n.Type == logic.DFF:
+			s.DFFs++
+		case n.Type.Combinational():
+			s.Gates++
+		}
+		if n.Output {
+			s.Outputs++
+		}
+	}
+	return s
+}
+
+// MaxFanin returns the largest combinational gate fanin.
+func (c *Circuit) MaxFanin() int {
+	m := 0
+	for _, n := range c.Nodes {
+		if n.Type.Combinational() && len(n.Fanin) > m {
+			m = len(n.Fanin)
+		}
+	}
+	return m
+}
+
+func (c *Circuit) mustFreeze(op string) {
+	if !c.frozen {
+		panic("netlist: " + op + " before Freeze")
+	}
+}

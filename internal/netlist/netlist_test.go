@@ -1,0 +1,268 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// buildSmall constructs a tiny sequential circuit:
+//
+//	INPUT(a) INPUT(b)
+//	q  = DFF(d)
+//	n1 = NAND(a, b)
+//	n2 = NOR(n1, q)
+//	d  = NOT(n2)
+//	OUTPUT(n2)
+func buildSmall(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("small")
+	mustAdd(t, c, "a", logic.Input)
+	mustAdd(t, c, "b", logic.Input)
+	mustAdd(t, c, "q", logic.DFF, "d") // forward reference to d
+	mustAdd(t, c, "n1", logic.Nand, "a", "b")
+	mustAdd(t, c, "n2", logic.Nor, "n1", "q")
+	mustAdd(t, c, "d", logic.Not, "n2")
+	c.MarkOutput("n2")
+	if err := c.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return c
+}
+
+func mustAdd(t *testing.T, c *Circuit, name string, g logic.GateType, fanin ...string) NodeID {
+	t.Helper()
+	id, err := c.AddNode(name, g, fanin...)
+	if err != nil {
+		t.Fatalf("AddNode(%q): %v", name, err)
+	}
+	return id
+}
+
+func TestFreezeResolvesForwardReferences(t *testing.T) {
+	c := buildSmall(t)
+	q, _ := c.Node("q")
+	d, _ := c.Node("d")
+	if len(q.Fanin) != 1 || q.Fanin[0] != d.ID {
+		t.Errorf("DFF fanin = %v, want [%d]", q.Fanin, d.ID)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := buildSmall(t)
+	want := map[string]int{"a": 0, "b": 0, "q": 0, "n1": 1, "n2": 2, "d": 3}
+	for name, lvl := range want {
+		n, ok := c.Node(name)
+		if !ok {
+			t.Fatalf("missing node %q", name)
+		}
+		if n.Level != lvl {
+			t.Errorf("level(%s) = %d, want %d", name, n.Level, lvl)
+		}
+	}
+	if c.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", c.Depth())
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	c := buildSmall(t)
+	pos := make(map[NodeID]int)
+	for i, id := range c.TopoOrder() {
+		pos[id] = i
+	}
+	if len(pos) != len(c.Nodes) {
+		t.Fatalf("topo order covers %d of %d nodes", len(pos), len(c.Nodes))
+	}
+	for _, n := range c.Nodes {
+		if n.Type == logic.DFF {
+			continue // sequential edge, exempt
+		}
+		for _, f := range n.Fanin {
+			if pos[f] >= pos[n.ID] {
+				t.Errorf("fanin %s not before %s", c.Nodes[f].Name, n.Name)
+			}
+		}
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	c := buildSmall(t)
+	n2, _ := c.Node("n2")
+	d, _ := c.Node("d")
+	if len(n2.Fanout) != 1 || n2.Fanout[0] != d.ID {
+		t.Errorf("n2 fanout = %v", n2.Fanout)
+	}
+	q, _ := c.Node("q")
+	if len(q.Fanout) != 1 {
+		t.Errorf("q fanout = %v", q.Fanout)
+	}
+}
+
+func TestEndpointsAndLaunchPoints(t *testing.T) {
+	c := buildSmall(t)
+	eps := c.Endpoints()
+	names := nameSet(c, eps)
+	if !names["n2"] || !names["d"] || len(eps) != 2 {
+		t.Errorf("Endpoints = %v, want {n2, d}", names)
+	}
+	lps := nameSet(c, c.LaunchPoints())
+	if !lps["a"] || !lps["b"] || !lps["q"] || len(lps) != 3 {
+		t.Errorf("LaunchPoints = %v, want {a, b, q}", lps)
+	}
+	if got := len(c.Inputs()); got != 2 {
+		t.Errorf("len(Inputs) = %d, want 2", got)
+	}
+	if got := len(c.DFFs()); got != 1 {
+		t.Errorf("len(DFFs) = %d, want 1", got)
+	}
+	if got := len(c.Outputs()); got != 1 {
+		t.Errorf("len(Outputs) = %d, want 1", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	c := buildSmall(t)
+	end := c.CriticalEndpoint()
+	if c.Nodes[end].Name != "d" {
+		t.Fatalf("critical endpoint = %s, want d", c.Nodes[end].Name)
+	}
+	path := c.CriticalPath()
+	var names []string
+	for _, id := range path {
+		names = append(names, c.Nodes[id].Name)
+	}
+	got := strings.Join(names, "-")
+	// Path must start at a launch point, end at d, and climb one
+	// level per combinational hop.
+	if names[len(names)-1] != "d" {
+		t.Errorf("path %s does not end at d", got)
+	}
+	if len(path) != 4 { // launch, n1, n2, d
+		t.Errorf("path %s has length %d, want 4", got, len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		if c.Nodes[path[i]].Level != i {
+			t.Errorf("path node %s at position %d has level %d", names[i], i, c.Nodes[path[i]].Level)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildSmall(t)
+	s := c.Stats()
+	if s.Inputs != 2 || s.Outputs != 1 || s.DFFs != 1 || s.Gates != 3 || s.Depth != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if c.MaxFanin() != 2 {
+		t.Errorf("MaxFanin = %d, want 2", c.MaxFanin())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := New("bad")
+	mustAdd(t, c, "a", logic.Input)
+	if _, err := c.AddNode("a", logic.Input); err == nil {
+		t.Error("duplicate net accepted")
+	}
+	if _, err := c.AddNode("", logic.Input); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := c.AddNode("g", logic.And, "a"); err == nil {
+		t.Error("1-input AND accepted")
+	}
+	if _, err := c.AddNode("n", logic.Not, "a", "a"); err == nil {
+		t.Error("2-input NOT accepted")
+	}
+
+	// Undefined fanin.
+	c2 := New("undef")
+	mustAdd(t, c2, "x", logic.Buf, "ghost")
+	if err := c2.Freeze(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("undefined fanin error = %v", err)
+	}
+
+	// Undefined output.
+	c3 := New("undefout")
+	mustAdd(t, c3, "a", logic.Input)
+	c3.MarkOutput("ghost")
+	if err := c3.Freeze(); err == nil {
+		t.Error("undefined output accepted")
+	}
+
+	// Combinational cycle.
+	c4 := New("cycle")
+	mustAdd(t, c4, "a", logic.Input)
+	mustAdd(t, c4, "x", logic.And, "a", "y")
+	mustAdd(t, c4, "y", logic.And, "a", "x")
+	if err := c4.Freeze(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle error = %v", err)
+	}
+}
+
+func TestSequentialLoopIsNotACycle(t *testing.T) {
+	// A feedback loop through a DFF is legal.
+	c := New("seqloop")
+	mustAdd(t, c, "q", logic.DFF, "d")
+	mustAdd(t, c, "d", logic.Not, "q")
+	if err := c.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	d, _ := c.Node("d")
+	if d.Level != 1 {
+		t.Errorf("level(d) = %d, want 1", d.Level)
+	}
+}
+
+func TestFrozenImmutability(t *testing.T) {
+	c := buildSmall(t)
+	if !c.Frozen() {
+		t.Fatal("not frozen")
+	}
+	if _, err := c.AddNode("z", logic.Input); err == nil {
+		t.Error("AddNode accepted after Freeze")
+	}
+	if err := c.Freeze(); err != nil {
+		t.Errorf("second Freeze: %v", err)
+	}
+}
+
+func TestAccessorsPanicBeforeFreeze(t *testing.T) {
+	c := New("unfrozen")
+	for name, f := range map[string]func(){
+		"TopoOrder":        func() { c.TopoOrder() },
+		"Depth":            func() { c.Depth() },
+		"Endpoints":        func() { c.Endpoints() },
+		"CriticalEndpoint": func() { c.CriticalEndpoint() },
+		"Stats":            func() { c.Stats() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic before Freeze", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	c := buildSmall(t)
+	if _, ok := c.Node("nope"); ok {
+		t.Error("lookup of missing net succeeded")
+	}
+	n, ok := c.Node("n1")
+	if !ok || n.Name != "n1" || n.Type != logic.Nand {
+		t.Errorf("Node(n1) = %+v, %v", n, ok)
+	}
+}
+
+func nameSet(c *Circuit, ids []NodeID) map[string]bool {
+	m := make(map[string]bool)
+	for _, id := range ids {
+		m[c.Nodes[id].Name] = true
+	}
+	return m
+}

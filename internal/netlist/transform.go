@@ -1,0 +1,166 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// SplitWideGates returns a logically equivalent circuit in which no
+// combinational gate has more than maxFanin inputs: wide
+// AND/OR/NAND/NOR gates become balanced trees of narrower gates of
+// the same family (the inverting stage stays at the root), and wide
+// XOR/XNOR become parity trees. Real ISCAS'89 netlists contain gates
+// wider than the analyzers' parity/moment caps; this transform makes
+// any parsed netlist analyzable.
+//
+// Note on four-value semantics: splitting is exact for Boolean and
+// settle-time behaviour (MIN/MAX compose associatively), but the
+// glitch-filtered four-value value of a decomposed gate can differ
+// in mixed rise/fall corner cases (a tree may produce a constant
+// where the flat gate produced a filtered glitch, and vice versa —
+// both are glitch artifacts). Analyzer results on split circuits are
+// therefore approximations of the flat gate in those corners.
+func SplitWideGates(c *Circuit, maxFanin int) (*Circuit, error) {
+	if maxFanin < 2 {
+		return nil, fmt.Errorf("netlist: maxFanin %d < 2", maxFanin)
+	}
+	if !c.frozen {
+		return nil, fmt.Errorf("netlist: SplitWideGates on unfrozen circuit")
+	}
+	out := New(c.Name)
+	aux := 0
+	fresh := func() string {
+		for {
+			name := fmt.Sprintf("_split%d", aux)
+			aux++
+			if _, exists := c.byName[name]; !exists {
+				return name
+			}
+		}
+	}
+	// reduce builds a tree over names with the non-inverting core
+	// gate; the root gate carries rootName and rootType (so NAND
+	// trees end in an actual NAND with no extra inverter level).
+	var reduce func(core, rootType logic.GateType, names []string, rootName string) error
+	reduce = func(core, rootType logic.GateType, names []string, rootName string) error {
+		if len(names) <= maxFanin {
+			_, err := out.AddNode(rootName, rootType, names...)
+			return err
+		}
+		// Group into maxFanin-sized chunks and recurse.
+		var next []string
+		for i := 0; i < len(names); i += maxFanin {
+			end := i + maxFanin
+			if end > len(names) {
+				end = len(names)
+			}
+			chunk := names[i:end]
+			if len(chunk) == 1 {
+				next = append(next, chunk[0])
+				continue
+			}
+			name := fresh()
+			if _, err := out.AddNode(name, core, chunk...); err != nil {
+				return err
+			}
+			next = append(next, name)
+		}
+		return reduce(core, rootType, next, rootName)
+	}
+
+	for _, n := range c.Nodes {
+		faninNames := make([]string, len(n.Fanin))
+		for i, f := range n.Fanin {
+			faninNames[i] = c.Nodes[f].Name
+		}
+		if !n.Type.Combinational() || len(n.Fanin) <= maxFanin {
+			if _, err := out.AddNode(n.Name, n.Type, faninNames...); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		core := n.Type
+		switch n.Type {
+		case logic.Nand:
+			core = logic.And
+		case logic.Nor:
+			core = logic.Or
+		case logic.Xnor:
+			core = logic.Xor
+		case logic.And, logic.Or, logic.Xor:
+		default:
+			return nil, fmt.Errorf("netlist: cannot split %v gate %s", n.Type, n.Name)
+		}
+		if err := reduce(core, n.Type, faninNames, n.Name); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.Output {
+			out.MarkOutput(n.Name)
+		}
+	}
+	if err := out.Freeze(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExtractCone returns the transitive fanin cone of a net as a
+// standalone circuit: the net's drivers down to launch points, with
+// the root marked as the only primary output. DFFs inside the cone
+// become the new circuit's launch points (their D-side logic is
+// outside the cone by the cycle boundary).
+func ExtractCone(c *Circuit, root NodeID) (*Circuit, error) {
+	if !c.frozen {
+		return nil, fmt.Errorf("netlist: ExtractCone on unfrozen circuit")
+	}
+	if int(root) < 0 || int(root) >= len(c.Nodes) {
+		return nil, fmt.Errorf("netlist: cone root %d out of range", root)
+	}
+	keep := make(map[NodeID]bool)
+	var mark func(id NodeID)
+	mark = func(id NodeID) {
+		if keep[id] {
+			return
+		}
+		keep[id] = true
+		n := c.Nodes[id]
+		if n.Type == logic.DFF {
+			return // the cone stops at the cycle boundary
+		}
+		for _, f := range n.Fanin {
+			mark(f)
+		}
+	}
+	mark(root)
+	out := New(c.Name + "_cone_" + c.Nodes[root].Name)
+	// Preserve original ID order so fanins exist before use in the
+	// same relative order; forward references are legal anyway.
+	for _, n := range c.Nodes {
+		if !keep[n.ID] {
+			continue
+		}
+		if n.Type == logic.DFF {
+			// Keep as a launch point with no D connection: model as
+			// a primary input in the cone.
+			if _, err := out.AddNode(n.Name, logic.Input); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		faninNames := make([]string, len(n.Fanin))
+		for i, f := range n.Fanin {
+			faninNames[i] = c.Nodes[f].Name
+		}
+		if _, err := out.AddNode(n.Name, n.Type, faninNames...); err != nil {
+			return nil, err
+		}
+	}
+	out.MarkOutput(c.Nodes[root].Name)
+	if err := out.Freeze(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

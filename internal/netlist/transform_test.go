@@ -1,0 +1,158 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// buildWide constructs a circuit with an 8-input NAND and a 6-input
+// XOR feeding the outputs.
+func buildWide(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("wide")
+	var ins []string
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		mustAdd(t, c, name, logic.Input)
+		ins = append(ins, name)
+	}
+	mustAdd(t, c, "w", logic.Nand, ins...)
+	mustAdd(t, c, "x", logic.Xor, ins[:6]...)
+	mustAdd(t, c, "y", logic.And, "w", "x")
+	c.MarkOutput("y")
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSplitWideGatesBounds(t *testing.T) {
+	c := buildWide(t)
+	s, err := SplitWideGates(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxFanin(); got > 3 {
+		t.Errorf("max fanin after split = %d", got)
+	}
+	// The original net names survive with their original gate
+	// families at the roots.
+	w, ok := s.Node("w")
+	if !ok || w.Type != logic.Nand {
+		t.Errorf("w root = %+v", w)
+	}
+	x, ok := s.Node("x")
+	if !ok || x.Type != logic.Xor {
+		t.Errorf("x root = %+v", x)
+	}
+	if len(s.Outputs()) != 1 {
+		t.Error("outputs lost")
+	}
+}
+
+// TestSplitPreservesBooleanFunction: exhaustive Boolean equivalence
+// over all 256 input assignments.
+func TestSplitPreservesBooleanFunction(t *testing.T) {
+	c := buildWide(t)
+	s, err := SplitWideGates(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalBool := func(cir *Circuit, bits int) bool {
+		vals := make([]bool, len(cir.Nodes))
+		for i, id := range cir.Inputs() {
+			vals[id] = bits&(1<<i) != 0
+		}
+		for _, id := range cir.TopoOrder() {
+			n := cir.Nodes[id]
+			if !n.Type.Combinational() {
+				continue
+			}
+			in := make([]bool, len(n.Fanin))
+			for j, f := range n.Fanin {
+				in[j] = vals[f]
+			}
+			vals[id] = n.Type.EvalBool(in)
+		}
+		y, _ := cir.Node("y")
+		return vals[y.ID]
+	}
+	for bits := 0; bits < 256; bits++ {
+		if evalBool(c, bits) != evalBool(s, bits) {
+			t.Fatalf("split changed function at input %08b", bits)
+		}
+	}
+}
+
+func TestSplitNoopOnNarrowCircuit(t *testing.T) {
+	c := buildSmall(t)
+	s, err := SplitWideGates(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nodes) != len(c.Nodes) {
+		t.Errorf("narrow circuit gained nodes: %d vs %d", len(s.Nodes), len(c.Nodes))
+	}
+	if c.Stats() != s.Stats() {
+		t.Errorf("stats changed: %+v vs %+v", c.Stats(), s.Stats())
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	c := buildWide(t)
+	if _, err := SplitWideGates(c, 1); err == nil {
+		t.Error("maxFanin 1 accepted")
+	}
+	unfrozen := New("u")
+	if _, err := SplitWideGates(unfrozen, 4); err == nil {
+		t.Error("unfrozen circuit accepted")
+	}
+}
+
+func TestExtractCone(t *testing.T) {
+	c := buildSmall(t) // a,b inputs; q DFF; n1=NAND(a,b); n2=NOR(n1,q); d=NOT(n2)
+	n2, _ := c.Node("n2")
+	cone, err := ExtractCone(c, n2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cone of n2: a, b, q (as input), n1, n2 — d excluded.
+	if _, ok := cone.Node("d"); ok {
+		t.Error("cone includes downstream node")
+	}
+	q, ok := cone.Node("q")
+	if !ok || q.Type != logic.Input {
+		t.Errorf("DFF not converted to cone input: %+v", q)
+	}
+	outs := cone.Outputs()
+	if len(outs) != 1 || cone.Nodes[outs[0]].Name != "n2" {
+		t.Errorf("cone output = %v", outs)
+	}
+	if cone.Depth() != 2 {
+		t.Errorf("cone depth = %d, want 2", cone.Depth())
+	}
+}
+
+func TestExtractConeValidation(t *testing.T) {
+	c := buildSmall(t)
+	if _, err := ExtractCone(c, NodeID(999)); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	unfrozen := New("u")
+	if _, err := ExtractCone(unfrozen, 0); err == nil {
+		t.Error("unfrozen circuit accepted")
+	}
+}
+
+func TestExtractConeOfLaunchPoint(t *testing.T) {
+	c := buildSmall(t)
+	a, _ := c.Node("a")
+	cone, err := ExtractCone(c, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cone.Nodes) != 1 {
+		t.Errorf("launch cone has %d nodes", len(cone.Nodes))
+	}
+}

@@ -1,0 +1,200 @@
+// Package paths implements path-based statistical timing analysis,
+// the second SSTA family the paper surveys (Section 1, references
+// [18, 19]): enumerate the K most critical paths to an endpoint,
+// form each path's delay distribution, and compute per-path
+// criticality probabilities with path-sharing correlations handled
+// exactly by giving every gate delay its own variation variable in a
+// canonical form — two paths sharing gates share those variables, so
+// their covariance is the summed variance of the shared segment.
+package paths
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+	"repro/internal/vpoly"
+)
+
+// Path is one launch-to-endpoint pin sequence.
+type Path struct {
+	// Nodes lists the nets from launch point to endpoint.
+	Nodes []netlist.NodeID
+	// Length is the unit-delay depth (number of combinational
+	// gates on the path).
+	Length int
+}
+
+// Endpoint returns the path's final net.
+func (p Path) Endpoint() netlist.NodeID { return p.Nodes[len(p.Nodes)-1] }
+
+// Launch returns the path's starting net.
+func (p Path) Launch() netlist.NodeID { return p.Nodes[0] }
+
+// String renders the path as net names.
+func (p Path) String() string { return fmt.Sprintf("path(len=%d)", p.Length) }
+
+// Enumerate returns up to k maximal-length paths ending at
+// endpoint, longest first (ties broken deterministically by node
+// order). Depth-first search over fanin, descending toward deeper
+// fanins first, pruning branches that cannot beat the current k-th
+// longest candidate.
+func Enumerate(c *netlist.Circuit, endpoint netlist.NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	var out []Path
+	cutoff := func() int {
+		if len(out) < k {
+			return -1
+		}
+		return out[len(out)-1].Length
+	}
+	var walk func(id netlist.NodeID, suffix []netlist.NodeID, gates int)
+	walk = func(id netlist.NodeID, suffix []netlist.NodeID, gates int) {
+		n := c.Nodes[id]
+		suffix = append(suffix, id)
+		if !n.Type.Combinational() {
+			nodes := make([]netlist.NodeID, len(suffix))
+			for i, v := range suffix {
+				nodes[len(suffix)-1-i] = v
+			}
+			out = append(out, Path{Nodes: nodes, Length: gates})
+			sort.SliceStable(out, func(i, j int) bool { return out[i].Length > out[j].Length })
+			if len(out) > k {
+				out = out[:k]
+			}
+			return
+		}
+		// Even the deepest continuation adds at most n.Level more
+		// gates beyond the ones already on the suffix.
+		if w := cutoff(); w >= 0 && gates+n.Level-1 < w {
+			return
+		}
+		fanin := append([]netlist.NodeID(nil), n.Fanin...)
+		sort.Slice(fanin, func(i, j int) bool {
+			li, lj := c.Nodes[fanin[i]].Level, c.Nodes[fanin[j]].Level
+			if li != lj {
+				return li > lj
+			}
+			return fanin[i] < fanin[j]
+		})
+		for _, f := range fanin {
+			walk(f, suffix, gates+1)
+		}
+	}
+	walk(endpoint, nil, 0)
+	return out
+}
+
+// Delay returns the path delay distribution: the launch arrival plus
+// the sum of the gate delays along the path (the SUM operation only
+// — path-based analysis needs no MAX).
+func Delay(c *netlist.Circuit, p Path, launch dist.Normal, delay ssta.DelayModel) dist.Normal {
+	if delay == nil {
+		delay = ssta.UnitDelay
+	}
+	acc := launch
+	for _, id := range p.Nodes {
+		n := c.Nodes[id]
+		if n.Type.Combinational() {
+			acc = acc.Add(delay(n))
+		}
+	}
+	return acc
+}
+
+// Criticalities returns, for a set of paths to the same endpoint (or
+// competing endpoints), each path's probability of being the slowest
+// — with path-sharing correlation handled exactly: every distinct
+// gate on any path gets its own variation variable, so shared
+// segments induce the correct covariance between path delays. launch
+// gives per-launch-point arrival statistics; delay supplies each
+// gate's (mu, sigma) with the sigma treated as the gate's private
+// variation.
+//
+// The returned slice parallels paths and sums to ~1 (tightness
+// probabilities from iterated canonical MAX, the standard path-based
+// signoff computation).
+func Criticalities(c *netlist.Circuit, ps []Path, launch map[netlist.NodeID]logic.InputStats, delay ssta.DelayModel) []float64 {
+	if len(ps) == 0 {
+		return nil
+	}
+	if delay == nil {
+		delay = ssta.UnitDelay
+	}
+	// Assign variable indices: one per distinct gate, one per
+	// distinct launch point.
+	varOf := make(map[netlist.NodeID]int)
+	for _, p := range ps {
+		for _, id := range p.Nodes {
+			if _, ok := varOf[id]; !ok {
+				varOf[id] = len(varOf)
+			}
+		}
+	}
+	nvars := len(varOf)
+	forms := make([]vpoly.Canonical, len(ps))
+	for i, p := range ps {
+		f := vpoly.Const(0, nvars)
+		for _, id := range p.Nodes {
+			n := c.Nodes[id]
+			if n.Type.Combinational() {
+				d := delay(n)
+				f.A0 += d.Mu
+				f.A[varOf[id]] += d.Sigma
+			} else {
+				arr := dist.Normal{Mu: 0, Sigma: 1}
+				if st, ok := launch[id]; ok {
+					arr = dist.Normal{Mu: st.Mu, Sigma: st.Sigma}
+				}
+				f.A0 += arr.Mu
+				f.A[varOf[id]] += arr.Sigma
+			}
+		}
+		forms[i] = f
+	}
+	// Criticality of path i: P(path i delay is the max). Estimated
+	// by iterated tightness: T_i = P(D_i > max of others), computed
+	// with the canonical max of the others and the exact covariance
+	// to path i.
+	out := make([]float64, len(ps))
+	for i := range ps {
+		others := make([]vpoly.Canonical, 0, len(ps)-1)
+		for j := range ps {
+			if j != i {
+				others = append(others, forms[j])
+			}
+		}
+		if len(others) == 0 {
+			out[i] = 1
+			continue
+		}
+		rest := vpoly.MaxAll(others)
+		diff := forms[i].Add(rest.Neg())
+		sigma := diff.Sigma()
+		if sigma == 0 {
+			if diff.Mean() > 0 {
+				out[i] = 1
+			} else if diff.Mean() == 0 {
+				out[i] = 0.5
+			}
+			continue
+		}
+		out[i] = dist.NormCDF(diff.Mean() / sigma)
+	}
+	// Normalize so the tightness estimates form a distribution.
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}

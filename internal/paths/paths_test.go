@@ -1,0 +1,248 @@
+package paths
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func parse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.Parse(strings.NewReader(src), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// diamond: two length-2 branches and one length-3 branch reconverge.
+const diamond = `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+u1 = BUFF(a)
+u2 = BUFF(u1)
+v1 = BUFF(b)
+v2 = BUFF(v1)
+v3 = BUFF(v2)
+y  = AND(u2, v3)
+`
+
+func TestEnumerateLongestFirst(t *testing.T) {
+	c := parse(t, diamond, "diamond")
+	y, _ := c.Node("y")
+	ps := Enumerate(c, y.ID, 10)
+	if len(ps) != 2 {
+		t.Fatalf("paths = %d, want 2", len(ps))
+	}
+	if ps[0].Length != 4 || ps[1].Length != 3 {
+		t.Errorf("lengths = %d, %d, want 4, 3", ps[0].Length, ps[1].Length)
+	}
+	b, _ := c.Node("b")
+	a, _ := c.Node("a")
+	if ps[0].Launch() != b.ID || ps[1].Launch() != a.ID {
+		t.Errorf("launches wrong: %v, %v", ps[0].Launch(), ps[1].Launch())
+	}
+	if ps[0].Endpoint() != y.ID || ps[1].Endpoint() != y.ID {
+		t.Error("endpoints wrong")
+	}
+	// Path nodes run launch → endpoint and climb levels.
+	for i := 1; i < len(ps[0].Nodes); i++ {
+		if c.Nodes[ps[0].Nodes[i]].Level != i {
+			t.Errorf("path node %d at level %d", i, c.Nodes[ps[0].Nodes[i]].Level)
+		}
+	}
+}
+
+func TestEnumerateRespectsK(t *testing.T) {
+	c := parse(t, diamond, "diamond")
+	y, _ := c.Node("y")
+	ps := Enumerate(c, y.ID, 1)
+	if len(ps) != 1 || ps[0].Length != 4 {
+		t.Fatalf("k=1: %v", ps)
+	}
+	if got := Enumerate(c, y.ID, 0); got != nil {
+		t.Error("k=0 returned paths")
+	}
+}
+
+func TestEnumerateOnBenchmark(t *testing.T) {
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := c.CriticalEndpoint()
+	ps := Enumerate(c, end, 16)
+	if len(ps) == 0 {
+		t.Fatal("no paths found")
+	}
+	if ps[0].Length != c.Nodes[end].Level {
+		t.Errorf("longest path %d, want endpoint level %d", ps[0].Length, c.Nodes[end].Level)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Length > ps[i-1].Length {
+			t.Fatal("paths not sorted by length")
+		}
+	}
+	// Every path is structurally valid: consecutive fanin edges.
+	for _, path := range ps {
+		for i := 1; i < len(path.Nodes); i++ {
+			n := c.Nodes[path.Nodes[i]]
+			ok := false
+			for _, f := range n.Fanin {
+				if f == path.Nodes[i-1] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("path edge %s -> %s not in netlist",
+					c.Nodes[path.Nodes[i-1]].Name, n.Name)
+			}
+		}
+	}
+}
+
+func TestDelaySumsGates(t *testing.T) {
+	c := parse(t, diamond, "diamond")
+	y, _ := c.Node("y")
+	ps := Enumerate(c, y.ID, 2)
+	launch := dist.Normal{Mu: 0, Sigma: 1}
+	d := Delay(c, ps[0], launch, nil)
+	if d.Mu != 4 || d.Sigma != 1 {
+		t.Errorf("unit-delay path: %v, want N(4,1)", d)
+	}
+	model := func(*netlist.Node) dist.Normal { return dist.Normal{Mu: 2, Sigma: 0.3} }
+	d = Delay(c, ps[0], launch, model)
+	if math.Abs(d.Mu-8) > 1e-12 {
+		t.Errorf("mu = %v, want 8", d.Mu)
+	}
+	want := math.Sqrt(1 + 4*0.09)
+	if math.Abs(d.Sigma-want) > 1e-12 {
+		t.Errorf("sigma = %v, want %v", d.Sigma, want)
+	}
+}
+
+func TestCriticalitiesDominantPath(t *testing.T) {
+	c := parse(t, diamond, "diamond")
+	y, _ := c.Node("y")
+	ps := Enumerate(c, y.ID, 2)
+	in := map[netlist.NodeID]logic.InputStats{}
+	for _, id := range c.LaunchPoints() {
+		in[id] = logic.UniformStats()
+	}
+	crit := Criticalities(c, ps, in, nil)
+	if len(crit) != 2 {
+		t.Fatalf("criticalities = %v", crit)
+	}
+	sum := crit[0] + crit[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("criticalities sum to %v", sum)
+	}
+	// The length-4 path dominates the length-3 path.
+	if crit[0] <= crit[1] {
+		t.Errorf("longer path criticality %v <= shorter %v", crit[0], crit[1])
+	}
+	// With unit launch sigma the difference is 1 unit of delay over
+	// sigma sqrt(2): P ≈ Φ(1/√2) ≈ 0.76 before normalization.
+	if crit[0] < 0.6 || crit[0] > 0.9 {
+		t.Errorf("dominant criticality = %v, want ~0.76", crit[0])
+	}
+}
+
+// TestCriticalitiesAgainstSampling: sampled argmax frequencies over
+// the exact per-gate variation model match the analytic tightness
+// estimates.
+func TestCriticalitiesAgainstSampling(t *testing.T) {
+	c := parse(t, diamond, "diamond")
+	y, _ := c.Node("y")
+	ps := Enumerate(c, y.ID, 2)
+	in := map[netlist.NodeID]logic.InputStats{}
+	for _, id := range c.LaunchPoints() {
+		in[id] = logic.InputStats{P: [4]float64{0.25, 0.25, 0.25, 0.25}, Mu: 0, Sigma: 0.5}
+	}
+	model := func(*netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: 0.2} }
+	crit := Criticalities(c, ps, in, model)
+
+	rng := rand.New(rand.NewSource(61))
+	wins := make([]int, len(ps))
+	const runs = 200000
+	for r := 0; r < runs; r++ {
+		// Sample shared per-gate delays once per run.
+		delays := map[netlist.NodeID]float64{}
+		best, bestD := 0, math.Inf(-1)
+		for i, p := range ps {
+			d := 0.0
+			for _, id := range p.Nodes {
+				n := c.Nodes[id]
+				if n.Type.Combinational() {
+					v, ok := delays[id]
+					if !ok {
+						v = 1 + 0.2*rng.NormFloat64()
+						delays[id] = v
+					}
+					d += v
+				} else {
+					v, ok := delays[id]
+					if !ok {
+						v = 0.5 * rng.NormFloat64()
+						delays[id] = v
+					}
+					d += v
+				}
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		wins[best]++
+	}
+	for i := range ps {
+		sampled := float64(wins[i]) / runs
+		if math.Abs(crit[i]-sampled) > 0.02 {
+			t.Errorf("path %d: criticality %v vs sampled %v", i, crit[i], sampled)
+		}
+	}
+}
+
+func TestCriticalitiesSharedSegments(t *testing.T) {
+	// Two paths sharing their whole prefix except the last hop:
+	// shared variation cancels in the difference, so criticality is
+	// decided by the disjoint tails only.
+	src := `
+INPUT(a)
+OUTPUT(y)
+s1 = BUFF(a)
+s2 = BUFF(s1)
+t1 = BUFF(s2)
+t2a = BUFF(t1)
+t2b = NOT(t1)
+y  = AND(t2a, t2b)
+`
+	c := parse(t, src, "shared")
+	y, _ := c.Node("y")
+	ps := Enumerate(c, y.ID, 4)
+	if len(ps) != 2 {
+		t.Fatalf("paths = %d, want 2", len(ps))
+	}
+	in := map[netlist.NodeID]logic.InputStats{}
+	crit := Criticalities(c, ps, in, nil)
+	// Equal-length symmetric tails: criticalities are equal.
+	if math.Abs(crit[0]-crit[1]) > 1e-9 {
+		t.Errorf("symmetric paths got %v vs %v", crit[0], crit[1])
+	}
+	if Criticalities(c, nil, in, nil) != nil {
+		t.Error("empty path list returned non-nil")
+	}
+	single := Criticalities(c, ps[:1], in, nil)
+	if single[0] != 1 {
+		t.Errorf("single-path criticality = %v", single[0])
+	}
+}

@@ -1,0 +1,207 @@
+// Package pgrid implements a resistive power-grid substrate (the
+// paper's reference [16], "Fast Power Grid Simulation") and the
+// activity→IR-drop→delay coupling Section 3.1 motivates: SPSTA's
+// toggling rates give per-gate average currents, the grid solve
+// gives per-region supply droop, and the droop derates gate delays —
+// closing the loop between switching statistics and timing.
+package pgrid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+// Mesh is a W×H resistive power mesh. Node (x, y) connects to its
+// 4-neighbours through resistance R; pad nodes are ideal VDD
+// sources.
+type Mesh struct {
+	W, H int
+	// R is the branch resistance between adjacent nodes.
+	R float64
+	// Vdd is the pad voltage.
+	Vdd float64
+	// Pads marks fixed-voltage nodes (at least one required).
+	Pads map[[2]int]bool
+	// Current[y*W+x] is the current drawn at each node.
+	Current []float64
+}
+
+// NewMesh builds a mesh with VDD pads at the four corners.
+func NewMesh(w, h int, r, vdd float64) (*Mesh, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("pgrid: mesh %dx%d too small", w, h)
+	}
+	if r <= 0 || vdd <= 0 {
+		return nil, fmt.Errorf("pgrid: invalid R=%v Vdd=%v", r, vdd)
+	}
+	m := &Mesh{
+		W: w, H: h, R: r, Vdd: vdd,
+		Pads:    map[[2]int]bool{{0, 0}: true, {w - 1, 0}: true, {0, h - 1}: true, {w - 1, h - 1}: true},
+		Current: make([]float64, w*h),
+	}
+	return m, nil
+}
+
+// AddCurrent adds current draw at node (x, y), clamped into range.
+func (m *Mesh) AddCurrent(x, y int, i float64) {
+	if x < 0 {
+		x = 0
+	}
+	if x >= m.W {
+		x = m.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= m.H {
+		y = m.H - 1
+	}
+	m.Current[y*m.W+x] += i
+}
+
+// Solve computes node voltages by successive over-relaxation on the
+// nodal equations: for every non-pad node,
+//
+//	Σ_neighbours (V_n − V) / R = I_draw
+//
+// It returns the voltage map and the final KCL residual. maxIter and
+// tol default to 10000 and 1e-10·Vdd when zero.
+func (m *Mesh) Solve(maxIter int, tol float64) ([]float64, float64, error) {
+	if len(m.Pads) == 0 {
+		return nil, 0, fmt.Errorf("pgrid: no pads")
+	}
+	if maxIter == 0 {
+		maxIter = 10000
+	}
+	if tol == 0 {
+		tol = 1e-10 * m.Vdd
+	}
+	v := make([]float64, m.W*m.H)
+	for i := range v {
+		v[i] = m.Vdd
+	}
+	const omega = 1.7 // SOR factor for 2-D Laplacians
+	idx := func(x, y int) int { return y*m.W + x }
+	var residual float64
+	for iter := 0; iter < maxIter; iter++ {
+		residual = 0
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				if m.Pads[[2]int{x, y}] {
+					continue
+				}
+				sum, deg := 0.0, 0.0
+				if x > 0 {
+					sum += v[idx(x-1, y)]
+					deg++
+				}
+				if x < m.W-1 {
+					sum += v[idx(x+1, y)]
+					deg++
+				}
+				if y > 0 {
+					sum += v[idx(x, y-1)]
+					deg++
+				}
+				if y < m.H-1 {
+					sum += v[idx(x, y+1)]
+					deg++
+				}
+				target := (sum - m.R*m.Current[idx(x, y)]) / deg
+				delta := target - v[idx(x, y)]
+				v[idx(x, y)] += omega * delta
+				if d := math.Abs(delta); d > residual {
+					residual = d
+				}
+			}
+		}
+		if residual < tol {
+			break
+		}
+	}
+	return v, residual, nil
+}
+
+// WorstDroop returns the largest Vdd − V over the mesh for a solved
+// voltage vector.
+func (m *Mesh) WorstDroop(v []float64) float64 {
+	worst := 0.0
+	for _, x := range v {
+		if d := m.Vdd - x; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Placement maps each gate to a mesh cell. The default used by
+// Couple spreads gates across the mesh by logic level (x) and a name
+// hash (y) — a crude stand-in for real placement.
+type Placement func(n *netlist.Node) (x, y int)
+
+// DefaultPlacement distributes gates over a W×H mesh by level and
+// hashed row, given the circuit depth.
+func DefaultPlacement(w, h, depth int) Placement {
+	if depth < 1 {
+		depth = 1
+	}
+	return func(n *netlist.Node) (int, int) {
+		x := n.Level * (w - 1) / depth
+		y := int(hash(n.Name) % uint32(h))
+		return x, y
+	}
+}
+
+func hash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Couple builds a droop-derated delay model: per-gate currents
+// iPerToggle·togglingRate are injected at the gate's mesh cell, the
+// grid is solved, and each gate's base delay mean is derated by
+//
+//	d' = d · (1 + k·(Vdd − V_cell)/Vdd)
+//
+// (a first-order alpha-power-law linearization). toggling maps net
+// IDs to transitions per cycle (e.g. core.Result.TogglingRate or
+// power.TransitionDensities output). It returns the model, the
+// solved voltages and the worst droop.
+func Couple(c *netlist.Circuit, m *Mesh, toggling []float64, iPerToggle, k float64, place Placement, base ssta.DelayModel) (ssta.DelayModel, []float64, float64, error) {
+	if base == nil {
+		base = ssta.UnitDelay
+	}
+	if place == nil {
+		place = DefaultPlacement(m.W, m.H, c.Depth())
+	}
+	if len(toggling) != len(c.Nodes) {
+		return nil, nil, 0, fmt.Errorf("pgrid: toggling length %d for %d nets", len(toggling), len(c.Nodes))
+	}
+	for _, n := range c.Nodes {
+		if !n.Type.Combinational() {
+			continue
+		}
+		x, y := place(n)
+		m.AddCurrent(x, y, iPerToggle*toggling[n.ID])
+	}
+	v, _, err := m.Solve(0, 0)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	model := func(n *netlist.Node) dist.Normal {
+		d := base(n)
+		x, y := place(n)
+		droop := m.Vdd - v[y*m.W+x]
+		factor := 1 + k*droop/m.Vdd
+		return dist.Normal{Mu: d.Mu * factor, Sigma: d.Sigma * factor}
+	}
+	return model, v, m.WorstDroop(v), nil
+}

@@ -1,0 +1,184 @@
+package pgrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	if _, err := NewMesh(1, 5, 1, 1); err == nil {
+		t.Error("1-wide mesh accepted")
+	}
+	if _, err := NewMesh(4, 4, 0, 1); err == nil {
+		t.Error("zero resistance accepted")
+	}
+	if _, err := NewMesh(4, 4, 1, -1); err == nil {
+		t.Error("negative Vdd accepted")
+	}
+	m, err := NewMesh(4, 4, 1, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pads) != 4 {
+		t.Errorf("pads = %d", len(m.Pads))
+	}
+	m.Pads = map[[2]int]bool{}
+	if _, _, err := m.Solve(0, 0); err == nil {
+		t.Error("padless mesh solved")
+	}
+}
+
+func TestNoCurrentNoDroop(t *testing.T) {
+	m, _ := NewMesh(6, 6, 2, 1.0)
+	v, res, err := m.Solve(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-9 {
+		t.Errorf("residual = %v", res)
+	}
+	for i, x := range v {
+		if math.Abs(x-1.0) > 1e-9 {
+			t.Fatalf("node %d = %v without load", i, x)
+		}
+	}
+	if m.WorstDroop(v) > 1e-9 {
+		t.Error("droop without load")
+	}
+}
+
+// TestTwoNodeAnalytic: a 2x2 mesh with all four nodes pads except
+// none — use a 2x3 mesh: pads at corners; put current in the middle
+// and check against a hand-solved nodal system on a tiny mesh.
+func TestSmallMeshAnalytic(t *testing.T) {
+	// 3x2 mesh, R=1: nodes (x,y). Pads: corners (0,0),(2,0),(0,1),(2,1).
+	// Free nodes: (1,0) and (1,1). Draw 1A at (1,0).
+	// KCL at (1,0): (V00−V)+(V20−V)+(V11'−V) = 1 where V11' is free.
+	// Let a=V(1,0), b=V(1,1), pads at 1.0:
+	//   (1−a)+(1−a)+(b−a) = 1·1  → 2 − 2a + b − a = 1
+	//   (1−b)+(1−b)+(a−b) = 0    → 2 − 2b + a − b = 0
+	// From the second: a = 3b − 2. Substitute: 2 − 3(3b−2) + b = 1
+	// → 2 − 9b + 6 + b = 1 → 8b = 7 → b = 7/8, a = 5/8.
+	m, err := NewMesh(3, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddCurrent(1, 0, 1)
+	v, _, err := m.Solve(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "V(1,0)", v[0*3+1], 5.0/8, 1e-8)
+	approx(t, "V(1,1)", v[1*3+1], 7.0/8, 1e-8)
+	approx(t, "worst droop", m.WorstDroop(v), 3.0/8, 1e-8)
+}
+
+func TestMoreCurrentMoreDroop(t *testing.T) {
+	droop := func(i float64) float64 {
+		m, _ := NewMesh(8, 8, 1, 1)
+		m.AddCurrent(4, 4, i)
+		v, _, err := m.Solve(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.WorstDroop(v)
+	}
+	d1, d2 := droop(0.1), droop(0.2)
+	if d2 <= d1 {
+		t.Errorf("droop not monotone: %v vs %v", d1, d2)
+	}
+	// Linearity of the resistive network.
+	approx(t, "linearity", d2, 2*d1, 1e-6)
+}
+
+func TestAddCurrentClamps(t *testing.T) {
+	m, _ := NewMesh(4, 4, 1, 1)
+	m.AddCurrent(-5, 99, 1) // clamps to (0, 3)
+	if m.Current[3*4+0] != 1 {
+		t.Error("clamped current not applied")
+	}
+}
+
+// TestCoupleEndToEnd: activity from SPSTA derates delays; arrivals
+// under droop are later than under the nominal model.
+func TestCoupleEndToEnd(t *testing.T) {
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := experiments.Inputs(c, experiments.ScenarioI)
+	var a core.Analyzer
+	res, err := a.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toggling := make([]float64, len(c.Nodes))
+	for _, n := range c.Nodes {
+		toggling[n.ID] = res.TogglingRate(n.ID)
+	}
+	m, _ := NewMesh(8, 8, 0.5, 1.0)
+	model, v, droop, err := Couple(c, m, toggling, 0.05, 1.0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if droop <= 0 {
+		t.Fatal("no droop with switching activity")
+	}
+	if len(v) != 64 {
+		t.Fatalf("voltage vector %d", len(v))
+	}
+	nominal := ssta.Analyze(c, in, nil)
+	derated := ssta.Analyze(c, in, model)
+	end := c.CriticalEndpoint()
+	if derated.At(end, ssta.DirRise).Mu <= nominal.At(end, ssta.DirRise).Mu {
+		t.Error("droop did not slow the critical endpoint")
+	}
+	// Derating is bounded by the worst droop factor.
+	bound := nominal.At(end, ssta.DirRise).Mu * (1 + droop/m.Vdd)
+	if derated.At(end, ssta.DirRise).Mu > bound+3+1e-9 {
+		t.Errorf("derated arrival %v beyond bound %v", derated.At(end, ssta.DirRise).Mu, bound)
+	}
+}
+
+func TestCoupleValidation(t *testing.T) {
+	p, _ := synth.ProfileByName("s208")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMesh(4, 4, 1, 1)
+	if _, _, _, err := Couple(c, m, []float64{1, 2}, 1, 1, nil, nil); err == nil {
+		t.Error("short toggling vector accepted")
+	}
+}
+
+func TestDefaultPlacementInRange(t *testing.T) {
+	place := DefaultPlacement(8, 6, 10)
+	for _, lvl := range []int{0, 5, 10} {
+		n := &netlist.Node{Name: "G42", Level: lvl}
+		x, y := place(n)
+		if x < 0 || x >= 8 || y < 0 || y >= 6 {
+			t.Errorf("placement (%d,%d) out of range for level %d", x, y, lvl)
+		}
+	}
+	// Depth guard.
+	place = DefaultPlacement(4, 4, 0)
+	x, _ := place(&netlist.Node{Name: "a", Level: 1})
+	if x < 0 || x >= 4 {
+		t.Error("zero-depth placement out of range")
+	}
+}

@@ -1,0 +1,227 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// PairSymbolic implements the exact four-value signal probability
+// computation of Section 3.5: for every net, the Boolean function is
+// built twice over coupled variable pairs — once over the launch
+// points' *initial* values and once over their *final* values — and
+// the joint probability of (initial, final) net values is evaluated
+// exactly under the per-launch four-value distribution, which
+// couples each launch's initial and final bits (a launch holding
+// value r has initial 0 and final 1 with probability Pr, and so on).
+//
+// This captures every reconvergent-fanout correlation exactly — the
+// higher-order-correlation information that the Eq. 10 closed forms
+// discard — at BDD cost. Variables interleave as
+// init_0, final_0, init_1, final_1, … so the coupled evaluation can
+// recurse launch by launch.
+type PairSymbolic struct {
+	M *bdd.Manager
+	// Init[id] / Final[id] are net id's function over the initial /
+	// final launch variables.
+	Init, Final []bdd.Ref
+	// Vars lists the launch points in variable-pair order.
+	Vars []netlist.NodeID
+
+	c *netlist.Circuit
+}
+
+// BuildPairSymbolic constructs the paired BDDs. limit bounds the BDD
+// node count (0 for the package default).
+func BuildPairSymbolic(c *netlist.Circuit, limit int) (*PairSymbolic, error) {
+	launches := c.LaunchPoints()
+	s := &PairSymbolic{
+		M:     bdd.New(2*len(launches), limit),
+		Init:  make([]bdd.Ref, len(c.Nodes)),
+		Final: make([]bdd.Ref, len(c.Nodes)),
+		Vars:  launches,
+		c:     c,
+	}
+	varOf := make(map[netlist.NodeID]int, len(launches))
+	for i, id := range launches {
+		varOf[id] = i
+	}
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		switch {
+		case n.Type == logic.Const0:
+			s.Init[id], s.Final[id] = bdd.False, bdd.False
+		case n.Type == logic.Const1:
+			s.Init[id], s.Final[id] = bdd.True, bdd.True
+		case !n.Type.Combinational():
+			vi, err := s.M.Var(2 * varOf[id])
+			if err != nil {
+				return nil, err
+			}
+			vf, err := s.M.Var(2*varOf[id] + 1)
+			if err != nil {
+				return nil, err
+			}
+			s.Init[id], s.Final[id] = vi, vf
+		default:
+			var err error
+			if s.Init[id], err = s.apply(n, s.Init); err != nil {
+				return nil, err
+			}
+			if s.Final[id], err = s.apply(n, s.Final); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *PairSymbolic) apply(n *netlist.Node, fn []bdd.Ref) (bdd.Ref, error) {
+	ins := make([]bdd.Ref, len(n.Fanin))
+	for i, f := range n.Fanin {
+		ins[i] = fn[f]
+	}
+	m := s.M
+	switch n.Type {
+	case logic.Buf:
+		return ins[0], nil
+	case logic.Not:
+		return m.Not(ins[0])
+	case logic.And:
+		return m.AndN(ins...)
+	case logic.Nand:
+		f, err := m.AndN(ins...)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Not(f)
+	case logic.Or:
+		return m.OrN(ins...)
+	case logic.Nor:
+		f, err := m.OrN(ins...)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Not(f)
+	case logic.Xor:
+		return m.XorN(ins...)
+	case logic.Xnor:
+		f, err := m.XorN(ins...)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Not(f)
+	}
+	return bdd.False, fmt.Errorf("power: pair apply on %v", n.Type)
+}
+
+// pairKey memoizes the coupled expectation over (init-function,
+// final-function) pairs.
+type pairKey struct{ u, v bdd.Ref }
+
+// pairEval evaluates E[u(init)=1 ∧ v(final)=1] with the coupled
+// launch distribution stats (stats[i] gives launch i's four-value
+// probabilities). u must only test init variables (even levels) and
+// v only final variables (odd levels).
+type pairEval struct {
+	s     *PairSymbolic
+	stats []logic.InputStats
+	memo  map[pairKey]float64
+}
+
+func (e *pairEval) run(u, v bdd.Ref) float64 {
+	if u == bdd.False || v == bdd.False {
+		return 0
+	}
+	if u == bdd.True && v == bdd.True {
+		return 1
+	}
+	key := pairKey{u, v}
+	if p, ok := e.memo[key]; ok {
+		return p
+	}
+	// The next launch to integrate out is the smaller launch index
+	// among the two tops.
+	launch := e.s.topLaunch(u)
+	if l := e.s.topLaunch(v); l < launch {
+		launch = l
+	}
+	u0, u1 := e.s.cofactorLaunch(u, 2*launch)
+	v0, v1 := e.s.cofactorLaunch(v, 2*launch+1)
+	st := e.stats[launch]
+	p := st.P[logic.Zero]*e.run(u0, v0) +
+		st.P[logic.One]*e.run(u1, v1) +
+		st.P[logic.Rise]*e.run(u0, v1) +
+		st.P[logic.Fall]*e.run(u1, v0)
+	e.memo[key] = p
+	return p
+}
+
+// topLaunch returns the launch index of the node's top variable, or
+// a sentinel past the end for terminals.
+func (s *PairSymbolic) topLaunch(f bdd.Ref) int {
+	if f == bdd.False || f == bdd.True {
+		return len(s.Vars)
+	}
+	return s.M.Level(f) / 2
+}
+
+// cofactorLaunch returns the cofactors of f with respect to the
+// given variable level, which is a no-op pair if f does not test it
+// at the top.
+func (s *PairSymbolic) cofactorLaunch(f bdd.Ref, level int) (lo, hi bdd.Ref) {
+	if f == bdd.False || f == bdd.True || s.M.Level(f) != level {
+		return f, f
+	}
+	return s.M.Cofactors(f)
+}
+
+// FourValue returns the exact four-value probabilities of every net
+// under the launch statistics (missing launches default to the
+// paper's scenario I). The three expectations per net —
+// E[init ∧ final], E[init], E[final] — identify the full 2×2 joint:
+//
+//	P(1) = E[init ∧ final]
+//	P(f) = E[init] − P(1)
+//	P(r) = E[final] − P(1)
+//	P(0) = 1 − E[init] − E[final] + P(1)
+func (s *PairSymbolic) FourValue(inputs map[netlist.NodeID]logic.InputStats) ([][logic.NumValues]float64, error) {
+	stats := make([]logic.InputStats, len(s.Vars))
+	def := logic.UniformStats()
+	for i, id := range s.Vars {
+		if st, ok := inputs[id]; ok {
+			if err := st.Validate(); err != nil {
+				return nil, fmt.Errorf("power: launch %s: %w", s.c.Nodes[id].Name, err)
+			}
+			stats[i] = st
+		} else {
+			stats[i] = def
+		}
+	}
+	ev := &pairEval{s: s, stats: stats, memo: make(map[pairKey]float64)}
+	out := make([][logic.NumValues]float64, len(s.c.Nodes))
+	for id := range s.c.Nodes {
+		e11 := ev.run(s.Init[id], s.Final[id])
+		ei := ev.run(s.Init[id], bdd.True)
+		ef := ev.run(bdd.True, s.Final[id])
+		var p [logic.NumValues]float64
+		p[logic.One] = clamp01(e11)
+		p[logic.Fall] = clamp01(ei - e11)
+		p[logic.Rise] = clamp01(ef - e11)
+		p[logic.Zero] = clamp01(1 - ei - ef + e11)
+		out[id] = p
+	}
+	return out, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

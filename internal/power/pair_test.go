@@ -1,0 +1,219 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// reconv has heavy reconvergent fanout: net a feeds both branches.
+const reconv = `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = NOT(a)
+g3 = OR(g1, g2)
+y  = AND(g3, a)
+`
+
+// bruteFourValue enumerates all 4^n launch assignments.
+func bruteFourValue(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats) [][logic.NumValues]float64 {
+	launches := c.LaunchPoints()
+	out := make([][logic.NumValues]float64, len(c.Nodes))
+	vals := make([]logic.Value, len(c.Nodes))
+	def := logic.UniformStats()
+	var rec func(i int, weight float64)
+	rec = func(i int, weight float64) {
+		if weight == 0 {
+			return
+		}
+		if i == len(launches) {
+			for _, id := range c.TopoOrder() {
+				n := c.Nodes[id]
+				if !n.Type.Combinational() {
+					if n.Type == logic.Const0 {
+						vals[id] = logic.Zero
+					}
+					if n.Type == logic.Const1 {
+						vals[id] = logic.One
+					}
+					continue
+				}
+				in := make([]logic.Value, len(n.Fanin))
+				for j, f := range n.Fanin {
+					in[j] = vals[f]
+				}
+				vals[id] = n.Type.Eval(in)
+			}
+			for _, n := range c.Nodes {
+				out[n.ID][vals[n.ID]] += weight
+			}
+			return
+		}
+		st, ok := inputs[launches[i]]
+		if !ok {
+			st = def
+		}
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			vals[launches[i]] = v
+			rec(i+1, weight*st.P[v])
+		}
+	}
+	rec(0, 1)
+	return out
+}
+
+func TestPairFourValueMatchesBruteForce(t *testing.T) {
+	c, err := bench.Parse(strings.NewReader(reconv), "reconv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stats := range []logic.InputStats{logic.UniformStats(), logic.SkewedStats()} {
+		in := make(map[netlist.NodeID]logic.InputStats)
+		for _, id := range c.LaunchPoints() {
+			in[id] = stats
+		}
+		ps, err := BuildPairSymbolic(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ps.FourValue(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteFourValue(c, in)
+		for _, n := range c.Nodes {
+			for v := logic.Zero; v < logic.NumValues; v++ {
+				if math.Abs(got[n.ID][v]-want[n.ID][v]) > 1e-12 {
+					t.Errorf("%s P[%v] = %v, brute force %v", n.Name, v, got[n.ID][v], want[n.ID][v])
+				}
+			}
+		}
+	}
+}
+
+// TestPairFourValueGlitchCancellation: the exact computation must
+// reflect four-value (glitch-filtered) semantics: AND(r, f) = 0.
+func TestPairFourValueGlitchCancellation(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	c, err := bench.Parse(strings.NewReader(src), "and2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Node("a")
+	b, _ := c.Node("b")
+	in := map[netlist.NodeID]logic.InputStats{
+		a.ID: {P: [4]float64{0, 0, 1, 0}, Sigma: 1}, // always r
+		b.ID: {P: [4]float64{0, 0, 0, 1}, Sigma: 1}, // always f
+	}
+	ps, err := BuildPairSymbolic(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ps.FourValue(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	if got[y.ID][logic.Zero] != 1 {
+		t.Errorf("AND(r,f): P = %v, want pure zero", got[y.ID])
+	}
+}
+
+// TestPairFourValueCapturesReconvergence: on the reconvergent
+// circuit the exact result matches Monte Carlo while the
+// independence-based closed forms do not.
+func TestPairFourValueCapturesReconvergence(t *testing.T) {
+	c, err := bench.Parse(strings.NewReader(reconv), "reconv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		in[id] = logic.UniformStats()
+	}
+	ps, err := BuildPairSymbolic(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ps.FourValue(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: 200000, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	for v := logic.Zero; v < logic.NumValues; v++ {
+		if d := math.Abs(exact[y.ID][v] - mc.P(y.ID, v)); d > 0.005 {
+			t.Errorf("P[%v]: exact %v vs MC %v", v, exact[y.ID][v], mc.P(y.ID, v))
+		}
+	}
+	// y = AND(OR(AND(a,b), NOT a), a) simplifies to AND(a, b): with
+	// correlations, P1 = 1/16; independence overestimates it.
+	if math.Abs(exact[y.ID][logic.One]-1.0/16) > 1e-12 {
+		t.Errorf("exact P1(y) = %v, want 1/16", exact[y.ID][logic.One])
+	}
+}
+
+// TestPairFourValueOnSuite: exact four-value probabilities are valid
+// distributions on full benchmark circuits and match the
+// independence closed forms on average (correlations shift
+// individual nets, not the bulk).
+func TestPairFourValueOnSuite(t *testing.T) {
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		in[id] = logic.SkewedStats()
+	}
+	ps, err := BuildPairSymbolic(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ps.FourValue(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		sum := 0.0
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			pv := exact[n.ID][v]
+			if pv < 0 || pv > 1 {
+				t.Fatalf("%s: P[%v] = %v", n.Name, v, pv)
+			}
+			sum += pv
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: probabilities sum to %v", n.Name, sum)
+		}
+	}
+}
+
+func TestPairFourValueInvalidStats(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n"
+	c, err := bench.Parse(strings.NewReader(src), "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := BuildPairSymbolic(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Node("a")
+	bad := map[netlist.NodeID]logic.InputStats{a.ID: {P: [4]float64{2, 0, 0, 0}}}
+	if _, err := ps.FourValue(bad); err == nil {
+		t.Error("invalid stats accepted")
+	}
+}

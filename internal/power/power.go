@@ -1,0 +1,330 @@
+// Package power implements the probabilistic power-estimation
+// substrate the paper builds on (Section 2.2): signal probabilities
+// propagated through the netlist under input independence, exact
+// BDD-based signal probabilities that capture reconvergent-fanout
+// correlations (Section 3.5), Boolean-difference probabilities, and
+// Najm-style transition densities with a dynamic-power estimate.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// GateProbability returns P(y = 1) for a gate with independent
+// inputs whose one-probabilities are in. This is the single-pass
+// netlist-traversal computation of Section 2.2.1.
+func GateProbability(g logic.GateType, in []float64) float64 {
+	switch g {
+	case logic.Buf, logic.DFF:
+		return in[0]
+	case logic.Not:
+		return 1 - in[0]
+	case logic.Const0:
+		return 0
+	case logic.Const1:
+		return 1
+	case logic.And, logic.Nand:
+		p := 1.0
+		for _, v := range in {
+			p *= v
+		}
+		if g == logic.Nand {
+			return 1 - p
+		}
+		return p
+	case logic.Or, logic.Nor:
+		q := 1.0
+		for _, v := range in {
+			q *= 1 - v
+		}
+		if g == logic.Nor {
+			return q
+		}
+		return 1 - q
+	case logic.Xor, logic.Xnor:
+		// P(parity odd) composes pairwise for independent inputs.
+		p := 0.0
+		for _, v := range in {
+			p = p*(1-v) + v*(1-p)
+		}
+		if g == logic.Xnor {
+			return 1 - p
+		}
+		return p
+	}
+	panic(fmt.Sprintf("power: GateProbability on %v", g))
+}
+
+// DiffProbability returns P(∂y/∂x_i), the probability that toggling
+// gate input i toggles the gate output (Eq. 7), assuming the inputs
+// are independent with one-probabilities in. It is the sensitization
+// probability of the path through input i:
+//
+//	AND/NAND: Π_{j≠i} P(x_j)      (all others non-controlling one)
+//	OR/NOR:   Π_{j≠i} (1−P(x_j))  (all others non-controlling zero)
+//	NOT/BUF:  1
+//	XOR/XNOR: 1                   (always sensitized)
+func DiffProbability(g logic.GateType, in []float64, i int) float64 {
+	switch g {
+	case logic.Buf, logic.Not, logic.DFF:
+		return 1
+	case logic.Xor, logic.Xnor:
+		return 1
+	case logic.And, logic.Nand:
+		p := 1.0
+		for j, v := range in {
+			if j != i {
+				p *= v
+			}
+		}
+		return p
+	case logic.Or, logic.Nor:
+		p := 1.0
+		for j, v := range in {
+			if j != i {
+				p *= 1 - v
+			}
+		}
+		return p
+	}
+	panic(fmt.Sprintf("power: DiffProbability on %v", g))
+}
+
+// SignalProbabilities computes P(net = 1) for every net under the
+// independence assumption, in one topological traversal. inputP maps
+// each launch point (primary input, DFF output) to its
+// one-probability; missing launch points default to 0.5. Constants
+// are fixed regardless of inputP.
+func SignalProbabilities(c *netlist.Circuit, inputP map[netlist.NodeID]float64) []float64 {
+	p := make([]float64, len(c.Nodes))
+	buf := make([]float64, 0, 8)
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		switch {
+		case n.Type == logic.Const0:
+			p[id] = 0
+		case n.Type == logic.Const1:
+			p[id] = 1
+		case !n.Type.Combinational():
+			if v, ok := inputP[id]; ok {
+				p[id] = v
+			} else {
+				p[id] = 0.5
+			}
+		default:
+			buf = buf[:0]
+			for _, f := range n.Fanin {
+				buf = append(buf, p[f])
+			}
+			p[id] = GateProbability(n.Type, buf)
+		}
+	}
+	return p
+}
+
+// TransitionDensities propagates Najm's transition densities
+// (Eq. 6): ρ_y = Σ_i P(∂y/∂x_i)·ρ_{x_i}, with Boolean-difference
+// probabilities from the independence-based signal probabilities.
+// inputDensity maps launch points to their toggling rate
+// (transitions per cycle); missing entries default to 0.
+func TransitionDensities(c *netlist.Circuit, inputP map[netlist.NodeID]float64, inputDensity map[netlist.NodeID]float64) []float64 {
+	p := SignalProbabilities(c, inputP)
+	rho := make([]float64, len(c.Nodes))
+	buf := make([]float64, 0, 8)
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		if !n.Type.Combinational() {
+			rho[id] = inputDensity[id]
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range n.Fanin {
+			buf = append(buf, p[f])
+		}
+		s := 0.0
+		for i, f := range n.Fanin {
+			s += DiffProbability(n.Type, buf, i) * rho[f]
+		}
+		rho[id] = s
+	}
+	return rho
+}
+
+// DynamicPower returns the standard switching-power estimate
+// (1/2)·Vdd²·f·Σ_y C_y·ρ_y over combinational nets with unit node
+// capacitance.
+func DynamicPower(c *netlist.Circuit, rho []float64, vdd, freq float64) float64 {
+	s := 0.0
+	for _, n := range c.Nodes {
+		if n.Type.Combinational() {
+			s += rho[n.ID]
+		}
+	}
+	return 0.5 * vdd * vdd * freq * s
+}
+
+// Symbolic holds global BDDs for every net of a circuit, built over
+// the launch points as variables. It captures reconvergent-fanout
+// correlations exactly (Section 3.5's symbolic simulation).
+type Symbolic struct {
+	M *bdd.Manager
+	// Fn[id] is the BDD of net id over the launch-point variables.
+	Fn []bdd.Ref
+	// Vars lists the launch points in variable order.
+	Vars []netlist.NodeID
+	// VarOf maps a launch point to its variable index.
+	VarOf map[netlist.NodeID]int
+
+	c *netlist.Circuit
+}
+
+// BuildSymbolic constructs the per-net BDDs. limit bounds the BDD
+// node count (0 for the package default); bdd.ErrNodeLimit is
+// returned for circuits whose symbolic form explodes.
+func BuildSymbolic(c *netlist.Circuit, limit int) (*Symbolic, error) {
+	launches := c.LaunchPoints()
+	s := &Symbolic{
+		M:     bdd.New(len(launches), limit),
+		Fn:    make([]bdd.Ref, len(c.Nodes)),
+		Vars:  launches,
+		VarOf: make(map[netlist.NodeID]int, len(launches)),
+		c:     c,
+	}
+	for i, id := range launches {
+		s.VarOf[id] = i
+	}
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		switch {
+		case n.Type == logic.Const0:
+			s.Fn[id] = bdd.False
+		case n.Type == logic.Const1:
+			s.Fn[id] = bdd.True
+		case !n.Type.Combinational():
+			v, err := s.M.Var(s.VarOf[id])
+			if err != nil {
+				return nil, err
+			}
+			s.Fn[id] = v
+		default:
+			f, err := s.gateBDD(n)
+			if err != nil {
+				return nil, err
+			}
+			s.Fn[id] = f
+		}
+	}
+	return s, nil
+}
+
+func (s *Symbolic) gateBDD(n *netlist.Node) (bdd.Ref, error) {
+	ins := make([]bdd.Ref, len(n.Fanin))
+	for i, f := range n.Fanin {
+		ins[i] = s.Fn[f]
+	}
+	m := s.M
+	switch n.Type {
+	case logic.Buf:
+		return ins[0], nil
+	case logic.Not:
+		return m.Not(ins[0])
+	case logic.And:
+		return m.AndN(ins...)
+	case logic.Nand:
+		f, err := m.AndN(ins...)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Not(f)
+	case logic.Or:
+		return m.OrN(ins...)
+	case logic.Nor:
+		f, err := m.OrN(ins...)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Not(f)
+	case logic.Xor:
+		return m.XorN(ins...)
+	case logic.Xnor:
+		f, err := m.XorN(ins...)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Not(f)
+	}
+	return bdd.False, fmt.Errorf("power: gateBDD on %v", n.Type)
+}
+
+// ExactProbabilities evaluates P(net = 1) for every net from the
+// global BDDs: exact under launch-point independence, including all
+// reconvergent-fanout correlations. inputP maps launch points to
+// one-probabilities (default 0.5).
+func (s *Symbolic) ExactProbabilities(inputP map[netlist.NodeID]float64) ([]float64, error) {
+	probs := make([]float64, len(s.Vars))
+	for i, id := range s.Vars {
+		if v, ok := inputP[id]; ok {
+			probs[i] = v
+		} else {
+			probs[i] = 0.5
+		}
+	}
+	out := make([]float64, len(s.Fn))
+	for id, f := range s.Fn {
+		p, err := s.M.Probability(f, probs)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = p
+	}
+	return out, nil
+}
+
+// Covariance returns cov(y, k) = P(y·k) − P(y)·P(k) for two nets,
+// the first-order correlation of Section 3.5 (Eq. 15/16), computed
+// exactly on the BDDs.
+func (s *Symbolic) Covariance(y, k netlist.NodeID, inputP map[netlist.NodeID]float64) (float64, error) {
+	probs := make([]float64, len(s.Vars))
+	for i, id := range s.Vars {
+		if v, ok := inputP[id]; ok {
+			probs[i] = v
+		} else {
+			probs[i] = 0.5
+		}
+	}
+	both, err := s.M.And(s.Fn[y], s.Fn[k])
+	if err != nil {
+		return 0, err
+	}
+	pb, err := s.M.Probability(both, probs)
+	if err != nil {
+		return 0, err
+	}
+	py, err := s.M.Probability(s.Fn[y], probs)
+	if err != nil {
+		return 0, err
+	}
+	pk, err := s.M.Probability(s.Fn[k], probs)
+	if err != nil {
+		return 0, err
+	}
+	return pb - py*pk, nil
+}
+
+// MaxAbsError returns the largest absolute difference between two
+// probability vectors — used to quantify the independence
+// assumption's error against the exact BDD result.
+func MaxAbsError(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

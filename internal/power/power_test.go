@@ -1,0 +1,361 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestGateProbabilityClosedForms(t *testing.T) {
+	in := []float64{0.5, 0.5}
+	approx(t, "AND", GateProbability(logic.And, in), 0.25, 1e-15)
+	approx(t, "NAND", GateProbability(logic.Nand, in), 0.75, 1e-15)
+	approx(t, "OR", GateProbability(logic.Or, in), 0.75, 1e-15)
+	approx(t, "NOR", GateProbability(logic.Nor, in), 0.25, 1e-15)
+	approx(t, "XOR", GateProbability(logic.Xor, in), 0.5, 1e-15)
+	approx(t, "XNOR", GateProbability(logic.Xnor, in), 0.5, 1e-15)
+	approx(t, "NOT", GateProbability(logic.Not, in[:1]), 0.5, 1e-15)
+	approx(t, "BUF", GateProbability(logic.Buf, in[:1]), 0.5, 1e-15)
+	approx(t, "CONST0", GateProbability(logic.Const0, nil), 0, 0)
+	approx(t, "CONST1", GateProbability(logic.Const1, nil), 1, 0)
+
+	// Paper Fig. 3: AND with independent inputs, P(y)=P(x1)P(x2).
+	approx(t, "AND 0.3·0.7", GateProbability(logic.And, []float64{0.3, 0.7}), 0.21, 1e-15)
+	// 3-input XOR parity.
+	p := GateProbability(logic.Xor, []float64{0.2, 0.3, 0.4})
+	want := 0.0
+	for bits := 0; bits < 8; bits++ {
+		w := 1.0
+		ones := 0
+		for i, q := range []float64{0.2, 0.3, 0.4} {
+			if bits&(1<<i) != 0 {
+				w *= q
+				ones++
+			} else {
+				w *= 1 - q
+			}
+		}
+		if ones%2 == 1 {
+			want += w
+		}
+	}
+	approx(t, "XOR3", p, want, 1e-12)
+}
+
+// TestGateProbabilityMatchesEnumeration: closed forms equal
+// brute-force enumeration of the truth table weighted by input
+// probabilities.
+func TestGateProbabilityMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	gates := []logic.GateType{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor}
+	for trial := 0; trial < 200; trial++ {
+		g := gates[rng.Intn(len(gates))]
+		k := 2 + rng.Intn(3)
+		in := make([]float64, k)
+		for i := range in {
+			in[i] = rng.Float64()
+		}
+		want := 0.0
+		bits := make([]bool, k)
+		for b := 0; b < 1<<k; b++ {
+			w := 1.0
+			for i := 0; i < k; i++ {
+				bits[i] = b&(1<<i) != 0
+				if bits[i] {
+					w *= in[i]
+				} else {
+					w *= 1 - in[i]
+				}
+			}
+			if g.EvalBool(bits) {
+				want += w
+			}
+		}
+		if got := GateProbability(g, in); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%v%v: closed form %v, enumeration %v", g, in, got, want)
+		}
+	}
+}
+
+// TestDiffProbabilityMatchesEnumeration: the sensitization
+// probability equals enumeration of P(f|x=1 XOR f|x=0).
+func TestDiffProbabilityMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	gates := []logic.GateType{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor}
+	for trial := 0; trial < 200; trial++ {
+		g := gates[rng.Intn(len(gates))]
+		k := 2 + rng.Intn(3)
+		in := make([]float64, k)
+		for i := range in {
+			in[i] = rng.Float64()
+		}
+		pin := rng.Intn(k)
+		want := 0.0
+		bits := make([]bool, k)
+		for b := 0; b < 1<<k; b++ {
+			w := 1.0
+			skip := false
+			for i := 0; i < k; i++ {
+				bits[i] = b&(1<<i) != 0
+				if i == pin {
+					if bits[i] {
+						skip = true // enumerate others only
+					}
+					continue
+				}
+				if bits[i] {
+					w *= in[i]
+				} else {
+					w *= 1 - in[i]
+				}
+			}
+			if skip {
+				continue
+			}
+			bits[pin] = true
+			v1 := g.EvalBool(bits)
+			bits[pin] = false
+			v0 := g.EvalBool(bits)
+			if v1 != v0 {
+				want += w
+			}
+		}
+		if got := DiffProbability(g, in, pin); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("∂%v/∂x%d %v: closed form %v, enumeration %v", g, pin, in, got, want)
+		}
+	}
+}
+
+const chainBench = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = OR(g1, c)
+g3 = NOT(g2)
+y  = NAND(g3, a)
+`
+
+func parseChain(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.Parse(strings.NewReader(chainBench), "chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSignalProbabilitiesTreeExact(t *testing.T) {
+	c := parseChain(t)
+	probs := SignalProbabilities(c, nil) // default 0.5
+	get := func(name string) float64 {
+		n, _ := c.Node(name)
+		return probs[n.ID]
+	}
+	approx(t, "g1", get("g1"), 0.25, 1e-15)
+	approx(t, "g2", get("g2"), 1-0.75*0.5, 1e-15)
+	approx(t, "g3", get("g3"), 0.375, 1e-15)
+	// y reconverges on a: independence formula gives 1−0.375·0.5.
+	approx(t, "y", get("y"), 1-0.375*0.5, 1e-15)
+}
+
+func TestExactProbabilitiesCaptureReconvergence(t *testing.T) {
+	c := parseChain(t)
+	s, err := BuildSymbolic(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := s.ExactProbabilities(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force reference over the 8 input assignments.
+	want := bruteForceProbs(t, c, map[string]float64{"a": 0.5, "b": 0.5, "c": 0.5})
+	for _, n := range c.Nodes {
+		if math.Abs(exact[n.ID]-want[n.Name]) > 1e-12 {
+			t.Errorf("exact P(%s) = %v, brute force %v", n.Name, exact[n.ID], want[n.Name])
+		}
+	}
+	// The independence approximation must differ on the
+	// reconvergent net y, and the exact result must not.
+	indep := SignalProbabilities(c, nil)
+	y, _ := c.Node("y")
+	if math.Abs(indep[y.ID]-want["y"]) < 1e-9 {
+		t.Error("independence approximation unexpectedly exact on reconvergent net")
+	}
+	if MaxAbsError(exact, indep) < 1e-9 {
+		t.Error("exact and independent probabilities identical on reconvergent circuit")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	c := parseChain(t)
+	s, err := BuildSymbolic(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := c.Node("g1")
+	g2, _ := c.Node("g2")
+	a, _ := c.Node("a")
+	cv, err := s.Covariance(g1.ID, g2.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g1 implies g2, so cov = P(g1) − P(g1)P(g2) = 0.25·(1−0.625).
+	approx(t, "cov(g1,g2)", cv, 0.25*(1-0.625), 1e-12)
+	// Independent nets: cov(a, c-only function) = 0.
+	cpure, _ := c.Node("c")
+	cv, err = s.Covariance(a.ID, cpure.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "cov(a,c)", cv, 0, 1e-15)
+}
+
+func TestTransitionDensitiesChain(t *testing.T) {
+	// A buffer/inverter chain conserves density.
+	src := `
+INPUT(a)
+OUTPUT(y)
+b1 = BUFF(a)
+n1 = NOT(b1)
+y  = BUFF(n1)
+`
+	c, err := bench.Parse(strings.NewReader(src), "bufchain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Node("a")
+	rho := TransitionDensities(c, nil, map[netlist.NodeID]float64{a.ID: 0.7})
+	y, _ := c.Node("y")
+	approx(t, "rho(y)", rho[y.ID], 0.7, 1e-15)
+}
+
+func TestTransitionDensitiesANDGate(t *testing.T) {
+	// Paper Fig. 3 style: 2-input AND, ρ_y = P(x2)·ρ1 + P(x1)·ρ2.
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	c, err := bench.Parse(strings.NewReader(src), "and2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Node("a")
+	b, _ := c.Node("b")
+	y, _ := c.Node("y")
+	inputP := map[netlist.NodeID]float64{a.ID: 0.3, b.ID: 0.8}
+	dens := map[netlist.NodeID]float64{a.ID: 0.5, b.ID: 0.2}
+	rho := TransitionDensities(c, inputP, dens)
+	approx(t, "rho(y)", rho[y.ID], 0.8*0.5+0.3*0.2, 1e-15)
+}
+
+func TestDynamicPower(t *testing.T) {
+	c := parseChain(t)
+	inputs := c.Inputs()
+	dens := make(map[netlist.NodeID]float64)
+	for _, id := range inputs {
+		dens[id] = 0.5
+	}
+	rho := TransitionDensities(c, nil, dens)
+	p := DynamicPower(c, rho, 1.0, 1.0)
+	if p <= 0 {
+		t.Errorf("DynamicPower = %v, want > 0", p)
+	}
+	// Scaling: power is quadratic in Vdd and linear in f.
+	p2 := DynamicPower(c, rho, 2.0, 1.0)
+	approx(t, "Vdd scaling", p2/p, 4, 1e-12)
+	p3 := DynamicPower(c, rho, 1.0, 3.0)
+	approx(t, "freq scaling", p3/p, 3, 1e-12)
+}
+
+// TestExactMatchesIndependentOnTree: on a fanout-free circuit the
+// independence assumption is exact.
+func TestExactMatchesIndependentOnTree(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = OR(c, d)
+y  = XOR(g1, g2)
+`
+	c, err := bench.Parse(strings.NewReader(src), "tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSymbolic(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputP := make(map[netlist.NodeID]float64)
+	for i, id := range c.Inputs() {
+		inputP[id] = []float64{0.1, 0.6, 0.4, 0.9}[i]
+	}
+	exact, err := s.ExactProbabilities(inputP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := SignalProbabilities(c, inputP)
+	if e := MaxAbsError(exact, indep); e > 1e-12 {
+		t.Errorf("tree circuit: exact vs independent differ by %v", e)
+	}
+}
+
+func bruteForceProbs(t *testing.T, c *netlist.Circuit, inputP map[string]float64) map[string]float64 {
+	t.Helper()
+	inputs := c.Inputs()
+	sum := make(map[string]float64)
+	vals := make([]bool, len(c.Nodes))
+	for b := 0; b < 1<<len(inputs); b++ {
+		w := 1.0
+		for i, id := range inputs {
+			bit := b&(1<<i) != 0
+			vals[id] = bit
+			p := inputP[c.Nodes[id].Name]
+			if bit {
+				w *= p
+			} else {
+				w *= 1 - p
+			}
+		}
+		for _, id := range c.TopoOrder() {
+			n := c.Nodes[id]
+			if !n.Type.Combinational() {
+				continue
+			}
+			in := make([]bool, len(n.Fanin))
+			for i, f := range n.Fanin {
+				in[i] = vals[f]
+			}
+			vals[id] = n.Type.EvalBool(in)
+		}
+		for _, n := range c.Nodes {
+			if vals[n.ID] {
+				sum[n.Name] += w
+			}
+		}
+	}
+	return sum
+}
+
+func TestMaxAbsError(t *testing.T) {
+	if MaxAbsError([]float64{1, 2, 3}, []float64{1, 2.5, 3}) != 0.5 {
+		t.Error("MaxAbsError wrong")
+	}
+	if MaxAbsError(nil, nil) != 0 {
+		t.Error("empty MaxAbsError nonzero")
+	}
+}

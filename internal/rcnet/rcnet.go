@@ -1,0 +1,225 @@
+// Package rcnet implements the interconnect-delay substrate the
+// paper's background builds on (references [3, 9, 10, 17]): RC-tree
+// Elmore delay computation, first-order sensitivity analysis of the
+// Elmore delay to wire width/thickness perturbations (the
+// sensitivity-based variational delay metric of [3]), and adapters
+// that turn per-gate RC loads into the DelayModel the timing
+// analyzers consume.
+package rcnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+// Tree is an RC tree: node 0 is the root (driver output); every
+// other node has a single resistive parent edge and a capacitance to
+// ground. Sinks are the nodes observed by receivers.
+type Tree struct {
+	// Parent[i] is the parent node of i (Parent[0] is ignored).
+	Parent []int
+	// R[i] is the resistance of the edge from Parent[i] to i, in
+	// consistent units (Parent/R/C indices align; R[0] is the
+	// driver resistance).
+	R []float64
+	// C[i] is the capacitance at node i.
+	C []float64
+
+	order []int // nodes in parent-before-child order
+}
+
+// NewTree validates and prepares an RC tree. parent[0] must be -1
+// (root); every other parent index must be smaller than its child
+// (topological numbering).
+func NewTree(parent []int, r, c []float64) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, fmt.Errorf("rcnet: empty tree")
+	}
+	if len(r) != n || len(c) != n {
+		return nil, fmt.Errorf("rcnet: parent/R/C lengths %d/%d/%d", n, len(r), len(c))
+	}
+	if parent[0] != -1 {
+		return nil, fmt.Errorf("rcnet: node 0 must be the root (parent -1)")
+	}
+	for i := 1; i < n; i++ {
+		if parent[i] < 0 || parent[i] >= i {
+			return nil, fmt.Errorf("rcnet: node %d has parent %d (want topological numbering)", i, parent[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if r[i] < 0 || c[i] < 0 {
+			return nil, fmt.Errorf("rcnet: negative R or C at node %d", i)
+		}
+	}
+	t := &Tree{Parent: parent, R: r, C: c}
+	t.order = make([]int, n)
+	for i := range t.order {
+		t.order[i] = i
+	}
+	return t, nil
+}
+
+// Elmore returns the Elmore delay from the root to every node:
+// T_i = Σ_k R_k · C_downstream(k) over the root-to-i path, the
+// classic first moment of the impulse response. Computed in two
+// linear passes: downstream capacitance bottom-up, then path
+// accumulation top-down.
+func (t *Tree) Elmore() []float64 {
+	n := len(t.Parent)
+	cdown := append([]float64(nil), t.C...)
+	for i := n - 1; i >= 1; i-- {
+		cdown[t.Parent[i]] += cdown[i]
+	}
+	delay := make([]float64, n)
+	delay[0] = t.R[0] * cdown[0]
+	for i := 1; i < n; i++ {
+		delay[i] = delay[t.Parent[i]] + t.R[i]*cdown[i]
+	}
+	return delay
+}
+
+// ElmoreTo returns the Elmore delay to one sink.
+func (t *Tree) ElmoreTo(sink int) (float64, error) {
+	if sink < 0 || sink >= len(t.Parent) {
+		return 0, fmt.Errorf("rcnet: sink %d out of range", sink)
+	}
+	return t.Elmore()[sink], nil
+}
+
+// Sensitivities returns the partial derivatives of the Elmore delay
+// at sink with respect to every edge resistance and node
+// capacitance:
+//
+//	∂T/∂R_k = C_downstream(k)          if k is on the root-sink path
+//	∂T/∂C_k = R_common(path, root→k)   (shared path resistance)
+//
+// — the sensitivity-based variational interconnect metric of [3].
+func (t *Tree) Sensitivities(sink int) (dR, dC []float64, err error) {
+	n := len(t.Parent)
+	if sink < 0 || sink >= n {
+		return nil, nil, fmt.Errorf("rcnet: sink %d out of range", sink)
+	}
+	// Downstream capacitance per node.
+	cdown := append([]float64(nil), t.C...)
+	for i := n - 1; i >= 1; i-- {
+		cdown[t.Parent[i]] += cdown[i]
+	}
+	// Path membership: nodes on root→sink path.
+	onPath := make([]bool, n)
+	for i := sink; i != -1; i = t.Parent[i] {
+		onPath[i] = true
+		if i == 0 {
+			break
+		}
+	}
+	dR = make([]float64, n)
+	for k := 0; k < n; k++ {
+		if onPath[k] {
+			dR[k] = cdown[k]
+		}
+	}
+	// Shared resistance: accumulate down the tree; R_common(k) is
+	// the resistance of the path prefix shared between root→sink
+	// and root→k.
+	shared := make([]float64, n)
+	if onPath[0] {
+		shared[0] = t.R[0]
+	}
+	for i := 1; i < n; i++ {
+		p := t.Parent[i]
+		shared[i] = shared[p]
+		if onPath[i] {
+			shared[i] += t.R[i]
+		}
+	}
+	// For a node k off the path, the shared prefix ends at its
+	// deepest on-path ancestor; the recurrence above already stops
+	// adding once the path is left.
+	dC = shared
+	return dR, dC, nil
+}
+
+// VariationalDelay returns the Elmore delay to sink as a normal
+// distribution when every resistance and capacitance varies
+// independently by the given relative sigmas (first-order
+// sensitivity propagation): mean = nominal Elmore, variance =
+// Σ (∂T/∂R_k · σR·R_k)² + Σ (∂T/∂C_k · σC·C_k)².
+func (t *Tree) VariationalDelay(sink int, sigmaR, sigmaC float64) (dist.Normal, error) {
+	nom, err := t.ElmoreTo(sink)
+	if err != nil {
+		return dist.Normal{}, err
+	}
+	dR, dC, err := t.Sensitivities(sink)
+	if err != nil {
+		return dist.Normal{}, err
+	}
+	v := 0.0
+	for k := range dR {
+		v += sq(dR[k] * sigmaR * t.R[k])
+		v += sq(dC[k] * sigmaC * t.C[k])
+	}
+	return dist.Normal{Mu: nom, Sigma: math.Sqrt(v)}, nil
+}
+
+func sq(x float64) float64 { return x * x }
+
+// Line builds a uniform distributed RC line with the given number of
+// segments, total resistance and total capacitance, plus a driver
+// resistance and sink load capacitance. The classic result
+// T ≈ Rd·(C+CL) + R·C/2 + R·CL emerges as segments grow.
+func Line(segments int, rDriver, rTotal, cTotal, cLoad float64) (*Tree, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("rcnet: %d segments", segments)
+	}
+	n := segments + 1
+	parent := make([]int, n)
+	r := make([]float64, n)
+	c := make([]float64, n)
+	parent[0] = -1
+	r[0] = rDriver
+	c[0] = cTotal / float64(2*segments) // half-segment at the driver
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1
+		r[i] = rTotal / float64(segments)
+		c[i] = cTotal / float64(segments)
+		if i == n-1 {
+			c[i] = cTotal/float64(2*segments) + cLoad
+		}
+	}
+	return NewTree(parent, r, c)
+}
+
+// GateDelayModel adapts per-gate RC loads into the analyzers'
+// DelayModel: each gate's delay is intrinsic plus the variational
+// Elmore delay of its output net's RC tree to the given sink.
+// Gates without an entry fall back to the base model (ssta.UnitDelay
+// when base is nil).
+func GateDelayModel(loads map[netlist.NodeID]Load, base ssta.DelayModel) ssta.DelayModel {
+	if base == nil {
+		base = ssta.UnitDelay
+	}
+	return func(n *netlist.Node) dist.Normal {
+		l, ok := loads[n.ID]
+		if !ok {
+			return base(n)
+		}
+		d, err := l.Tree.VariationalDelay(l.Sink, l.SigmaR, l.SigmaC)
+		if err != nil {
+			return base(n)
+		}
+		return dist.Normal{Mu: l.Intrinsic + d.Mu, Sigma: d.Sigma}
+	}
+}
+
+// Load describes one gate's output RC network for GateDelayModel.
+type Load struct {
+	Tree           *Tree
+	Sink           int
+	Intrinsic      float64
+	SigmaR, SigmaC float64
+}

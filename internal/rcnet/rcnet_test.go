@@ -1,0 +1,214 @@
+package rcnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// star builds a 3-node tree: root --R1-- n1 --R2-- n2, plus a branch
+// root --R3-- n3.
+func star(t *testing.T) *Tree {
+	t.Helper()
+	tree, err := NewTree(
+		[]int{-1, 0, 1, 0},
+		[]float64{10, 100, 200, 300},
+		[]float64{0.1, 0.2, 0.3, 0.4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestElmoreHandComputed(t *testing.T) {
+	tree := star(t)
+	d := tree.Elmore()
+	// cdown: n2=0.3, n1=0.5, n3=0.4, root=1.0
+	// T(root) = 10·1.0 = 10
+	// T(n1) = 10 + 100·0.5 = 60
+	// T(n2) = 60 + 200·0.3 = 120
+	// T(n3) = 10 + 300·0.4 = 130
+	approx(t, "T(root)", d[0], 10, 1e-12)
+	approx(t, "T(n1)", d[1], 60, 1e-12)
+	approx(t, "T(n2)", d[2], 120, 1e-12)
+	approx(t, "T(n3)", d[3], 130, 1e-12)
+	got, err := tree.ElmoreTo(2)
+	if err != nil || got != d[2] {
+		t.Errorf("ElmoreTo = %v, %v", got, err)
+	}
+	if _, err := tree.ElmoreTo(9); err == nil {
+		t.Error("out-of-range sink accepted")
+	}
+}
+
+func TestLineMatchesClosedForm(t *testing.T) {
+	// Distributed line: T ≈ Rd·(C+CL) + R·C/2 + R·CL as segments→∞.
+	const rd, rt, ct, cl = 50, 100, 2, 0.5
+	tree, err := Line(200, rd, rt, ct, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := len(tree.Parent) - 1
+	got, err := tree.ElmoreTo(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rd*(ct+cl) + rt*ct/2 + rt*cl
+	approx(t, "line Elmore", got, want, want*0.01)
+}
+
+func TestSensitivitiesFiniteDifference(t *testing.T) {
+	tree := star(t)
+	const sink = 2
+	dR, dC, err := tree.Sensitivities(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	base, _ := tree.ElmoreTo(sink)
+	for k := range tree.R {
+		tree.R[k] += h
+		up, _ := tree.ElmoreTo(sink)
+		tree.R[k] -= h
+		fd := (up - base) / h
+		if math.Abs(fd-dR[k]) > 1e-4 {
+			t.Errorf("dT/dR[%d] = %v, finite diff %v", k, dR[k], fd)
+		}
+		tree.C[k] += h
+		up, _ = tree.ElmoreTo(sink)
+		tree.C[k] -= h
+		fd = (up - base) / h
+		if math.Abs(fd-dC[k]) > 1e-3 {
+			t.Errorf("dT/dC[%d] = %v, finite diff %v", k, dC[k], fd)
+		}
+	}
+	if _, _, err := tree.Sensitivities(-1); err == nil {
+		t.Error("negative sink accepted")
+	}
+}
+
+func TestVariationalDelayAgainstSampling(t *testing.T) {
+	tree := star(t)
+	const sink = 3
+	const sR, sC = 0.1, 0.15
+	got, err := tree.VariationalDelay(sink, sR, sC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	var m dist.Moments
+	r0 := append([]float64(nil), tree.R...)
+	c0 := append([]float64(nil), tree.C...)
+	for i := 0; i < 100000; i++ {
+		for k := range tree.R {
+			tree.R[k] = r0[k] * (1 + sR*rng.NormFloat64())
+			tree.C[k] = c0[k] * (1 + sC*rng.NormFloat64())
+		}
+		d, _ := tree.ElmoreTo(sink)
+		m.Add(d)
+	}
+	copy(tree.R, r0)
+	copy(tree.C, c0)
+	// First-order sensitivity matches sampling (the Elmore delay is
+	// bilinear in R and C, so the mean picks up a small second-order
+	// term; sigma matches at first order).
+	approx(t, "mean", got.Mu, m.Mean(), got.Mu*0.02)
+	approx(t, "sigma", got.Sigma, m.Sigma(), got.Sigma*0.05)
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	cases := []struct {
+		p    []int
+		r, c []float64
+	}{
+		{nil, nil, nil},
+		{[]int{0}, []float64{1}, []float64{1}},            // root parent not -1
+		{[]int{-1, 1}, []float64{1, 1}, []float64{1, 1}},  // non-topological
+		{[]int{-1, 0}, []float64{1}, []float64{1, 1}},     // length mismatch
+		{[]int{-1, 0}, []float64{1, -1}, []float64{1, 1}}, // negative R
+		{[]int{-1, 0}, []float64{1, 1}, []float64{1, -1}}, // negative C
+		{[]int{-1, 5}, []float64{1, 1}, []float64{1, 1}},  // parent out of range
+	}
+	for i, cse := range cases {
+		if _, err := NewTree(cse.p, cse.r, cse.c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Line(0, 1, 1, 1, 0); err == nil {
+		t.Error("0-segment line accepted")
+	}
+}
+
+func TestGateDelayModel(t *testing.T) {
+	tree := star(t)
+	loads := map[netlist.NodeID]Load{
+		1: {Tree: tree, Sink: 2, Intrinsic: 5, SigmaR: 0.1, SigmaC: 0.1},
+	}
+	model := GateDelayModel(loads, nil)
+	n1 := &netlist.Node{ID: 1, Type: logic.And}
+	n2 := &netlist.Node{ID: 2, Type: logic.And}
+	d1 := model(n1)
+	approx(t, "loaded mu", d1.Mu, 125, 1e-9) // 5 + 120
+	if d1.Sigma <= 0 {
+		t.Error("loaded gate has no variation")
+	}
+	d2 := model(n2)
+	if d2 != ssta.UnitDelay(n2) {
+		t.Errorf("fallback = %v, want unit", d2)
+	}
+	// Bad sink falls back to base.
+	loads[1] = Load{Tree: tree, Sink: 99}
+	if got := GateDelayModel(loads, nil)(n1); got != ssta.UnitDelay(n1) {
+		t.Errorf("bad-sink fallback = %v", got)
+	}
+}
+
+// TestEndToEndWithAnalyzers: an RC-loaded delay model flows through
+// SSTA and widens arrival sigma relative to unit delays.
+func TestEndToEndWithAnalyzers(t *testing.T) {
+	c := netlist.New("rc")
+	mustAdd := func(name string, g logic.GateType, fanin ...string) netlist.NodeID {
+		id, err := c.AddNode(name, g, fanin...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	mustAdd("a", logic.Input)
+	g1 := mustAdd("g1", logic.Buf, "a")
+	g2 := mustAdd("g2", logic.Buf, "g1")
+	c.MarkOutput("g2")
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := Line(8, 1, 2, 0.25, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := map[netlist.NodeID]Load{
+		g1: {Tree: line, Sink: len(line.Parent) - 1, Intrinsic: 0.5, SigmaR: 0.2, SigmaC: 0.2},
+		g2: {Tree: line, Sink: len(line.Parent) - 1, Intrinsic: 0.5, SigmaR: 0.2, SigmaC: 0.2},
+	}
+	model := GateDelayModel(loads, nil)
+	res := ssta.Analyze(c, nil, model)
+	unit := ssta.Analyze(c, nil, nil)
+	if res.At(g2, ssta.DirRise).Sigma <= unit.At(g2, ssta.DirRise).Sigma {
+		t.Error("RC variation did not widen sigma")
+	}
+	if res.At(g2, ssta.DirRise).Mu <= unit.At(g2, ssta.DirRise).Mu-2 {
+		t.Error("RC delay mean implausible")
+	}
+}

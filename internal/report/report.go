@@ -1,0 +1,184 @@
+// Package report renders experiment results as aligned text tables
+// and ASCII-plotted series, the output format of cmd/experiments and
+// of EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with column alignment and a rule under the
+// header.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// F formats a float at 2 decimals (the paper's table precision).
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats a float at 3 decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a ratio as a percentage at one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Series is one named curve sampled at shared X positions.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// RenderSeries writes the series as a CSV block (for replotting)
+// followed by an ASCII chart, height rows tall. All series share the
+// xs axis.
+func RenderSeries(w io.Writer, title string, xs []float64, series []Series, height int) error {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	// CSV block.
+	b.WriteString("x")
+	for _, s := range series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteString("\n")
+	step := 1
+	if len(xs) > 160 {
+		step = len(xs) / 160
+	}
+	for i := 0; i < len(xs); i += step {
+		fmt.Fprintf(&b, "%.4f", xs[i])
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%.6f", s.Y[i])
+		}
+		b.WriteString("\n")
+	}
+	// ASCII chart.
+	if height > 0 {
+		b.WriteString(Chart(xs, series, height))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Chart renders an ASCII overlay chart of the series; each series
+// uses its own glyph (1, 2, 3, …; * where curves overlap).
+func Chart(xs []float64, series []Series, height int) string {
+	if len(xs) == 0 || len(series) == 0 || height <= 0 {
+		return ""
+	}
+	width := len(xs)
+	const maxWidth = 100
+	stride := 1
+	if width > maxWidth {
+		stride = (width + maxWidth - 1) / maxWidth
+		width = (len(xs) + stride - 1) / stride
+	}
+	ymax := 0.0
+	for _, s := range series {
+		for _, v := range s.Y {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := byte('1' + si)
+		if si > 8 {
+			glyph = '+'
+		}
+		for c := 0; c < width; c++ {
+			i := c * stride
+			if i >= len(s.Y) {
+				break
+			}
+			v := s.Y[i]
+			r := int(math.Round(v / ymax * float64(height-1)))
+			if r < 0 {
+				r = 0
+			}
+			if r > height-1 {
+				r = height - 1
+			}
+			row := height - 1 - r
+			if v <= 0 {
+				continue
+			}
+			if grid[row][c] == ' ' {
+				grid[row][c] = glyph
+			} else if grid[row][c] != glyph {
+				grid[row][c] = '*'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ymax=%.4f\n", ymax)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "x: [%.2f .. %.2f]   legend:", xs[0], xs[len(xs)-1])
+	for si, s := range series {
+		g := string(rune('1' + si))
+		if si > 8 {
+			g = "+"
+		}
+		fmt.Fprintf(&b, " %s=%s", g, s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.Add("alpha", "1.00")
+	tb.Add("b", "22.50")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Error("missing title")
+	}
+	// Columns aligned: "value" column starts at the same offset.
+	h := strings.Index(lines[1], "value")
+	r1 := strings.Index(lines[3], "1.00")
+	if h != r1 {
+		t.Errorf("columns misaligned: header %d, row %d\n%s", h, r1, out)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if F(1.234) != "1.23" || F3(1.2345) != "1.234" {
+		t.Error("float formats wrong")
+	}
+	if Pct(0.0623) != "6.2%" {
+		t.Errorf("Pct = %s", Pct(0.0623))
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	s := []Series{
+		{Name: "a", Y: []float64{0, 1, 0.5, 0}},
+		{Name: "b", Y: []float64{1, 0, 0, 1}},
+	}
+	var buf bytes.Buffer
+	if err := RenderSeries(&buf, "title", xs, s, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x,a,b") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(out, "legend: 1=a 2=b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ymax=") {
+		t.Error("ymax missing")
+	}
+}
+
+func TestChartEmptyAndOverlap(t *testing.T) {
+	if Chart(nil, nil, 5) != "" {
+		t.Error("empty chart nonempty")
+	}
+	// Overlapping points become '*'.
+	xs := []float64{0, 1}
+	s := []Series{
+		{Name: "a", Y: []float64{1, 0}},
+		{Name: "b", Y: []float64{1, 0}},
+	}
+	out := Chart(xs, s, 3)
+	if !strings.Contains(out, "*") {
+		t.Errorf("no overlap glyph:\n%s", out)
+	}
+	// All-zero series does not divide by zero.
+	z := Chart(xs, []Series{{Name: "z", Y: []float64{0, 0}}}, 3)
+	if z == "" {
+		t.Error("zero series chart empty")
+	}
+}
+
+func TestChartDownsamplesWideSeries(t *testing.T) {
+	n := 1000
+	xs := make([]float64, n)
+	y := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		y[i] = 1
+	}
+	out := Chart(xs, []Series{{Name: "w", Y: y}}, 3)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 130 {
+			t.Fatalf("chart line too wide: %d", len(line))
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package seq extends the combinational analyzers across clock
+// cycles: the paper (like all block-based SSTA) treats flip-flop
+// outputs as launch points with *given* statistics, but in a real
+// sequential circuit those statistics are produced by the previous
+// cycle's combinational logic. This package iterates SPSTA's
+// four-value probabilities around the sequential loop until the
+// flip-flop statistics reach a fixed point — the steady-state
+// switching-activity estimation of sequential circuits (the paper's
+// reference [5]).
+//
+// Arrival-time statistics do not feed back: a flip-flop output
+// launches at the clock edge regardless of when its D input settled,
+// so only the value probabilities circulate.
+package seq
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Options controls the fixed-point iteration.
+type Options struct {
+	// MaxIterations bounds the loop (default 50).
+	MaxIterations int
+	// Tolerance is the convergence threshold on the largest change
+	// of any flip-flop probability between iterations (default
+	// 1e-9).
+	Tolerance float64
+	// Damping blends successive iterates: next = (1−d)·new + d·old,
+	// 0 ≤ d < 1 (default 0, no damping). Damping helps oscillating
+	// feedback loops converge.
+	Damping float64
+	// Analyzer configures the underlying SPSTA engine.
+	Analyzer core.Analyzer
+}
+
+// Result is a converged (or iteration-capped) sequential analysis.
+type Result struct {
+	// Final is the SPSTA result of the last iteration, with
+	// steady-state flip-flop statistics.
+	Final *core.Result
+	// Inputs is the launch-point statistics map of the last
+	// iteration (primary inputs unchanged, flip-flop outputs at the
+	// fixed point).
+	Inputs map[netlist.NodeID]logic.InputStats
+	// Iterations is the number of SPSTA passes executed.
+	Iterations int
+	// Converged reports whether the tolerance was met.
+	Converged bool
+	// Residual is the largest flip-flop probability change of the
+	// final iteration.
+	Residual float64
+}
+
+// FixedPoint iterates SPSTA around the sequential loop. inputs
+// provides primary-input statistics and the *initial* flip-flop
+// statistics (missing entries default to the paper's scenario I).
+//
+// Each iteration derives every flip-flop's next-cycle output
+// statistics from its D-input's current-cycle four-value
+// probabilities: the flop captures the settled value, so
+//
+//	P_next(1) = P(D ends 1) = P1 + Pr,  P_next(0) = P0 + Pf
+//
+// and the *transition* probabilities of the flop output couple
+// consecutive cycles: the output rises when the previous captured
+// value was 0 and the new one is 1. With the one-cycle Markov
+// approximation (consecutive captures independent given the
+// marginal), P(rise) = P_prev(ends 0)·P(ends 1), etc.
+func FixedPoint(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, opt Options) (*Result, error) {
+	maxIter := opt.MaxIterations
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	tol := opt.Tolerance
+	if tol == 0 {
+		tol = 1e-9
+	}
+	if opt.Damping < 0 || opt.Damping >= 1 {
+		return nil, fmt.Errorf("seq: damping %v out of [0,1)", opt.Damping)
+	}
+
+	cur := make(map[netlist.NodeID]logic.InputStats, len(inputs))
+	def := logic.UniformStats()
+	for _, id := range c.LaunchPoints() {
+		if st, ok := inputs[id]; ok {
+			cur[id] = st
+		} else {
+			cur[id] = def
+		}
+	}
+	dffs := c.DFFs()
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		r, err := opt.Analyzer.Run(c, cur)
+		if err != nil {
+			return nil, err
+		}
+		res.Final = r
+		res.Iterations = iter + 1
+
+		worst := 0.0
+		next := make(map[netlist.NodeID]logic.InputStats, len(cur))
+		for id, st := range cur {
+			next[id] = st
+		}
+		for _, q := range dffs {
+			d := c.Nodes[q].Fanin[0]
+			// Captured end-of-cycle value distribution.
+			p1 := r.Probability(d, logic.One) + r.Probability(d, logic.Rise)
+			p1 = clamp01(p1)
+			p0 := 1 - p1
+			old := cur[q]
+			// One-cycle Markov approximation for the output's
+			// four-value statistics: previous capture ~ the same
+			// marginal at steady state.
+			oldP1 := old.P[logic.One] + old.P[logic.Rise]
+			oldP0 := 1 - oldP1
+			st := logic.InputStats{
+				P: [logic.NumValues]float64{
+					logic.Zero: oldP0 * p0,
+					logic.One:  oldP1 * p1,
+					logic.Rise: oldP0 * p1,
+					logic.Fall: oldP1 * p0,
+				},
+				// Flop outputs launch at the clock edge with the
+				// input arrival spread (clock skew/jitter), kept
+				// from the provided statistics.
+				Mu:    old.Mu,
+				Sigma: old.Sigma,
+			}
+			if d := opt.Damping; d > 0 {
+				for v := range st.P {
+					st.P[v] = (1-d)*st.P[v] + d*old.P[v]
+				}
+			}
+			normalize(&st)
+			for v := range st.P {
+				if diff := math.Abs(st.P[v] - old.P[v]); diff > worst {
+					worst = diff
+				}
+			}
+			next[q] = st
+		}
+		res.Residual = worst
+		cur = next
+		if worst < tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Inputs = cur
+	return res, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func normalize(st *logic.InputStats) {
+	sum := 0.0
+	for _, p := range st.P {
+		sum += p
+	}
+	if sum <= 0 {
+		st.P = [logic.NumValues]float64{1, 0, 0, 0}
+		return
+	}
+	for v := range st.P {
+		st.P[v] /= sum
+	}
+}

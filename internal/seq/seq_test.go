@@ -1,0 +1,170 @@
+package seq
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func parse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.Parse(strings.NewReader(src), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestToggleFlipFlop: q = DFF(NOT q) — the classic divide-by-two.
+// Steady state: q ends 0 and 1 with probability 1/2 each, and the
+// output *always* toggles relative to the previous cycle, but under
+// the one-cycle Markov approximation P(rise)=P(fall)=1/4.
+func TestToggleFlipFlop(t *testing.T) {
+	c := parse(t, "q = DFF(d)\nd = NOT(q)\nOUTPUT(d)\n", "tff")
+	q, _ := c.Node("q")
+	res, err := FixedPoint(c, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: residual %v after %d iterations", res.Residual, res.Iterations)
+	}
+	st := res.Inputs[q.ID]
+	approx(t, "P(ends 1)", st.P[logic.One]+st.P[logic.Rise], 0.5, 1e-6)
+	approx(t, "P(rise)", st.P[logic.Rise], 0.25, 1e-6)
+	approx(t, "P(fall)", st.P[logic.Fall], 0.25, 1e-6)
+}
+
+// TestAbsorbingFlipFlop: q = DFF(OR(q, a)) with a mostly-one input —
+// the flop latches up: steady state P(ends 1) → 1.
+func TestAbsorbingFlipFlop(t *testing.T) {
+	c := parse(t, "INPUT(a)\nq = DFF(d)\nd = OR(q, a)\nOUTPUT(d)\n", "latchup")
+	a, _ := c.Node("a")
+	q, _ := c.Node("q")
+	in := map[netlist.NodeID]logic.InputStats{
+		a.ID: {P: [4]float64{0.4, 0.6, 0, 0}},
+	}
+	res, err := FixedPoint(c, in, Options{MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: residual %v", res.Residual)
+	}
+	st := res.Inputs[q.ID]
+	approx(t, "P(ends 1)", st.P[logic.One]+st.P[logic.Rise], 1, 1e-4)
+	// Once latched the output never falls.
+	approx(t, "P(fall)", st.P[logic.Fall], 0, 1e-4)
+}
+
+// TestQuietClockGating: with constant-zero inputs feeding an AND
+// cone, flip-flop activity dies out.
+func TestQuietActivityDecays(t *testing.T) {
+	c := parse(t, "INPUT(a)\nq = DFF(d)\nd = AND(q, a)\nOUTPUT(d)\n", "quiet")
+	a, _ := c.Node("a")
+	q, _ := c.Node("q")
+	in := map[netlist.NodeID]logic.InputStats{
+		a.ID: {P: [4]float64{1, 0, 0, 0}}, // constant 0
+	}
+	res, err := FixedPoint(c, in, Options{MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Inputs[q.ID]
+	approx(t, "P(ends 1)", st.P[logic.One]+st.P[logic.Rise], 0, 1e-6)
+	approx(t, "toggling", st.TogglingRate(), 0, 1e-6)
+}
+
+// TestFixedPointIsSelfConsistent: at convergence, re-deriving the
+// flop statistics from the final SPSTA result reproduces them.
+func TestFixedPointIsSelfConsistent(t *testing.T) {
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.Inputs() {
+		in[id] = logic.SkewedStats()
+	}
+	res, err := FixedPoint(c, in, Options{MaxIterations: 200, Damping: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Logf("residual after %d iterations: %v", res.Iterations, res.Residual)
+	}
+	for _, q := range c.DFFs() {
+		d := c.Nodes[q].Fanin[0]
+		p1 := res.Final.Probability(d, logic.One) + res.Final.Probability(d, logic.Rise)
+		st := res.Inputs[q]
+		got := st.P[logic.One] + st.P[logic.Rise]
+		if math.Abs(got-p1) > 1e-4 {
+			t.Errorf("flop %s: steady P(1) %v vs derived %v", c.Nodes[q].Name, got, p1)
+		}
+		if err := st.Validate(); err != nil {
+			t.Errorf("flop %s: invalid stats: %v", c.Nodes[q].Name, err)
+		}
+	}
+	// Primary-input statistics are untouched.
+	for _, id := range c.Inputs() {
+		if res.Inputs[id] != in[id] {
+			t.Error("primary input statistics changed")
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	c := parse(t, "q = DFF(d)\nd = NOT(q)\nOUTPUT(d)\n", "tff")
+	if _, err := FixedPoint(c, nil, Options{Damping: 1}); err == nil {
+		t.Error("damping 1 accepted")
+	}
+	if _, err := FixedPoint(c, nil, Options{Damping: -0.1}); err == nil {
+		t.Error("negative damping accepted")
+	}
+	// Iteration cap respected.
+	res, err := FixedPoint(c, nil, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+// TestDampingConvergesOscillator: an inverting loop through two
+// flops oscillates; damping still converges to the symmetric fixed
+// point.
+func TestDampingConvergesOscillator(t *testing.T) {
+	src := `
+q1 = DFF(d1)
+q2 = DFF(d2)
+d1 = NOT(q2)
+d2 = BUFF(q1)
+OUTPUT(d2)
+`
+	c := parse(t, src, "osc")
+	res, err := FixedPoint(c, nil, Options{MaxIterations: 300, Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("oscillator did not converge: residual %v", res.Residual)
+	}
+	for _, q := range c.DFFs() {
+		st := res.Inputs[q]
+		approx(t, c.Nodes[q].Name+" P(ends 1)", st.P[logic.One]+st.P[logic.Rise], 0.5, 1e-3)
+	}
+}

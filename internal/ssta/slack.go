@@ -1,0 +1,142 @@
+package ssta
+
+import (
+	"repro/internal/dist"
+	"repro/internal/netlist"
+)
+
+// SlackResult holds per-net, per-direction required times and
+// statistical slacks for one clock period.
+type SlackResult struct {
+	C *netlist.Circuit
+	// Period is the clock period the endpoints are timed against.
+	Period float64
+	// Required[d][id] is the latest time a transition of direction
+	// d may arrive at net id without violating the period anywhere
+	// downstream (+Inf-like large value for nets feeding no
+	// endpoint).
+	Required [2][]float64
+	// Slack[d][id] is the statistical slack Required − Arrival as a
+	// normal (mean slack and the arrival's sigma).
+	Slack [2][]dist.Normal
+}
+
+// unconstrained is the required time of nets with no timing
+// endpoint downstream.
+const unconstrained = 1e18
+
+// Slacks computes required times and statistical slacks against a
+// clock period from an SSTA result: the classic backward traversal
+//
+//	req(endpoint) = T
+//	req(net)      = min over fanouts (req(fanout) − delay(fanout))
+//
+// with the direction mapping of the forward rules reversed (an
+// output-rise requirement on an inverting gate constrains its
+// fanins' falls). The probabilistic slack P(slack < 0) per net is
+// available through Violation.
+func (r *Result) Slacks(period float64, delay DelayModel) *SlackResult {
+	if delay == nil {
+		delay = UnitDelay
+	}
+	c := r.C
+	s := &SlackResult{C: c, Period: period}
+	for d := range s.Required {
+		s.Required[d] = make([]float64, len(c.Nodes))
+		s.Slack[d] = make([]dist.Normal, len(c.Nodes))
+		for i := range s.Required[d] {
+			s.Required[d][i] = unconstrained
+		}
+	}
+	// Endpoints are constrained at the period.
+	for _, id := range c.Endpoints() {
+		s.Required[DirRise][id] = period
+		s.Required[DirFall][id] = period
+	}
+	// Reverse-topological tightening.
+	order := c.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n := c.Nodes[id]
+		if !n.Type.Combinational() {
+			continue
+		}
+		d := delay(n).Mu
+		for _, outDir := range []Dir{DirRise, DirFall} {
+			req := s.Required[outDir][id]
+			if req >= unconstrained {
+				continue
+			}
+			if n.Type.Parity() {
+				// Any input direction can cause either output edge.
+				for _, f := range n.Fanin {
+					for _, inDir := range []Dir{DirRise, DirFall} {
+						if v := req - d; v < s.Required[inDir][f] {
+							s.Required[inDir][f] = v
+						}
+					}
+				}
+				continue
+			}
+			inDir, _ := Rule(n.Type, outDir)
+			for _, f := range n.Fanin {
+				if v := req - d; v < s.Required[inDir][f] {
+					s.Required[inDir][f] = v
+				}
+			}
+		}
+	}
+	for _, n := range c.Nodes {
+		for _, dir := range []Dir{DirRise, DirFall} {
+			arr := r.At(n.ID, dir)
+			req := s.Required[dir][n.ID]
+			s.Slack[dir][n.ID] = dist.Normal{Mu: req - arr.Mu, Sigma: arr.Sigma}
+		}
+	}
+	return s
+}
+
+// At returns the slack distribution of direction d at net id.
+func (s *SlackResult) At(id netlist.NodeID, d Dir) dist.Normal { return s.Slack[d][id] }
+
+// RequiredAt returns the required time, and whether the net is
+// constrained at all.
+func (s *SlackResult) RequiredAt(id netlist.NodeID, d Dir) (float64, bool) {
+	req := s.Required[d][id]
+	return req, req < unconstrained
+}
+
+// Violation returns P(slack < 0) for a net and direction — the
+// probabilistic timing-violation measure SSTA signoff uses.
+func (s *SlackResult) Violation(id netlist.NodeID, d Dir) float64 {
+	sl := s.Slack[d][id]
+	if sl.Mu >= unconstrained/2 {
+		return 0
+	}
+	if sl.Sigma == 0 {
+		if sl.Mu < 0 {
+			return 1
+		}
+		return 0
+	}
+	return dist.NormCDF(-sl.Mu / sl.Sigma)
+}
+
+// WorstSlack returns the minimum mean slack over all constrained
+// nets and the net/direction attaining it.
+func (s *SlackResult) WorstSlack() (netlist.NodeID, Dir, float64) {
+	worstID := netlist.InvalidNode
+	worstDir := DirRise
+	worst := unconstrained
+	for _, n := range s.C.Nodes {
+		for _, d := range []Dir{DirRise, DirFall} {
+			if s.Required[d][n.ID] >= unconstrained {
+				continue
+			}
+			if sl := s.Slack[d][n.ID].Mu; sl < worst {
+				worst, worstID, worstDir = sl, n.ID, d
+			}
+		}
+	}
+	return worstID, worstDir, worst
+}

@@ -1,0 +1,135 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/synth"
+)
+
+func TestSlackBufferChain(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nb1 = BUFF(a)\nb2 = BUFF(b1)\ny = BUFF(b2)\n"
+	c := parse(t, src, "chain")
+	res := Analyze(c, uniformInputs(c), nil)
+	sl := res.Slacks(10, nil)
+
+	y, _ := c.Node("y")
+	b1, _ := c.Node("b1")
+	a, _ := c.Node("a")
+	// Endpoint required = 10; arrival mean 3 → slack 7.
+	approx(t, "slack(y)", sl.At(y.ID, DirRise).Mu, 7, 1e-12)
+	// b1 required = 10 − 2 (two downstream unit buffers) = 8,
+	// arrival 1 → slack 7 everywhere along a single path.
+	req, ok := sl.RequiredAt(b1.ID, DirRise)
+	if !ok {
+		t.Fatal("b1 unconstrained")
+	}
+	approx(t, "req(b1)", req, 8, 1e-12)
+	approx(t, "slack(b1)", sl.At(b1.ID, DirRise).Mu, 7, 1e-12)
+	approx(t, "slack(a)", sl.At(a.ID, DirRise).Mu, 7, 1e-12)
+	// Violation probability: slack 7 with sigma 1 → Φ(−7) ≈ 0.
+	if v := sl.Violation(y.ID, DirRise); v > 1e-9 {
+		t.Errorf("violation = %v", v)
+	}
+	// Tight period: slack −1 with sigma 1 → Φ(1) ≈ 0.84.
+	sl2 := res.Slacks(2, nil)
+	approx(t, "tight violation", sl2.Violation(y.ID, DirRise), dist.NormCDF(1), 1e-9)
+}
+
+func TestSlackInverterDirectionMapping(t *testing.T) {
+	// Through an inverter, an output-rise requirement constrains the
+	// fanin fall.
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+	c := parse(t, src, "inv")
+	res := Analyze(c, uniformInputs(c), nil)
+	sl := res.Slacks(5, nil)
+	a, _ := c.Node("a")
+	req, ok := sl.RequiredAt(a.ID, DirFall)
+	if !ok || math.Abs(req-4) > 1e-12 {
+		t.Errorf("req(a, fall) = %v, %v; want 4", req, ok)
+	}
+}
+
+func TestSlackUnconstrainedNet(t *testing.T) {
+	// A dangling gate (no endpoint downstream) stays unconstrained.
+	src := "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\ndangle = NOT(a)\n"
+	c := parse(t, src, "dangle")
+	res := Analyze(c, uniformInputs(c), nil)
+	sl := res.Slacks(5, nil)
+	d, _ := c.Node("dangle")
+	// "dangle" feeds no output or flop... but it is itself not
+	// marked; it has no fanout and is not an endpoint.
+	if _, ok := sl.RequiredAt(d.ID, DirRise); ok {
+		t.Error("dangling net constrained")
+	}
+	if v := sl.Violation(d.ID, DirRise); v != 0 {
+		t.Errorf("dangling violation = %v", v)
+	}
+}
+
+func TestSlackReconvergenceTakesMin(t *testing.T) {
+	// A net feeding both a short and a long downstream path gets
+	// the tighter (long-path) requirement.
+	src := `
+INPUT(a)
+OUTPUT(y1)
+OUTPUT(y2)
+y1 = BUFF(a)
+w1 = BUFF(a)
+w2 = BUFF(w1)
+y2 = BUFF(w2)
+`
+	c := parse(t, src, "branch")
+	res := Analyze(c, uniformInputs(c), nil)
+	sl := res.Slacks(6, nil)
+	a, _ := c.Node("a")
+	// Via y1: 6−1 = 5. Via y2: 6−3 = 3. Min = 3.
+	req, _ := sl.RequiredAt(a.ID, DirRise)
+	approx(t, "req(a)", req, 3, 1e-12)
+}
+
+func TestWorstSlackOnBenchmark(t *testing.T) {
+	p, _ := synth.ProfileByName("s344")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(c, uniformInputs(c), nil)
+	period := float64(p.Depth) + 1
+	sl := res.Slacks(period, nil)
+	id, dir, worst := sl.WorstSlack()
+	if id == -1 {
+		t.Fatal("no constrained nets")
+	}
+	// The worst slack belongs to (one of) the deepest arrivals.
+	arr := res.At(id, dir)
+	if worst > period-arr.Mu+1e-9 {
+		t.Errorf("worst slack %v inconsistent with arrival %v", worst, arr.Mu)
+	}
+	// Every slack is ≥ the worst.
+	for _, n := range c.Nodes {
+		for _, d := range []Dir{DirRise, DirFall} {
+			if _, ok := sl.RequiredAt(n.ID, d); !ok {
+				continue
+			}
+			if sl.At(n.ID, d).Mu < worst-1e-9 {
+				t.Fatalf("slack below reported worst at %s", n.Name)
+			}
+		}
+	}
+}
+
+func TestSlackParityGateConstrainsBothDirections(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n"
+	c := parse(t, src, "xor2")
+	res := Analyze(c, uniformInputs(c), nil)
+	sl := res.Slacks(4, nil)
+	a, _ := c.Node("a")
+	for _, d := range []Dir{DirRise, DirFall} {
+		req, ok := sl.RequiredAt(a.ID, d)
+		if !ok || math.Abs(req-3) > 1e-12 {
+			t.Errorf("req(a,%v) = %v, %v; want 3", d, req, ok)
+		}
+	}
+}

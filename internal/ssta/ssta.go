@@ -1,0 +1,278 @@
+// Package ssta implements the baselines the paper compares against:
+//
+//   - STA: classical static timing bounds (earliest/latest arrival
+//     intervals per net and transition direction);
+//   - SSTA: block-based statistical static timing analysis with
+//     normal arrival-time distributions propagated by the SUM
+//     (Eq. 1/2) and Clark MIN/MAX (Eq. 3/4) operations, with rising
+//     and falling transitions separated exactly as in the paper's
+//     experimental implementation ("min-max separated SSTA").
+//
+// SSTA deliberately ignores input signal probabilities — that is the
+// deficiency SPSTA addresses — so its results depend only on the
+// launch-point arrival-time distributions.
+package ssta
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Dir indexes a transition direction: DirRise or DirFall.
+type Dir int
+
+const (
+	// DirRise selects the rising transition.
+	DirRise Dir = 0
+	// DirFall selects the falling transition.
+	DirFall Dir = 1
+)
+
+// String returns "rise" or "fall".
+func (d Dir) String() string {
+	if d == DirRise {
+		return "rise"
+	}
+	return "fall"
+}
+
+// Opposite returns the other direction.
+func (d Dir) Opposite() Dir { return 1 - d }
+
+// edgeRule describes how an output transition direction of a gate is
+// produced: from which input direction, combined with MIN or MAX.
+type edgeRule struct {
+	inDir Dir
+	op    logic.Op
+}
+
+// Rule returns the input direction and MIN/MAX operation for gate g
+// producing an output transition in direction d, following the
+// paper's Table 1:
+//
+//	AND : r = MAX(rise in), f = MIN(fall in)
+//	OR  : r = MIN(rise in), f = MAX(fall in)
+//	NAND: r = MIN(fall in), f = MAX(rise in)
+//	NOR : r = MAX(fall in), f = MIN(rise in)
+//	NOT : r = fall in, f = rise in;  BUF passes through
+//
+// Parity gates (XOR/XNOR) are not unate: any input direction can
+// produce either output direction, and min-max-separated SSTA treats
+// them pessimistically (late mode: MAX over both input directions);
+// they are handled by the caller, not by this table.
+func Rule(g logic.GateType, d Dir) (inDir Dir, op logic.Op) {
+	r := rule(g, d)
+	return r.inDir, r.op
+}
+
+func rule(g logic.GateType, d Dir) edgeRule {
+	inDir := d
+	if g.Inverting() {
+		inDir = d.Opposite()
+	}
+	switch g {
+	case logic.Buf, logic.Not, logic.DFF:
+		return edgeRule{inDir, logic.OpMax} // single input: min==max
+	case logic.And:
+		if d == DirRise {
+			return edgeRule{inDir, logic.OpMax}
+		}
+		return edgeRule{inDir, logic.OpMin}
+	case logic.Or:
+		if d == DirRise {
+			return edgeRule{inDir, logic.OpMin}
+		}
+		return edgeRule{inDir, logic.OpMax}
+	case logic.Nand:
+		if d == DirRise {
+			return edgeRule{inDir, logic.OpMin}
+		}
+		return edgeRule{inDir, logic.OpMax}
+	case logic.Nor:
+		if d == DirRise {
+			return edgeRule{inDir, logic.OpMax}
+		}
+		return edgeRule{inDir, logic.OpMin}
+	}
+	panic(fmt.Sprintf("ssta: rule(%v, %v)", g, d))
+}
+
+// DelayModel returns the delay distribution of a gate. The paper's
+// experiments use a deterministic unit delay for every gate and zero
+// net delay.
+type DelayModel func(n *netlist.Node) dist.Normal
+
+// UnitDelay is the paper's experimental delay model: one time unit
+// per gate, deterministic.
+func UnitDelay(*netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: 0} }
+
+// MISModel maps a gate and its count of simultaneously switching
+// inputs to the gate delay — the multiple-input-switching delay
+// model of the paper's reference [2], consumed by core.Analyzer.MIS
+// and montecarlo.Config.MIS.
+type MISModel func(n *netlist.Node, switching int) dist.Normal
+
+// Result holds per-net, per-direction arrival-time distributions.
+type Result struct {
+	C *netlist.Circuit
+	// Arrival[d][id] is the arrival-time normal of direction d at
+	// net id.
+	Arrival [2][]dist.Normal
+}
+
+// Analyze runs min-max-separated SSTA. inputs supplies the
+// launch-point arrival-time statistics (only Mu and Sigma are used —
+// SSTA is oblivious to the value probabilities); missing launch
+// points default to N(0,1). delay defaults to UnitDelay when nil.
+func Analyze(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, delay DelayModel) *Result {
+	if delay == nil {
+		delay = UnitDelay
+	}
+	res := &Result{C: c}
+	for d := range res.Arrival {
+		res.Arrival[d] = make([]dist.Normal, len(c.Nodes))
+	}
+	for _, id := range c.TopoOrder() {
+		r, f := ComputeNode(res, id, inputs, delay)
+		res.Arrival[DirRise][id] = r
+		res.Arrival[DirFall][id] = f
+	}
+	return res
+}
+
+// ComputeNode computes one node's rise/fall arrival pair from the
+// fanin arrivals already stored in res — the single-node step of
+// Analyze, exported so incremental re-analysis (package incr) can
+// recompute only a changed fanout cone. It does not store the
+// result.
+func ComputeNode(res *Result, id netlist.NodeID, inputs map[netlist.NodeID]logic.InputStats, delay DelayModel) (rise, fall dist.Normal) {
+	if delay == nil {
+		delay = UnitDelay
+	}
+	c := res.C
+	n := c.Nodes[id]
+	if !n.Type.Combinational() {
+		arr := dist.Normal{Mu: 0, Sigma: 1}
+		if st, ok := inputs[id]; ok {
+			arr = dist.Normal{Mu: st.Mu, Sigma: st.Sigma}
+		}
+		return arr, arr
+	}
+	d := delay(n)
+	if n.Type.Parity() {
+		// Pessimistic late mode: both output directions from the
+		// Clark MAX over every input arrival of both directions.
+		ops := make([]dist.Normal, 0, 2*len(n.Fanin))
+		for _, f := range n.Fanin {
+			ops = append(ops, res.Arrival[DirRise][f], res.Arrival[DirFall][f])
+		}
+		m := dist.MaxNormals(ops).Add(d)
+		return m, m
+	}
+	var out [2]dist.Normal
+	ops := make([]dist.Normal, 0, len(n.Fanin))
+	for _, dir := range []Dir{DirRise, DirFall} {
+		r := rule(n.Type, dir)
+		ops = ops[:0]
+		for _, f := range n.Fanin {
+			ops = append(ops, res.Arrival[r.inDir][f])
+		}
+		var m dist.Normal
+		if r.op == logic.OpMax {
+			m = dist.MaxNormals(ops)
+		} else {
+			m = dist.MinNormals(ops)
+		}
+		out[dir] = m.Add(d)
+	}
+	return out[DirRise], out[DirFall]
+}
+
+// At returns the arrival distribution of direction d at net id.
+func (r *Result) At(id netlist.NodeID, d Dir) dist.Normal { return r.Arrival[d][id] }
+
+// Interval is a deterministic [Lo, Hi] bound.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// STAResult holds per-net, per-direction arrival bounds.
+type STAResult struct {
+	C *netlist.Circuit
+	// Bound[d][id] brackets every possible arrival of direction d
+	// at net id.
+	Bound [2][]Interval
+}
+
+// AnalyzeSTA computes classical static min/max arrival bounds. The
+// launch-point arrival interval is mu ± k·sigma (k = 3 reproduces the
+// paper's Figure 1 note that STA bounds sit at the ±3σ points).
+// The late bound at a gate is the latest fanin late bound plus the
+// gate delay's late value, and symmetrically for the early bound —
+// which bounds both the MIN and MAX settle semantics.
+func AnalyzeSTA(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, delay DelayModel, k float64) *STAResult {
+	if delay == nil {
+		delay = UnitDelay
+	}
+	res := &STAResult{C: c}
+	for d := range res.Bound {
+		res.Bound[d] = make([]Interval, len(c.Nodes))
+	}
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		if !n.Type.Combinational() {
+			arr := dist.Normal{Mu: 0, Sigma: 1}
+			if st, ok := inputs[id]; ok {
+				arr = dist.Normal{Mu: st.Mu, Sigma: st.Sigma}
+			}
+			iv := Interval{arr.Mu - k*arr.Sigma, arr.Mu + k*arr.Sigma}
+			res.Bound[DirRise][id] = iv
+			res.Bound[DirFall][id] = iv
+			continue
+		}
+		dn := delay(n)
+		dlo, dhi := dn.Mu-k*dn.Sigma, dn.Mu+k*dn.Sigma
+		for _, dir := range []Dir{DirRise, DirFall} {
+			var src Dir
+			if n.Type.Parity() {
+				src = -1 // both directions, handled below
+			} else {
+				src = rule(n.Type, dir).inDir
+			}
+			first := true
+			var iv Interval
+			add := func(b Interval) {
+				if first {
+					iv = b
+					first = false
+					return
+				}
+				if b.Lo < iv.Lo {
+					iv.Lo = b.Lo
+				}
+				if b.Hi > iv.Hi {
+					iv.Hi = b.Hi
+				}
+			}
+			for _, f := range n.Fanin {
+				if src < 0 {
+					add(res.Bound[DirRise][f])
+					add(res.Bound[DirFall][f])
+				} else {
+					add(res.Bound[src][f])
+				}
+			}
+			res.Bound[dir][id] = Interval{iv.Lo + dlo, iv.Hi + dhi}
+		}
+	}
+	return res
+}
+
+// At returns the bound of direction d at net id.
+func (r *STAResult) At(id netlist.NodeID, d Dir) Interval { return r.Bound[d][id] }

@@ -1,0 +1,238 @@
+package ssta
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func parse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.Parse(strings.NewReader(src), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func uniformInputs(c *netlist.Circuit) map[netlist.NodeID]logic.InputStats {
+	m := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		m[id] = logic.UniformStats()
+	}
+	return m
+}
+
+func TestDir(t *testing.T) {
+	if DirRise.String() != "rise" || DirFall.String() != "fall" {
+		t.Error("Dir.String wrong")
+	}
+	if DirRise.Opposite() != DirFall || DirFall.Opposite() != DirRise {
+		t.Error("Opposite wrong")
+	}
+}
+
+func TestRuleTable(t *testing.T) {
+	cases := []struct {
+		g     logic.GateType
+		d     Dir
+		inDir Dir
+		op    logic.Op
+	}{
+		{logic.And, DirRise, DirRise, logic.OpMax},
+		{logic.And, DirFall, DirFall, logic.OpMin},
+		{logic.Or, DirRise, DirRise, logic.OpMin},
+		{logic.Or, DirFall, DirFall, logic.OpMax},
+		{logic.Nand, DirRise, DirFall, logic.OpMin},
+		{logic.Nand, DirFall, DirRise, logic.OpMax},
+		{logic.Nor, DirRise, DirFall, logic.OpMax},
+		{logic.Nor, DirFall, DirRise, logic.OpMin},
+		{logic.Not, DirRise, DirFall, logic.OpMax},
+		{logic.Buf, DirFall, DirFall, logic.OpMax},
+	}
+	for _, c := range cases {
+		r := rule(c.g, c.d)
+		if r.inDir != c.inDir || r.op != c.op {
+			t.Errorf("rule(%v,%v) = {%v,%v}, want {%v,%v}",
+				c.g, c.d, r.inDir, r.op, c.inDir, c.op)
+		}
+	}
+}
+
+func TestBufferChainAddsUnitDelays(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nb1 = BUFF(a)\nb2 = BUFF(b1)\ny = BUFF(b2)\n"
+	c := parse(t, src, "chain")
+	res := Analyze(c, uniformInputs(c), nil)
+	y, _ := c.Node("y")
+	got := res.At(y.ID, DirRise)
+	approx(t, "mu", got.Mu, 3, 1e-12)
+	approx(t, "sigma", got.Sigma, 1, 1e-12)
+}
+
+func TestInverterSwapsDirections(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+	c := parse(t, src, "inv")
+	inputs := make(map[netlist.NodeID]logic.InputStats)
+	a, _ := c.Node("a")
+	// Asymmetric input: rise and fall from the same launch stats in
+	// SSTA, so distinguish by the input's single arrival N(2, 0.5).
+	inputs[a.ID] = logic.InputStats{P: [4]float64{0.25, 0.25, 0.25, 0.25}, Mu: 2, Sigma: 0.5}
+	res := Analyze(c, inputs, nil)
+	y, _ := c.Node("y")
+	r := res.At(y.ID, DirRise)
+	approx(t, "rise mu", r.Mu, 3, 1e-12)
+	approx(t, "rise sigma", r.Sigma, 0.5, 1e-12)
+}
+
+func TestAndGateClarkMax(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	c := parse(t, src, "and2")
+	res := Analyze(c, uniformInputs(c), nil)
+	y, _ := c.Node("y")
+	want := dist.MaxNormal(dist.Normal{Mu: 0, Sigma: 1}, dist.Normal{Mu: 0, Sigma: 1}, 0).Add(dist.Normal{Mu: 1, Sigma: 0})
+	got := res.At(y.ID, DirRise)
+	approx(t, "rise mu", got.Mu, want.Mu, 1e-12)
+	approx(t, "rise sigma", got.Sigma, want.Sigma, 1e-12)
+	wantF := dist.MinNormal(dist.Normal{Mu: 0, Sigma: 1}, dist.Normal{Mu: 0, Sigma: 1}, 0).Add(dist.Normal{Mu: 1, Sigma: 0})
+	gotF := res.At(y.ID, DirFall)
+	approx(t, "fall mu", gotF.Mu, wantF.Mu, 1e-12)
+	// Known closed form: E[max of two std normals] = 1/sqrt(pi).
+	approx(t, "rise mu closed form", got.Mu, 1+1/math.Sqrt(math.Pi), 1e-12)
+	approx(t, "fall mu closed form", gotF.Mu, 1-1/math.Sqrt(math.Pi), 1e-12)
+}
+
+// TestSigmaShrinksThroughMaxChain reproduces the paper's observation
+// 3: repeated MIN/MAX operations shrink SSTA's standard deviations
+// below the input sigma.
+func TestSigmaShrinksThroughMaxChain(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = AND(c, d)
+y  = AND(g1, g2)
+`
+	c := parse(t, src, "maxtree")
+	res := Analyze(c, uniformInputs(c), nil)
+	y, _ := c.Node("y")
+	if s := res.At(y.ID, DirRise).Sigma; s >= 1 {
+		t.Errorf("sigma after MAX tree = %v, want < 1", s)
+	}
+	if s := res.At(y.ID, DirFall).Sigma; s >= 1 {
+		t.Errorf("sigma after MIN tree = %v, want < 1", s)
+	}
+}
+
+func TestSSTAIgnoresValueProbabilities(t *testing.T) {
+	// Changing P(0/1/r/f) without touching Mu/Sigma leaves SSTA
+	// unchanged — the paper's observation 1.
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1 := make(map[netlist.NodeID]logic.InputStats)
+	in2 := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		in1[id] = logic.UniformStats()
+		in2[id] = logic.SkewedStats()
+	}
+	r1 := Analyze(c, in1, nil)
+	r2 := Analyze(c, in2, nil)
+	for _, n := range c.Nodes {
+		for _, d := range []Dir{DirRise, DirFall} {
+			if r1.At(n.ID, d) != r2.At(n.ID, d) {
+				t.Fatalf("SSTA depends on value probabilities at %s", n.Name)
+			}
+		}
+	}
+}
+
+func TestDefaultInputsAndDelay(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n"
+	c := parse(t, src, "dflt")
+	res := Analyze(c, nil, nil) // defaults: N(0,1) inputs, unit delay
+	y, _ := c.Node("y")
+	approx(t, "mu", res.At(y.ID, DirRise).Mu, 1, 1e-12)
+	approx(t, "sigma", res.At(y.ID, DirRise).Sigma, 1, 1e-12)
+}
+
+func TestParityGatePessimism(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n"
+	c := parse(t, src, "xor2")
+	res := Analyze(c, uniformInputs(c), nil)
+	y, _ := c.Node("y")
+	r := res.At(y.ID, DirRise)
+	f := res.At(y.ID, DirFall)
+	if r != f {
+		t.Error("XOR rise and fall should both be the late-mode max")
+	}
+	// Max over 4 arrivals (2 inputs × 2 directions) exceeds the max
+	// over 2.
+	two := dist.MaxNormal(dist.Normal{Mu: 0, Sigma: 1}, dist.Normal{Mu: 0, Sigma: 1}, 0)
+	if r.Mu-1 <= two.Mu {
+		t.Errorf("XOR late mode %v not above 2-way max %v", r.Mu-1, two.Mu)
+	}
+}
+
+func TestSTABoundsContainSSTA(t *testing.T) {
+	p, _ := synth.ProfileByName("s344")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniformInputs(c)
+	sta := AnalyzeSTA(c, in, nil, 3)
+	sst := Analyze(c, in, nil)
+	for _, n := range c.Nodes {
+		for _, d := range []Dir{DirRise, DirFall} {
+			b := sta.At(n.ID, d)
+			m := sst.At(n.ID, d)
+			if m.Mu < b.Lo-1e-9 || m.Mu > b.Hi+1e-9 {
+				t.Fatalf("%s %v: SSTA mean %v outside STA bound [%v, %v]",
+					n.Name, d, m.Mu, b.Lo, b.Hi)
+			}
+		}
+	}
+}
+
+func TestSTAUnitChain(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nb1 = BUFF(a)\ny = BUFF(b1)\n"
+	c := parse(t, src, "chain2")
+	sta := AnalyzeSTA(c, uniformInputs(c), nil, 3)
+	y, _ := c.Node("y")
+	b := sta.At(y.ID, DirRise)
+	approx(t, "Lo", b.Lo, 2-3, 1e-12)
+	approx(t, "Hi", b.Hi, 2+3, 1e-12)
+	approx(t, "Width", b.Width(), 6, 1e-12)
+}
+
+func TestSTAWorstEndpointMatchesDepth(t *testing.T) {
+	p, _ := synth.ProfileByName("s208")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sta := AnalyzeSTA(c, uniformInputs(c), nil, 3)
+	end := c.CriticalEndpoint()
+	hi := sta.At(end, DirRise).Hi
+	if math.Abs(hi-(float64(p.Depth)+3)) > 1e-9 {
+		t.Errorf("STA late bound %v, want depth+3 = %v", hi, float64(p.Depth)+3)
+	}
+}

@@ -1,0 +1,318 @@
+// Package symbolic implements the Section 3.6 analyzers: arrival
+// times propagated as closed-form first-order canonical expressions
+// of global variational parameters (process/environment sources)
+// plus independent residuals, so that the result exposes not just
+// per-net means and sigmas but the sensitivities to each variation
+// source and the induced arrival-time correlations.
+//
+// Two engines are provided: canonical SSTA (min-max separated, the
+// symbolic counterpart of internal/ssta) and canonical SPSTA (the
+// WEIGHTED SUM of switching-subset mixtures, the symbolic
+// counterpart of core.MomentTiming).
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+	"repro/internal/vpoly"
+)
+
+// DelayModel returns a gate's delay as a canonical form over the
+// analysis's global variation sources.
+type DelayModel func(n *netlist.Node) vpoly.Canonical
+
+// UnitDelay returns the paper's deterministic unit delay as a
+// canonical form with nvars (zero) sensitivities.
+func UnitDelay(nvars int) DelayModel {
+	return func(*netlist.Node) vpoly.Canonical { return vpoly.Const(1, nvars) }
+}
+
+// LevelDelay is a simple spatially-correlated variation model: every
+// gate has mean delay mu, a sensitivity of globalFrac·mu to the
+// global source indexed by its logic level modulo nvars (gates at
+// the same depth band share variation, a crude proxy for spatial
+// correlation), and an independent local residual of localFrac·mu.
+func LevelDelay(nvars int, mu, globalFrac, localFrac float64) DelayModel {
+	return func(n *netlist.Node) vpoly.Canonical {
+		c := vpoly.Const(mu, nvars)
+		if nvars > 0 && globalFrac != 0 {
+			c.A[n.Level%nvars] = globalFrac * mu
+		}
+		c.R = localFrac * mu
+		return c
+	}
+}
+
+// SSTAResult holds per-net, per-direction canonical arrival forms.
+type SSTAResult struct {
+	C       *netlist.Circuit
+	NumVars int
+	Arrival [2][]vpoly.Canonical
+}
+
+// AnalyzeSSTA runs canonical first-order SSTA: the symbolic
+// counterpart of ssta.Analyze, with Clark-based tightness-weighted
+// canonical MAX/MIN preserving correlations through shared global
+// sources. Launch-point arrival variation is treated as independent
+// (residual-only). delay must not be nil.
+func AnalyzeSSTA(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, delay DelayModel, nvars int) (*SSTAResult, error) {
+	if delay == nil {
+		return nil, fmt.Errorf("symbolic: nil delay model")
+	}
+	res := &SSTAResult{C: c, NumVars: nvars}
+	for d := range res.Arrival {
+		res.Arrival[d] = make([]vpoly.Canonical, len(c.Nodes))
+	}
+	var scratch []vpoly.Canonical
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		if !n.Type.Combinational() {
+			arr := vpoly.Const(0, nvars)
+			arr.R = 1
+			if st, ok := inputs[id]; ok {
+				arr.A0 = st.Mu
+				arr.R = st.Sigma
+			}
+			res.Arrival[ssta.DirRise][id] = arr
+			res.Arrival[ssta.DirFall][id] = arr
+			continue
+		}
+		d := delay(n)
+		if n.Type.Parity() {
+			scratch = scratch[:0]
+			for _, f := range n.Fanin {
+				scratch = append(scratch, res.Arrival[ssta.DirRise][f], res.Arrival[ssta.DirFall][f])
+			}
+			m := vpoly.MaxAll(scratch).Add(d)
+			res.Arrival[ssta.DirRise][id] = m
+			res.Arrival[ssta.DirFall][id] = m
+			continue
+		}
+		for _, dir := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+			inDir, op := ssta.Rule(n.Type, dir)
+			scratch = scratch[:0]
+			for _, f := range n.Fanin {
+				scratch = append(scratch, res.Arrival[inDir][f])
+			}
+			var m vpoly.Canonical
+			if op == logic.OpMax {
+				m = vpoly.MaxAll(scratch)
+			} else {
+				m = vpoly.MinAll(scratch)
+			}
+			res.Arrival[dir][id] = m.Add(d)
+		}
+	}
+	return res, nil
+}
+
+// At returns the canonical arrival of direction d at net id.
+func (r *SSTAResult) At(id netlist.NodeID, d ssta.Dir) vpoly.Canonical {
+	return r.Arrival[d][id]
+}
+
+// SPSTAResult holds the canonical SPSTA view: four-value
+// probabilities plus per-direction conditional canonical arrivals.
+type SPSTAResult struct {
+	C       *netlist.Circuit
+	NumVars int
+	// P[id] holds the four-value probabilities of net id.
+	P [][logic.NumValues]float64
+	// Arrival[d][id] is the conditional canonical arrival form.
+	Arrival [2][]vpoly.Canonical
+}
+
+// AnalyzeSPSTA runs canonical SPSTA: four-value signal probabilities
+// exactly as core computes them, with conditional arrival times
+// propagated as canonical forms through the WEIGHTED SUM mixture
+// (vpoly.Mix) over switching-input subsets, canonical MAX/MIN inside
+// each subset. delay must not be nil.
+func AnalyzeSPSTA(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, delay DelayModel, nvars int) (*SPSTAResult, error) {
+	if delay == nil {
+		return nil, fmt.Errorf("symbolic: nil delay model")
+	}
+	// Probabilities are timing-representation independent; reuse the
+	// analytic core engine for them.
+	probRes, err := (&core.MomentTiming{}).Run(c, inputs)
+	if err != nil {
+		return nil, err
+	}
+	res := &SPSTAResult{C: c, NumVars: nvars, P: make([][logic.NumValues]float64, len(c.Nodes))}
+	for d := range res.Arrival {
+		res.Arrival[d] = make([]vpoly.Canonical, len(c.Nodes))
+	}
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		res.P[id] = probRes.State[id].P
+		switch {
+		case n.Type == logic.Const0 || n.Type == logic.Const1:
+			res.Arrival[0][id] = vpoly.Const(0, nvars)
+			res.Arrival[1][id] = vpoly.Const(0, nvars)
+		case !n.Type.Combinational():
+			arr := vpoly.Const(0, nvars)
+			arr.R = 1
+			if st, ok := inputs[id]; ok {
+				arr.A0 = st.Mu
+				arr.R = st.Sigma
+			}
+			res.Arrival[ssta.DirRise][id] = arr
+			res.Arrival[ssta.DirFall][id] = arr
+		default:
+			if err := symbolicGate(res, n, delay(n), nvars); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+func symbolicGate(res *SPSTAResult, n *netlist.Node, d vpoly.Canonical, nvars int) error {
+	switch {
+	case n.Type == logic.Buf || n.Type == logic.Not:
+		in := n.Fanin[0]
+		r, f := ssta.DirRise, ssta.DirFall
+		if n.Type == logic.Not {
+			r, f = f, r
+		}
+		res.Arrival[ssta.DirRise][n.ID] = res.Arrival[r][in].Add(d)
+		res.Arrival[ssta.DirFall][n.ID] = res.Arrival[f][in].Add(d)
+		return nil
+
+	case n.Type.Monotone():
+		ctrl, _ := n.Type.Controlling()
+		ncVal := logic.Zero
+		towardNC, towardCtrl := logic.Fall, logic.Rise
+		if !ctrl {
+			ncVal = logic.One
+			towardNC, towardCtrl = logic.Rise, logic.Fall
+		}
+		ncdArr := subsetMix(res, n.Fanin, ncVal, towardNC, true, nvars)
+		cdArr := subsetMix(res, n.Fanin, ncVal, towardCtrl, false, nvars)
+		allNC := make([]bool, len(n.Fanin))
+		for i := range allNC {
+			allNC[i] = !ctrl
+		}
+		if n.Type.EvalBool(allNC) {
+			res.Arrival[ssta.DirRise][n.ID] = ncdArr.Add(d)
+			res.Arrival[ssta.DirFall][n.ID] = cdArr.Add(d)
+		} else {
+			res.Arrival[ssta.DirRise][n.ID] = cdArr.Add(d)
+			res.Arrival[ssta.DirFall][n.ID] = ncdArr.Add(d)
+		}
+		return nil
+
+	case n.Type.Parity():
+		if len(n.Fanin) > core.DefaultMaxParityFanin {
+			return fmt.Errorf("symbolic: %s: parity fanin %d too wide", n.Name, len(n.Fanin))
+		}
+		var wR, wF []float64
+		var iR, iF []vpoly.Canonical
+		vals := make([]logic.Value, len(n.Fanin))
+		var rec func(i int, weight float64)
+		rec = func(i int, weight float64) {
+			if weight == 0 {
+				return
+			}
+			if i == len(vals) {
+				out, op := n.Type.SettleOp(vals)
+				if !out.Switching() {
+					return
+				}
+				first := true
+				var acc vpoly.Canonical
+				for j, v := range vals {
+					if !v.Switching() {
+						continue
+					}
+					arr := res.Arrival[dirOf(v)][n.Fanin[j]]
+					if first {
+						acc, first = arr, false
+					} else if op == logic.OpMax {
+						acc = acc.Max(arr)
+					} else {
+						acc = acc.Min(arr)
+					}
+				}
+				if out == logic.Rise {
+					wR = append(wR, weight)
+					iR = append(iR, acc)
+				} else {
+					wF = append(wF, weight)
+					iF = append(iF, acc)
+				}
+				return
+			}
+			for v := logic.Zero; v < logic.NumValues; v++ {
+				vals[i] = v
+				rec(i+1, weight*res.P[n.Fanin[i]][v])
+			}
+		}
+		rec(0, 1)
+		res.Arrival[ssta.DirRise][n.ID] = vpoly.Mix(wR, iR, nvars).Add(d)
+		res.Arrival[ssta.DirFall][n.ID] = vpoly.Mix(wF, iF, nvars).Add(d)
+		return nil
+	}
+	return fmt.Errorf("symbolic: unsupported gate %v", n.Type)
+}
+
+// subsetMix enumerates non-empty switching subsets (direction dir,
+// others pinned at ncVal) and moment-matches the weighted mixture of
+// canonical subset arrivals.
+func subsetMix(res *SPSTAResult, fanin []netlist.NodeID, ncVal, dir logic.Value, max bool, nvars int) vpoly.Canonical {
+	var weights []float64
+	var items []vpoly.Canonical
+	var rec func(i int, weight float64, cur vpoly.Canonical, has bool)
+	rec = func(i int, weight float64, cur vpoly.Canonical, has bool) {
+		if weight == 0 {
+			return
+		}
+		if i == len(fanin) {
+			if has {
+				weights = append(weights, weight)
+				items = append(items, cur)
+			}
+			return
+		}
+		f := fanin[i]
+		rec(i+1, weight*res.P[f][ncVal], cur, has)
+		p := res.P[f][dir]
+		if p > 0 {
+			arr := res.Arrival[dirOf(dir)][f]
+			next := arr
+			if has {
+				if max {
+					next = cur.Max(arr)
+				} else {
+					next = cur.Min(arr)
+				}
+			}
+			rec(i+1, weight*p, next, true)
+		}
+	}
+	rec(0, 1, vpoly.Canonical{}, false)
+	return vpoly.Mix(weights, items, nvars)
+}
+
+func dirOf(v logic.Value) ssta.Dir {
+	if v == logic.Rise {
+		return ssta.DirRise
+	}
+	return ssta.DirFall
+}
+
+// Probability returns P(net id = v).
+func (r *SPSTAResult) Probability(id netlist.NodeID, v logic.Value) float64 { return r.P[id][v] }
+
+// Arrival returns the conditional canonical arrival of direction d
+// at net id and its occurrence probability.
+func (r *SPSTAResult) At(id netlist.NodeID, d ssta.Dir) (vpoly.Canonical, float64) {
+	v := logic.Rise
+	if d == ssta.DirFall {
+		v = logic.Fall
+	}
+	return r.Arrival[d][id], r.P[id][v]
+}

@@ -1,0 +1,187 @@
+package symbolic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func parse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.Parse(strings.NewReader(src), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func uniform(c *netlist.Circuit) map[netlist.NodeID]logic.InputStats {
+	m := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		m[id] = logic.UniformStats()
+	}
+	return m
+}
+
+// TestCanonicalSSTAMatchesPlainWithUnitDelay: with deterministic
+// unit delay, canonical SSTA reduces exactly to ssta.Analyze
+// (independent launches, Clark reductions).
+func TestCanonicalSSTAMatchesPlainWithUnitDelay(t *testing.T) {
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+	plain := ssta.Analyze(c, in, nil)
+	canon, err := AnalyzeSSTA(c, in, UnitDelay(3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		for _, d := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+			want := plain.At(n.ID, d)
+			got := canon.At(n.ID, d)
+			if math.Abs(got.Mean()-want.Mu) > 1e-9 || math.Abs(got.Sigma()-want.Sigma) > 1e-9 {
+				t.Fatalf("%s %v: canonical (%v,%v) vs plain (%v,%v)",
+					n.Name, d, got.Mean(), got.Sigma(), want.Mu, want.Sigma)
+			}
+		}
+	}
+}
+
+// TestGlobalVariationIncreasesCorrelation: with a shared global
+// source, two parallel buffer chains from independent inputs have
+// correlated arrivals; with unit delay they do not.
+func TestGlobalVariationIncreasesCorrelation(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(x)
+OUTPUT(y)
+x1 = BUFF(a)
+x  = BUFF(x1)
+y1 = BUFF(b)
+y  = BUFF(y1)
+`
+	c := parse(t, src, "parallel")
+	in := uniform(c)
+	unit, err := AnalyzeSSTA(c, in, UnitDelay(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := c.Node("x")
+	y, _ := c.Node("y")
+	if corr := unit.At(x.ID, ssta.DirRise).Corr(unit.At(y.ID, ssta.DirRise)); math.Abs(corr) > 1e-12 {
+		t.Errorf("unit-delay correlation = %v, want 0", corr)
+	}
+	vard, err := AnalyzeSSTA(c, in, LevelDelay(1, 1, 0.2, 0.05), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := vard.At(x.ID, ssta.DirRise).Corr(vard.At(y.ID, ssta.DirRise))
+	if corr < 0.05 {
+		t.Errorf("shared-source correlation = %v, want clearly positive", corr)
+	}
+	// Global variation also widens the arrival sigma.
+	if vard.At(x.ID, ssta.DirRise).Sigma() <= unit.At(x.ID, ssta.DirRise).Sigma() {
+		t.Error("variational delay did not widen sigma")
+	}
+}
+
+// TestCanonicalSPSTAMatchesMomentTiming: with unit delay the
+// canonical SPSTA means/sigmas equal the analytic core engine's
+// (same mixture algebra, canonical forms carrying no sensitivities).
+func TestCanonicalSPSTAMatchesMomentTiming(t *testing.T) {
+	p, _ := synth.ProfileByName("s382")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+	var mt core.MomentTiming
+	ref, err := mt.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeSPSTA(c, in, UnitDelay(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			if math.Abs(got.Probability(n.ID, v)-ref.Probability(n.ID, v)) > 1e-12 {
+				t.Fatalf("%s: P[%v] mismatch", n.Name, v)
+			}
+		}
+		for _, d := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+			ca, cp := got.At(n.ID, d)
+			na, np := ref.Arrival(n.ID, d)
+			if cp < 1e-9 {
+				continue
+			}
+			if math.Abs(cp-np) > 1e-9 {
+				t.Fatalf("%s %v: prob %v vs %v", n.Name, d, cp, np)
+			}
+			if math.Abs(ca.Mean()-na.Mu) > 1e-6 || math.Abs(ca.Sigma()-na.Sigma) > 1e-6 {
+				t.Fatalf("%s %v: canonical (%v,%v) vs analytic (%v,%v)",
+					n.Name, d, ca.Mean(), ca.Sigma(), na.Mu, na.Sigma)
+			}
+		}
+	}
+}
+
+func TestSPSTASensitivitiesExposed(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	c := parse(t, src, "and2")
+	res, err := AnalyzeSPSTA(c, uniform(c), LevelDelay(2, 1, 0.1, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	arr, prob := res.At(y.ID, ssta.DirRise)
+	approx(t, "prob", prob, 3.0/16, 1e-12)
+	// The AND gate is at level 1, so its delay loads source 1.
+	if arr.A[1] <= 0 {
+		t.Errorf("sensitivity to level source = %v, want > 0", arr.A[1])
+	}
+}
+
+func TestNilDelayRejected(t *testing.T) {
+	c := parse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "buf")
+	if _, err := AnalyzeSSTA(c, nil, nil, 1); err == nil {
+		t.Error("nil delay accepted by AnalyzeSSTA")
+	}
+	if _, err := AnalyzeSPSTA(c, nil, nil, 1); err == nil {
+		t.Error("nil delay accepted by AnalyzeSPSTA")
+	}
+}
+
+func TestParityGateSymbolic(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n"
+	c := parse(t, src, "xor2")
+	res, err := AnalyzeSPSTA(c, uniform(c), UnitDelay(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Node("y")
+	// XOR with uniform inputs: P(r) = P(f) = 1/4 (one switching
+	// input among 0/1 for the other).
+	approx(t, "Pr", res.Probability(y.ID, logic.Rise), 0.25, 1e-9)
+	arr, _ := res.At(y.ID, ssta.DirRise)
+	approx(t, "rise mean", arr.Mean(), 1, 5e-2)
+}

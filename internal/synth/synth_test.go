@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+)
+
+func TestProfilesMatchPaperSuite(t *testing.T) {
+	want := []string{"s208", "s298", "s344", "s349", "s382", "s386", "s526", "s1196", "s1238"}
+	ps := Profiles()
+	if len(ps) != len(want) {
+		t.Fatalf("got %d profiles, want %d", len(ps), len(want))
+	}
+	for i, p := range ps {
+		if p.Name != want[i] {
+			t.Errorf("profile %d = %s, want %s", i, p.Name, want[i])
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+	if _, ok := ProfileByName("s344"); !ok {
+		t.Error("ProfileByName(s344) missing")
+	}
+	if _, ok := ProfileByName("s9999"); ok {
+		t.Error("ProfileByName accepted unknown name")
+	}
+}
+
+func TestGenerateMatchesProfileCounts(t *testing.T) {
+	for _, p := range Profiles() {
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		st := c.Stats()
+		if st.Inputs != p.Inputs || st.Outputs != p.Outputs || st.DFFs != p.DFFs ||
+			st.Gates != p.Gates || st.Depth != p.Depth {
+			t.Errorf("%s: generated %+v, want %+v", p.Name, st, p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("s298")
+	c1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := bench.Write(&b1, c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Write(&b2, c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	p, _ := ProfileByName("s298")
+	p.Seed = 123
+	c1, _ := Generate(p)
+	p.Seed = 456
+	c2, _ := Generate(p)
+	var b1, b2 bytes.Buffer
+	bench.Write(&b1, c1)
+	bench.Write(&b2, c2)
+	if bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateStructuralInvariants(t *testing.T) {
+	for _, p := range Profiles() {
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		// Fanin bound respected; parity gates stay 2-input.
+		for _, n := range c.Nodes {
+			if !n.Type.Combinational() {
+				continue
+			}
+			if len(n.Fanin) > 4 {
+				t.Errorf("%s/%s: fanin %d > 4", p.Name, n.Name, len(n.Fanin))
+			}
+			if n.Type.Parity() && len(n.Fanin) != 2 {
+				t.Errorf("%s/%s: parity gate with %d inputs", p.Name, n.Name, len(n.Fanin))
+			}
+			// Distinct fanin nets.
+			seen := map[int32]bool{}
+			for _, f := range n.Fanin {
+				if seen[int32(f)] {
+					t.Errorf("%s/%s: duplicate fanin", p.Name, n.Name)
+				}
+				seen[int32(f)] = true
+			}
+		}
+		// The critical endpoint is at the profile depth.
+		end := c.CriticalEndpoint()
+		if got := c.Nodes[end].Level; got != p.Depth {
+			t.Errorf("%s: critical endpoint level %d, want %d", p.Name, got, p.Depth)
+		}
+		// Critical path climbs one level per hop.
+		path := c.CriticalPath()
+		if len(path) != p.Depth+1 {
+			t.Errorf("%s: critical path length %d, want %d", p.Name, len(path), p.Depth+1)
+		}
+	}
+}
+
+func TestGenerateRoundTripsThroughBench(t *testing.T) {
+	p, _ := ProfileByName("s344")
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bench.Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := bench.Parse(&buf, p.Name)
+	if err != nil {
+		t.Fatalf("generated circuit does not re-parse: %v", err)
+	}
+	if c.Stats() != c2.Stats() {
+		t.Errorf("round trip changed stats: %+v vs %+v", c.Stats(), c2.Stats())
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "", Inputs: 1, Gates: 5, Depth: 2},
+		{Name: "x", Inputs: 0, DFFs: 0, Gates: 5, Depth: 2},
+		{Name: "x", Inputs: 1, Gates: 0, Depth: 2},
+		{Name: "x", Inputs: 1, Gates: 5, Depth: 0},
+		{Name: "x", Inputs: 1, Gates: 3, Depth: 5},
+		{Name: "x", Inputs: 1, Gates: 5, Depth: 2, Outputs: 9},
+		{Name: "x", Inputs: 1, Gates: 5, Depth: 2, DFFs: 9},
+		{Name: "x", Inputs: 1, Gates: 5, Depth: 2, MaxFanin: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted: %+v", i, p)
+		}
+		if _, err := Generate(p); err == nil {
+			t.Errorf("Generate accepted bad profile %d", i)
+		}
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	cs, err := GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != len(Profiles()) {
+		t.Errorf("GenerateAll returned %d circuits", len(cs))
+	}
+}
+
+func TestGateMixRoughlyRespected(t *testing.T) {
+	p, _ := ProfileByName("s1196")
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[logic.GateType]int{}
+	for _, n := range c.Nodes {
+		if n.Type.Combinational() {
+			counts[n.Type]++
+		}
+	}
+	// The NAND share should dominate and parity logic stay rare.
+	if counts[logic.Nand] < counts[logic.Xor] {
+		t.Errorf("gate mix off: NAND %d < XOR %d", counts[logic.Nand], counts[logic.Xor])
+	}
+	if counts[logic.Xor]+counts[logic.Xnor] > p.Gates/5 {
+		t.Errorf("too much parity logic: %d", counts[logic.Xor]+counts[logic.Xnor])
+	}
+}

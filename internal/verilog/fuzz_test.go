@@ -1,0 +1,45 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the Verilog parser never panics and that
+// accepted modules round-trip through the writer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m;\nendmodule\n",
+		sample,
+		"module m (a);\ninput a;\nendmodule\n",
+		"module m;\nand g (y, a, b);\nendmodule\n",
+		"module m;\ninput a;\noutput y;\nbuf (y, a);\nendmodule\n",
+		"module m;\nwire w;\nbuf g (w, 1'b0);\nendmodule\n",
+		"module m;\ninput a,, b;\nendmodule\n",
+		"module\n",
+		"/* unterminated",
+		"module m;\nalways @(posedge clk) x <= y;\nendmodule\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("accepted module failed to write: %v", err)
+		}
+		c2, err := Parse(bytes.NewReader(buf.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("writer output does not re-parse: %v\n%s", err, buf.String())
+		}
+		if c.Stats() != c2.Stats() {
+			t.Fatalf("round trip changed stats: %+v vs %+v", c.Stats(), c2.Stats())
+		}
+	})
+}

@@ -1,0 +1,412 @@
+// Package verilog reads and writes gate-level structural Verilog, a
+// second netlist exchange format alongside ISCAS'89 bench: many
+// public benchmark conversions circulate as primitive-only Verilog.
+// The supported subset is scalar structural netlists:
+//
+//	module name (port, port, ...);
+//	  input  a, b;
+//	  output y;
+//	  wire   w1, w2;
+//	  nand g1 (w1, a, b);   // primitive: output first, then inputs
+//	  not     (w2, w1);     // instance name optional
+//	  dff  q1 (q, w2);      // D flip-flop primitive
+//	endmodule
+//
+// Primitives: and, nand, or, nor, xor, xnor, not, buf, dff.
+// Line (//) and block comments are stripped; vectors, parameters,
+// assigns and behavioural constructs are rejected with an error.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Parse reads a structural Verilog module into a frozen circuit.
+func Parse(r io.Reader, fallbackName string) (*netlist.Circuit, error) {
+	text, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, fmt.Errorf("verilog: read: %w", err)
+	}
+	src := stripComments(string(text))
+	toks := tokenize(src)
+	p := &parser{toks: toks}
+	return p.module(fallbackName)
+}
+
+func stripComments(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		switch {
+		case strings.HasPrefix(s[i:], "//"):
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(s[i:], "/*"):
+			end := strings.Index(s[i+2:], "*/")
+			if end < 0 {
+				i = len(s)
+			} else {
+				i += 2 + end + 2
+			}
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return b.String()
+}
+
+func tokenize(s string) []string {
+	var toks []string
+	i := 0
+	isIdent := func(r byte) bool {
+		return r == '_' || r == '$' || r == '.' || r == '[' || r == ']' ||
+			r == '\'' || // constant literals like 1'b0
+			unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+	}
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ';':
+			toks = append(toks, string(c))
+			i++
+		case isIdent(c):
+			j := i
+			for j < len(s) && isIdent(s[j]) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("verilog: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+// validIdent reports whether tok is a legal scalar identifier
+// (letter/underscore/dollar start) or a constant literal.
+func validIdent(tok string) bool {
+	if tok == "1'b0" || tok == "1'b1" {
+		return true
+	}
+	if tok == "" {
+		return false
+	}
+	c := tok[0]
+	if !(c == '_' || c == '$' || unicode.IsLetter(rune(c))) {
+		return false
+	}
+	for i := 1; i < len(tok); i++ {
+		r := tok[i]
+		ok := r == '_' || r == '$' || r == '.' || r == '[' || r == ']' ||
+			unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// identList parses "a, b, c ;" (the semicolon is consumed).
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		id := p.next()
+		if !validIdent(id) || id == "1'b0" || id == "1'b1" {
+			return nil, fmt.Errorf("verilog: malformed identifier list near %q", id)
+		}
+		out = append(out, id)
+		switch t := p.next(); t {
+		case ",":
+			continue
+		case ";":
+			return out, nil
+		default:
+			return nil, fmt.Errorf("verilog: expected , or ; in list, got %q", t)
+		}
+	}
+}
+
+// argList parses "( a, b, c )".
+func (p *parser) argList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	if p.peek() == ")" {
+		p.next()
+		return out, nil
+	}
+	for {
+		id := p.next()
+		if !validIdent(id) {
+			return nil, fmt.Errorf("verilog: malformed argument list near %q", id)
+		}
+		out = append(out, id)
+		switch t := p.next(); t {
+		case ",":
+			continue
+		case ")":
+			return out, nil
+		default:
+			return nil, fmt.Errorf("verilog: expected , or ) in arguments, got %q", t)
+		}
+	}
+}
+
+var primitives = map[string]logic.GateType{
+	"and": logic.And, "nand": logic.Nand,
+	"or": logic.Or, "nor": logic.Nor,
+	"xor": logic.Xor, "xnor": logic.Xnor,
+	"not": logic.Not, "buf": logic.Buf,
+	"dff": logic.DFF,
+}
+
+// stmt is one deferred gate instantiation.
+type stmt struct {
+	gt   logic.GateType
+	args []string
+}
+
+func (p *parser) module(fallback string) (*netlist.Circuit, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name == ";" {
+		name = fallback
+	} else if !validIdent(name) || name == "1'b0" || name == "1'b1" {
+		return nil, fmt.Errorf("verilog: invalid module name %q", name)
+	} else {
+		// Optional port list.
+		if p.peek() == "(" {
+			if _, err := p.argList(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+
+	var inputs, outputs []string
+	var gates []stmt
+	declared := map[string]bool{}
+	for {
+		switch tok := p.next(); tok {
+		case "endmodule":
+			return build(name, inputs, outputs, gates)
+		case "":
+			return nil, fmt.Errorf("verilog: missing endmodule")
+		case "input":
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, ids...)
+		case "output":
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, ids...)
+		case "wire", "reg":
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range ids {
+				declared[id] = true
+			}
+		default:
+			gt, ok := primitives[strings.ToLower(tok)]
+			if !ok {
+				return nil, fmt.Errorf("verilog: unsupported construct %q", tok)
+			}
+			// Optional instance name before the argument list.
+			if p.peek() != "(" {
+				if inst := p.next(); !validIdent(inst) {
+					return nil, fmt.Errorf("verilog: malformed %s instance", tok)
+				}
+			}
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if len(args) < 2 {
+				return nil, fmt.Errorf("verilog: %s needs an output and inputs", tok)
+			}
+			gates = append(gates, stmt{gt, args})
+		}
+	}
+}
+
+func build(name string, inputs, outputs []string, gates []stmt) (*netlist.Circuit, error) {
+	c := netlist.New(name)
+	for _, in := range inputs {
+		if _, err := c.AddNode(in, logic.Input); err != nil {
+			return nil, err
+		}
+	}
+	// Constant literals used as gate inputs become shared constant
+	// nodes.
+	consts := map[string]logic.GateType{"1'b0": logic.Const0, "1'b1": logic.Const1}
+	added := map[string]bool{}
+	for _, g := range gates {
+		for _, a := range g.args[1:] {
+			if gt, ok := consts[a]; ok && !added[a] {
+				added[a] = true
+				if _, err := c.AddNode(a, gt); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, g := range gates {
+		out, fanin := g.args[0], g.args[1:]
+		if _, err := c.AddNode(out, g.gt, fanin...); err != nil {
+			return nil, err
+		}
+	}
+	for _, out := range outputs {
+		c.MarkOutput(out)
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Write emits the circuit as a structural Verilog module.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	var ins, outs, wires []string
+	for _, id := range c.Inputs() {
+		ins = append(ins, c.Nodes[id].Name)
+	}
+	for _, id := range c.Outputs() {
+		outs = append(outs, c.Nodes[id].Name)
+	}
+	sort.Strings(outs)
+	ports = append(append([]string{}, ins...), outs...)
+	outSet := map[string]bool{}
+	for _, o := range outs {
+		outSet[o] = true
+	}
+	for _, n := range c.Nodes {
+		if n.Type == logic.Input || n.Type == logic.Const0 || n.Type == logic.Const1 {
+			continue
+		}
+		if !outSet[n.Name] {
+			wires = append(wires, n.Name)
+		}
+	}
+	sort.Strings(wires)
+
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitize(c.Name), strings.Join(ports, ", "))
+	if len(ins) > 0 {
+		fmt.Fprintf(bw, "  input %s;\n", strings.Join(ins, ", "))
+	}
+	if len(outs) > 0 {
+		fmt.Fprintf(bw, "  output %s;\n", strings.Join(outs, ", "))
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	fmt.Fprintln(bw)
+	i := 0
+	for _, id := range c.TopoOrder() {
+		n := c.Nodes[id]
+		if n.Type == logic.Input || n.Type == logic.DFF ||
+			n.Type == logic.Const0 || n.Type == logic.Const1 {
+			continue
+		}
+		writeInst(bw, c, n, i)
+		i++
+	}
+	for _, id := range c.DFFs() {
+		writeInst(bw, c, c.Nodes[id], i)
+		i++
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// writeInst emits one primitive instance. Constant nodes are never
+// emitted themselves; fanin references to them become the literals
+// 1'b0 / 1'b1, which Parse turns back into constant nodes.
+func writeInst(w io.Writer, c *netlist.Circuit, n *netlist.Node, i int) {
+	prim := strings.ToLower(n.Type.String())
+	if prim == "buff" {
+		prim = "buf"
+	}
+	args := []string{n.Name}
+	for _, f := range n.Fanin {
+		fn := c.Nodes[f]
+		switch fn.Type {
+		case logic.Const0:
+			args = append(args, "1'b0")
+		case logic.Const1:
+			args = append(args, "1'b1")
+		default:
+			args = append(args, fn.Name)
+		}
+	}
+	fmt.Fprintf(w, "  %s g%d (%s);\n", prim, i, strings.Join(args, ", "))
+}
+
+func sanitize(s string) string {
+	if s == "" {
+		return "top"
+	}
+	out := []byte(s)
+	for i, c := range out {
+		ok := c == '_' || unicode.IsLetter(rune(c)) || (i > 0 && unicode.IsDigit(rune(c)))
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,184 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/synth"
+)
+
+const sample = `
+// structural netlist
+module tiny (a, b, c, y, z);
+  input a, b, c;
+  output y, z;
+  wire w1, w2, w3;  /* internal
+                       nets */
+  nand g1 (w1, a, b);
+  nor     (w2, w1, c);      // anonymous instance
+  xor  g3 (w3, w2, a);
+  dff  q1 (q, w3);
+  and  g4 (y, q, w3);
+  buf  g5 (z, w1);
+endmodule
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Inputs != 3 || st.Outputs != 2 || st.DFFs != 1 || st.Gates != 5 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if c.Name != "tiny" {
+		t.Errorf("name = %q", c.Name)
+	}
+	w2, ok := c.Node("w2")
+	if !ok || w2.Type != logic.Nor || len(w2.Fanin) != 2 {
+		t.Errorf("w2 = %+v", w2)
+	}
+	q, _ := c.Node("q")
+	if q.Type != logic.DFF {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c1, err := Parse(strings.NewReader(sample), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(bytes.NewReader(buf.Bytes()), "tiny")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if c1.Stats() != c2.Stats() {
+		t.Errorf("round trip changed stats: %+v vs %+v\n%s", c1.Stats(), c2.Stats(), buf.String())
+	}
+	for _, n1 := range c1.Nodes {
+		n2, ok := c2.Node(n1.Name)
+		if !ok || n1.Type != n2.Type || len(n1.Fanin) != len(n2.Fanin) {
+			t.Fatalf("net %q changed in round trip", n1.Name)
+		}
+	}
+}
+
+func TestCrossFormatWithBench(t *testing.T) {
+	// Generate a benchmark circuit, write Verilog, re-parse, and
+	// compare against the bench round trip.
+	p, _ := synth.ProfileByName("s298")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vbuf bytes.Buffer
+	if err := Write(&vbuf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(bytes.NewReader(vbuf.Bytes()), "s298")
+	if err != nil {
+		t.Fatalf("verilog re-parse: %v", err)
+	}
+	if c.Stats() != c2.Stats() {
+		t.Errorf("verilog round trip changed stats: %+v vs %+v", c.Stats(), c2.Stats())
+	}
+	// And the bench writer agrees on the same circuit.
+	var bbuf bytes.Buffer
+	if err := bench.Write(&bbuf, c2); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := bench.Parse(bytes.NewReader(bbuf.Bytes()), "s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Stats() != c3.Stats() {
+		t.Errorf("cross-format stats differ: %+v vs %+v", c2.Stats(), c3.Stats())
+	}
+}
+
+func TestConstants(t *testing.T) {
+	src := `
+module consts (a, y);
+  input a;
+  output y;
+  wire w;
+  buf g0 (w, 1'b1);
+  and g1 (y, a, w);
+endmodule
+`
+	c, err := Parse(strings.NewReader(src), "consts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, ok := c.Node("1'b1")
+	if !ok || one.Type != logic.Const1 {
+		t.Fatalf("constant literal node missing: %+v", one)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(bytes.NewReader(buf.Bytes()), "consts"); err != nil {
+		t.Fatalf("constant round trip: %v\n%s", err, buf.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not a module":      "wire x;\n",
+		"missing endmodule": "module m;\ninput a;\n",
+		"behavioural":       "module m;\nalways @(posedge clk) q <= d;\nendmodule\n",
+		"assign":            "module m;\nassign y = a;\nendmodule\n",
+		"no args":           "module m;\nand g1 ();\nendmodule\n",
+		"one arg":           "module m;\nand g1 (y);\nendmodule\n",
+		"bad list":          "module m;\ninput a,, b;\nendmodule\n",
+		"unclosed args":     "module m;\nand g1 (y, a;\nendmodule\n",
+		"missing name":      "module (a);\nendmodule\n",
+		"undefined fanin":   "module m;\noutput y;\nand g1 (y, p, q);\nendmodule\n",
+		"duplicate driver":  "module m;\ninput a;\nbuf g1 (w, a);\nbuf g2 (w, a);\nendmodule\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src), "m"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHeaderlessPortList(t *testing.T) {
+	src := "module m;\ninput a;\noutput y;\nbuf g (y, a);\nendmodule\n"
+	c, err := Parse(strings.NewReader(src), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Gates != 1 {
+		t.Errorf("Stats = %+v", c.Stats())
+	}
+}
+
+func TestModuleNameSanitized(t *testing.T) {
+	p, _ := synth.ProfileByName("s208")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names like "s208" are legal identifiers; a hostile name is
+	// sanitized on write.
+	c2, _ := Parse(strings.NewReader("module m;\ninput a;\noutput y;\nbuf g (y, a);\nendmodule\n"), "9bad name!")
+	_ = c2
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "module s208 (") {
+		t.Errorf("header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}

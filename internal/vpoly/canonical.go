@@ -1,0 +1,207 @@
+package vpoly
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Canonical is the first-order canonical timing form
+//
+//	t = A0 + Σ_i A[i]·X_i + R·X_r
+//
+// over independent standard-normal global variation sources X_i and
+// a purely local residual X_r. It is the representation used by
+// first-order canonical SSTA (Visweswariah et al., the paper's
+// reference [25]) and by this repository's symbolic analyzers.
+type Canonical struct {
+	A0 float64
+	A  []float64
+	R  float64
+}
+
+// Const returns a deterministic canonical value.
+func Const(v float64, nvars int) Canonical {
+	return Canonical{A0: v, A: make([]float64, nvars)}
+}
+
+// Mean returns A0.
+func (c Canonical) Mean() float64 { return c.A0 }
+
+// Var returns Σ A[i]² + R².
+func (c Canonical) Var() float64 {
+	v := c.R * c.R
+	for _, a := range c.A {
+		v += a * a
+	}
+	return v
+}
+
+// Sigma returns the standard deviation.
+func (c Canonical) Sigma() float64 { return math.Sqrt(c.Var()) }
+
+// Cov returns the covariance with another canonical form (residuals
+// are independent across forms).
+func (c Canonical) Cov(o Canonical) float64 {
+	s := 0.0
+	for i := range c.A {
+		s += c.A[i] * o.A[i]
+	}
+	return s
+}
+
+// Corr returns the correlation coefficient, or 0 when either
+// variance vanishes.
+func (c Canonical) Corr(o Canonical) float64 {
+	sc, so := c.Sigma(), o.Sigma()
+	if sc == 0 || so == 0 {
+		return 0
+	}
+	return c.Cov(o) / (sc * so)
+}
+
+// Add returns the sum of two canonical forms (the SUM operation:
+// sensitivities add, residuals RSS).
+func (c Canonical) Add(o Canonical) Canonical {
+	out := Canonical{A0: c.A0 + o.A0, A: make([]float64, len(c.A))}
+	for i := range c.A {
+		out.A[i] = c.A[i] + o.A[i]
+	}
+	out.R = math.Hypot(c.R, o.R)
+	return out
+}
+
+// Neg returns −c.
+func (c Canonical) Neg() Canonical {
+	out := Canonical{A0: -c.A0, A: make([]float64, len(c.A)), R: c.R}
+	for i := range c.A {
+		out.A[i] = -c.A[i]
+	}
+	return out
+}
+
+// Normal returns the moment-matched normal of the form.
+func (c Canonical) Normal() dist.Normal { return dist.Normal{Mu: c.A0, Sigma: c.Sigma()} }
+
+// Max returns the canonical approximation of max(c, o) using the
+// tightness probability T = Φ((μc−μo)/θ): the mean is Clark's exact
+// mean, the sensitivities are the T-weighted blend (preserving
+// correlation to the global sources), and the residual is set to
+// match Clark's exact variance.
+func (c Canonical) Max(o Canonical) Canonical {
+	nc, no := c.Normal(), o.Normal()
+	rho := 0.0
+	if nc.Sigma > 0 && no.Sigma > 0 {
+		rho = c.Cov(o) / (nc.Sigma * no.Sigma)
+	}
+	clark := dist.MaxNormal(nc, no, rho)
+	theta2 := nc.Sigma*nc.Sigma + no.Sigma*no.Sigma - 2*rho*nc.Sigma*no.Sigma
+	t := 0.5
+	if theta2 > 1e-24 {
+		t = dist.NormCDF((nc.Mu - no.Mu) / math.Sqrt(theta2))
+	} else if nc.Mu != no.Mu {
+		if nc.Mu > no.Mu {
+			t = 1
+		} else {
+			t = 0
+		}
+	}
+	out := Canonical{A0: clark.Mu, A: make([]float64, len(c.A))}
+	global := 0.0
+	for i := range c.A {
+		out.A[i] = t*c.A[i] + (1-t)*o.A[i]
+		global += out.A[i] * out.A[i]
+	}
+	resid := clark.Sigma*clark.Sigma - global
+	if resid < 0 {
+		// The blended sensitivities over-explain the variance;
+		// rescale them to the Clark variance and drop the residual.
+		if global > 0 {
+			s := clark.Sigma / math.Sqrt(global)
+			for i := range out.A {
+				out.A[i] *= s
+			}
+		}
+		resid = 0
+	}
+	out.R = math.Sqrt(resid)
+	return out
+}
+
+// Min returns the canonical approximation of min(c, o) via
+// −max(−c, −o).
+func (c Canonical) Min(o Canonical) Canonical {
+	return c.Neg().Max(o.Neg()).Neg()
+}
+
+// MaxAll reduces a list with pairwise canonical Max; it panics on an
+// empty list.
+func MaxAll(cs []Canonical) Canonical {
+	if len(cs) == 0 {
+		panic("vpoly: MaxAll of empty slice")
+	}
+	acc := cs[0]
+	for _, c := range cs[1:] {
+		acc = acc.Max(c)
+	}
+	return acc
+}
+
+// MinAll reduces a list with pairwise canonical Min; it panics on an
+// empty list.
+func MinAll(cs []Canonical) Canonical {
+	if len(cs) == 0 {
+		panic("vpoly: MinAll of empty slice")
+	}
+	acc := cs[0]
+	for _, c := range cs[1:] {
+		acc = acc.Min(c)
+	}
+	return acc
+}
+
+// Mix moment-matches a probability mixture of canonical forms back
+// into canonical form: the mean and global sensitivities are the
+// weight-normalized linear blends (the WEIGHTED SUM of Eq. 8 applied
+// to canonical forms), and the residual absorbs the remaining
+// mixture variance. weights need not be normalized; a zero-weight
+// mixture returns the zero form.
+func Mix(weights []float64, items []Canonical, nvars int) Canonical {
+	if len(weights) != len(items) {
+		panic("vpoly: Mix length mismatch")
+	}
+	w := 0.0
+	for _, x := range weights {
+		w += x
+	}
+	out := Canonical{A: make([]float64, nvars)}
+	if w == 0 {
+		return out
+	}
+	m2 := 0.0
+	for i, it := range items {
+		f := weights[i] / w
+		out.A0 += f * it.A0
+		for j := range out.A {
+			out.A[j] += f * it.A[j]
+		}
+		m2 += f * (it.Var() + it.A0*it.A0)
+	}
+	variance := m2 - out.A0*out.A0
+	global := 0.0
+	for _, a := range out.A {
+		global += a * a
+	}
+	resid := variance - global
+	if resid < 0 {
+		if global > 0 && variance >= 0 {
+			s := math.Sqrt(variance / global)
+			for j := range out.A {
+				out.A[j] *= s
+			}
+		}
+		resid = 0
+	}
+	out.R = math.Sqrt(resid)
+	return out
+}

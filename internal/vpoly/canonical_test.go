@@ -1,0 +1,158 @@
+package vpoly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestCanonicalBasics(t *testing.T) {
+	c := Canonical{A0: 2, A: []float64{3, 4}, R: 0}
+	approx(t, "Mean", c.Mean(), 2, 0)
+	approx(t, "Var", c.Var(), 25, 0)
+	approx(t, "Sigma", c.Sigma(), 5, 1e-12)
+	d := Const(7, 2)
+	approx(t, "Const mean", d.Mean(), 7, 0)
+	approx(t, "Const sigma", d.Sigma(), 0, 0)
+
+	sum := c.Add(Canonical{A0: 1, A: []float64{1, 0}, R: 2})
+	approx(t, "Add mean", sum.Mean(), 3, 0)
+	approx(t, "Add a0", sum.A[0], 4, 0)
+	approx(t, "Add residual", sum.R, 2, 0)
+
+	n := c.Neg()
+	approx(t, "Neg mean", n.Mean(), -2, 0)
+	approx(t, "Neg sigma", n.Sigma(), 5, 1e-12)
+}
+
+func TestCanonicalCovCorr(t *testing.T) {
+	a := Canonical{A0: 0, A: []float64{1, 0}, R: 1}
+	b := Canonical{A0: 0, A: []float64{1, 0}, R: 1}
+	// Shared global source: cov = 1, sigma = sqrt(2) each.
+	approx(t, "Cov", a.Cov(b), 1, 0)
+	approx(t, "Corr", a.Corr(b), 0.5, 1e-12)
+	z := Canonical{A0: 1, A: []float64{0, 0}}
+	approx(t, "Corr with const", a.Corr(z), 0, 0)
+}
+
+// TestCanonicalMaxMatchesClark: mean and sigma of the canonical MAX
+// equal Clark's values with the correlation implied by shared
+// sensitivities.
+func TestCanonicalMaxMatchesClark(t *testing.T) {
+	a := Canonical{A0: 1, A: []float64{0.6, 0.3}, R: 0.5}
+	b := Canonical{A0: 0.7, A: []float64{0.2, 0.8}, R: 0.4}
+	rho := a.Cov(b) / (a.Sigma() * b.Sigma())
+	want := dist.MaxNormal(a.Normal(), b.Normal(), rho)
+	got := a.Max(b)
+	approx(t, "Max mean", got.Mean(), want.Mu, 1e-12)
+	approx(t, "Max sigma", got.Sigma(), want.Sigma, 1e-9)
+}
+
+// TestCanonicalMaxAgainstSampling: full joint sampling of the shared
+// global sources.
+func TestCanonicalMaxAgainstSampling(t *testing.T) {
+	a := Canonical{A0: 0.2, A: []float64{1, 0.5}, R: 0.3}
+	b := Canonical{A0: 0, A: []float64{0.8, -0.2}, R: 0.6}
+	got := a.Max(b)
+	rng := rand.New(rand.NewSource(55))
+	var m dist.Moments
+	for i := 0; i < 400000; i++ {
+		x0, x1 := rng.NormFloat64(), rng.NormFloat64()
+		va := a.A0 + a.A[0]*x0 + a.A[1]*x1 + a.R*rng.NormFloat64()
+		vb := b.A0 + b.A[0]*x0 + b.A[1]*x1 + b.R*rng.NormFloat64()
+		m.Add(math.Max(va, vb))
+	}
+	approx(t, "sampled mean", got.Mean(), m.Mean(), 0.01)
+	approx(t, "sampled sigma", got.Sigma(), m.Sigma(), 0.01)
+}
+
+func TestCanonicalMinIsNegMaxNeg(t *testing.T) {
+	a := Canonical{A0: 1, A: []float64{0.5}, R: 0.2}
+	b := Canonical{A0: 1.5, A: []float64{-0.3}, R: 0.1}
+	mn := a.Min(b)
+	ref := a.Neg().Max(b.Neg()).Neg()
+	approx(t, "Min mean", mn.Mean(), ref.Mean(), 0)
+	approx(t, "Min sigma", mn.Sigma(), ref.Sigma(), 0)
+	if mn.Mean() >= math.Min(a.Mean(), b.Mean()) {
+		t.Errorf("Min mean %v not below operand means", mn.Mean())
+	}
+}
+
+func TestCanonicalMaxDegenerate(t *testing.T) {
+	// Identical deterministic forms.
+	a := Const(2, 1)
+	b := Const(3, 1)
+	m := a.Max(b)
+	approx(t, "det max mean", m.Mean(), 3, 0)
+	approx(t, "det max sigma", m.Sigma(), 0, 0)
+	m = b.Max(a)
+	approx(t, "det max mean swapped", m.Mean(), 3, 0)
+	// Equal forms: max(a,a) = a.
+	c := Canonical{A0: 1, A: []float64{0.5}, R: 0}
+	m = c.Max(c)
+	approx(t, "max(a,a) mean", m.Mean(), 1, 1e-9)
+	approx(t, "max(a,a) sigma", m.Sigma(), 0.5, 1e-9)
+}
+
+func TestMaxAllMinAll(t *testing.T) {
+	cs := []Canonical{
+		{A0: 0, A: []float64{1}, R: 0},
+		{A0: 0.5, A: []float64{0.5}, R: 0.5},
+		{A0: -1, A: []float64{0}, R: 2},
+	}
+	mx := MaxAll(cs)
+	mn := MinAll(cs)
+	if mx.Mean() <= 0.5 {
+		t.Errorf("MaxAll mean = %v", mx.Mean())
+	}
+	if mn.Mean() >= -1 {
+		t.Errorf("MinAll mean = %v", mn.Mean())
+	}
+	for _, f := range []func([]Canonical) Canonical{MaxAll, MinAll} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("empty reduce did not panic")
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+// TestMixMomentMatch: the mixture form reproduces the exact mixture
+// mean and variance.
+func TestMixMomentMatch(t *testing.T) {
+	items := []Canonical{
+		{A0: 0, A: []float64{1, 0}, R: 0},
+		{A0: 2, A: []float64{0, 0.5}, R: 0.5},
+	}
+	w := []float64{0.25, 0.75}
+	got := Mix(w, items, 2)
+	// Exact mixture: mean = Σ f μ; var = Σ f (σ²+μ²) − mean².
+	mean := 0.25*0 + 0.75*2
+	m2 := 0.25*(1+0) + 0.75*(0.25+0.25+4)
+	variance := m2 - mean*mean
+	approx(t, "Mix mean", got.Mean(), mean, 1e-12)
+	approx(t, "Mix var", got.Var(), variance, 1e-9)
+
+	// Weights need not be normalized.
+	got2 := Mix([]float64{1, 3}, items, 2)
+	approx(t, "unnormalized mean", got2.Mean(), mean, 1e-12)
+
+	// Zero mixture.
+	z := Mix([]float64{0, 0}, items, 2)
+	approx(t, "zero mix mean", z.Mean(), 0, 0)
+	approx(t, "zero mix sigma", z.Sigma(), 0, 0)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch accepted")
+			}
+		}()
+		Mix([]float64{1}, items, 2)
+	}()
+}

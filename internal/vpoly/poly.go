@@ -1,0 +1,300 @@
+// Package vpoly implements the symbolic-analysis substrate of
+// Section 3.6: closed-form expressions of circuit properties over
+// variational parameters. Two representations are provided:
+//
+//   - Poly: a general multivariate polynomial over independent
+//     standard-normal variation variables, with exact moments via
+//     the normal moment formula E[X^k] = (k−1)!! and a degree
+//     truncation knob (the paper's accuracy/efficiency tradeoff);
+//   - Canonical: the first-order canonical timing form
+//     a0 + Σ ai·Xi + r·Xr (mean, global sensitivities, independent
+//     residual) with the tightness-probability MAX/MIN used by
+//     canonical SSTA.
+package vpoly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// mono is a canonical monomial encoding: variable indices with
+// multiplicities, sorted, e.g. x0²·x3 ↦ "0,0,3". The empty string is
+// the constant monomial.
+type mono string
+
+// monoOf builds the canonical key from an unsorted multiset of
+// variable indices.
+func monoOf(vars []int) mono {
+	if len(vars) == 0 {
+		return ""
+	}
+	s := append([]int(nil), vars...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = itoa(v)
+	}
+	return mono(strings.Join(parts, ","))
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func (m mono) vars() []int {
+	if m == "" {
+		return nil
+	}
+	parts := strings.Split(string(m), ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		var v int
+		fmt.Sscanf(p, "%d", &v)
+		out[i] = v
+	}
+	return out
+}
+
+func (m mono) degree() int {
+	if m == "" {
+		return 0
+	}
+	return strings.Count(string(m), ",") + 1
+}
+
+func (m mono) mul(o mono) mono {
+	return monoOf(append(m.vars(), o.vars()...))
+}
+
+// Poly is a multivariate polynomial over variation variables
+// X0, X1, … modeled as independent standard normals.
+type Poly struct {
+	terms map[mono]float64
+}
+
+// NewConst returns the constant polynomial c.
+func NewConst(c float64) *Poly {
+	p := &Poly{terms: map[mono]float64{}}
+	if c != 0 {
+		p.terms[""] = c
+	}
+	return p
+}
+
+// NewVar returns the polynomial Xi.
+func NewVar(i int) *Poly {
+	if i < 0 {
+		panic("vpoly: negative variable index")
+	}
+	return &Poly{terms: map[mono]float64{monoOf([]int{i}): 1}}
+}
+
+// Clone returns a deep copy.
+func (p *Poly) Clone() *Poly {
+	q := &Poly{terms: make(map[mono]float64, len(p.terms))}
+	for m, c := range p.terms {
+		q.terms[m] = c
+	}
+	return q
+}
+
+// NumTerms returns the number of nonzero terms.
+func (p *Poly) NumTerms() int { return len(p.terms) }
+
+// Degree returns the total degree (0 for the zero polynomial).
+func (p *Poly) Degree() int {
+	d := 0
+	for m := range p.terms {
+		if md := m.degree(); md > d {
+			d = md
+		}
+	}
+	return d
+}
+
+// Coeff returns the coefficient of the monomial with the given
+// variable multiset.
+func (p *Poly) Coeff(vars ...int) float64 { return p.terms[monoOf(vars)] }
+
+// Add returns p + q.
+func (p *Poly) Add(q *Poly) *Poly {
+	r := p.Clone()
+	for m, c := range q.terms {
+		r.addTerm(m, c)
+	}
+	return r
+}
+
+// Sub returns p − q.
+func (p *Poly) Sub(q *Poly) *Poly {
+	r := p.Clone()
+	for m, c := range q.terms {
+		r.addTerm(m, -c)
+	}
+	return r
+}
+
+// Scale returns s·p.
+func (p *Poly) Scale(s float64) *Poly {
+	r := &Poly{terms: make(map[mono]float64, len(p.terms))}
+	if s == 0 {
+		return r
+	}
+	for m, c := range p.terms {
+		r.terms[m] = s * c
+	}
+	return r
+}
+
+// AddConst returns p + c.
+func (p *Poly) AddConst(c float64) *Poly {
+	r := p.Clone()
+	r.addTerm("", c)
+	return r
+}
+
+// Mul returns p·q.
+func (p *Poly) Mul(q *Poly) *Poly {
+	r := &Poly{terms: map[mono]float64{}}
+	for m1, c1 := range p.terms {
+		for m2, c2 := range q.terms {
+			r.addTerm(m1.mul(m2), c1*c2)
+		}
+	}
+	return r
+}
+
+// Truncate drops every term of total degree greater than maxDegree —
+// the higher-order-term truncation of Section 3.6.
+func (p *Poly) Truncate(maxDegree int) *Poly {
+	r := &Poly{terms: map[mono]float64{}}
+	for m, c := range p.terms {
+		if m.degree() <= maxDegree {
+			r.terms[m] = c
+		}
+	}
+	return r
+}
+
+func (p *Poly) addTerm(m mono, c float64) {
+	v := p.terms[m] + c
+	if v == 0 {
+		delete(p.terms, m)
+	} else {
+		p.terms[m] = v
+	}
+}
+
+// Eval substitutes concrete variable values (missing indices are 0).
+func (p *Poly) Eval(x map[int]float64) float64 {
+	s := 0.0
+	for m, c := range p.terms {
+		v := c
+		for _, i := range m.vars() {
+			v *= x[i]
+		}
+		s += v
+	}
+	return s
+}
+
+// Mean returns E[p] for iid standard-normal variables: each monomial
+// contributes its coefficient times Π E[Xi^ki], with E[X^k] = 0 for
+// odd k and (k−1)!! for even k.
+func (p *Poly) Mean() float64 {
+	s := 0.0
+	for m, c := range p.terms {
+		s += c * monoMean(m)
+	}
+	return s
+}
+
+func monoMean(m mono) float64 {
+	if m == "" {
+		return 1
+	}
+	counts := map[int]int{}
+	for _, v := range m.vars() {
+		counts[v]++
+	}
+	prod := 1.0
+	for _, k := range counts {
+		if k%2 == 1 {
+			return 0
+		}
+		prod *= doubleFactorial(k - 1)
+	}
+	return prod
+}
+
+func doubleFactorial(n int) float64 {
+	v := 1.0
+	for n > 1 {
+		v *= float64(n)
+		n -= 2
+	}
+	return v
+}
+
+// Var returns Var[p] = E[p²] − E[p]².
+func (p *Poly) Var() float64 {
+	m := p.Mean()
+	v := p.Mul(p).Mean() - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Sigma returns the standard deviation of p.
+func (p *Poly) Sigma() float64 { return math.Sqrt(p.Var()) }
+
+// Cov returns Cov[p, q] = E[pq] − E[p]E[q].
+func (p *Poly) Cov(q *Poly) float64 {
+	return p.Mul(q).Mean() - p.Mean()*q.Mean()
+}
+
+// Corr returns the correlation coefficient, or 0 when either
+// variance vanishes.
+func (p *Poly) Corr(q *Poly) float64 {
+	sp, sq := p.Sigma(), q.Sigma()
+	if sp == 0 || sq == 0 {
+		return 0
+	}
+	return p.Cov(q) / (sp * sq)
+}
+
+// String renders the polynomial deterministically (sorted monomials)
+// for debugging and golden tests.
+func (p *Poly) String() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for m := range p.terms {
+		keys = append(keys, string(m))
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		di, dj := mono(keys[i]).degree(), mono(keys[j]).degree()
+		if di != dj {
+			return di < dj
+		}
+		return keys[i] < keys[j]
+	})
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		c := p.terms[mono(k)]
+		if k == "" {
+			fmt.Fprintf(&b, "%g", c)
+			continue
+		}
+		fmt.Fprintf(&b, "%g", c)
+		for _, v := range mono(k).vars() {
+			fmt.Fprintf(&b, "·x%d", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package vpoly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestPolyBasics(t *testing.T) {
+	c := NewConst(3)
+	x := NewVar(0)
+	y := NewVar(1)
+	p := c.Add(x.Scale(2)).Add(y.Mul(y)) // 3 + 2x + y²
+	if p.NumTerms() != 3 {
+		t.Errorf("NumTerms = %d", p.NumTerms())
+	}
+	if p.Degree() != 2 {
+		t.Errorf("Degree = %d", p.Degree())
+	}
+	approx(t, "Coeff const", p.Coeff(), 3, 0)
+	approx(t, "Coeff x", p.Coeff(0), 2, 0)
+	approx(t, "Coeff y²", p.Coeff(1, 1), 1, 0)
+	approx(t, "Eval", p.Eval(map[int]float64{0: 1, 1: 2}), 3+2+4, 1e-12)
+	// Mean: 3 + 0 + E[y²] = 4.
+	approx(t, "Mean", p.Mean(), 4, 1e-12)
+}
+
+func TestPolyArithmeticIdentities(t *testing.T) {
+	x := NewVar(0)
+	y := NewVar(1)
+	// (x+y)² = x² + 2xy + y²
+	lhs := x.Add(y).Mul(x.Add(y))
+	rhs := x.Mul(x).Add(x.Mul(y).Scale(2)).Add(y.Mul(y))
+	if lhs.String() != rhs.String() {
+		t.Errorf("(x+y)² = %s, want %s", lhs, rhs)
+	}
+	// p − p = 0.
+	if d := lhs.Sub(lhs); d.NumTerms() != 0 || d.String() != "0" {
+		t.Errorf("p−p = %s", d)
+	}
+	// AddConst.
+	if got := x.AddConst(5).Coeff(); got != 5 {
+		t.Errorf("AddConst coeff = %v", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	x := NewVar(0)
+	x2 := x.Mul(x)
+	x4 := x2.Mul(x2)
+	approx(t, "E[x]", x.Mean(), 0, 0)
+	approx(t, "E[x²]", x2.Mean(), 1, 0)
+	approx(t, "E[x⁴]", x4.Mean(), 3, 0)
+	approx(t, "E[x⁶]", x4.Mul(x2).Mean(), 15, 0)
+	approx(t, "Var[x]", x.Var(), 1, 0)
+	approx(t, "Var[x²]", x2.Var(), 2, 0) // chi-square(1)
+	// Cross-variable independence: E[x²y²] = 1.
+	y := NewVar(1)
+	approx(t, "E[x²y²]", x2.Mul(y.Mul(y)).Mean(), 1, 0)
+	approx(t, "E[xy]", x.Mul(y).Mean(), 0, 0)
+	approx(t, "Cov[x, x+y]", x.Cov(x.Add(y)), 1, 1e-12)
+	approx(t, "Corr[x, x]", x.Corr(x), 1, 1e-12)
+	approx(t, "Corr with const", x.Corr(NewConst(2)), 0, 0)
+}
+
+// TestPolyMomentsAgainstSampling: polynomial mean/variance formulas
+// match Monte Carlo sampling of the Gaussian variables.
+func TestPolyMomentsAgainstSampling(t *testing.T) {
+	// p = 1 + 2x − y + 0.5xy + 0.3x²
+	x, y := NewVar(0), NewVar(1)
+	p := NewConst(1).
+		Add(x.Scale(2)).
+		Sub(y).
+		Add(x.Mul(y).Scale(0.5)).
+		Add(x.Mul(x).Scale(0.3))
+	rng := rand.New(rand.NewSource(33))
+	const n = 500000
+	var s, s2 float64
+	for i := 0; i < n; i++ {
+		v := p.Eval(map[int]float64{0: rng.NormFloat64(), 1: rng.NormFloat64()})
+		s += v
+		s2 += v * v
+	}
+	mean := s / n
+	variance := s2/n - mean*mean
+	approx(t, "sampled mean", p.Mean(), mean, 0.01)
+	approx(t, "sampled var", p.Var(), variance, 0.05)
+}
+
+func TestTruncate(t *testing.T) {
+	x := NewVar(0)
+	p := NewConst(1).Add(x).Add(x.Mul(x)).Add(x.Mul(x).Mul(x))
+	q := p.Truncate(2)
+	if q.Degree() != 2 || q.NumTerms() != 3 {
+		t.Errorf("Truncate(2) = %s", q)
+	}
+	if p.Truncate(0).NumTerms() != 1 {
+		t.Errorf("Truncate(0) = %s", p.Truncate(0))
+	}
+}
+
+func TestPolyStringDeterministic(t *testing.T) {
+	p := NewVar(1).Add(NewVar(0)).AddConst(2)
+	if p.String() != NewVar(0).Add(NewVar(1)).AddConst(2).String() {
+		t.Error("String not canonical")
+	}
+	if NewConst(0).String() != "0" {
+		t.Error("zero polynomial String wrong")
+	}
+}
+
+func TestNewVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewVar(-1) did not panic")
+		}
+	}()
+	NewVar(-1)
+}
+
+// TestQuickMulCommutesWithEval: for random small polynomials,
+// Eval(p·q) = Eval(p)·Eval(q).
+func TestQuickMulCommutesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	build := func(r *rand.Rand) *Poly {
+		p := NewConst(r.NormFloat64())
+		for i := 0; i < 3; i++ {
+			term := NewConst(r.NormFloat64())
+			for j := 0; j < r.Intn(3); j++ {
+				term = term.Mul(NewVar(r.Intn(3)))
+			}
+			p = p.Add(term)
+		}
+		return p
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := build(r), build(r)
+		x := map[int]float64{0: rng.NormFloat64(), 1: rng.NormFloat64(), 2: rng.NormFloat64()}
+		lhs := p.Mul(q).Eval(x)
+		rhs := p.Eval(x) * q.Eval(x)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

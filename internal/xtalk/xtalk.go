@@ -1,0 +1,207 @@
+// Package xtalk implements statistical crosstalk aggressor-alignment
+// analysis, the paper's central motivating effect (Section 1,
+// references [6, 7]): a victim net's delay changes only when an
+// aggressor switches within an alignment window of the victim's own
+// transition — opposite-direction overlap slows the victim (Miller
+// capacitance doubling), same-direction overlap speeds it up.
+//
+// SSTA cannot express "the probability that two signals arrive at
+// about the same time"; it must assume worst-case alignment. SPSTA's
+// t.o.p. functions give exactly that probability: this package
+// computes the alignment probabilities and the resulting victim
+// arrival mixture from a core.Result, and quantifies the pessimism
+// of the always-aligned worst case.
+package xtalk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+// Coupling describes one aggressor→victim capacitive coupling.
+type Coupling struct {
+	// Victim is the net whose transitions are affected.
+	Victim netlist.NodeID
+	// Aggressor is the coupled neighbouring net.
+	Aggressor netlist.NodeID
+	// Window is the alignment half-width: the coupling is active
+	// when |t_victim − t_aggressor| ≤ Window.
+	Window float64
+	// Slowdown is the delay added to the victim when the aggressor
+	// switches in the opposite direction within the window.
+	Slowdown float64
+	// Speedup is the delay subtracted when the aggressor switches
+	// in the same direction within the window.
+	Speedup float64
+}
+
+// Validate checks the coupling parameters.
+func (cp Coupling) Validate() error {
+	if cp.Window < 0 {
+		return fmt.Errorf("xtalk: negative window %v", cp.Window)
+	}
+	if cp.Slowdown < 0 || cp.Speedup < 0 {
+		return fmt.Errorf("xtalk: negative slowdown/speedup")
+	}
+	return nil
+}
+
+// Analysis is the crosstalk-adjusted view of one victim transition
+// direction.
+type Analysis struct {
+	Victim netlist.NodeID
+	Dir    ssta.Dir
+	// POpposite and PSame are the probabilities, conditioned on the
+	// victim transitioning, that an opposite- or same-direction
+	// aggressor transition lands inside the alignment window.
+	POpposite, PSame float64
+	// Adjusted is the crosstalk-adjusted victim t.o.p. (same total
+	// mass as the base t.o.p.).
+	Adjusted *dist.PMF
+	// BaseMean/AdjustedMean summarize the conditional arrival mean
+	// before and after the adjustment; WorstCaseMean is the
+	// always-aligned SSTA-style assumption (base + full slowdown).
+	BaseMean, AdjustedMean, WorstCaseMean float64
+}
+
+// Analyze computes the crosstalk-adjusted arrival for one coupling
+// from a base SPSTA result, treating victim and aggressor switching
+// times as independent (the analyzer's standing assumption):
+//
+//	P(opposite overlap | victim at t) = Σ_{|s−t|≤W} top_agg,opp(s)
+//
+// and the adjusted t.o.p. is the mixture of the unshifted,
+// +Slowdown-shifted and −Speedup-shifted victim masses weighted by
+// the per-bin alignment probabilities.
+func Analyze(base *core.Result, cp Coupling, d ssta.Dir) (*Analysis, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	if int(cp.Victim) < 0 || int(cp.Victim) >= len(base.State) ||
+		int(cp.Aggressor) < 0 || int(cp.Aggressor) >= len(base.State) {
+		return nil, fmt.Errorf("xtalk: coupling nets out of range")
+	}
+	g := base.Grid
+	victim := base.TOP(cp.Victim, d)
+	// Opposite/same aggressor direction relative to the victim's.
+	oppDir, sameDir := ssta.DirFall, ssta.DirRise
+	if d == ssta.DirFall {
+		oppDir, sameDir = ssta.DirRise, ssta.DirFall
+	}
+	opp := base.TOP(cp.Aggressor, oppDir)
+	same := base.TOP(cp.Aggressor, sameDir)
+
+	wBins := int(cp.Window / g.Dt)
+	windowMass := func(p *dist.PMF, k int) float64 {
+		lo, hi := k-wBins, k+wBins
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > g.N-1 {
+			hi = g.N - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += p.W(j)
+		}
+		return s
+	}
+
+	adjusted := dist.NewPMF(g)
+	mass := victim.Mass()
+	var pOpp, pSame float64
+	var baseMean float64
+	for k := 0; k < g.N; k++ {
+		v := victim.W(k)
+		if v == 0 {
+			continue
+		}
+		po := windowMass(opp, k)
+		ps := windowMass(same, k)
+		// An aggressor can do only one of the two in a cycle; joint
+		// overlap of both directions is impossible (one transition
+		// per cycle), so the probabilities partition.
+		stay := 1 - po - ps
+		if stay < 0 {
+			stay = 0
+		}
+		pOpp += v * po
+		pSame += v * ps
+		baseMean += v * g.X(k)
+		adjusted.AccumWeighted(binDelta(g, k, 0), v*stay)
+		if po > 0 {
+			adjusted.AccumWeighted(binDelta(g, k, cp.Slowdown), v*po)
+		}
+		if ps > 0 {
+			adjusted.AccumWeighted(binDelta(g, k, -cp.Speedup), v*ps)
+		}
+	}
+	a := &Analysis{Victim: cp.Victim, Dir: d, Adjusted: adjusted}
+	if mass > 0 {
+		a.POpposite = pOpp / mass
+		a.PSame = pSame / mass
+		a.BaseMean = baseMean / mass
+		a.AdjustedMean = adjusted.Mean()
+		a.WorstCaseMean = a.BaseMean + cp.Slowdown
+	}
+	return a, nil
+}
+
+// binDelta returns a unit point mass at bin k shifted by offset.
+func binDelta(g dist.Grid, k int, offset float64) *dist.PMF {
+	return dist.Delta(g, g.X(k)+offset)
+}
+
+// Pessimism returns the worst-case-minus-actual mean delay gap: how
+// much the always-aligned assumption overestimates the victim's
+// expected arrival.
+func (a *Analysis) Pessimism() float64 { return a.WorstCaseMean - a.AdjustedMean }
+
+// MeanShift returns the crosstalk-induced change of the victim's
+// conditional mean arrival.
+func (a *Analysis) MeanShift() float64 { return a.AdjustedMean - a.BaseMean }
+
+// AlignmentProbability returns P(any aggressor overlap | victim
+// transitions).
+func (a *Analysis) AlignmentProbability() float64 { return a.POpposite + a.PSame }
+
+// AnalyzeAll runs Analyze for both victim directions of every
+// coupling.
+func AnalyzeAll(base *core.Result, cps []Coupling) ([]*Analysis, error) {
+	var out []*Analysis
+	for _, cp := range cps {
+		for _, d := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+			a, err := Analyze(base, cp, d)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// ExpectedDeltaDelay returns the victim's probability-weighted delay
+// change over a whole cycle (including non-switching cycles): the
+// quantity a crosstalk-aware incremental timer adds to the victim's
+// mean stage delay.
+func ExpectedDeltaDelay(base *core.Result, cp Coupling) (float64, error) {
+	total := 0.0
+	for _, d := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+		a, err := Analyze(base, cp, d)
+		if err != nil {
+			return 0, err
+		}
+		v := logic.Rise
+		if d == ssta.DirFall {
+			v = logic.Fall
+		}
+		total += base.Probability(cp.Victim, v) * a.MeanShift()
+	}
+	return total, nil
+}
