@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# CI gate: vet plus the full suite under the race detector. The
+# parallel determinism tests (core.TestParallelRunMatchesSerial and
+# friends) exercise the level-parallel analyzers with Workers=4, so
+# this is the schedule-safety check.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -165,6 +165,16 @@ func AnalyzeSPSTAWith(c *Circuit, inputs map[NodeID]InputStats, grid Grid, delay
 	return a.Run(c, inputs)
 }
 
+// AnalyzeSPSTAParallel runs the discretized SPSTA analyzer with an
+// explicit level-parallel worker count (0 = GOMAXPROCS, 1 = serial).
+// The result is bit-identical for every worker count: gates of one
+// unit-delay level depend only on earlier levels, so the schedule
+// never changes the arithmetic.
+func AnalyzeSPSTAParallel(c *Circuit, inputs map[NodeID]InputStats, workers int) (*SPSTAResult, error) {
+	a := core.Analyzer{Workers: workers}
+	return a.Run(c, inputs)
+}
+
 // AnalyzeSPSTAMoments runs the analytic (Clark-based) SPSTA
 // abstraction.
 func AnalyzeSPSTAMoments(c *Circuit, inputs map[NodeID]InputStats) (*SPSTAMomentResult, error) {

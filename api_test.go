@@ -215,6 +215,32 @@ func TestFacadeExactProbabilities(t *testing.T) {
 	}
 }
 
+func TestFacadeParallel(t *testing.T) {
+	c, err := GenerateBenchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := UniformInputs(c)
+	serial, err := AnalyzeSPSTAParallel(c, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := AnalyzeSPSTAParallel(c, in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range c.Endpoints() {
+		for _, d := range []Dir{DirRise, DirFall} {
+			sm, ss, sp := serial.Arrival(id, d)
+			pm, ps, pp := parallel.Arrival(id, d)
+			if sm != pm || ss != ps || sp != pp {
+				t.Fatalf("%s dir %v: serial (%v,%v,%v) != parallel (%v,%v,%v)",
+					c.Nodes[id].Name, d, sm, ss, sp, pm, ps, pp)
+			}
+		}
+	}
+}
+
 func TestFacadeCrosstalkAndPaths(t *testing.T) {
 	c, err := GenerateBenchmark("s208")
 	if err != nil {

@@ -275,6 +275,26 @@ func BenchmarkAblation_ExactProbabilities(b *testing.B) {
 	})
 }
 
+// BenchmarkParallel_SPSTA sweeps the level-parallel worker count of
+// the discretized SPSTA engine over every benchmark circuit. The
+// results are bit-identical across the sweep (see
+// core.TestParallelRunMatchesSerial); only the schedule changes.
+func BenchmarkParallel_SPSTA(b *testing.B) {
+	for _, c := range circuits(b) {
+		in := experiments.Inputs(c, experiments.ScenarioI)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(c.Name+"/workers="+itoa(workers), func(b *testing.B) {
+				a := core.Analyzer{Workers: workers}
+				for i := 0; i < b.N; i++ {
+					if _, err := a.Run(c, in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblation_MonteCarloWorkers measures the parallel
 // simulation speedup from worker sharding.
 func BenchmarkAblation_MonteCarloWorkers(b *testing.B) {

@@ -1,0 +1,199 @@
+// Command benchperf measures SPSTA propagation throughput per
+// circuit per worker count and writes the results as JSON (machine
+// metadata plus ns/op rows), the raw material for scaling plots and
+// regression tracking.
+//
+// Usage:
+//
+//	benchperf                           # all nine circuits, workers 1,2,4,8
+//	benchperf -workers 1,4 -mintime 1s  # longer, steadier timing
+//	benchperf -circuits s1196,s1238 -out BENCH_spsta.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// Row is one measurement: a circuit analyzed with a fixed worker
+// count.
+type Row struct {
+	Circuit   string  `json:"circuit"`
+	Gates     int     `json:"gates"`
+	Depth     int     `json:"depth"`
+	Workers   int     `json:"workers"`
+	Reps      int     `json:"reps"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	SpeedupV1 float64 `json:"speedup_vs_workers_1,omitempty"`
+}
+
+// File is the emitted JSON document.
+type File struct {
+	Generated  string `json:"generated"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Scenario   string `json:"scenario"`
+	Benchmarks []Row  `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_spsta.json", "output JSON path (- for stdout)")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+	circuitsList := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
+	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per (circuit, workers) cell")
+	flag.Parse()
+
+	workers, err := parseInts(*workersList)
+	if err != nil {
+		return err
+	}
+	circuits, err := loadCircuits(*circuitsList)
+	if err != nil {
+		return err
+	}
+
+	f := File{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scenario:   experiments.ScenarioI.String(),
+	}
+	for _, c := range circuits {
+		in := experiments.Inputs(c, experiments.ScenarioI)
+		st := c.Stats()
+		var base float64
+		for _, w := range workers {
+			nsPerOp, reps, err := measure(c, in, w, *minTime)
+			if err != nil {
+				return fmt.Errorf("%s workers=%d: %w", c.Name, w, err)
+			}
+			row := Row{
+				Circuit: c.Name,
+				Gates:   st.Gates,
+				Depth:   st.Depth,
+				Workers: w,
+				Reps:    reps,
+				NsPerOp: nsPerOp,
+			}
+			if w == 1 {
+				base = nsPerOp
+			}
+			if base > 0 && w != 1 {
+				row.SpeedupV1 = base / nsPerOp
+			}
+			f.Benchmarks = append(f.Benchmarks, row)
+			fmt.Fprintf(os.Stderr, "%-8s workers=%d  %12.0f ns/op  (%d reps)\n", c.Name, w, nsPerOp, reps)
+		}
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", *out, len(f.Benchmarks))
+	return nil
+}
+
+// measure times Analyzer.Run until minTime has elapsed (after one
+// untimed warmup that also populates allocator caches), following the
+// doubling schedule of testing.B.
+func measure(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, minTime time.Duration) (float64, int, error) {
+	a := core.Analyzer{Workers: w}
+	if _, err := a.Run(c, in); err != nil { // warmup + error check
+		return 0, 0, err
+	}
+	reps := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := a.Run(c, in); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(t0)
+		if elapsed >= minTime {
+			return float64(elapsed.Nanoseconds()) / float64(reps), reps, nil
+		}
+		// Grow toward the target with the testing.B heuristic:
+		// extrapolate, then add headroom by at most 100x.
+		next := reps * 2
+		if elapsed > 0 {
+			est := int(float64(reps) * 1.2 * float64(minTime) / float64(elapsed))
+			if est > next {
+				next = est
+			}
+			if next > reps*100 {
+				next = reps * 100
+			}
+		}
+		reps = next
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -workers list")
+	}
+	return out, nil
+}
+
+func loadCircuits(list string) ([]*netlist.Circuit, error) {
+	if list == "" {
+		return synth.GenerateAll()
+	}
+	var out []*netlist.Circuit
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := synth.ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown circuit %q", name)
+		}
+		c, err := synth.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -30,11 +30,12 @@ func main() {
 func run() error {
 	what := flag.String("run", "all", "artifact: all, table2, table3, fig1, fig2, fig3, fig4, summary, ablation, sweep")
 	runs := flag.Int("runs", 10000, "Monte Carlo run count")
-	seed := flag.Int64("seed", 1, "Monte Carlo seed")
+	seed := flag.Int64("seed", 1, "Monte Carlo seed; Monte Carlo output is deterministic for a fixed (-seed, -workers) pair")
+	workers := flag.Int("workers", 0, "worker goroutines for the SPSTA level-parallel schedule and the Monte Carlo shards (0 = GOMAXPROCS); SPSTA results are identical for any worker count")
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	flag.Parse()
 
-	cfg := experiments.Config{MCRuns: *runs, Seed: *seed}
+	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers}
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -46,7 +47,8 @@ func run() error {
 	scenario := flag.String("scenario", "I", "input statistics scenario: I (uniform) or II (skewed)")
 	analyzer := flag.String("analyzer", "spsta", "analyzer: spsta, spsta-moments, ssta, sta, mc, critical, paths, yield, or all")
 	runs := flag.Int("runs", 10000, "Monte Carlo run count")
-	seed := flag.Int64("seed", 1, "Monte Carlo seed")
+	seed := flag.Int64("seed", 1, "Monte Carlo seed; Monte Carlo output is deterministic for a fixed (-seed, -workers) pair")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS): SPSTA evaluates each circuit level in parallel with results identical for any worker count; Monte Carlo shards its runs per worker, so its substreams — and hence its output — are determined by the (-seed, -workers) pair")
 	net := flag.String("net", "", "report a single net instead of the endpoints")
 	split := flag.Int("split", 0, "decompose gates wider than this fanin into trees (0 disables)")
 	flag.Parse()
@@ -82,27 +84,27 @@ func run() error {
 
 	switch *analyzer {
 	case "spsta":
-		return runSPSTA(c, in, targets)
+		return runSPSTA(c, in, targets, *workers)
 	case "spsta-moments":
-		return runSPSTAMoments(c, in, targets)
+		return runSPSTAMoments(c, in, targets, *workers)
 	case "ssta":
 		return runSSTA(c, in, targets)
 	case "sta":
 		return runSTA(c, in, targets)
 	case "mc":
-		return runMC(c, in, targets, *runs, *seed)
+		return runMC(c, in, targets, *runs, *seed, *workers)
 	case "critical":
-		return runCritical(c, in)
+		return runCritical(c, in, *workers)
 	case "paths":
 		return runPaths(c, in)
 	case "yield":
-		return runYield(c, in)
+		return runYield(c, in, *workers)
 	case "all":
 		for _, f := range []func() error{
-			func() error { return runSPSTA(c, in, targets) },
+			func() error { return runSPSTA(c, in, targets, *workers) },
 			func() error { return runSSTA(c, in, targets) },
 			func() error { return runSTA(c, in, targets) },
-			func() error { return runMC(c, in, targets, *runs, *seed) },
+			func() error { return runMC(c, in, targets, *runs, *seed, *workers) },
 		} {
 			if err := f(); err != nil {
 				return err
@@ -174,8 +176,8 @@ func targetNets(c *netlist.Circuit, net string) ([]netlist.NodeID, error) {
 	return []netlist.NodeID{n.ID}, nil
 }
 
-func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
-	var a core.Analyzer
+func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int) error {
+	a := core.Analyzer{Workers: workers}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err
@@ -196,8 +198,8 @@ func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, target
 	return t.Render(os.Stdout)
 }
 
-func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
-	var a core.MomentTiming
+func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int) error {
+	a := core.MomentTiming{Workers: workers}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err
@@ -244,8 +246,14 @@ func runSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 	return t.Render(os.Stdout)
 }
 
-func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64) error {
-	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed})
+func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int) error {
+	// The montecarlo package treats Workers as an exact shard count;
+	// resolve the 0 default here so the CLI contract ("0 means
+	// GOMAXPROCS") holds for Monte Carlo too.
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -264,8 +272,8 @@ func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets [
 	return t.Render(os.Stdout)
 }
 
-func runCritical(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error {
-	var a core.Analyzer
+func runCritical(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int) error {
+	a := core.Analyzer{Workers: workers}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err
@@ -315,8 +323,8 @@ func runPaths(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error 
 	return t.Render(os.Stdout)
 }
 
-func runYield(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error {
-	var a core.Analyzer
+func runYield(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int) error {
+	a := core.Analyzer{Workers: workers}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err

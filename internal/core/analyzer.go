@@ -68,6 +68,12 @@ type Analyzer struct {
 	// falls back to the O(2^k) subset enumeration for monotone
 	// gates.
 	MIS MISModel
+	// Workers is the number of goroutines evaluating gates of one
+	// unit-delay level concurrently (0 = GOMAXPROCS, 1 = serial).
+	// Every gate of a level has all its fanins in earlier levels, so
+	// any worker count produces bit-identical results to the serial
+	// run — parallelism changes the schedule, never the arithmetic.
+	Workers int
 }
 
 // MISModel maps a gate and its simultaneously-switching input count
@@ -90,6 +96,21 @@ type Result struct {
 	C     *netlist.Circuit
 	Grid  dist.Grid
 	State []NetState
+
+	// kernels memoizes delay-kernel discretizations for this
+	// analysis; it lives on the Result so incremental re-analysis
+	// (ComputeNode) keeps hitting the cache built by Run.
+	kernels *dist.KernelCache
+}
+
+// runCtx carries the per-run configuration threaded through node
+// evaluation: the resolved grid, delay model, parity cap and the
+// shared (concurrency-safe) kernel cache.
+type runCtx struct {
+	grid      dist.Grid
+	delay     ssta.DelayModel
+	maxParity int
+	kernels   *dist.KernelCache
 }
 
 // Run executes SPSTA over the circuit. inputs maps launch points to
@@ -130,14 +151,24 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 		}
 	}
 
-	res := &Result{C: c, Grid: grid, State: make([]NetState, len(c.Nodes))}
-	for _, id := range c.TopoOrder() {
-		if err := a.computeNode(res, id, inputs, grid, delay, maxParity); err != nil {
-			return nil, err
+	res := &Result{
+		C:       c,
+		Grid:    grid,
+		State:   make([]NetState, len(c.Nodes)),
+		kernels: dist.NewKernelCache(grid),
+	}
+	rc := &runCtx{grid: grid, delay: delay, maxParity: maxParity, kernels: res.kernels}
+	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), func(id netlist.NodeID) error {
+		if err := a.computeNode(res, id, inputs, rc); err != nil {
+			return err
 		}
 		if exact != nil {
 			correctToExact(&res.State[id], exact[id])
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -156,10 +187,15 @@ func (a *Analyzer) ComputeNode(res *Result, id netlist.NodeID, inputs map[netlis
 	if maxParity == 0 {
 		maxParity = DefaultMaxParityFanin
 	}
-	return a.computeNode(res, id, inputs, res.Grid, delay, maxParity)
+	if res.kernels == nil || res.kernels.Grid() != res.Grid {
+		res.kernels = dist.NewKernelCache(res.Grid)
+	}
+	rc := &runCtx{grid: res.Grid, delay: delay, maxParity: maxParity, kernels: res.kernels}
+	return a.computeNode(res, id, inputs, rc)
 }
 
-func (a *Analyzer) computeNode(res *Result, id netlist.NodeID, inputs map[netlist.NodeID]logic.InputStats, grid dist.Grid, delay ssta.DelayModel, maxParity int) error {
+func (a *Analyzer) computeNode(res *Result, id netlist.NodeID, inputs map[netlist.NodeID]logic.InputStats, rc *runCtx) error {
+	grid := rc.grid
 	n := res.C.Nodes[id]
 	st := &res.State[id]
 	switch {
@@ -180,12 +216,14 @@ func (a *Analyzer) computeNode(res *Result, id netlist.NodeID, inputs map[netlis
 		}
 		*st = NetState{}
 		st.P = in.P
-		arr := dist.FromNormal(grid, dist.Normal{Mu: in.Mu, Sigma: in.Sigma})
-		st.TOP[ssta.DirRise] = arr.Clone().Scale(in.P[logic.Rise])
-		st.TOP[ssta.DirFall] = arr.Scale(in.P[logic.Fall])
+		// The cached launch kernel is shared and read-only; each
+		// direction scales it into its own fresh t.o.p.
+		arr := rc.kernels.FromNormal(dist.Normal{Mu: in.Mu, Sigma: in.Sigma})
+		st.TOP[ssta.DirRise] = dist.NewPMF(grid).AccumWeighted(arr, in.P[logic.Rise])
+		st.TOP[ssta.DirFall] = dist.NewPMF(grid).AccumWeighted(arr, in.P[logic.Fall])
 	default:
 		*st = NetState{}
-		return a.gate(res, n, grid, delay, maxParity)
+		return a.gate(res, n, rc)
 	}
 	return nil
 }
@@ -207,8 +245,11 @@ func correctToExact(st *NetState, exact [logic.NumValues]float64) {
 }
 
 // gate computes one combinational gate's four-value probabilities
-// and t.o.p. functions from its fanin states.
-func (a *Analyzer) gate(res *Result, n *netlist.Node, grid dist.Grid, delay ssta.DelayModel, maxParity int) error {
+// and t.o.p. functions from its fanin states. Intermediate mixtures
+// live in pooled scratch PMFs; only the two stored t.o.p. functions
+// are allocated.
+func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
+	grid := rc.grid
 	st := &res.State[n.ID]
 	var rise, fall *dist.PMF
 
@@ -217,18 +258,19 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, grid dist.Grid, delay ssta
 		in := &res.State[n.Fanin[0]]
 		if n.Type == logic.Buf {
 			st.P = in.P
-			rise = in.TOP[ssta.DirRise].Clone()
-			fall = in.TOP[ssta.DirFall].Clone()
+			rise = in.TOP[ssta.DirRise]
+			fall = in.TOP[ssta.DirFall]
 		} else {
 			st.P[logic.Zero] = in.P[logic.One]
 			st.P[logic.One] = in.P[logic.Zero]
 			st.P[logic.Rise] = in.P[logic.Fall]
 			st.P[logic.Fall] = in.P[logic.Rise]
-			rise = in.TOP[ssta.DirFall].Clone()
-			fall = in.TOP[ssta.DirRise].Clone()
+			rise = in.TOP[ssta.DirFall]
+			fall = in.TOP[ssta.DirRise]
 		}
-		st.TOP[ssta.DirRise] = applyDelay(rise, delay(n), grid)
-		st.TOP[ssta.DirFall] = applyDelay(fall, delay(n), grid)
+		d := rc.delay(n)
+		st.TOP[ssta.DirRise] = applyDelayInto(dist.NewPMF(grid), rise, d, rc.kernels)
+		st.TOP[ssta.DirFall] = applyDelayInto(dist.NewPMF(grid), fall, d, rc.kernels)
 		return nil
 
 	case n.Type.Monotone():
@@ -243,8 +285,12 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, grid dist.Grid, delay ssta
 			towardNC, towardCtrl = logic.Rise, logic.Fall
 		}
 		k := len(n.Fanin)
-		ncdIn := make([]dist.SwitchInput, 0, k)
-		cdIn := make([]dist.SwitchInput, 0, k)
+		var ncdArr, cdArr [16]dist.SwitchInput
+		ncdIn, cdIn := ncdArr[:0], cdArr[:0]
+		if k > len(ncdArr) {
+			ncdIn = make([]dist.SwitchInput, 0, k)
+			cdIn = make([]dist.SwitchInput, 0, k)
+		}
 		pNCD := 1.0 // probability of the constant non-controlled output
 		for _, f := range n.Fanin {
 			in := &res.State[f]
@@ -262,8 +308,8 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, grid dist.Grid, delay ssta
 			ncdTOP = dist.SizedMixture(grid, ncdIn, true, misDelay)
 			cdTOP = dist.SizedMixture(grid, cdIn, false, misDelay)
 		} else {
-			ncdTOP = dist.MaxMixture(grid, ncdIn)
-			cdTOP = dist.MinMixture(grid, cdIn)
+			ncdTOP = dist.MaxMixtureInto(dist.NewScratch(grid), ncdIn)
+			cdTOP = dist.MinMixtureInto(dist.NewScratch(grid), cdIn)
 		}
 		// Output value with all inputs non-controlling (the
 		// non-controlled value) decides which mixture is rising.
@@ -282,29 +328,41 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, grid dist.Grid, delay ssta
 			st.TOP[ssta.DirRise] = rise
 			st.TOP[ssta.DirFall] = fall
 		} else {
-			st.TOP[ssta.DirRise] = applyDelay(rise, delay(n), grid)
-			st.TOP[ssta.DirFall] = applyDelay(fall, delay(n), grid)
+			d := rc.delay(n)
+			st.TOP[ssta.DirRise] = applyDelayInto(dist.NewPMF(grid), rise, d, rc.kernels)
+			st.TOP[ssta.DirFall] = applyDelayInto(dist.NewPMF(grid), fall, d, rc.kernels)
+			rise.Release()
+			fall.Release()
 		}
 		return nil
 
 	case n.Type.Parity():
-		if len(n.Fanin) > maxParity {
+		if len(n.Fanin) > rc.maxParity {
 			return fmt.Errorf("core: %s: %v fanin %d exceeds parity cap %d",
-				n.Name, n.Type, len(n.Fanin), maxParity)
+				n.Name, n.Type, len(n.Fanin), rc.maxParity)
 		}
-		rise = dist.NewPMF(grid)
-		fall = dist.NewPMF(grid)
+		if a.MIS != nil {
+			// parityCombos applies the per-combo MIS delay; the
+			// accumulators are stored directly.
+			rise = dist.NewPMF(grid)
+			fall = dist.NewPMF(grid)
+		} else {
+			rise = dist.NewScratch(grid)
+			fall = dist.NewScratch(grid)
+		}
 		vals := make([]logic.Value, len(n.Fanin))
-		a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall)
+		a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall, rc)
 		st.P[logic.Rise] = rise.Mass()
 		st.P[logic.Fall] = fall.Mass()
 		if a.MIS != nil {
-			// parityCombos applied the per-combo MIS delay.
 			st.TOP[ssta.DirRise] = rise
 			st.TOP[ssta.DirFall] = fall
 		} else {
-			st.TOP[ssta.DirRise] = applyDelay(rise, delay(n), grid)
-			st.TOP[ssta.DirFall] = applyDelay(fall, delay(n), grid)
+			d := rc.delay(n)
+			st.TOP[ssta.DirRise] = applyDelayInto(dist.NewPMF(grid), rise, d, rc.kernels)
+			st.TOP[ssta.DirFall] = applyDelayInto(dist.NewPMF(grid), fall, d, rc.kernels)
+			rise.Release()
+			fall.Release()
 		}
 		return nil
 	}
@@ -317,7 +375,7 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, grid dist.Grid, delay ssta
 // mass into rise/fall. The settled transition time of a parity gate
 // is the MAX over its switching inputs (every switch toggles the
 // output; see logic.SettleOp).
-func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value, i int, weight float64, st *NetState, rise, fall *dist.PMF) {
+func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value, i int, weight float64, st *NetState, rise, fall *dist.PMF, rc *runCtx) {
 	if weight == 0 {
 		return
 	}
@@ -327,7 +385,8 @@ func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value
 			st.P[out] += weight
 			return
 		}
-		// Conditional MAX pdf over switching inputs.
+		// Conditional MAX pdf over switching inputs; all
+		// intermediates live in pooled scratch buffers.
 		var acc *dist.PMF
 		for j, v := range vals {
 			if !v.Switching() {
@@ -336,15 +395,24 @@ func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value
 			in := &res.State[n.Fanin[j]]
 			p := in.P[v]
 			if p == 0 {
+				if acc != nil {
+					acc.Release()
+				}
 				return
 			}
-			cond := in.TOP[dirOf(v)].Clone().Scale(1 / p)
+			cond := dist.NewScratch(rc.grid).AccumWeighted(in.TOP[dirOf(v)], 1/p)
 			if acc == nil {
 				acc = cond
-			} else if op == logic.OpMax {
-				acc = dist.MaxPMF(acc, cond)
 			} else {
-				acc = dist.MinPMF(acc, cond)
+				next := dist.NewScratch(rc.grid)
+				if op == logic.OpMax {
+					dist.MaxPMFInto(next, acc, cond)
+				} else {
+					dist.MinPMFInto(next, acc, cond)
+				}
+				acc.Release()
+				cond.Release()
+				acc = next
 			}
 		}
 		if acc == nil {
@@ -357,32 +425,37 @@ func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value
 					k++
 				}
 			}
-			acc = applyDelay(acc, a.MIS(n, k), acc.Grid())
+			next := applyDelayInto(dist.NewScratch(rc.grid), acc, a.MIS(n, k), rc.kernels)
+			acc.Release()
+			acc = next
 		}
 		if out == logic.Rise {
 			rise.AccumWeighted(acc, weight)
 		} else {
 			fall.AccumWeighted(acc, weight)
 		}
+		acc.Release()
 		return
 	}
 	in := &res.State[n.Fanin[i]]
 	for v := logic.Zero; v < logic.NumValues; v++ {
 		vals[i] = v
-		a.parityCombos(res, n, vals, i+1, weight*in.P[v], st, rise, fall)
+		a.parityCombos(res, n, vals, i+1, weight*in.P[v], st, rise, fall, rc)
 	}
 }
 
-// applyDelay shifts (deterministic) or convolves (variational) a
-// t.o.p. by the gate delay.
-func applyDelay(top *dist.PMF, d dist.Normal, grid dist.Grid) *dist.PMF {
+// applyDelayInto writes top shifted (deterministic delay) or
+// convolved (variational delay, kernel from the shared cache) into
+// dst and returns dst. top is read-only, so callers can pass a fanin
+// t.o.p. or a cached kernel without cloning.
+func applyDelayInto(dst, top *dist.PMF, d dist.Normal, kc *dist.KernelCache) *dist.PMF {
 	if d.Sigma == 0 {
 		if d.Mu == 0 {
-			return top
+			return dst.CopyFrom(top)
 		}
-		return top.Shift(d.Mu)
+		return top.ShiftInto(dst, d.Mu)
 	}
-	return top.Convolve(dist.FromNormal(grid, d))
+	return top.ConvolveInto(dst, kc.FromNormal(d))
 }
 
 func dirOf(v logic.Value) ssta.Dir {

@@ -29,6 +29,10 @@ type MomentTiming struct {
 	// MaxFanin caps the subset enumeration (default
 	// DefaultMaxMomentFanin).
 	MaxFanin int
+	// Workers is the number of goroutines evaluating gates of one
+	// unit-delay level concurrently (0 = GOMAXPROCS, 1 = serial);
+	// results are bit-identical for any worker count.
+	Workers int
 }
 
 // MomentState is the per-net analytic SPSTA view.
@@ -58,7 +62,7 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 	}
 	res := &MomentResult{C: c, State: make([]MomentState, len(c.Nodes))}
 	defaultStats := logic.UniformStats()
-	for _, id := range c.TopoOrder() {
+	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), func(id netlist.NodeID) error {
 		n := c.Nodes[id]
 		st := &res.State[id]
 		switch {
@@ -72,17 +76,19 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 				in = defaultStats
 			}
 			if err := in.Validate(); err != nil {
-				return nil, fmt.Errorf("core: launch %s: %w", n.Name, err)
+				return fmt.Errorf("core: launch %s: %w", n.Name, err)
 			}
 			st.P = in.P
 			arr := dist.Normal{Mu: in.Mu, Sigma: in.Sigma}
 			st.Arr[ssta.DirRise] = arr
 			st.Arr[ssta.DirFall] = arr
 		default:
-			if err := momentGate(res, n, delay, maxFanin); err != nil {
-				return nil, err
-			}
+			return momentGate(res, n, delay, maxFanin)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

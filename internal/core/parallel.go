@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// resolveWorkers maps a Workers field to an effective worker count:
+// 0 selects GOMAXPROCS, anything below 1 clamps to serial.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runLevels evaluates f over every node, level by level. Nodes
+// within one level have all fanins in earlier levels (see
+// netlist.Levelize), so a level barrier is the only synchronization
+// the propagation needs: workers of one level write disjoint
+// per-node result slots and read only fanin slots finalized by the
+// previous barrier — no locks, and results are bit-identical to the
+// serial order because each node's arithmetic never depends on its
+// siblings.
+//
+// With workers <= 1 the levels are walked inline. Otherwise a fixed
+// pool of goroutines drains a work channel; every node of a level is
+// evaluated even after a failure so that the returned error is
+// deterministically the first one in level order, not whichever
+// worker lost a race.
+func runLevels(workers int, levels [][]netlist.NodeID, nnodes int, f func(netlist.NodeID) error) error {
+	if workers <= 1 {
+		for _, level := range levels {
+			for _, id := range level {
+				if err := f(id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	errs := make([]error, nnodes)
+	work := make(chan netlist.NodeID)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			for id := range work {
+				errs[id] = f(id)
+				wg.Done()
+			}
+		}()
+	}
+	defer close(work)
+	for _, level := range levels {
+		wg.Add(len(level))
+		for _, id := range level {
+			work <- id
+		}
+		wg.Wait() // level barrier: level L+1 reads these slots
+		for _, id := range level {
+			if errs[id] != nil {
+				return errs[id]
+			}
+		}
+	}
+	return nil
+}

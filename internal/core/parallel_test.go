@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// TestParallelRunMatchesSerial asserts the tentpole determinism
+// contract: a parallel Run is bin-for-bin bit-identical to the serial
+// run on every synthetic benchmark circuit, for the plain analyzer
+// and for the ExactProbabilities and MIS configurations. Gates within
+// a level share no state, so parallelism reorders the schedule but
+// never the per-node float arithmetic. Run with -race to also check
+// the level barrier (disjoint-slot writes, fanin reads).
+func TestParallelRunMatchesSerial(t *testing.T) {
+	cs, err := synth.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		a    Analyzer
+	}{
+		{"plain", Analyzer{}},
+		{"exact", Analyzer{ExactProbabilities: true}},
+		{"mis", Analyzer{MIS: misModel}},
+	}
+	for _, c := range cs {
+		in := uniform(c)
+		for _, cfg := range configs {
+			t.Run(fmt.Sprintf("%s/%s", c.Name, cfg.name), func(t *testing.T) {
+				serial, parallel := cfg.a, cfg.a
+				serial.Workers = 1
+				parallel.Workers = 4
+				rs, err := serial.Run(c, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rp, err := parallel.Run(c, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for id := range rs.State {
+					compareNetState(t, c, netlist.NodeID(id), &rs.State[id], &rp.State[id])
+				}
+			})
+		}
+	}
+}
+
+// compareNetState requires bitwise equality: identical probabilities,
+// supports and bin values. Any tolerance here would hide a schedule
+// dependence.
+func compareNetState(t *testing.T, c *netlist.Circuit, id netlist.NodeID, s, p *NetState) {
+	t.Helper()
+	name := c.Nodes[id].Name
+	for v := range s.P {
+		if math.Float64bits(s.P[v]) != math.Float64bits(p.P[v]) {
+			t.Fatalf("%s: P[%d]: serial %v parallel %v", name, v, s.P[v], p.P[v])
+		}
+	}
+	for d := range s.TOP {
+		st, pt := s.TOP[d], p.TOP[d]
+		slo, shi := st.Support()
+		plo, phi := pt.Support()
+		if slo != plo || shi != phi {
+			t.Fatalf("%s: TOP[%d] support: serial [%d,%d) parallel [%d,%d)", name, d, slo, shi, plo, phi)
+		}
+		for i := 0; i < st.Grid().N; i++ {
+			if math.Float64bits(st.W(i)) != math.Float64bits(pt.W(i)) {
+				t.Fatalf("%s: TOP[%d] bin %d: serial %v parallel %v", name, d, i, st.W(i), pt.W(i))
+			}
+		}
+	}
+}
+
+// TestParallelMomentTimingMatchesSerial is the MomentTiming analog.
+func TestParallelMomentTimingMatchesSerial(t *testing.T) {
+	cs, err := synth.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		in := uniform(c)
+		serial := MomentTiming{Workers: 1}
+		parallel := MomentTiming{Workers: 4}
+		rs, err := serial.Run(c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := parallel.Run(c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range rs.State {
+			s, p := &rs.State[id], &rp.State[id]
+			for v := range s.P {
+				if math.Float64bits(s.P[v]) != math.Float64bits(p.P[v]) {
+					t.Fatalf("%s %s: P[%d]: %v vs %v", c.Name, c.Nodes[id].Name, v, s.P[v], p.P[v])
+				}
+			}
+			for d := range s.Arr {
+				if s.Arr[d] != p.Arr[d] {
+					t.Fatalf("%s %s: Arr[%d]: %+v vs %+v", c.Name, c.Nodes[id].Name, d, s.Arr[d], p.Arr[d])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelErrorDeterministic: the first error in level order is
+// returned regardless of worker count. A parity gate wider than the
+// cap triggers it.
+func TestParallelErrorDeterministic(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n" +
+		"y = XOR(a, b, a, b, a, b, a, b)\n" +
+		"z = XOR(b, a, b, a, b, a, b, a)\n"
+	c := parse(t, src, "wide-parity")
+	in := uniform(c)
+	a := Analyzer{MaxParityFanin: 3, Workers: 1}
+	_, errSerial := a.Run(c, in)
+	if errSerial == nil {
+		t.Fatal("expected parity-cap error")
+	}
+	a.Workers = 4
+	for i := 0; i < 8; i++ {
+		_, errPar := a.Run(c, in)
+		if errPar == nil || errPar.Error() != errSerial.Error() {
+			t.Fatalf("parallel error %q != serial %q", errPar, errSerial)
+		}
+	}
+}

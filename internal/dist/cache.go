@@ -1,0 +1,54 @@
+package dist
+
+import "sync"
+
+// KernelCache memoizes FromNormal discretizations on one fixed grid,
+// so a delay kernel shared by many gates (the common case: a cell
+// library has far fewer distinct delays than the circuit has gates)
+// is discretized once per distinct Normal instead of once per gate.
+//
+// The cache is safe for concurrent use by the level-parallel
+// analyzers. Returned PMFs are shared across callers and MUST be
+// treated as read-only; every PMF kernel that reads two operands
+// (Convolve, MaxPMF, …) leaves them untouched, so cached kernels can
+// be passed directly as operands.
+type KernelCache struct {
+	grid Grid
+	mu   sync.RWMutex
+	m    map[Normal]*PMF
+}
+
+// NewKernelCache returns an empty cache for grid g.
+func NewKernelCache(g Grid) *KernelCache {
+	return &KernelCache{grid: g, m: make(map[Normal]*PMF)}
+}
+
+// Grid returns the grid the cached kernels live on.
+func (kc *KernelCache) Grid() Grid { return kc.grid }
+
+// FromNormal returns the discretization of n on the cache's grid,
+// computing it on first use. The result is shared: read-only.
+func (kc *KernelCache) FromNormal(n Normal) *PMF {
+	kc.mu.RLock()
+	p := kc.m[n]
+	kc.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = FromNormal(kc.grid, n)
+	kc.mu.Lock()
+	if q, ok := kc.m[n]; ok {
+		p = q // another worker won the race; keep one canonical kernel
+	} else {
+		kc.m[n] = p
+	}
+	kc.mu.Unlock()
+	return p
+}
+
+// Len returns the number of distinct kernels discretized so far.
+func (kc *KernelCache) Len() int {
+	kc.mu.RLock()
+	defer kc.mu.RUnlock()
+	return len(kc.m)
+}

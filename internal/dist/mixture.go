@@ -24,25 +24,52 @@ type SwitchInput struct {
 // (plus the constant empty-set term Π Stay_i, which is removed).
 // The result is the unnormalized output t.o.p. before gate delay.
 func MaxMixture(g Grid, in []SwitchInput) *PMF {
-	out := NewPMF(g)
+	return MaxMixtureInto(NewPMF(g), in)
+}
+
+// MaxMixtureInto is MaxMixture writing into dst (cleared first).
+// dst must not alias any input TOP. Only the union of the input
+// supports is visited: below it every cumulative is zero, so
+// H[k] = H[-1]; above it every cumulative is the full mass, so H is
+// constant — both tails contribute exactly zero bins.
+func MaxMixtureInto(dst *PMF, in []SwitchInput) *PMF {
+	dst.Reset()
 	if len(in) == 0 {
-		return out
+		return dst
 	}
 	prev := 1.0 // H[-1] = Π Stay_i
+	lo, hi := dst.grid.N, 0
 	for _, s := range in {
 		prev *= s.Stay
+		if s.TOP.lo < s.TOP.hi {
+			if s.TOP.lo < lo {
+				lo = s.TOP.lo
+			}
+			if s.TOP.hi > hi {
+				hi = s.TOP.hi
+			}
+		}
 	}
-	cum := make([]float64, len(in))
-	for k := 0; k < g.N; k++ {
+	var cumArr [16]float64
+	cum := cumArr[:0]
+	if len(in) <= len(cumArr) {
+		cum = cumArr[:len(in)]
+	} else {
+		cum = make([]float64, len(in))
+	}
+	for k := lo; k < hi; k++ {
 		h := 1.0
 		for i, s := range in {
 			cum[i] += s.TOP.w[k]
 			h *= s.Stay + cum[i]
 		}
-		out.w[k] = h - prev
+		if v := h - prev; v != 0 {
+			dst.w[k] = v
+			dst.expand(k)
+		}
 		prev = h
 	}
-	return out
+	return dst
 }
 
 // MinMixture is the OpMin counterpart of MaxMixture:
@@ -52,27 +79,50 @@ func MaxMixture(g Grid, in []SwitchInput) *PMF {
 // computed from survival-function products Π_i (Stay_i + (mass_i −
 // C_i[k])).
 func MinMixture(g Grid, in []SwitchInput) *PMF {
-	out := NewPMF(g)
+	return MinMixtureInto(NewPMF(g), in)
+}
+
+// MinMixtureInto is MinMixture writing into dst (cleared first).
+// dst must not alias any input TOP.
+func MinMixtureInto(dst *PMF, in []SwitchInput) *PMF {
+	dst.Reset()
 	if len(in) == 0 {
-		return out
+		return dst
 	}
-	mass := make([]float64, len(in))
+	var massArr, cumArr [16]float64
+	mass, cum := massArr[:0], cumArr[:0]
+	if len(in) <= len(massArr) {
+		mass, cum = massArr[:len(in)], cumArr[:len(in)]
+	} else {
+		mass, cum = make([]float64, len(in)), make([]float64, len(in))
+	}
 	prev := 1.0 // W[-1] = Π (Stay_i + mass_i)
+	lo, hi := dst.grid.N, 0
 	for i, s := range in {
 		mass[i] = s.TOP.Mass()
 		prev *= s.Stay + mass[i]
+		if s.TOP.lo < s.TOP.hi {
+			if s.TOP.lo < lo {
+				lo = s.TOP.lo
+			}
+			if s.TOP.hi > hi {
+				hi = s.TOP.hi
+			}
+		}
 	}
-	cum := make([]float64, len(in))
-	for k := 0; k < g.N; k++ {
+	for k := lo; k < hi; k++ {
 		w := 1.0
 		for i, s := range in {
 			cum[i] += s.TOP.w[k]
 			w *= s.Stay + (mass[i] - cum[i])
 		}
-		out.w[k] = prev - w
+		if v := prev - w; v != 0 {
+			dst.w[k] = v
+			dst.expand(k)
+		}
 		prev = w
 	}
-	return out
+	return dst
 }
 
 // Mixture dispatches to MaxMixture or MinMixture. op must not be

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // PMF is a discretized distribution: probability mass per grid bin.
@@ -11,14 +12,85 @@ import (
 // occurrence probability (Definition 3 of the paper), and PMFs with
 // sub-unit mass represent exactly that. Normalize converts a t.o.p.
 // into a conditional arrival-time pdf.
+//
+// Every PMF tracks its non-zero support [lo, hi): bins outside the
+// range are exactly zero, and all kernels iterate only over the
+// support. Launch-point discretizations occupy a small slice of a
+// deep circuit's grid (a ±σ neighborhood of the launch window), so
+// skipping the zero tail is most of the work for shallow nets. Bins
+// inside the support may still be zero — the invariant is
+// one-directional and never affects results, only how much of the
+// grid a kernel visits.
 type PMF struct {
-	grid Grid
-	w    []float64
+	grid   Grid
+	w      []float64
+	lo, hi int // non-zero support [lo, hi); lo == hi means empty
 }
 
 // NewPMF returns an all-zero PMF on the grid.
 func NewPMF(g Grid) *PMF {
 	return &PMF{grid: g, w: make([]float64, g.N)}
+}
+
+// binPool recycles bin buffers for scratch PMFs and kernel
+// scratch space. Invariant: every pooled slice is all-zero over its
+// full capacity, so a fresh scratch PMF needs no clearing.
+var binPool sync.Pool
+
+// getBins returns an all-zero slice of length n from the pool.
+func getBins(n int) []float64 {
+	if v := binPool.Get(); v != nil {
+		s := *(v.(*[]float64))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putBins returns an all-zero slice to the pool. The caller must
+// have cleared every element it wrote.
+func putBins(s []float64) {
+	binPool.Put(&s)
+}
+
+// NewScratch returns an empty PMF on g whose bin buffer comes from a
+// shared pool, for allocation-free hot-path intermediates. Call
+// Release when done; a scratch PMF that escapes into a long-lived
+// result must simply never be released.
+func NewScratch(g Grid) *PMF {
+	return &PMF{grid: g, w: getBins(g.N)}
+}
+
+// Release clears the PMF and returns its bin buffer to the scratch
+// pool. The PMF must not be used afterwards.
+func (p *PMF) Release() {
+	p.Reset()
+	putBins(p.w)
+	p.w = nil
+}
+
+// Reset clears the PMF to all-zero (only the support is touched).
+func (p *PMF) Reset() *PMF {
+	for i := p.lo; i < p.hi; i++ {
+		p.w[i] = 0
+	}
+	p.lo, p.hi = 0, 0
+	return p
+}
+
+// expand grows the support to include bin i.
+func (p *PMF) expand(i int) {
+	if p.lo == p.hi {
+		p.lo, p.hi = i, i+1
+		return
+	}
+	if i < p.lo {
+		p.lo = i
+	}
+	if i >= p.hi {
+		p.hi = i + 1
+	}
 }
 
 // FromNormal discretizes N(mu, sigma²): each bin receives the exact
@@ -36,7 +108,10 @@ func FromNormal(g Grid, n Normal) *PMF {
 		if i == g.N-1 {
 			c = 1
 		}
-		p.w[i] = c - prev
+		if v := c - prev; v != 0 {
+			p.w[i] = v
+			p.expand(i)
+		}
 		prev = c
 	}
 	return p
@@ -45,7 +120,7 @@ func FromNormal(g Grid, n Normal) *PMF {
 // Delta returns a point mass 1 at x (clamped to the grid).
 func Delta(g Grid, x float64) *PMF {
 	p := NewPMF(g)
-	p.w[g.Index(x)] = 1
+	p.SetBin(g.Index(x), 1)
 	return p
 }
 
@@ -55,17 +130,42 @@ func (p *PMF) Grid() Grid { return p.grid }
 // W returns the mass of bin i.
 func (p *PMF) W(i int) float64 { return p.w[i] }
 
+// SetBin sets the mass of bin i, maintaining the support bounds.
+func (p *PMF) SetBin(i int, v float64) {
+	p.w[i] = v
+	if v != 0 {
+		p.expand(i)
+	}
+}
+
+// Support returns the tracked non-zero bin range [lo, hi); lo == hi
+// for an all-zero PMF. Bins outside the range are exactly zero.
+func (p *PMF) Support() (lo, hi int) { return p.lo, p.hi }
+
 // Clone returns a deep copy.
 func (p *PMF) Clone() *PMF {
 	q := NewPMF(p.grid)
-	copy(q.w, p.w)
+	copy(q.w[p.lo:p.hi], p.w[p.lo:p.hi])
+	q.lo, q.hi = p.lo, p.hi
 	return q
+}
+
+// CopyFrom replaces p's contents with q's and returns p.
+func (p *PMF) CopyFrom(q *PMF) *PMF {
+	p.grid.check(q.grid, "CopyFrom")
+	if p == q {
+		return p
+	}
+	p.Reset()
+	copy(p.w[q.lo:q.hi], q.w[q.lo:q.hi])
+	p.lo, p.hi = q.lo, q.hi
+	return p
 }
 
 // Mass returns the total probability mass.
 func (p *PMF) Mass() float64 {
 	s := 0.0
-	for _, v := range p.w {
+	for _, v := range p.w[p.lo:p.hi] {
 		s += v
 	}
 	return s
@@ -73,7 +173,7 @@ func (p *PMF) Mass() float64 {
 
 // Scale multiplies every bin by s and returns p.
 func (p *PMF) Scale(s float64) *PMF {
-	for i := range p.w {
+	for i := p.lo; i < p.hi; i++ {
 		p.w[i] *= s
 	}
 	return p
@@ -92,8 +192,22 @@ func (p *PMF) Normalize() float64 {
 // AccumWeighted adds w·q into p (mixture accumulation) and returns p.
 func (p *PMF) AccumWeighted(q *PMF, w float64) *PMF {
 	p.grid.check(q.grid, "AccumWeighted")
-	for i, v := range q.w {
-		p.w[i] += w * v
+	if w == 0 || q.lo == q.hi {
+		return p
+	}
+	lo, hi := q.lo, q.hi
+	for i := lo; i < hi; i++ {
+		p.w[i] += w * q.w[i]
+	}
+	if p.lo == p.hi {
+		p.lo, p.hi = lo, hi
+	} else {
+		if lo < p.lo {
+			p.lo = lo
+		}
+		if hi > p.hi {
+			p.hi = hi
+		}
 	}
 	return p
 }
@@ -103,7 +217,14 @@ func (p *PMF) AccumWeighted(q *PMF, w float64) *PMF {
 // pushed past an edge accumulates in the edge bin so total mass is
 // preserved.
 func (p *PMF) Shift(d float64) *PMF {
-	out := NewPMF(p.grid)
+	return p.ShiftInto(NewPMF(p.grid), d)
+}
+
+// ShiftInto writes the distribution translated by d into dst
+// (cleared first) and returns dst. dst must not alias p.
+func (p *PMF) ShiftInto(dst *PMF, d float64) *PMF {
+	p.grid.check(dst.grid, "ShiftInto")
+	dst.Reset()
 	k := d / p.grid.Dt
 	base := math.Floor(k)
 	frac := k - base
@@ -118,9 +239,11 @@ func (p *PMF) Shift(d float64) *PMF {
 		if i >= p.grid.N {
 			i = p.grid.N - 1
 		}
-		out.w[i] += v
+		dst.w[i] += v
+		dst.expand(i)
 	}
-	for i, v := range p.w {
+	for i := p.lo; i < p.hi; i++ {
+		v := p.w[i]
 		if v == 0 {
 			continue
 		}
@@ -129,7 +252,7 @@ func (p *PMF) Shift(d float64) *PMF {
 			add(i+ib+1, v*frac)
 		}
 	}
-	return out
+	return dst
 }
 
 // Convolve returns the distribution of the sum of two independent
@@ -137,10 +260,30 @@ func (p *PMF) Shift(d float64) *PMF {
 // of each bin-center pair is split linearly between the two bins
 // whose centers bracket the sum; out-of-grid mass clamps to the
 // edge bins so total mass is preserved.
+//
+// When both operands' supports exceed the FFT crossover the O(n²)
+// direct product is replaced by an FFT linear convolution followed
+// by the same constant-fraction split (the two agree to roundoff;
+// see convolveFFTInto).
 func (p *PMF) Convolve(q *PMF) *PMF {
+	return p.ConvolveInto(NewPMF(p.grid), q)
+}
+
+// ConvolveInto writes the convolution of p and q into dst (cleared
+// first) and returns dst. dst must not alias p or q.
+func (p *PMF) ConvolveInto(dst, q *PMF) *PMF {
 	p.grid.check(q.grid, "Convolve")
+	p.grid.check(dst.grid, "Convolve")
+	dst.Reset()
+	sa, sb := p.hi-p.lo, q.hi-q.lo
+	if sa == 0 || sb == 0 {
+		return dst
+	}
+	if sa >= fftCrossover && sb >= fftCrossover {
+		convolveFFTInto(dst, p, q)
+		return dst
+	}
 	g := p.grid
-	out := NewPMF(g)
 	clampAdd := func(i int, v float64) {
 		if v == 0 {
 			return
@@ -151,16 +294,19 @@ func (p *PMF) Convolve(q *PMF) *PMF {
 		if i >= g.N {
 			i = g.N - 1
 		}
-		out.w[i] += v
+		dst.w[i] += v
+		dst.expand(i)
 	}
 	// In bin-center coordinates k = (x−Lo)/Dt − 1/2, the sum of
 	// centers i and j sits at k = i + j + 1/2 + Lo/Dt.
 	off := g.Lo/g.Dt + 0.5
-	for i, a := range p.w {
+	for i := p.lo; i < p.hi; i++ {
+		a := p.w[i]
 		if a == 0 {
 			continue
 		}
-		for j, b := range q.w {
+		for j := q.lo; j < q.hi; j++ {
+			b := q.w[j]
 			if b == 0 {
 				continue
 			}
@@ -172,16 +318,7 @@ func (p *PMF) Convolve(q *PMF) *PMF {
 			clampAdd(int(base)+1, m*frac)
 		}
 	}
-	return out
-}
-
-// cumulative fills c with the inclusive running sum of w.
-func (p *PMF) cumulative(c []float64) {
-	s := 0.0
-	for i, v := range p.w {
-		s += v
-		c[i] = s
-	}
+	return dst
 }
 
 // MaxPMF returns the distribution of max(A, B) for independent A, B
@@ -189,41 +326,85 @@ func (p *PMF) cumulative(c []float64) {
 // P(max = k) = a[k]·CB[k] + b[k]·CA[k] − a[k]·b[k] (the joint atom
 // at k is counted once).
 func MaxPMF(a, b *PMF) *PMF {
+	return MaxPMFInto(NewPMF(a.grid), a, b)
+}
+
+// MaxPMFInto writes the distribution of max(A, B) into dst (cleared
+// first) and returns dst. dst must not alias a or b. The cumulative
+// sums run as scalars over the union support, so the kernel is a
+// single allocation-free pass.
+func MaxPMFInto(dst, a, b *PMF) *PMF {
 	a.grid.check(b.grid, "MaxPMF")
-	out := NewPMF(a.grid)
-	ca := make([]float64, a.grid.N)
-	cb := make([]float64, a.grid.N)
-	a.cumulative(ca)
-	b.cumulative(cb)
-	for k := range out.w {
-		out.w[k] = a.w[k]*cb[k] + b.w[k]*ca[k] - a.w[k]*b.w[k]
+	a.grid.check(dst.grid, "MaxPMF")
+	dst.Reset()
+	lo, hi := unionSupport(a, b)
+	ca, cb := 0.0, 0.0 // inclusive cumulative masses of A and B
+	for k := lo; k < hi; k++ {
+		av, bv := a.w[k], b.w[k]
+		ca += av
+		cb += bv
+		if v := av*cb + bv*ca - av*bv; v != 0 {
+			dst.w[k] = v
+			dst.expand(k)
+		}
 	}
-	return out
+	return dst
 }
 
 // MinPMF returns the distribution of min(A, B) for independent A, B.
 func MinPMF(a, b *PMF) *PMF {
+	return MinPMFInto(NewPMF(a.grid), a, b)
+}
+
+// MinPMFInto writes the distribution of min(A, B) into dst (cleared
+// first) and returns dst. dst must not alias a or b.
+func MinPMFInto(dst, a, b *PMF) *PMF {
 	a.grid.check(b.grid, "MinPMF")
-	out := NewPMF(a.grid)
+	a.grid.check(dst.grid, "MinPMF")
+	dst.Reset()
+	lo, hi := unionSupport(a, b)
 	ma, mb := a.Mass(), b.Mass()
-	ca := make([]float64, a.grid.N)
-	cb := make([]float64, a.grid.N)
-	a.cumulative(ca)
-	b.cumulative(cb)
-	for k := range out.w {
+	ca, cb := 0.0, 0.0
+	for k := lo; k < hi; k++ {
+		av, bv := a.w[k], b.w[k]
+		ca += av
+		cb += bv
 		// P(min = k) = a[k]·P(B ≥ k) + b[k]·P(A > k)
-		sb := mb - cb[k] + b.w[k] // P(B ≥ k)
-		sa := ma - ca[k]          // P(A > k)
-		out.w[k] = a.w[k]*sb + b.w[k]*sa
+		sb := mb - cb + bv // P(B ≥ k)
+		sa := ma - ca      // P(A > k)
+		if v := av*sb + bv*sa; v != 0 {
+			dst.w[k] = v
+			dst.expand(k)
+		}
 	}
-	return out
+	return dst
+}
+
+// unionSupport returns the union of two PMFs' supports ([0,0) when
+// both are empty).
+func unionSupport(a, b *PMF) (lo, hi int) {
+	switch {
+	case a.lo == a.hi:
+		return b.lo, b.hi
+	case b.lo == b.hi:
+		return a.lo, a.hi
+	}
+	lo, hi = a.lo, a.hi
+	if b.lo < lo {
+		lo = b.lo
+	}
+	if b.hi > hi {
+		hi = b.hi
+	}
+	return lo, hi
 }
 
 // Mean returns the conditional mean over bin centers (conditioned on
 // the PMF's mass; 0 for a zero-mass PMF).
 func (p *PMF) Mean() float64 {
 	m, s := 0.0, 0.0
-	for i, v := range p.w {
+	for i := p.lo; i < p.hi; i++ {
+		v := p.w[i]
 		s += v
 		m += v * p.grid.X(i)
 	}
@@ -241,9 +422,9 @@ func (p *PMF) Var() float64 {
 	}
 	mu := p.Mean()
 	v := 0.0
-	for i, w := range p.w {
+	for i := p.lo; i < p.hi; i++ {
 		d := p.grid.X(i) - mu
-		v += w * d * d
+		v += p.w[i] * d * d
 	}
 	v /= mass
 	if v < 0 {
@@ -255,13 +436,38 @@ func (p *PMF) Var() float64 {
 // Sigma returns the conditional standard deviation.
 func (p *PMF) Sigma() float64 { return math.Sqrt(p.Var()) }
 
-// CDFAt returns the mass at or below x (not normalized).
+// CDFAt returns the mass at or below x (not normalized): the sum of
+// bins whose centers are ≤ x, computed as a single prefix sum up to
+// the cut bin instead of a full-grid comparison scan.
 func (p *PMF) CDFAt(x float64) float64 {
+	// Largest i with X(i) = Lo + (i+0.5)·Dt ≤ x. The division can
+	// land one bin off the edge-comparison result at exact centers,
+	// so nudge with the original predicate (at most one step). The
+	// float is range-checked before conversion: Go's float-to-int
+	// conversion is unspecified outside the int range (x may be ±Inf
+	// or far off-grid).
+	t := (x-p.grid.Lo)/p.grid.Dt - 0.5
+	var cut int
+	switch {
+	case t >= float64(p.grid.N-1):
+		cut = p.grid.N - 1
+	case t < 0, math.IsNaN(t):
+		cut = -1
+	default:
+		cut = int(math.Floor(t))
+	}
+	for cut+1 < p.grid.N && p.grid.X(cut+1) <= x {
+		cut++
+	}
+	for cut >= 0 && p.grid.X(cut) > x {
+		cut--
+	}
+	if cut >= p.hi {
+		cut = p.hi - 1
+	}
 	s := 0.0
-	for i, v := range p.w {
-		if p.grid.X(i) <= x {
-			s += v
-		}
+	for i := p.lo; i <= cut; i++ {
+		s += p.w[i]
 	}
 	return s
 }
@@ -279,8 +485,8 @@ func (p *PMF) Quantile(q float64) float64 {
 	}
 	target := q * mass
 	s := 0.0
-	for i, v := range p.w {
-		s += v
+	for i := 0; i < p.grid.N; i++ {
+		s += p.w[i]
 		if s >= target-1e-15 {
 			return p.grid.X(i)
 		}
@@ -308,9 +514,9 @@ func (p *PMF) Skewness() float64 {
 		return 0
 	}
 	m3 := 0.0
-	for i, w := range p.w {
+	for i := p.lo; i < p.hi; i++ {
 		d := p.grid.X(i) - mu
-		m3 += w * d * d * d
+		m3 += p.w[i] * d * d * d
 	}
 	return m3 / mass / (sigma * sigma * sigma)
 }

@@ -185,8 +185,10 @@ func TestMaxMinPartitionIdentity(t *testing.T) {
 func TestMaxPMFExactOnAtoms(t *testing.T) {
 	g := NewGrid(0, 4, 1) // bins centered at 0.5,1.5,2.5,3.5
 	a, b := NewPMF(g), NewPMF(g)
-	a.w[1], a.w[3] = 0.6, 0.4
-	b.w[2], b.w[3] = 0.5, 0.5
+	a.SetBin(1, 0.6)
+	a.SetBin(3, 0.4)
+	b.SetBin(2, 0.5)
+	b.SetBin(3, 0.5)
 	m := MaxPMF(a, b)
 	// max=bin1: impossible (B ≥ bin2). max=bin2: A@1·B@2 = 0.3.
 	// max=bin3: rest = 0.7.
@@ -228,7 +230,8 @@ func TestMeanVarZeroMass(t *testing.T) {
 func TestCDFAtAndQuantile(t *testing.T) {
 	g := NewGrid(0, 10, 1)
 	p := NewPMF(g)
-	p.w[2], p.w[7] = 0.5, 0.5 // atoms at 2.5 and 7.5
+	p.SetBin(2, 0.5)
+	p.SetBin(7, 0.5) // atoms at 2.5 and 7.5
 	approx(t, "CDFAt(3)", p.CDFAt(3), 0.5, 1e-15)
 	approx(t, "CDFAt(8)", p.CDFAt(8), 1, 1e-15)
 	approx(t, "Quantile(0.5)", p.Quantile(0.5), 2.5, 1e-12)
@@ -326,13 +329,13 @@ func TestPMFNormalRoundTrip(t *testing.T) {
 
 func randomPMF(g Grid, rng *rand.Rand) *PMF {
 	p := NewPMF(g)
-	for i := range p.w {
+	for i := 0; i < g.N; i++ {
 		if rng.Float64() < 0.3 {
-			p.w[i] = rng.Float64()
+			p.SetBin(i, rng.Float64())
 		}
 	}
 	if p.Mass() == 0 {
-		p.w[0] = 1
+		p.SetBin(0, 1)
 	}
 	p.Scale(1 / p.Mass())
 	p.Scale(0.1 + 0.9*rng.Float64())

@@ -69,6 +69,11 @@ type Config struct {
 	Seed int64
 	// Circuits restricts the benchmark set (default: all nine).
 	Circuits []string
+	// Workers sets the SPSTA level-parallel worker count and the
+	// Monte Carlo shard count (0 = GOMAXPROCS inside each engine).
+	// SPSTA results are identical for any worker count; Monte Carlo
+	// results are determined by the (Seed, Workers) pair.
+	Workers int
 }
 
 func (cfg Config) runs() int {
@@ -125,7 +130,7 @@ func RunAll(cfg Config, s Scenario) ([]Analysis, error) {
 		a := Analysis{Circuit: c}
 
 		t0 := time.Now()
-		var an core.Analyzer
+		an := core.Analyzer{Workers: cfg.Workers}
 		a.SPSTA, err = an.Run(c, in)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SPSTA on %s: %w", c.Name, err)
@@ -137,7 +142,7 @@ func RunAll(cfg Config, s Scenario) ([]Analysis, error) {
 		a.SSTATime = time.Since(t0)
 
 		t0 = time.Now()
-		a.MC, err = montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed})
+		a.MC, err = montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: MC on %s: %w", c.Name, err)
 		}
@@ -322,7 +327,7 @@ func Fig1(w io.Writer, cfg Config, s Scenario) error {
 	in := Inputs(c, s)
 	end := c.CriticalEndpoint()
 
-	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed})
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return err
 	}
@@ -330,7 +335,7 @@ func Fig1(w io.Writer, cfg Config, s Scenario) error {
 	sta := ssta.AnalyzeSTA(c, in, nil, 3)
 
 	grid := dist.TimingGrid(c.Depth(), 0, 1)
-	var an core.Analyzer
+	an := core.Analyzer{Workers: cfg.Workers}
 	an.Grid = grid
 	spsta, err := an.Run(c, in)
 	if err != nil {

@@ -47,8 +47,9 @@ type Circuit struct {
 
 	byName map[string]NodeID
 	frozen bool
-	order  []NodeID // topological order of combinational nodes
-	depth  int      // max level over all endpoints
+	order  []NodeID   // topological order of combinational nodes
+	levels [][]NodeID // order grouped into fanin-complete levels
+	depth  int        // max level over all endpoints
 
 	// pendingFanin[i] holds node i's fanin net names until Freeze
 	// resolves them (forward references are allowed).
@@ -202,6 +203,15 @@ func (c *Circuit) Freeze() error {
 		}
 	}
 	c.order = order
+	// Group the order into fanin-complete levels. Every node at
+	// unit-delay level L has all fanins at levels < L (launch points
+	// sit at level 0), so the nodes of one level never depend on each
+	// other and may be evaluated in any order — or concurrently.
+	c.levels = make([][]NodeID, c.depth+1)
+	for _, id := range order {
+		l := c.Nodes[id].Level
+		c.levels[l] = append(c.levels[l], id)
+	}
 	c.frozen = true
 	return nil
 }
@@ -214,6 +224,18 @@ func (c *Circuit) Frozen() bool { return c.frozen }
 func (c *Circuit) TopoOrder() []NodeID {
 	c.mustFreeze("TopoOrder")
 	return c.order
+}
+
+// Levelize returns the topological order grouped into fanin-complete
+// levels: levels[l] holds the nodes of unit-delay level l, and every
+// fanin of a level-l node lives at a level < l. Nodes within one
+// level are mutually independent, so a scheduler may evaluate them
+// concurrently; concatenating the levels yields TopoOrder up to
+// within-level permutation. Computed once at Freeze time; the caller
+// must not modify the returned slices.
+func (c *Circuit) Levelize() [][]NodeID {
+	c.mustFreeze("Levelize")
+	return c.levels
 }
 
 // Depth returns the maximum unit-delay logic level in the circuit.

@@ -66,6 +66,52 @@ func TestLevels(t *testing.T) {
 	}
 }
 
+func TestLevelizeIsFaninCompletePartition(t *testing.T) {
+	c := buildSmall(t)
+	levels := c.Levelize()
+	if len(levels) != c.Depth()+1 {
+		t.Fatalf("Levelize returned %d levels, want %d", len(levels), c.Depth()+1)
+	}
+	levelOf := make(map[NodeID]int)
+	total := 0
+	for l, ids := range levels {
+		for _, id := range ids {
+			if got := c.Nodes[id].Level; got != l {
+				t.Errorf("node %s in level %d has Level %d", c.Nodes[id].Name, l, got)
+			}
+			if _, dup := levelOf[id]; dup {
+				t.Errorf("node %s appears twice", c.Nodes[id].Name)
+			}
+			levelOf[id] = l
+			total++
+		}
+	}
+	if total != len(c.Nodes) {
+		t.Fatalf("levels cover %d of %d nodes", total, len(c.Nodes))
+	}
+	// Fanin-completeness: every combinational fanin is at a strictly
+	// lower level, so level l may start once levels < l are done.
+	for _, n := range c.Nodes {
+		if n.Type == logic.DFF {
+			continue // sequential edge, exempt
+		}
+		for _, f := range n.Fanin {
+			if levelOf[f] >= levelOf[n.ID] {
+				t.Errorf("fanin %s (level %d) not below %s (level %d)",
+					c.Nodes[f].Name, levelOf[f], n.Name, levelOf[n.ID])
+			}
+		}
+	}
+	// Concatenated levels are a permutation of TopoOrder that still
+	// respects dependencies; spot-check the first level holds every
+	// launch point.
+	for _, id := range c.LaunchPoints() {
+		if levelOf[id] != 0 {
+			t.Errorf("launch point %s at level %d", c.Nodes[id].Name, levelOf[id])
+		}
+	}
+}
+
 func TestTopoOrderRespectsDependencies(t *testing.T) {
 	c := buildSmall(t)
 	pos := make(map[NodeID]int)
