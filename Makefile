@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check
+.PHONY: build test bench bench-guard check
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,24 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# CI gate: vet plus the full suite under the race detector. The
-# parallel determinism tests (core.TestParallelRunMatchesSerial and
-# friends) exercise the level-parallel analyzers with Workers=4, so
-# this is the schedule-safety check.
+# Observability overhead gate: measures a BenchmarkParallel_SPSTA-
+# shaped run (s1238, Workers=4) with metrics enabled vs disabled,
+# interleaved min-of-N, and fails if the delta exceeds 2%. Since the
+# disabled path is the enabled path minus the work behind the nil
+# checks, this bounds the always-compiled instrumentation's cost on
+# uninstrumented runs. Opt-in via BENCH_GUARD=1 because a 2%
+# threshold needs a quiet machine.
+bench-guard:
+	BENCH_GUARD=1 $(GO) test -run TestBenchGuardObsOverhead -v .
+
+# CI gate: vet, the full suite under the race detector, then the
+# instrumentation overhead guard. The parallel determinism tests
+# (core.TestParallelRunMatchesSerial and friends) exercise the
+# level-parallel analyzers with Workers=4, so this is the
+# schedule-safety check; the instrumented variants
+# (core.TestInstrumentedParallelMatchesSerial and friends) re-check
+# it with metrics and tracing live.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-guard

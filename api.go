@@ -11,6 +11,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/paths"
 	"repro/internal/pgrid"
 	"repro/internal/power"
@@ -406,6 +407,44 @@ func AnalyzeSPSTAMIS(c *Circuit, inputs map[NodeID]InputStats, mis MISModel) (*S
 	a := core.Analyzer{MIS: mis}
 	return a.Run(c, inputs)
 }
+
+// Observability. The engines carry an always-compiled, process-global
+// instrumentation layer (see internal/obs): a metrics registry of
+// atomic counters and bounded histograms, and a tracer emitting Chrome
+// trace_event timelines of the level-parallel schedule. Both are
+// observational only — enabling them never changes analysis results —
+// and cost a single nil pointer check per site when disabled.
+type (
+	// EngineMetrics is the live metrics registry of the analysis
+	// engines (kernel-cache hits, convolution counts, subset leaves,
+	// per-level wall times, per-worker busy times).
+	EngineMetrics = obs.Metrics
+	// EngineMetricsSnapshot is a JSON-serializable point-in-time copy
+	// of an EngineMetrics registry.
+	EngineMetricsSnapshot = obs.Snapshot
+	// EngineTracer records per-level and per-gate spans from the
+	// level-parallel schedule and writes Chrome trace_event JSON.
+	EngineTracer = obs.Tracer
+)
+
+// EnableEngineMetrics installs (and returns) a fresh process-global
+// metrics registry; subsequent analyses record into it.
+func EnableEngineMetrics() *EngineMetrics { return obs.Enable() }
+
+// DisableEngineMetrics uninstalls the process-global metrics registry,
+// restoring the zero-overhead fast path.
+func DisableEngineMetrics() { obs.Disable() }
+
+// ActiveEngineMetrics returns the installed metrics registry, or nil.
+func ActiveEngineMetrics() *EngineMetrics { return obs.M() }
+
+// StartEngineTrace installs (and returns) a fresh process-global
+// tracer; subsequent analyses record schedule spans into it.
+func StartEngineTrace() *EngineTracer { return obs.StartTrace() }
+
+// StopEngineTrace uninstalls the process-global tracer and returns it
+// (nil if none was active) so its spans can still be written.
+func StopEngineTrace() *EngineTracer { return obs.StopTrace() }
 
 // SplitWideGates returns an equivalent circuit with every gate's
 // fanin bounded by maxFanin (wide gates become balanced trees) so

@@ -24,6 +24,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/synth"
 )
 
@@ -37,6 +39,10 @@ type Row struct {
 	Reps      int     `json:"reps"`
 	NsPerOp   float64 `json:"ns_per_op"`
 	SpeedupV1 float64 `json:"speedup_vs_workers_1,omitempty"`
+	// Metrics is an engine-metrics snapshot from one extra
+	// instrumented run of this cell (-metrics); the timed reps above
+	// run uninstrumented so NsPerOp is unaffected.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // File is the emitted JSON document.
@@ -61,7 +67,17 @@ func run() error {
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
 	circuitsList := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per (circuit, workers) cell")
+	withMetrics := flag.Bool("metrics", false, "embed an engine-metrics snapshot per cell (from one extra instrumented run; timed reps stay uninstrumented)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address for the duration of the sweep")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obshttp.Serve(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	workers, err := parseInts(*workersList)
 	if err != nil {
@@ -101,6 +117,13 @@ func run() error {
 			}
 			if base > 0 && w != 1 {
 				row.SpeedupV1 = base / nsPerOp
+			}
+			if *withMetrics {
+				snap, err := snapshotCell(c, in, w)
+				if err != nil {
+					return fmt.Errorf("%s workers=%d: %w", c.Name, w, err)
+				}
+				row.Metrics = snap
 			}
 			f.Benchmarks = append(f.Benchmarks, row)
 			fmt.Fprintf(os.Stderr, "%-8s workers=%d  %12.0f ns/op  (%d reps)\n", c.Name, w, nsPerOp, reps)
@@ -157,6 +180,19 @@ func measure(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, 
 		}
 		reps = next
 	}
+}
+
+// snapshotCell runs the analyzer once more with metrics enabled and
+// returns the snapshot. It runs outside the timed loop so the
+// reported ns/op measures the uninstrumented fast path.
+func snapshotCell(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int) (*obs.Snapshot, error) {
+	m := obs.Enable()
+	defer obs.Disable()
+	a := core.Analyzer{Workers: w}
+	if _, err := a.Run(c, in); err != nil {
+		return nil, err
+	}
+	return m.Snapshot(), nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -28,6 +30,8 @@ import (
 	"repro/internal/logic"
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/paths"
 	"repro/internal/report"
 	"repro/internal/ssta"
@@ -51,7 +55,29 @@ func run() error {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS): SPSTA evaluates each circuit level in parallel with results identical for any worker count; Monte Carlo shards its runs per worker, so its substreams — and hence its output — are determined by the (-seed, -workers) pair")
 	net := flag.String("net", "", "report a single net instead of the endpoints")
 	split := flag.Int("split", 0, "decompose gates wider than this fanin into trees (0 disables)")
+	sigma := flag.Float64("sigma", 0, "gate delay sigma: >0 selects variational N(1, sigma^2) gate delays (exercising the convolution SUM path) instead of deterministic unit delays")
+	metricsOut := flag.String("metrics", "", "append a JSON engine-metrics snapshot to the run report: - for stdout, or a file path")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the level schedule to this file (open in chrome://tracing or Perfetto)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obshttp.Serve(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
+	var met *obs.Metrics
+	if *metricsOut != "" || *pprofAddr != "" {
+		met = obs.Enable()
+		defer obs.Disable()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.StartTrace()
+		defer obs.StopTrace()
+	}
 
 	c, err := loadCircuit(*gen, flag.Arg(0))
 	if err != nil {
@@ -82,38 +108,165 @@ func run() error {
 		return err
 	}
 
-	switch *analyzer {
-	case "spsta":
-		return runSPSTA(c, in, targets, *workers)
-	case "spsta-moments":
-		return runSPSTAMoments(c, in, targets, *workers)
-	case "ssta":
-		return runSSTA(c, in, targets)
-	case "sta":
-		return runSTA(c, in, targets)
-	case "mc":
-		return runMC(c, in, targets, *runs, *seed, *workers)
-	case "critical":
-		return runCritical(c, in, *workers)
-	case "paths":
-		return runPaths(c, in)
-	case "yield":
-		return runYield(c, in, *workers)
-	case "all":
-		for _, f := range []func() error{
-			func() error { return runSPSTA(c, in, targets, *workers) },
-			func() error { return runSSTA(c, in, targets) },
-			func() error { return runSTA(c, in, targets) },
-			func() error { return runMC(c, in, targets, *runs, *seed, *workers) },
-		} {
-			if err := f(); err != nil {
+	var delay ssta.DelayModel
+	if *sigma > 0 {
+		s := *sigma
+		delay = func(n *netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: s} }
+	}
+
+	dispatch := func() error {
+		switch *analyzer {
+		case "spsta":
+			return runSPSTA(c, in, targets, *workers, delay)
+		case "spsta-moments":
+			return runSPSTAMoments(c, in, targets, *workers, delay)
+		case "ssta":
+			return runSSTA(c, in, targets, delay)
+		case "sta":
+			return runSTA(c, in, targets, delay)
+		case "mc":
+			return runMC(c, in, targets, *runs, *seed, *workers, delay)
+		case "critical":
+			return runCritical(c, in, *workers, delay)
+		case "paths":
+			return runPaths(c, in)
+		case "yield":
+			return runYield(c, in, *workers, delay)
+		case "all":
+			return runAll(c, in, targets, *runs, *seed, *workers, delay)
+		}
+		return fmt.Errorf("unknown analyzer %q", *analyzer)
+	}
+	if err := dispatch(); err != nil {
+		return err
+	}
+	return writeObsOutputs(met, tracer, *metricsOut, *traceOut)
+}
+
+// runAll runs every comparison engine and prints a summary footer
+// with per-engine wall time and the peak HeapAlloc growth observed
+// while the engine ran (sampled concurrently).
+func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, delay ssta.DelayModel) error {
+	engines := []struct {
+		name string
+		f    func() error
+	}{
+		{"spsta", func() error { return runSPSTA(c, in, targets, workers, delay) }},
+		{"ssta", func() error { return runSSTA(c, in, targets, delay) }},
+		{"sta", func() error { return runSTA(c, in, targets, delay) }},
+		{"mc", func() error { return runMC(c, in, targets, runs, seed, workers, delay) }},
+	}
+	footer := report.Table{
+		Title:   "Engine summary",
+		Headers: []string{"engine", "elapsed", "peak heap delta"},
+	}
+	for _, e := range engines {
+		runtime.GC() // settle the baseline so deltas are per-engine
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		before := ms.HeapAlloc
+		sampler := startHeapSampler(before)
+		t0 := time.Now()
+		err := e.f()
+		elapsed := time.Since(t0)
+		peak := sampler.stop()
+		if err != nil {
+			return err
+		}
+		footer.Add(e.name, elapsed.Round(time.Microsecond).String(), formatBytes(peak))
+		fmt.Println()
+	}
+	return footer.Render(os.Stdout)
+}
+
+// heapSampler polls runtime.MemStats.HeapAlloc on a short ticker and
+// tracks the peak growth above a baseline — a sampled approximation
+// of the engine's peak live heap (allocation spikes shorter than the
+// sampling interval can be missed).
+type heapSampler struct {
+	stopc chan struct{}
+	done  chan uint64
+}
+
+func startHeapSampler(baseline uint64) *heapSampler {
+	s := &heapSampler{stopc: make(chan struct{}), done: make(chan uint64)}
+	go func() {
+		peak := uint64(0)
+		sample := func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > baseline && ms.HeapAlloc-baseline > peak {
+				peak = ms.HeapAlloc - baseline
+			}
+		}
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				sample()
+				s.done <- peak
+				return
+			case <-ticker.C:
+				sample()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) stop() uint64 {
+	close(s.stopc)
+	return <-s.done
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// writeObsOutputs appends the metrics snapshot to the run report and
+// writes the trace file, per the -metrics/-trace flags.
+func writeObsOutputs(met *obs.Metrics, tracer *obs.Tracer, metricsOut, traceOut string) error {
+	if met != nil && metricsOut != "" {
+		enc, err := json.MarshalIndent(met.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if metricsOut == "-" {
+			fmt.Println("\nengine metrics:")
+			if _, err := os.Stdout.Write(enc); err != nil {
 				return err
 			}
-			fmt.Println()
+		} else if err := os.WriteFile(metricsOut, enc, 0o644); err != nil {
+			return err
 		}
-		return nil
 	}
-	return fmt.Errorf("unknown analyzer %q", *analyzer)
+	if tracer != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		msg := fmt.Sprintf("trace: wrote %d spans to %s", tracer.Len(), traceOut)
+		if d := tracer.Dropped(); d > 0 {
+			msg += fmt.Sprintf(" (%d spans dropped over the %d-event cap)", d, obs.DefaultMaxEvents)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+	}
+	return nil
 }
 
 func loadCircuit(gen, path string) (*netlist.Circuit, error) {
@@ -176,8 +329,8 @@ func targetNets(c *netlist.Circuit, net string) ([]netlist.NodeID, error) {
 	return []netlist.NodeID{n.ID}, nil
 }
 
-func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int) error {
-	a := core.Analyzer{Workers: workers}
+func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, delay ssta.DelayModel) error {
+	a := core.Analyzer{Workers: workers, Delay: delay}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err
@@ -198,8 +351,8 @@ func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, target
 	return t.Render(os.Stdout)
 }
 
-func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int) error {
-	a := core.MomentTiming{Workers: workers}
+func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, delay ssta.DelayModel) error {
+	a := core.MomentTiming{Workers: workers, Delay: delay}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err
@@ -218,8 +371,8 @@ func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats,
 	return t.Render(os.Stdout)
 }
 
-func runSSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
-	res := ssta.Analyze(c, in, nil)
+func runSSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, delay ssta.DelayModel) error {
+	res := ssta.Analyze(c, in, delay)
 	t := report.Table{
 		Title:   "SSTA (min-max separated)",
 		Headers: []string{"net", "rise mu", "sigma", "fall mu", "sigma"},
@@ -232,8 +385,8 @@ func runSSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets
 	return t.Render(os.Stdout)
 }
 
-func runSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID) error {
-	res := ssta.AnalyzeSTA(c, in, nil, 3)
+func runSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, delay ssta.DelayModel) error {
+	res := ssta.AnalyzeSTA(c, in, delay, 3)
 	t := report.Table{
 		Title:   "STA (±3σ bounds)",
 		Headers: []string{"net", "rise lo", "hi", "fall lo", "hi"},
@@ -246,14 +399,14 @@ func runSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 	return t.Render(os.Stdout)
 }
 
-func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int) error {
+func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, delay ssta.DelayModel) error {
 	// The montecarlo package treats Workers as an exact shard count;
 	// resolve the 0 default here so the CLI contract ("0 means
 	// GOMAXPROCS") holds for Monte Carlo too.
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed, Workers: workers})
+	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed, Workers: workers, Delay: delay})
 	if err != nil {
 		return err
 	}
@@ -272,8 +425,8 @@ func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets [
 	return t.Render(os.Stdout)
 }
 
-func runCritical(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int) error {
-	a := core.Analyzer{Workers: workers}
+func runCritical(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int, delay ssta.DelayModel) error {
+	a := core.Analyzer{Workers: workers, Delay: delay}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err
@@ -323,8 +476,8 @@ func runPaths(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error 
 	return t.Render(os.Stdout)
 }
 
-func runYield(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int) error {
-	a := core.Analyzer{Workers: workers}
+func runYield(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int, delay ssta.DelayModel) error {
+	a := core.Analyzer{Workers: workers, Delay: delay}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err

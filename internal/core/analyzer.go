@@ -30,6 +30,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/ssta"
 )
@@ -158,7 +159,8 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 		kernels: dist.NewKernelCache(grid),
 	}
 	rc := &runCtx{grid: grid, delay: delay, maxParity: maxParity, kernels: res.kernels}
-	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), func(id netlist.NodeID) error {
+	name := func(id netlist.NodeID) string { return c.Nodes[id].Name }
+	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, func(id netlist.NodeID) error {
 		if err := a.computeNode(res, id, inputs, rc); err != nil {
 			return err
 		}
@@ -351,7 +353,13 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 			fall = dist.NewScratch(grid)
 		}
 		vals := make([]logic.Value, len(n.Fanin))
-		a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall, rc)
+		if m := obs.M(); m != nil {
+			var leaves int64
+			a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall, rc, &leaves)
+			m.SubsetLeaves.Add(len(n.Fanin), leaves)
+		} else {
+			a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall, rc, nil)
+		}
 		st.P[logic.Rise] = rise.Mass()
 		st.P[logic.Fall] = fall.Mass()
 		if a.MIS != nil {
@@ -374,12 +382,16 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 // constant-output probabilities into st.P and transition t.o.p.
 // mass into rise/fall. The settled transition time of a parity gate
 // is the MAX over its switching inputs (every switch toggles the
-// output; see logic.SettleOp).
-func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value, i int, weight float64, st *NetState, rise, fall *dist.PMF, rc *runCtx) {
+// output; see logic.SettleOp). leaves, when non-nil, counts the
+// enumerated combinations for the obs subset-leaf histogram.
+func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value, i int, weight float64, st *NetState, rise, fall *dist.PMF, rc *runCtx, leaves *int64) {
 	if weight == 0 {
 		return
 	}
 	if i == len(vals) {
+		if leaves != nil {
+			*leaves++
+		}
 		out, op := n.Type.SettleOp(vals)
 		if !out.Switching() {
 			st.P[out] += weight
@@ -440,7 +452,7 @@ func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value
 	in := &res.State[n.Fanin[i]]
 	for v := logic.Zero; v < logic.NumValues; v++ {
 		vals[i] = v
-		a.parityCombos(res, n, vals, i+1, weight*in.P[v], st, rise, fall, rc)
+		a.parityCombos(res, n, vals, i+1, weight*in.P[v], st, rise, fall, rc, leaves)
 	}
 }
 

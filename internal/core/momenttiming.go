@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/ssta"
 )
 
@@ -62,7 +63,8 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 	}
 	res := &MomentResult{C: c, State: make([]MomentState, len(c.Nodes))}
 	defaultStats := logic.UniformStats()
-	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), func(id netlist.NodeID) error {
+	name := func(id netlist.NodeID) string { return c.Nodes[id].Name }
+	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, func(id netlist.NodeID) error {
 		n := c.Nodes[id]
 		st := &res.State[id]
 		switch {
@@ -164,8 +166,16 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		for _, f := range n.Fanin {
 			pNCD *= res.State[f].P[ncVal]
 		}
-		subsetMoments(res, n.Fanin, ncVal, towardNC, true, &ncd)
-		subsetMoments(res, n.Fanin, ncVal, towardCtrl, false, &cd)
+		var leaves *int64
+		m := obs.M()
+		if m != nil {
+			leaves = new(int64)
+		}
+		subsetMoments(res, n.Fanin, ncVal, towardNC, true, &ncd, leaves)
+		subsetMoments(res, n.Fanin, ncVal, towardCtrl, false, &cd, leaves)
+		if m != nil {
+			m.SubsetLeaves.Add(len(n.Fanin), *leaves)
+		}
 		ncdOut := n.Type.EvalBool(allBool(len(n.Fanin), !ctrl))
 		ncdArr, ncdP := ncd.normal()
 		cdArr, cdP := cd.normal()
@@ -190,12 +200,20 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		}
 		var rise, fall mixAccum
 		vals := make([]logic.Value, len(n.Fanin))
+		var leaves *int64
+		m := obs.M()
+		if m != nil {
+			leaves = new(int64)
+		}
 		var rec func(i int, weight float64)
 		rec = func(i int, weight float64) {
 			if weight == 0 {
 				return
 			}
 			if i == len(vals) {
+				if leaves != nil {
+					*leaves++
+				}
 				out, op := n.Type.SettleOp(vals)
 				if !out.Switching() {
 					st.P[out] += weight
@@ -230,6 +248,9 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 			}
 		}
 		rec(0, 1)
+		if m != nil {
+			m.SubsetLeaves.Add(len(n.Fanin), *leaves)
+		}
 		riseArr, riseP := rise.normal()
 		fallArr, fallP := fall.normal()
 		st.P[logic.Rise] = riseP
@@ -244,14 +265,18 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 // subsetMoments enumerates non-empty switching subsets (direction
 // dir, the rest pinned at ncVal) and accumulates the Clark-combined
 // subset arrival moments into acc. max selects MAX (true) or MIN
-// combination.
-func subsetMoments(res *MomentResult, fanin []netlist.NodeID, ncVal, dir logic.Value, max bool, acc *mixAccum) {
+// combination. leaves, when non-nil, counts enumerated subset leaves
+// for the obs histogram.
+func subsetMoments(res *MomentResult, fanin []netlist.NodeID, ncVal, dir logic.Value, max bool, acc *mixAccum, leaves *int64) {
 	var rec func(i int, weight float64, cur dist.Normal, has bool)
 	rec = func(i int, weight float64, cur dist.Normal, has bool) {
 		if weight == 0 {
 			return
 		}
 		if i == len(fanin) {
+			if leaves != nil {
+				*leaves++
+			}
 			if has {
 				acc.add(weight, cur)
 			}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// TestInstrumentedParallelMatchesSerial asserts that the
+// observability layer is purely observational: a parallel Run with
+// metrics AND tracing enabled is bin-for-bin bit-identical to an
+// uninstrumented serial run. Run with -race to also check that the
+// instrumentation's shared state (atomic counters, tracer buffer)
+// introduces no races into the level schedule.
+func TestInstrumentedParallelMatchesSerial(t *testing.T) {
+	c, err := synth.Generate(mustProfile(t, "s349"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+
+	serial := Analyzer{Workers: 1}
+	rs, err := serial.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.Enable()
+	defer obs.Disable()
+	tr := obs.StartTrace()
+	defer obs.StopTrace()
+
+	parallel := Analyzer{Workers: 4}
+	rp, err := parallel.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range rs.State {
+		compareNetState(t, c, netlist.NodeID(id), &rs.State[id], &rp.State[id])
+	}
+
+	snap := m.Snapshot()
+	if snap.KernelCache.Hits == 0 {
+		t.Error("instrumented run recorded no kernel-cache hits")
+	}
+	if len(snap.Levels) == 0 {
+		t.Error("instrumented run recorded no level stats")
+	}
+	gates := int64(0)
+	for _, l := range snap.Levels {
+		gates += l.Gates
+	}
+	if gates != int64(len(c.Nodes)) {
+		t.Errorf("level stats cover %d gates, circuit has %d nodes", gates, len(c.Nodes))
+	}
+	if tr.Len() == 0 {
+		t.Error("tracer recorded no spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace document has no events")
+	}
+}
+
+func mustProfile(t *testing.T, name string) synth.Profile {
+	t.Helper()
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	return p
+}
+
+// TestParallelErrorMidLevelInstrumented places failing gates in the
+// middle of a level that also contains succeeding gates: workers keep
+// draining the level after the failure, and the reported error must
+// deterministically be the first one in level order — with metrics
+// and tracing enabled, across repeats, under -race.
+func TestParallelErrorMidLevelInstrumented(t *testing.T) {
+	// Level 1 holds, in level order: g1 (ok), g2 (fails: parity fanin
+	// 4 > cap 3), g3 (fails), g4 (ok). The error must always be g2's.
+	src := "INPUT(a)\nINPUT(b)\n" +
+		"OUTPUT(g1)\nOUTPUT(g2)\nOUTPUT(g3)\nOUTPUT(g4)\n" +
+		"g1 = AND(a, b)\n" +
+		"g2 = XOR(a, b, a, b)\n" +
+		"g3 = XOR(b, a, b, a)\n" +
+		"g4 = OR(a, b)\n"
+	c := parse(t, src, "mid-level-fail")
+	in := uniform(c)
+
+	a := Analyzer{MaxParityFanin: 3, Workers: 1}
+	_, errSerial := a.Run(c, in)
+	if errSerial == nil {
+		t.Fatal("expected parity-cap error")
+	}
+	if !strings.Contains(errSerial.Error(), "g2") {
+		t.Fatalf("serial error %q does not name g2, the first failing gate in level order", errSerial)
+	}
+
+	m := obs.Enable()
+	defer obs.Disable()
+	tr := obs.StartTrace()
+	defer obs.StopTrace()
+
+	a.Workers = 4
+	for i := 0; i < 8; i++ {
+		_, errPar := a.Run(c, in)
+		if errPar == nil || errPar.Error() != errSerial.Error() {
+			t.Fatalf("repeat %d: parallel error %q != serial %q", i, errPar, errSerial)
+		}
+	}
+	// All four gates of the failing level ran every repeat: the level
+	// drains fully so the error choice cannot depend on worker timing.
+	snap := m.Snapshot()
+	gates := int64(0)
+	for _, w := range snap.Workers {
+		gates += w.Gates
+	}
+	// 8 parallel repeats × (2 inputs + 4 gates) = 48 evaluations.
+	if want := int64(8 * 6); gates != want {
+		t.Errorf("workers evaluated %d gates, want %d (every gate of the failing level must run)", gates, want)
+	}
+	if tr.Len() == 0 {
+		t.Error("tracer recorded no spans from failing runs")
+	}
+}
+
+// TestInstrumentedMomentTimingMatchesSerial is the MomentTiming
+// analog of the bit-identical instrumentation contract.
+func TestInstrumentedMomentTimingMatchesSerial(t *testing.T) {
+	c, err := synth.Generate(mustProfile(t, "s298"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+
+	serial := MomentTiming{Workers: 1}
+	rs, err := serial.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Enable()
+	defer obs.Disable()
+	parallel := MomentTiming{Workers: 4}
+	rp, err := parallel.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range rs.State {
+		s, p := &rs.State[id], &rp.State[id]
+		for v := range s.P {
+			if math.Float64bits(s.P[v]) != math.Float64bits(p.P[v]) {
+				t.Fatalf("%s: P[%d]: %v vs %v", c.Nodes[id].Name, v, s.P[v], p.P[v])
+			}
+		}
+		for d := range s.Arr {
+			if s.Arr[d] != p.Arr[d] {
+				t.Fatalf("%s: Arr[%d]: %+v vs %+v", c.Nodes[id].Name, d, s.Arr[d], p.Arr[d])
+			}
+		}
+	}
+}

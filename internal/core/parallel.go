@@ -2,9 +2,12 @@ package core
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // resolveWorkers maps a Workers field to an effective worker count:
@@ -29,39 +32,134 @@ func resolveWorkers(w int) int {
 // siblings.
 //
 // With workers <= 1 the levels are walked inline. Otherwise a fixed
-// pool of goroutines drains a work channel; every node of a level is
-// evaluated even after a failure so that the returned error is
-// deterministically the first one in level order, not whichever
-// worker lost a race.
-func runLevels(workers int, levels [][]netlist.NodeID, nnodes int, f func(netlist.NodeID) error) error {
+// pool of goroutines drains a work channel of level chunks; every
+// node of a level is evaluated even after a failure so that the
+// returned error is deterministically the first one in level order,
+// not whichever worker lost a race.
+//
+// Instrumentation (obs.M / obs.T, loaded once per call) is purely
+// observational: per-level gate counts and wall time, per-worker
+// busy time, and per-level/per-gate tracer spans. name resolves a
+// node id to its display name for gate spans and is only called when
+// tracing is on. The cost is tiered: with both registries nil the
+// gate loop is the bare f(id) call behind a single local nil check;
+// with metrics only, busy time is attributed from two Nanotime
+// readings per chunk (serial mode reuses the level reading — zero
+// extra clock reads); tracing adds a time.Now/Since pair per gate
+// for span timestamps and is explicitly the heavier mode.
+func runLevels(workers int, levels [][]netlist.NodeID, nnodes int, name func(netlist.NodeID) string, f func(netlist.NodeID) error) error {
+	m, tr := obs.M(), obs.T()
+	instr := m != nil || tr != nil
+	if tr != nil {
+		tr.NameThread(0, "level schedule")
+	}
 	if workers <= 1 {
-		for _, level := range levels {
-			for _, id := range level {
-				if err := f(id); err != nil {
-					return err
+		if tr != nil {
+			tr.NameThread(1, "worker 0")
+		}
+		for li, level := range levels {
+			var lt0 time.Time
+			if instr {
+				lt0 = time.Now()
+			}
+			switch {
+			case !instr:
+				for _, id := range level {
+					if err := f(id); err != nil {
+						return err
+					}
 				}
+			case tr == nil:
+				// Metrics only: the single worker is busy for exactly
+				// the level wall time, so the level clock reading
+				// doubles as the busy-time attribution.
+				for _, id := range level {
+					if err := f(id); err != nil {
+						return err
+					}
+				}
+				d := time.Since(lt0)
+				m.AddWorkerChunk(0, len(level), int64(d))
+				m.RecordLevel(li, len(level), d)
+			default:
+				for _, id := range level {
+					g0 := time.Now()
+					err := f(id)
+					d := time.Since(g0)
+					if m != nil {
+						m.AddWorkerBusy(0, d)
+					}
+					tr.Span(name(id), "gate", 1, g0, d, nil)
+					if err != nil {
+						return err
+					}
+				}
+				recordLevel(m, tr, li, len(level), lt0)
 			}
 		}
 		return nil
 	}
 	errs := make([]error, nnodes)
-	work := make(chan netlist.NodeID)
+	work := make(chan []netlist.NodeID)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
+		if tr != nil {
+			tr.NameThread(w+1, "worker "+strconv.Itoa(w))
+		}
 		go func() {
-			for id := range work {
-				errs[id] = f(id)
+			for chunk := range work {
+				switch {
+				case !instr:
+					for _, id := range chunk {
+						errs[id] = f(id)
+					}
+				case tr == nil:
+					g0 := obs.Nanotime()
+					for _, id := range chunk {
+						errs[id] = f(id)
+					}
+					m.AddWorkerChunk(w, len(chunk), obs.Nanotime()-g0)
+				default:
+					for _, id := range chunk {
+						g0 := time.Now()
+						errs[id] = f(id)
+						d := time.Since(g0)
+						if m != nil {
+							m.AddWorkerBusy(w, d)
+						}
+						tr.Span(name(id), "gate", w+1, g0, d, nil)
+					}
+				}
 				wg.Done()
 			}
 		}()
 	}
 	defer close(work)
-	for _, level := range levels {
-		wg.Add(len(level))
-		for _, id := range level {
-			work <- id
+	for li, level := range levels {
+		var lt0 time.Time
+		if instr {
+			lt0 = time.Now()
+		}
+		// Subdivide the level finer than the worker count so slow
+		// chunks still spread, but coarse enough that channel ops and
+		// per-chunk instrumentation stay off the per-gate fast path.
+		chunk := len(level) / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		for lo := 0; lo < len(level); lo += chunk {
+			hi := lo + chunk
+			if hi > len(level) {
+				hi = len(level)
+			}
+			wg.Add(1)
+			work <- level[lo:hi]
 		}
 		wg.Wait() // level barrier: level L+1 reads these slots
+		if instr {
+			recordLevel(m, tr, li, len(level), lt0)
+		}
 		for _, id := range level {
 			if errs[id] != nil {
 				return errs[id]
@@ -69,4 +167,16 @@ func runLevels(workers int, levels [][]netlist.NodeID, nnodes int, f func(netlis
 		}
 	}
 	return nil
+}
+
+// recordLevel publishes one completed level's metrics and trace span.
+func recordLevel(m *obs.Metrics, tr *obs.Tracer, level, gates int, start time.Time) {
+	d := time.Since(start)
+	if m != nil {
+		m.RecordLevel(level, gates, d)
+	}
+	if tr != nil {
+		tr.Span("L"+strconv.Itoa(level), "level", 0, start, d,
+			map[string]any{"gates": gates})
+	}
 }

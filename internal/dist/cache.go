@@ -1,6 +1,10 @@
 package dist
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // KernelCache memoizes FromNormal discretizations on one fixed grid,
 // so a delay kernel shared by many gates (the common case: a cell
@@ -12,15 +16,32 @@ import "sync"
 // treated as read-only; every PMF kernel that reads two operands
 // (Convolve, MaxPMF, …) leaves them untouched, so cached kernels can
 // be passed directly as operands.
+//
+// Misses are once-per-key: the entry is inserted under the write
+// lock and the discretization runs inside the entry's sync.Once, so
+// concurrent first lookups of one Normal wait for a single
+// computation instead of racing, discretizing redundantly and
+// discarding the losers' work. The obs.Metrics kernel counters
+// record hits, misses and races (slow-path lookups that found the
+// entry already inserted — exactly the lookups that used to waste a
+// discretization).
 type KernelCache struct {
 	grid Grid
 	mu   sync.RWMutex
-	m    map[Normal]*PMF
+	m    map[Normal]*cacheEntry
+}
+
+// cacheEntry is one once-per-key cache slot; p is written inside once
+// and read only after once.Do returns (the Once provides the
+// happens-before edge).
+type cacheEntry struct {
+	once sync.Once
+	p    *PMF
 }
 
 // NewKernelCache returns an empty cache for grid g.
 func NewKernelCache(g Grid) *KernelCache {
-	return &KernelCache{grid: g, m: make(map[Normal]*PMF)}
+	return &KernelCache{grid: g, m: make(map[Normal]*cacheEntry)}
 }
 
 // Grid returns the grid the cached kernels live on.
@@ -30,23 +51,32 @@ func (kc *KernelCache) Grid() Grid { return kc.grid }
 // computing it on first use. The result is shared: read-only.
 func (kc *KernelCache) FromNormal(n Normal) *PMF {
 	kc.mu.RLock()
-	p := kc.m[n]
+	e := kc.m[n]
 	kc.mu.RUnlock()
-	if p != nil {
-		return p
+	m := obs.M()
+	if e == nil {
+		kc.mu.Lock()
+		if e = kc.m[n]; e == nil {
+			e = &cacheEntry{}
+			kc.m[n] = e
+			if m != nil {
+				m.KernelMisses.Add(1)
+			}
+		} else if m != nil {
+			// Another worker inserted the entry between our read and
+			// write locks; before the once-per-key scheme this lookup
+			// would have discretized the kernel and discarded it.
+			m.KernelRaces.Add(1)
+		}
+		kc.mu.Unlock()
+	} else if m != nil {
+		m.KernelHits.Add(1)
 	}
-	p = FromNormal(kc.grid, n)
-	kc.mu.Lock()
-	if q, ok := kc.m[n]; ok {
-		p = q // another worker won the race; keep one canonical kernel
-	} else {
-		kc.m[n] = p
-	}
-	kc.mu.Unlock()
-	return p
+	e.once.Do(func() { e.p = FromNormal(kc.grid, n) })
+	return e.p
 }
 
-// Len returns the number of distinct kernels discretized so far.
+// Len returns the number of distinct kernels requested so far.
 func (kc *KernelCache) Len() int {
 	kc.mu.RLock()
 	defer kc.mu.RUnlock()

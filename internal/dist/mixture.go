@@ -1,5 +1,7 @@
 package dist
 
+import "repro/internal/obs"
+
 // SwitchInput describes one gate input for the WEIGHTED SUM mixture
 // of Eq. 11: the input either holds the gate's non-controlling
 // constant value (probability Stay) or switches at a random time
@@ -36,6 +38,9 @@ func MaxMixtureInto(dst *PMF, in []SwitchInput) *PMF {
 	dst.Reset()
 	if len(in) == 0 {
 		return dst
+	}
+	if m := obs.M(); m != nil {
+		m.MixtureEvals.Add(len(in), 1)
 	}
 	prev := 1.0 // H[-1] = Π Stay_i
 	lo, hi := dst.grid.N, 0
@@ -89,6 +94,9 @@ func MinMixtureInto(dst *PMF, in []SwitchInput) *PMF {
 	if len(in) == 0 {
 		return dst
 	}
+	if m := obs.M(); m != nil {
+		m.MixtureEvals.Add(len(in), 1)
+	}
 	var massArr, cumArr [16]float64
 	mass, cum := massArr[:0], cumArr[:0]
 	if len(in) <= len(massArr) {
@@ -139,12 +147,14 @@ func Mixture(g Grid, in []SwitchInput, max bool) *PMF {
 // MaxMixture/MinMixture and for the ablation benchmarks.
 func SubsetMixture(g Grid, in []SwitchInput, max bool) *PMF {
 	out := NewPMF(g)
+	leaves := int64(0)
 	var rec func(i int, weight float64, acc *PMF)
 	rec = func(i int, weight float64, acc *PMF) {
 		if weight == 0 {
 			return
 		}
 		if i == len(in) {
+			leaves++
 			if acc != nil {
 				out.AccumWeighted(acc, weight)
 			}
@@ -172,6 +182,9 @@ func SubsetMixture(g Grid, in []SwitchInput, max bool) *PMF {
 		rec(i+1, weight*m, next)
 	}
 	rec(0, 1, nil)
+	if m := obs.M(); m != nil {
+		m.SubsetLeaves.Add(len(in), leaves)
+	}
 	return out
 }
 
@@ -183,12 +196,14 @@ func SubsetMixture(g Grid, in []SwitchInput, max bool) *PMF {
 // single-switching characterization. O(2^k) like SubsetMixture.
 func SizedMixture(g Grid, in []SwitchInput, max bool, delay func(size int) Normal) *PMF {
 	out := NewPMF(g)
+	leaves := int64(0)
 	var rec func(i, size int, weight float64, acc *PMF)
 	rec = func(i, size int, weight float64, acc *PMF) {
 		if weight == 0 {
 			return
 		}
 		if i == len(in) {
+			leaves++
 			if acc == nil {
 				return
 			}
@@ -222,5 +237,8 @@ func SizedMixture(g Grid, in []SwitchInput, max bool, delay func(size int) Norma
 		rec(i+1, size+1, weight*m, next)
 	}
 	rec(0, 0, 1, nil)
+	if m := obs.M(); m != nil {
+		m.SubsetLeaves.Add(len(in), leaves)
+	}
 	return out
 }

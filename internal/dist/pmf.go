@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // PMF is a discretized distribution: probability mass per grid bin.
@@ -42,8 +44,14 @@ func getBins(n int) []float64 {
 	if v := binPool.Get(); v != nil {
 		s := *(v.(*[]float64))
 		if cap(s) >= n {
+			if m := obs.M(); m != nil {
+				m.PoolGets.Add(1)
+			}
 			return s[:n]
 		}
+	}
+	if m := obs.M(); m != nil {
+		m.PoolNews.Add(1)
 	}
 	return make([]float64, n)
 }
@@ -279,7 +287,17 @@ func (p *PMF) ConvolveInto(dst, q *PMF) *PMF {
 	if sa == 0 || sb == 0 {
 		return dst
 	}
-	if sa >= fftCrossover && sb >= fftCrossover {
+	useFFT := sa >= fftCrossover && sb >= fftCrossover
+	if m := obs.M(); m != nil {
+		m.ConvSupport.Observe(sa)
+		m.ConvSupport.Observe(sb)
+		if useFFT {
+			m.ConvFFT.Add(1)
+		} else {
+			m.ConvDirect.Add(1)
+		}
+	}
+	if useFFT {
 		convolveFFTInto(dst, p, q)
 		return dst
 	}

@@ -10,11 +10,14 @@ package montecarlo
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/ssta"
 )
 
@@ -206,6 +209,9 @@ func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cf
 			}
 		}
 	}
+	if m := obs.M(); m != nil {
+		m.MCRuns.Add(int64(runs))
+	}
 	return res, nil
 }
 
@@ -327,7 +333,23 @@ func simulateParallel(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputS
 				out[w] = shard{res: &Result{C: c, Stats: make([]NetStats, len(c.Nodes))}}
 				return
 			}
+			m, tr := obs.M(), obs.T()
+			var t0 time.Time
+			if m != nil || tr != nil {
+				t0 = time.Now()
+			}
 			r, err := Simulate(c, inputs, sub)
+			if m != nil || tr != nil {
+				d := time.Since(t0)
+				if m != nil {
+					m.WorkerBusyNS[w%obs.MaxWorkers].Add(int64(d))
+				}
+				if tr != nil {
+					tr.NameThread(w+1, "worker "+strconv.Itoa(w))
+					tr.Span("mc shard "+strconv.Itoa(w)+" ("+strconv.Itoa(sub.Runs)+" runs)",
+						"montecarlo", w+1, t0, d, nil)
+				}
+			}
 			out[w] = shard{res: r, err: err}
 		}()
 	}

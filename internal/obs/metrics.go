@@ -1,0 +1,314 @@
+// Package obs is the engine instrumentation layer: a registry of
+// atomic counters and bounded histograms (Metrics) plus a span
+// recorder (Tracer) that exports Chrome trace_event JSON.
+//
+// The layer is always compiled and near-zero-cost when disabled: hot
+// paths in dist, core and montecarlo call obs.M() / obs.T() — one
+// atomic pointer load — and skip every measurement on nil. Enabling
+// instrumentation never changes analysis results; counters and spans
+// are observational only, so the parallel-vs-serial bit-identity
+// contract holds with instrumentation on (asserted by
+// core.TestInstrumentedParallelMatchesSerial).
+//
+// Metrics and Tracer are process-global by design — the kernels they
+// observe (dist.PMF convolutions, the scratch pool) have no per-run
+// handle to thread a registry through. Concurrent analyses therefore
+// share one registry; per-run snapshots are taken by enabling,
+// running, snapshotting and disabling in sequence (see cmd/spsta and
+// cmd/benchperf).
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxWorkers bounds the per-worker accumulator arrays; worker ids are
+// folded modulo MaxWorkers (real worker counts are GOMAXPROCS-sized,
+// far below the bound).
+const MaxWorkers = 64
+
+// MaxFanin bounds the per-fanin histograms; wider gates fold into the
+// last bucket (the analyzers cap enumeration fanin well below this).
+const MaxFanin = 32
+
+// pow2Buckets bounds Pow2Hist: bucket i counts values of bit length
+// i, i.e. in [2^(i-1), 2^i); values at or beyond 2^(pow2Buckets-1)
+// fold into the last bucket. 24 buckets cover supports up to 8M bins.
+const pow2Buckets = 24
+
+// Pow2Hist is a bounded power-of-two histogram of non-negative ints.
+type Pow2Hist struct {
+	b [pow2Buckets]atomic.Int64
+}
+
+// Observe counts v into its power-of-two bucket.
+func (h *Pow2Hist) Observe(v int) {
+	i := bits.Len(uint(v))
+	if i >= pow2Buckets {
+		i = pow2Buckets - 1
+	}
+	h.b[i].Add(1)
+}
+
+// HistBucket is one non-empty histogram bucket in a Snapshot: Count
+// observations in [Lo, Hi].
+type HistBucket struct {
+	Lo    int   `json:"lo"`
+	Hi    int   `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+func (h *Pow2Hist) snapshot() []HistBucket {
+	var out []HistBucket
+	for i := range h.b {
+		c := h.b[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo, hi := 0, 0
+		if i > 0 {
+			lo, hi = 1<<(i-1), 1<<i-1
+		}
+		out = append(out, HistBucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// FaninHist accumulates per-fanin totals (bucket = fanin, bounded at
+// MaxFanin).
+type FaninHist struct {
+	b [MaxFanin + 1]atomic.Int64
+}
+
+// Add accumulates n into the fanin bucket.
+func (h *FaninHist) Add(fanin int, n int64) {
+	if fanin > MaxFanin {
+		fanin = MaxFanin
+	}
+	if fanin < 0 {
+		fanin = 0
+	}
+	h.b[fanin].Add(n)
+}
+
+// FaninBucket is one non-empty fanin bucket in a Snapshot.
+type FaninBucket struct {
+	Fanin int   `json:"fanin"`
+	Count int64 `json:"count"`
+}
+
+func (h *FaninHist) snapshot() []FaninBucket {
+	var out []FaninBucket
+	for i := range h.b {
+		if c := h.b[i].Load(); c != 0 {
+			out = append(out, FaninBucket{Fanin: i, Count: c})
+		}
+	}
+	return out
+}
+
+// levelStat accumulates one level's schedule statistics.
+type levelStat struct {
+	gates  int64
+	wallNS int64
+}
+
+// Metrics is the engine metrics registry. All fields are updated with
+// atomic operations by the instrumented hot paths; a Snapshot can be
+// taken at any time, including mid-run.
+type Metrics struct {
+	// Kernel cache (dist.KernelCache.FromNormal): Hits found a
+	// computed kernel on the fast path, Misses discretized a new one,
+	// Races found the entry only after taking the write lock — the
+	// lookups that would have re-discretized (and discarded) the
+	// kernel before the once-per-key cache.
+	KernelHits   atomic.Int64
+	KernelMisses atomic.Int64
+	KernelRaces  atomic.Int64
+
+	// Convolution (dist.PMF.ConvolveInto): direct O(sa·sb) vs FFT
+	// path counts, and a power-of-two histogram of operand support
+	// widths (two observations per convolution).
+	ConvDirect  atomic.Int64
+	ConvFFT     atomic.Int64
+	ConvSupport Pow2Hist
+
+	// Scratch pool (dist.getBins): Gets reused a pooled buffer, News
+	// allocated a fresh one.
+	PoolGets atomic.Int64
+	PoolNews atomic.Int64
+
+	// WEIGHTED SUM accounting per gate fanin: MixtureEvals counts
+	// closed-form O(k·n) mixture evaluations; SubsetLeaves counts
+	// enumerated subset/value-combination leaves (O(2^k) MIS subsets,
+	// O(4^k) parity combinations) — the Eq. 8/11/12 cost the closed
+	// form avoids.
+	MixtureEvals FaninHist
+	SubsetLeaves FaninHist
+
+	// MCRuns counts Monte Carlo runs simulated.
+	MCRuns atomic.Int64
+
+	// Per-worker busy time and gate counts from the level-parallel
+	// schedule (worker id folded modulo MaxWorkers; Monte Carlo
+	// shards report under their shard index).
+	WorkerBusyNS [MaxWorkers]atomic.Int64
+	WorkerGates  [MaxWorkers]atomic.Int64
+
+	mu     sync.Mutex
+	levels []levelStat
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// AddWorkerBusy accumulates busy time and one evaluated gate for a
+// worker.
+func (m *Metrics) AddWorkerBusy(worker int, d time.Duration) {
+	m.AddWorkerChunk(worker, 1, int64(d))
+}
+
+// AddWorkerChunk accumulates one work chunk for a worker: gates
+// evaluated and raw busy nanoseconds (fed from Nanotime readings on
+// the metrics-only hot path).
+func (m *Metrics) AddWorkerChunk(worker, gates int, ns int64) {
+	w := worker % MaxWorkers
+	if w < 0 {
+		w = 0
+	}
+	m.WorkerBusyNS[w].Add(ns)
+	m.WorkerGates[w].Add(int64(gates))
+}
+
+// RecordLevel accumulates one level-barrier interval: gates evaluated
+// and wall time between the barriers. Called once per level by the
+// scheduling goroutine.
+func (m *Metrics) RecordLevel(level, gates int, wall time.Duration) {
+	m.mu.Lock()
+	for len(m.levels) <= level {
+		m.levels = append(m.levels, levelStat{})
+	}
+	m.levels[level].gates += int64(gates)
+	m.levels[level].wallNS += int64(wall)
+	m.mu.Unlock()
+}
+
+// LevelSnapshot is one level's accumulated schedule statistics.
+type LevelSnapshot struct {
+	Level  int   `json:"level"`
+	Gates  int64 `json:"gates"`
+	WallNS int64 `json:"wall_ns"`
+}
+
+// WorkerSnapshot is one worker's accumulated busy time.
+type WorkerSnapshot struct {
+	Worker int   `json:"worker"`
+	BusyNS int64 `json:"busy_ns"`
+	Gates  int64 `json:"gates"`
+}
+
+// Snapshot is the JSON-serializable view of a Metrics registry.
+type Snapshot struct {
+	KernelCache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+		Races  int64 `json:"races"`
+	} `json:"kernel_cache"`
+	Convolution struct {
+		Direct      int64        `json:"direct"`
+		FFT         int64        `json:"fft"`
+		SupportHist []HistBucket `json:"support_hist,omitempty"`
+	} `json:"convolution"`
+	ScratchPool struct {
+		Gets int64 `json:"gets"`
+		News int64 `json:"news"`
+	} `json:"scratch_pool"`
+	Mixture struct {
+		EvalsByFanin        []FaninBucket `json:"evals_by_fanin,omitempty"`
+		SubsetLeavesByFanin []FaninBucket `json:"subset_leaves_by_fanin,omitempty"`
+	} `json:"mixture"`
+	MonteCarloRuns int64            `json:"monte_carlo_runs,omitempty"`
+	Levels         []LevelSnapshot  `json:"levels,omitempty"`
+	Workers        []WorkerSnapshot `json:"workers,omitempty"`
+}
+
+// Snapshot captures the registry's current totals.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	s.KernelCache.Hits = m.KernelHits.Load()
+	s.KernelCache.Misses = m.KernelMisses.Load()
+	s.KernelCache.Races = m.KernelRaces.Load()
+	s.Convolution.Direct = m.ConvDirect.Load()
+	s.Convolution.FFT = m.ConvFFT.Load()
+	s.Convolution.SupportHist = m.ConvSupport.snapshot()
+	s.ScratchPool.Gets = m.PoolGets.Load()
+	s.ScratchPool.News = m.PoolNews.Load()
+	s.Mixture.EvalsByFanin = m.MixtureEvals.snapshot()
+	s.Mixture.SubsetLeavesByFanin = m.SubsetLeaves.snapshot()
+	s.MonteCarloRuns = m.MCRuns.Load()
+	m.mu.Lock()
+	for i, l := range m.levels {
+		s.Levels = append(s.Levels, LevelSnapshot{Level: i, Gates: l.gates, WallNS: l.wallNS})
+	}
+	m.mu.Unlock()
+	for w := 0; w < MaxWorkers; w++ {
+		busy, gates := m.WorkerBusyNS[w].Load(), m.WorkerGates[w].Load()
+		if busy == 0 && gates == 0 {
+			continue
+		}
+		s.Workers = append(s.Workers, WorkerSnapshot{Worker: w, BusyNS: busy, Gates: gates})
+	}
+	return s
+}
+
+// Reset zeroes every counter, histogram and accumulator.
+func (m *Metrics) Reset() {
+	m.KernelHits.Store(0)
+	m.KernelMisses.Store(0)
+	m.KernelRaces.Store(0)
+	m.ConvDirect.Store(0)
+	m.ConvFFT.Store(0)
+	for i := range m.ConvSupport.b {
+		m.ConvSupport.b[i].Store(0)
+	}
+	m.PoolGets.Store(0)
+	m.PoolNews.Store(0)
+	for i := range m.MixtureEvals.b {
+		m.MixtureEvals.b[i].Store(0)
+	}
+	for i := range m.SubsetLeaves.b {
+		m.SubsetLeaves.b[i].Store(0)
+	}
+	m.MCRuns.Store(0)
+	for w := 0; w < MaxWorkers; w++ {
+		m.WorkerBusyNS[w].Store(0)
+		m.WorkerGates[w].Store(0)
+	}
+	m.mu.Lock()
+	m.levels = m.levels[:0]
+	m.mu.Unlock()
+}
+
+// active is the process-global registry; nil means disabled and every
+// instrumentation site takes its nil-check fast path.
+var active atomic.Pointer[Metrics]
+
+// Enable installs a fresh registry and returns it.
+func Enable() *Metrics {
+	m := NewMetrics()
+	active.Store(m)
+	return m
+}
+
+// Use installs an existing registry (nil disables).
+func Use(m *Metrics) { active.Store(m) }
+
+// Disable uninstalls the registry; M() returns nil afterwards.
+func Disable() { active.Store(nil) }
+
+// M returns the active registry, or nil when metrics are disabled.
+// Hot paths load it once per kernel call and branch on nil.
+func M() *Metrics { return active.Load() }

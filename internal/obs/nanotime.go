@@ -1,0 +1,15 @@
+package obs
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// Nanotime returns the runtime's monotonic clock reading. It is the
+// clock the metrics-only hot path uses for per-gate busy-time
+// attribution: roughly a third the cost of a time.Now/time.Since
+// pair, which matters at one reading pair per gate. Tracer spans
+// still use time.Now, because trace_event timestamps need a wall
+// epoch; tracing is explicitly the heavier mode.
+//
+//go:linkname Nanotime runtime.nanotime
+func Nanotime() int64

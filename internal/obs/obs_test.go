@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPow2HistBuckets(t *testing.T) {
+	var h Pow2Hist
+	for _, v := range []int{0, 1, 2, 3, 4, 7, 8, 160, 1 << 30} {
+		h.Observe(v)
+	}
+	buckets := h.snapshot()
+	total := int64(0)
+	for _, b := range buckets {
+		if b.Count <= 0 || b.Lo > b.Hi {
+			t.Errorf("bad bucket %+v", b)
+		}
+		total += b.Count
+	}
+	if total != 9 {
+		t.Errorf("histogram total = %d, want 9", total)
+	}
+	// 2 and 3 share the bit-length-2 bucket [2,3].
+	found := false
+	for _, b := range buckets {
+		if b.Lo == 2 && b.Hi == 3 {
+			found = true
+			if b.Count != 2 {
+				t.Errorf("[2,3] count = %d, want 2", b.Count)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing [2,3] bucket")
+	}
+}
+
+func TestFaninHistOverflow(t *testing.T) {
+	var h FaninHist
+	h.Add(2, 4)
+	h.Add(2, 1)
+	h.Add(MaxFanin+10, 7) // folds into the last bucket
+	h.Add(-1, 3)          // clamps to 0
+	b := h.snapshot()
+	want := map[int]int64{0: 3, 2: 5, MaxFanin: 7}
+	if len(b) != len(want) {
+		t.Fatalf("buckets = %+v", b)
+	}
+	for _, x := range b {
+		if want[x.Fanin] != x.Count {
+			t.Errorf("fanin %d = %d, want %d", x.Fanin, x.Count, want[x.Fanin])
+		}
+	}
+}
+
+func TestMetricsSnapshotAndReset(t *testing.T) {
+	m := NewMetrics()
+	m.KernelHits.Add(3)
+	m.KernelMisses.Add(1)
+	m.ConvDirect.Add(5)
+	m.ConvFFT.Add(2)
+	m.ConvSupport.Observe(160)
+	m.PoolGets.Add(4)
+	m.MixtureEvals.Add(3, 1)
+	m.SubsetLeaves.Add(4, 256)
+	m.MCRuns.Add(10000)
+	m.AddWorkerBusy(1, 5*time.Millisecond)
+	m.RecordLevel(0, 7, time.Millisecond)
+	m.RecordLevel(2, 9, 2*time.Millisecond)
+
+	s := m.Snapshot()
+	if s.KernelCache.Hits != 3 || s.KernelCache.Misses != 1 {
+		t.Errorf("kernel cache snapshot %+v", s.KernelCache)
+	}
+	if s.Convolution.Direct != 5 || s.Convolution.FFT != 2 {
+		t.Errorf("convolution snapshot %+v", s.Convolution)
+	}
+	if len(s.Levels) != 3 || s.Levels[2].Gates != 9 || s.Levels[2].WallNS != int64(2*time.Millisecond) {
+		t.Errorf("levels snapshot %+v", s.Levels)
+	}
+	if len(s.Workers) != 1 || s.Workers[0].Worker != 1 || s.Workers[0].Gates != 1 {
+		t.Errorf("workers snapshot %+v", s.Workers)
+	}
+	if s.MonteCarloRuns != 10000 {
+		t.Errorf("mc runs = %d", s.MonteCarloRuns)
+	}
+
+	// The snapshot must round-trip as JSON (the CLI contract).
+	enc, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.KernelCache.Hits != 3 {
+		t.Error("JSON round-trip lost kernel hits")
+	}
+
+	m.Reset()
+	s = m.Snapshot()
+	if s.KernelCache.Hits != 0 || s.Convolution.Direct != 0 || len(s.Levels) != 0 || len(s.Workers) != 0 {
+		t.Errorf("Reset left data: %+v", s)
+	}
+}
+
+func TestGlobalRegistry(t *testing.T) {
+	if M() != nil {
+		t.Fatal("metrics unexpectedly enabled at test start")
+	}
+	m := Enable()
+	if M() != m {
+		t.Error("Enable did not install the registry")
+	}
+	Disable()
+	if M() != nil {
+		t.Error("Disable left the registry installed")
+	}
+	Use(m)
+	if M() != m {
+		t.Error("Use did not install the registry")
+	}
+	Use(nil)
+}
+
+func TestMetricsConcurrentUpdates(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.ConvDirect.Add(1)
+				m.ConvSupport.Observe(i)
+				m.AddWorkerBusy(w, time.Microsecond)
+				m.RecordLevel(i%4, 1, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Convolution.Direct != 8000 {
+		t.Errorf("direct = %d, want 8000", s.Convolution.Direct)
+	}
+	var gates int64
+	for _, l := range s.Levels {
+		gates += l.Gates
+	}
+	if gates != 8000 {
+		t.Errorf("level gates = %d, want 8000", gates)
+	}
+	if len(s.Workers) != 8 {
+		t.Errorf("workers = %d, want 8", len(s.Workers))
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(0, "levels")
+	tr.NameThread(1, "worker 0")
+	t0 := time.Now()
+	tr.Span("L0", "level", 0, t0, 2*time.Millisecond, map[string]any{"gates": 3})
+	tr.Span("g1", "gate", 1, t0, time.Millisecond, nil)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	// 2 metadata + 2 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
+	}
+	var spans, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 || e.Ts < 0 || e.PID != 1 {
+				t.Errorf("bad span %+v", e)
+			}
+		case "M":
+			meta++
+			if e.Name != "thread_name" {
+				t.Errorf("bad metadata event %+v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 2 || meta != 2 {
+		t.Errorf("spans=%d meta=%d", spans, meta)
+	}
+}
+
+func TestTracerDropsOverCap(t *testing.T) {
+	tr := NewTracer()
+	tr.max = 4
+	t0 := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Span("g", "gate", 1, t0, time.Microsecond, nil)
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTraceGlobalRegistry(t *testing.T) {
+	if T() != nil {
+		t.Fatal("tracer unexpectedly enabled at test start")
+	}
+	tr := StartTrace()
+	if T() != tr {
+		t.Error("StartTrace did not install the tracer")
+	}
+	if got := StopTrace(); got != tr {
+		t.Error("StopTrace did not return the tracer")
+	}
+	if T() != nil {
+		t.Error("StopTrace left the tracer installed")
+	}
+}

@@ -1,0 +1,37 @@
+// Package obshttp serves the live profiling endpoints behind the
+// -pprof CLI flag: net/http/pprof handlers plus the active engine
+// metrics registry published through expvar at /debug/vars (key
+// "spsta_metrics"). It lives apart from package obs so that the
+// instrumented hot-path packages never pull net/http into their
+// dependency graph — only binaries that opt in import this package.
+package obshttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+
+	"repro/internal/obs"
+)
+
+func init() {
+	expvar.Publish("spsta_metrics", expvar.Func(func() any {
+		if m := obs.M(); m != nil {
+			return m.Snapshot()
+		}
+		return nil
+	}))
+}
+
+// Serve starts the profiling HTTP server on addr in a background
+// goroutine and returns the bound address (useful with a ":0" addr).
+// The server runs until the process exits.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

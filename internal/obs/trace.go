@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxEvents bounds a Tracer's buffer; spans recorded beyond it
+// are counted in Dropped instead of stored, so a huge circuit cannot
+// exhaust memory through tracing.
+const DefaultMaxEvents = 1 << 20
+
+// Event is one Chrome trace_event entry. Complete spans use Ph "X"
+// with microsecond Ts/Dur; metadata events (thread names) use Ph "M".
+// The schema is the trace_event JSON consumed by chrome://tracing and
+// Perfetto.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records spans from the level-parallel schedule and exports
+// them as Chrome trace_event JSON. Track (tid) conventions, applied
+// by the instrumented call sites:
+//
+//	tid 0      — the level schedule (one span per level barrier)
+//	tid w+1    — worker w's per-gate spans
+//
+// so worker imbalance shows up directly as gaps on the worker tracks
+// of a Perfetto timeline.
+type Tracer struct {
+	start   time.Time
+	max     int
+	dropped atomic.Int64
+
+	mu      sync.Mutex
+	events  []Event
+	threads map[int]string
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), max: DefaultMaxEvents, threads: make(map[int]string)}
+}
+
+// Span records one complete ("X") span on track tid. args may be nil.
+func (t *Tracer) Span(name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
+	e := Event{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		Ts:   float64(start.Sub(t.start)) / float64(time.Microsecond),
+		Dur:  float64(d) / float64(time.Microsecond),
+		PID:  1,
+		TID:  tid,
+		Args: args,
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// NameThread labels track tid (emitted as a thread_name metadata
+// event); the first name per tid wins.
+func (t *Tracer) NameThread(tid int, name string) {
+	t.mu.Lock()
+	if _, ok := t.threads[tid]; !ok {
+		t.threads[tid] = name
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of spans discarded over the buffer cap.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// traceFile is the emitted JSON document (the "JSON Object Format" of
+// the trace_event spec; the bare-array format is also accepted by
+// viewers but the object form carries displayTimeUnit).
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the buffered spans, plus thread-name metadata, as
+// a trace_event JSON document loadable in chrome://tracing or
+// Perfetto.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]Event, 0, len(t.events)+len(t.threads))
+	tids := make([]int, 0, len(t.threads))
+	for tid := range t.threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, Event{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tid,
+			Args: map[string]any{"name": t.threads[tid]},
+		})
+	}
+	events = append(events, t.events...)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// activeTracer is the process-global tracer; nil means tracing is
+// disabled.
+var activeTracer atomic.Pointer[Tracer]
+
+// StartTrace installs a fresh tracer and returns it.
+func StartTrace() *Tracer {
+	t := NewTracer()
+	activeTracer.Store(t)
+	return t
+}
+
+// StopTrace uninstalls and returns the active tracer (nil if tracing
+// was not on).
+func StopTrace() *Tracer {
+	return activeTracer.Swap(nil)
+}
+
+// T returns the active tracer, or nil when tracing is disabled.
+func T() *Tracer { return activeTracer.Load() }
