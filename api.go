@@ -206,6 +206,18 @@ func SimulateMonteCarlo(c *Circuit, inputs map[NodeID]InputStats, cfg MonteCarlo
 	return montecarlo.Simulate(c, inputs, cfg)
 }
 
+// SimulateMonteCarloPacked runs the reference simulation on the
+// word-packed bit-parallel engine: 64 runs per uint64 bit-plane pair,
+// gate logic evaluated with word operations, arrival-time settling
+// only on the lanes that transition. Results are bit-identical to
+// SimulateMonteCarlo for the same (Seed, Workers); configurations the
+// packed engine cannot express (CountGlitches, ProbeTimes) fall back
+// to the scalar engine transparently.
+func SimulateMonteCarloPacked(c *Circuit, inputs map[NodeID]InputStats, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	cfg.Packed = true
+	return montecarlo.Simulate(c, inputs, cfg)
+}
+
 // AnalyzeSymbolicSSTA runs canonical first-order SSTA over nvars
 // global variation sources.
 func AnalyzeSymbolicSSTA(c *Circuit, inputs map[NodeID]InputStats, delay SymbolicDelayModel, nvars int) (*SymbolicSSTAResult, error) {

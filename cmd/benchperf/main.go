@@ -1,13 +1,27 @@
-// Command benchperf measures SPSTA propagation throughput per
-// circuit per worker count and writes the results as JSON (machine
-// metadata plus ns/op rows), the raw material for scaling plots and
-// regression tracking.
+// Command benchperf measures analysis throughput and writes the
+// results as JSON (machine metadata plus ns/op rows), the raw
+// material for scaling plots and regression tracking.
+//
+// Two engines are benchmarked:
+//
+//	-engine spsta   SPSTA propagation per circuit per worker count
+//	                (default output BENCH_spsta.json)
+//	-engine mc      scalar vs word-packed Monte Carlo per circuit
+//	                (default output BENCH_mc.json)
+//
+// Measurement is interleaved min-of-N: every variant of a circuit
+// (worker counts, or scalar/packed) is calibrated to a per-round
+// batch, then the batches run round-robin and each variant reports
+// its fastest round. Interleaving cancels slow drift (thermal,
+// migration, background load) that sequential timing folds into
+// whichever variant runs last, and the minimum estimates the
+// noise-free cost.
 //
 // Usage:
 //
-//	benchperf                           # all nine circuits, workers 1,2,4,8
-//	benchperf -workers 1,4 -mintime 1s  # longer, steadier timing
-//	benchperf -circuits s1196,s1238 -out BENCH_spsta.json
+//	benchperf                              # SPSTA, all nine circuits, workers 1,2,4,8
+//	benchperf -engine mc -runs 10000       # scalar vs packed Monte Carlo
+//	benchperf -circuits s1196,s1238 -mintime 1s
 package main
 
 import (
@@ -23,22 +37,40 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/logic"
+	"repro/internal/montecarlo"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
 	"repro/internal/synth"
 )
 
-// Row is one measurement: a circuit analyzed with a fixed worker
-// count.
+// Row is one measurement cell.
 type Row struct {
-	Circuit   string  `json:"circuit"`
-	Gates     int     `json:"gates"`
-	Depth     int     `json:"depth"`
-	Workers   int     `json:"workers"`
-	Reps      int     `json:"reps"`
-	NsPerOp   float64 `json:"ns_per_op"`
+	Circuit string `json:"circuit"`
+	Gates   int    `json:"gates"`
+	Depth   int    `json:"depth"`
+	// Workers is the worker count of an SPSTA cell.
+	Workers int `json:"workers,omitempty"`
+	// Engine ("scalar" or "packed") and Runs identify a Monte Carlo
+	// cell.
+	Engine  string  `json:"engine,omitempty"`
+	Runs    int     `json:"runs,omitempty"`
+	Reps    int     `json:"reps"`
+	Rounds  int     `json:"rounds,omitempty"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// RunsPerSec is the Monte Carlo throughput of the cell.
+	RunsPerSec float64 `json:"runs_per_sec,omitempty"`
+	// SpeedupV1 compares an SPSTA cell to the same circuit's
+	// workers=1 cell.
 	SpeedupV1 float64 `json:"speedup_vs_workers_1,omitempty"`
+	// SpeedupVsScalar compares a packed Monte Carlo cell to the same
+	// circuit's scalar cell.
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+	// Schedule marks SPSTA cells whose cost-aware scheduler inlined
+	// every level ("serial-inline"): the cell executes the identical
+	// instruction stream as workers=1, so its speedup is 1.0 by
+	// construction and the measured ns/op differs only by noise.
+	Schedule string `json:"schedule,omitempty"`
 	// Metrics is an engine-metrics snapshot from one extra
 	// instrumented run of this cell (-metrics); the timed reps above
 	// run uninstrumented so NsPerOp is unaffected.
@@ -52,6 +84,7 @@ type File struct {
 	GoArch     string `json:"goarch"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	Scenario   string `json:"scenario"`
+	Engine     string `json:"engine"`
 	Benchmarks []Row  `json:"benchmarks"`
 }
 
@@ -63,13 +96,26 @@ func main() {
 }
 
 func run() error {
-	out := flag.String("out", "BENCH_spsta.json", "output JSON path (- for stdout)")
-	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+	engine := flag.String("engine", "spsta", "benchmark engine: spsta (level-parallel analyzer sweep) or mc (scalar vs packed Monte Carlo)")
+	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_<engine>.json)")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (-engine spsta)")
 	circuitsList := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
-	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum measurement time per (circuit, workers) cell")
+	runs := flag.Int("runs", 10000, "Monte Carlo runs per op (-engine mc)")
+	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum total measurement time per (circuit, variant) cell")
+	rounds := flag.Int("rounds", 8, "interleaved measurement rounds per circuit (min-of-N)")
 	withMetrics := flag.Bool("metrics", false, "embed an engine-metrics snapshot per cell (from one extra instrumented run; timed reps stay uninstrumented)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address for the duration of the sweep")
 	flag.Parse()
+
+	if *engine != "spsta" && *engine != "mc" {
+		return fmt.Errorf("unknown engine %q (want spsta or mc)", *engine)
+	}
+	if *out == "" {
+		*out = "BENCH_" + *engine + ".json"
+	}
+	if *rounds < 1 {
+		*rounds = 1
+	}
 
 	if *pprofAddr != "" {
 		addr, err := obshttp.Serve(*pprofAddr)
@@ -79,10 +125,6 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
-	workers, err := parseInts(*workersList)
-	if err != nil {
-		return err
-	}
 	circuits, err := loadCircuits(*circuitsList)
 	if err != nil {
 		return err
@@ -94,39 +136,22 @@ func run() error {
 		GoArch:     runtime.GOARCH,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Scenario:   experiments.ScenarioI.String(),
+		Engine:     *engine,
 	}
-	for _, c := range circuits {
-		in := experiments.Inputs(c, experiments.ScenarioI)
-		st := c.Stats()
-		var base float64
-		for _, w := range workers {
-			nsPerOp, reps, err := measure(c, in, w, *minTime)
-			if err != nil {
-				return fmt.Errorf("%s workers=%d: %w", c.Name, w, err)
-			}
-			row := Row{
-				Circuit: c.Name,
-				Gates:   st.Gates,
-				Depth:   st.Depth,
-				Workers: w,
-				Reps:    reps,
-				NsPerOp: nsPerOp,
-			}
-			if w == 1 {
-				base = nsPerOp
-			}
-			if base > 0 && w != 1 {
-				row.SpeedupV1 = base / nsPerOp
-			}
-			if *withMetrics {
-				snap, err := snapshotCell(c, in, w)
-				if err != nil {
-					return fmt.Errorf("%s workers=%d: %w", c.Name, w, err)
-				}
-				row.Metrics = snap
-			}
-			f.Benchmarks = append(f.Benchmarks, row)
-			fmt.Fprintf(os.Stderr, "%-8s workers=%d  %12.0f ns/op  (%d reps)\n", c.Name, w, nsPerOp, reps)
+	switch *engine {
+	case "spsta":
+		workers, err := parseInts(*workersList)
+		if err != nil {
+			return err
+		}
+		f.Benchmarks, err = benchSPSTA(circuits, workers, *minTime, *rounds, *withMetrics)
+		if err != nil {
+			return err
+		}
+	case "mc":
+		f.Benchmarks, err = benchMC(circuits, *runs, *minTime, *rounds, *withMetrics)
+		if err != nil {
+			return err
 		}
 	}
 
@@ -146,50 +171,233 @@ func run() error {
 	return nil
 }
 
-// measure times Analyzer.Run until minTime has elapsed (after one
-// untimed warmup that also populates allocator caches), following the
-// doubling schedule of testing.B.
-func measure(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, minTime time.Duration) (float64, int, error) {
-	a := core.Analyzer{Workers: w}
-	if _, err := a.Run(c, in); err != nil { // warmup + error check
-		return 0, 0, err
+// benchSPSTA sweeps worker counts per circuit, all variants
+// interleaved.
+func benchSPSTA(circuits []*netlist.Circuit, workers []int, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
+	var out []Row
+	for _, c := range circuits {
+		in := experiments.Inputs(c, experiments.ScenarioI)
+		st := c.Stats()
+		vs := make([]variant, len(workers))
+		for i, w := range workers {
+			a := core.Analyzer{Workers: w}
+			vs[i] = variant{
+				name: "workers=" + strconv.Itoa(w),
+				fn: func() error {
+					_, err := a.Run(c, in)
+					return err
+				},
+			}
+		}
+		mins, reps, err := measureInterleaved(vs, minTime, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		base := 0.0
+		for i, w := range workers {
+			if w == 1 {
+				base = mins[i]
+			}
+		}
+		for i, w := range workers {
+			row := Row{
+				Circuit: c.Name,
+				Gates:   st.Gates,
+				Depth:   st.Depth,
+				Workers: w,
+				Reps:    reps[i],
+				Rounds:  rounds,
+				NsPerOp: mins[i],
+			}
+			if w != 1 && base > 0 {
+				row.SpeedupV1 = base / mins[i]
+				if inlined, err := spstaAllInline(c, in, w); err != nil {
+					return nil, err
+				} else if inlined {
+					// Identical instruction stream as workers=1: the
+					// cost-aware scheduler inlined every level, so the
+					// speedup is 1.0 by construction.
+					row.SpeedupV1 = 1.0
+					row.Schedule = "serial-inline"
+				}
+			}
+			if withMetrics {
+				snap, err := snapshotSPSTA(c, in, w)
+				if err != nil {
+					return nil, fmt.Errorf("%s workers=%d: %w", c.Name, w, err)
+				}
+				row.Metrics = snap
+			}
+			out = append(out, row)
+			fmt.Fprintf(os.Stderr, "%-8s workers=%d  %12.0f ns/op  (%d reps × %d rounds)%s\n",
+				c.Name, w, row.NsPerOp, row.Reps, rounds, scheduleSuffix(row.Schedule))
+		}
 	}
-	reps := 1
-	for {
-		t0 := time.Now()
-		for i := 0; i < reps; i++ {
-			if _, err := a.Run(c, in); err != nil {
-				return 0, 0, err
-			}
-		}
-		elapsed := time.Since(t0)
-		if elapsed >= minTime {
-			return float64(elapsed.Nanoseconds()) / float64(reps), reps, nil
-		}
-		// Grow toward the target with the testing.B heuristic:
-		// extrapolate, then add headroom by at most 100x.
-		next := reps * 2
-		if elapsed > 0 {
-			est := int(float64(reps) * 1.2 * float64(minTime) / float64(elapsed))
-			if est > next {
-				next = est
-			}
-			if next > reps*100 {
-				next = reps * 100
-			}
-		}
-		reps = next
-	}
+	return out, nil
 }
 
-// snapshotCell runs the analyzer once more with metrics enabled and
-// returns the snapshot. It runs outside the timed loop so the
-// reported ns/op measures the uninstrumented fast path.
-func snapshotCell(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int) (*obs.Snapshot, error) {
+func scheduleSuffix(s string) string {
+	if s == "" {
+		return ""
+	}
+	return "  [" + s + "]"
+}
+
+// benchMC measures the scalar and packed Monte Carlo engines per
+// circuit, interleaved.
+func benchMC(circuits []*netlist.Circuit, runs int, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
+	var out []Row
+	for _, c := range circuits {
+		in := experiments.Inputs(c, experiments.ScenarioI)
+		st := c.Stats()
+		cfgFor := func(packed bool) montecarlo.Config {
+			return montecarlo.Config{Runs: runs, Seed: 1, Workers: 1, Packed: packed}
+		}
+		vs := []variant{
+			{name: "scalar", fn: func() error {
+				_, err := montecarlo.Simulate(c, in, cfgFor(false))
+				return err
+			}},
+			{name: "packed", fn: func() error {
+				_, err := montecarlo.Simulate(c, in, cfgFor(true))
+				return err
+			}},
+		}
+		mins, reps, err := measureInterleaved(vs, minTime, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		for i, v := range vs {
+			row := Row{
+				Circuit:    c.Name,
+				Gates:      st.Gates,
+				Depth:      st.Depth,
+				Engine:     v.name,
+				Runs:       runs,
+				Reps:       reps[i],
+				Rounds:     rounds,
+				NsPerOp:    mins[i],
+				RunsPerSec: float64(runs) / mins[i] * 1e9,
+			}
+			if v.name == "packed" && mins[0] > 0 {
+				row.SpeedupVsScalar = mins[0] / mins[i]
+			}
+			if withMetrics {
+				snap, err := snapshotMC(c, in, cfgFor(v.name == "packed"))
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", c.Name, v.name, err)
+				}
+				row.Metrics = snap
+			}
+			out = append(out, row)
+			fmt.Fprintf(os.Stderr, "%-8s mc/%-6s  %12.0f ns/op  %12.0f runs/s  (%d reps × %d rounds)\n",
+				c.Name, v.name, row.NsPerOp, row.RunsPerSec, row.Reps, rounds)
+		}
+	}
+	return out, nil
+}
+
+// variant is one timed configuration of a circuit.
+type variant struct {
+	name string
+	fn   func() error
+}
+
+// measureInterleaved calibrates a per-round batch per variant, then
+// times the batches round-robin, returning each variant's minimum
+// per-op nanoseconds and batch size.
+func measureInterleaved(vs []variant, minTime time.Duration, rounds int) ([]float64, []int, error) {
+	target := minTime / time.Duration(rounds)
+	if target <= 0 {
+		target = minTime
+	}
+	reps := make([]int, len(vs))
+	for i := range vs {
+		if err := vs[i].fn(); err != nil { // warmup + error check
+			return nil, nil, fmt.Errorf("%s: %w", vs[i].name, err)
+		}
+		// Calibrate with the testing.B doubling schedule until one
+		// batch reaches the per-round target.
+		n := 1
+		for {
+			t0 := time.Now()
+			for j := 0; j < n; j++ {
+				if err := vs[i].fn(); err != nil {
+					return nil, nil, fmt.Errorf("%s: %w", vs[i].name, err)
+				}
+			}
+			elapsed := time.Since(t0)
+			if elapsed >= target {
+				break
+			}
+			next := n * 2
+			if elapsed > 0 {
+				est := int(float64(n) * 1.2 * float64(target) / float64(elapsed))
+				if est > next {
+					next = est
+				}
+				if next > n*100 {
+					next = n * 100
+				}
+			}
+			n = next
+		}
+		reps[i] = n
+	}
+	mins := make([]float64, len(vs))
+	for r := 0; r < rounds; r++ {
+		for i := range vs {
+			t0 := time.Now()
+			for j := 0; j < reps[i]; j++ {
+				if err := vs[i].fn(); err != nil {
+					return nil, nil, fmt.Errorf("%s: %w", vs[i].name, err)
+				}
+			}
+			perOp := float64(time.Since(t0).Nanoseconds()) / float64(reps[i])
+			if r == 0 || perOp < mins[i] {
+				mins[i] = perOp
+			}
+		}
+	}
+	return mins, reps, nil
+}
+
+// spstaAllInline reports whether an instrumented Run with the given
+// worker count dispatched no level to the pool (every gate was
+// attributed to worker 0 by the cost-aware serial fallback).
+func spstaAllInline(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int) (bool, error) {
 	m := obs.Enable()
 	defer obs.Disable()
 	a := core.Analyzer{Workers: w}
 	if _, err := a.Run(c, in); err != nil {
+		return false, err
+	}
+	for _, ws := range m.Snapshot().Workers {
+		if ws.Worker != 0 && ws.Gates > 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// snapshotSPSTA runs the analyzer once more with metrics enabled and
+// returns the snapshot. It runs outside the timed loop so the
+// reported ns/op measures the uninstrumented fast path.
+func snapshotSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int) (*obs.Snapshot, error) {
+	m := obs.Enable()
+	defer obs.Disable()
+	a := core.Analyzer{Workers: w}
+	if _, err := a.Run(c, in); err != nil {
+		return nil, err
+	}
+	return m.Snapshot(), nil
+}
+
+// snapshotMC is the Monte Carlo analog of snapshotSPSTA.
+func snapshotMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cfg montecarlo.Config) (*obs.Snapshot, error) {
+	m := obs.Enable()
+	defer obs.Disable()
+	if _, err := montecarlo.Simulate(c, in, cfg); err != nil {
 		return nil, err
 	}
 	return m.Snapshot(), nil

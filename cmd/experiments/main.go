@@ -33,9 +33,10 @@ func run() error {
 	seed := flag.Int64("seed", 1, "Monte Carlo seed; Monte Carlo output is deterministic for a fixed (-seed, -workers) pair")
 	workers := flag.Int("workers", 0, "worker goroutines for the SPSTA level-parallel schedule and the Monte Carlo shards (0 = GOMAXPROCS); SPSTA results are identical for any worker count")
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
+	packed := flag.Bool("packed", true, "use the word-packed bit-parallel Monte Carlo engine (bit-identical to -packed=false for the same seed and workers)")
 	flag.Parse()
 
-	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers, Packed: *packed}
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}

@@ -53,6 +53,7 @@ func run() error {
 	runs := flag.Int("runs", 10000, "Monte Carlo run count")
 	seed := flag.Int64("seed", 1, "Monte Carlo seed; Monte Carlo output is deterministic for a fixed (-seed, -workers) pair")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS): SPSTA evaluates each circuit level in parallel with results identical for any worker count; Monte Carlo shards its runs per worker, so its substreams — and hence its output — are determined by the (-seed, -workers) pair")
+	packed := flag.Bool("packed", true, "use the word-packed bit-parallel Monte Carlo engine (64 runs per machine word; bit-identical to -packed=false for the same seed and workers)")
 	net := flag.String("net", "", "report a single net instead of the endpoints")
 	split := flag.Int("split", 0, "decompose gates wider than this fanin into trees (0 disables)")
 	sigma := flag.Float64("sigma", 0, "gate delay sigma: >0 selects variational N(1, sigma^2) gate delays (exercising the convolution SUM path) instead of deterministic unit delays")
@@ -125,7 +126,7 @@ func run() error {
 		case "sta":
 			return runSTA(c, in, targets, delay)
 		case "mc":
-			return runMC(c, in, targets, *runs, *seed, *workers, delay)
+			return runMC(c, in, targets, *runs, *seed, *workers, *packed, delay)
 		case "critical":
 			return runCritical(c, in, *workers, delay)
 		case "paths":
@@ -133,7 +134,7 @@ func run() error {
 		case "yield":
 			return runYield(c, in, *workers, delay)
 		case "all":
-			return runAll(c, in, targets, *runs, *seed, *workers, delay)
+			return runAll(c, in, targets, *runs, *seed, *workers, *packed, delay)
 		}
 		return fmt.Errorf("unknown analyzer %q", *analyzer)
 	}
@@ -146,7 +147,7 @@ func run() error {
 // runAll runs every comparison engine and prints a summary footer
 // with per-engine wall time and the peak HeapAlloc growth observed
 // while the engine ran (sampled concurrently).
-func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, delay ssta.DelayModel) error {
+func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, delay ssta.DelayModel) error {
 	engines := []struct {
 		name string
 		f    func() error
@@ -154,7 +155,7 @@ func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 		{"spsta", func() error { return runSPSTA(c, in, targets, workers, delay) }},
 		{"ssta", func() error { return runSSTA(c, in, targets, delay) }},
 		{"sta", func() error { return runSTA(c, in, targets, delay) }},
-		{"mc", func() error { return runMC(c, in, targets, runs, seed, workers, delay) }},
+		{"mc", func() error { return runMC(c, in, targets, runs, seed, workers, packed, delay) }},
 	}
 	footer := report.Table{
 		Title:   "Engine summary",
@@ -399,14 +400,14 @@ func runSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 	return t.Render(os.Stdout)
 }
 
-func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, delay ssta.DelayModel) error {
+func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, delay ssta.DelayModel) error {
 	// The montecarlo package treats Workers as an exact shard count;
 	// resolve the 0 default here so the CLI contract ("0 means
 	// GOMAXPROCS") holds for Monte Carlo too.
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed, Workers: workers, Delay: delay})
+	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed, Workers: workers, Delay: delay, Packed: packed})
 	if err != nil {
 		return err
 	}

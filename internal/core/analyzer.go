@@ -75,7 +75,25 @@ type Analyzer struct {
 	// any worker count produces bit-identical results to the serial
 	// run — parallelism changes the schedule, never the arithmetic.
 	Workers int
+	// SerialCutoff tunes the cost-aware schedule: a level whose
+	// estimated work — sum over its gates of (fanin+1) × grid bins —
+	// falls below the cutoff is evaluated inline instead of being
+	// dispatched to the worker pool, because for small levels the
+	// channel sends and barrier wake-ups outweigh the distributed
+	// work. 0 selects DefaultAnalyzerSerialCutoff (calibrated on the
+	// cmd/benchperf harness); negative disables the fallback and
+	// dispatches every level. On GOMAXPROCS=1 runtimes every level
+	// runs inline regardless (unless SerialCutoff is negative), since
+	// a single processor cannot overlap the pool's work.
+	SerialCutoff int64
 }
+
+// DefaultAnalyzerSerialCutoff is the default serial-fallback
+// threshold of Analyzer in (fanin+1)×bins work units — roughly ten
+// average gates on the default timing grid, the break-even point
+// between per-level dispatch overhead and distributable convolution
+// work on the cmd/benchperf harness.
+const DefaultAnalyzerSerialCutoff = 16384
 
 // MISModel maps a gate and its simultaneously-switching input count
 // to the gate delay (an alias of ssta.MISModel).
@@ -160,7 +178,16 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 	}
 	rc := &runCtx{grid: grid, delay: delay, maxParity: maxParity, kernels: res.kernels}
 	name := func(id netlist.NodeID) string { return c.Nodes[id].Name }
-	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, func(id netlist.NodeID) error {
+	cutoff := a.SerialCutoff
+	if cutoff == 0 {
+		cutoff = DefaultAnalyzerSerialCutoff
+	}
+	// Per-gate work scales with the number of fanin t.o.p. functions
+	// combined and the width of the shared grid they live on.
+	cost := func(id netlist.NodeID) int64 {
+		return int64(len(c.Nodes[id].Fanin)+1) * int64(grid.N)
+	}
+	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 		if err := a.computeNode(res, id, inputs, rc); err != nil {
 			return err
 		}

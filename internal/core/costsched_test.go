@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// TestCostAwareCutoffMatchesSerial sweeps the serial-fallback
+// threshold from "inline everything" to "dispatch everything": the
+// schedule may change, the results may not.
+func TestCostAwareCutoffMatchesSerial(t *testing.T) {
+	c, err := synth.Generate(mustProfile(t, "s386"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+	serial := Analyzer{Workers: 1}
+	rs, err := serial.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cutoff := range []int64{-1, 1, 0, 1 << 40} {
+		a := Analyzer{Workers: 4, SerialCutoff: cutoff}
+		rp, err := a.Run(c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range rs.State {
+			compareNetState(t, c, netlist.NodeID(id), &rs.State[id], &rp.State[id])
+		}
+	}
+
+	ms := MomentTiming{Workers: 1}
+	mrs, err := ms.Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cutoff := range []int64{-1, 1, 0, 1 << 40} {
+		mp := MomentTiming{Workers: 4, SerialCutoff: cutoff}
+		mrp, err := mp.Run(c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range mrs.State {
+			s, p := &mrs.State[id], &mrp.State[id]
+			for v := range s.P {
+				if math.Float64bits(s.P[v]) != math.Float64bits(p.P[v]) {
+					t.Fatalf("cutoff %d: %s: P[%d]: %v vs %v", cutoff, c.Nodes[id].Name, v, s.P[v], p.P[v])
+				}
+			}
+			for d := range s.Arr {
+				if s.Arr[d] != p.Arr[d] {
+					t.Fatalf("cutoff %d: %s: Arr[%d]: %+v vs %+v", cutoff, c.Nodes[id].Name, d, s.Arr[d], p.Arr[d])
+				}
+			}
+		}
+	}
+}
+
+// TestCostAwareInlineAttribution pins the fallback down observably:
+// with a threshold no level can clear, a Workers=4 run executes every
+// gate inline on the scheduling goroutine, so all instrumented gate
+// counts land on worker 0 and no pool goroutine is ever started.
+func TestCostAwareInlineAttribution(t *testing.T) {
+	c, err := synth.Generate(mustProfile(t, "s298"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := uniform(c)
+	m := obs.Enable()
+	defer obs.Disable()
+	a := Analyzer{Workers: 4, SerialCutoff: 1 << 40}
+	if _, err := a.Run(c, in); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	var total, w0 int64
+	for _, w := range snap.Workers {
+		total += w.Gates
+		if w.Worker == 0 {
+			w0 = w.Gates
+		}
+	}
+	if total == 0 || total != w0 {
+		t.Errorf("inline fallback attributed %d of %d gates to worker 0", w0, total)
+	}
+	if total != int64(len(c.Nodes)) {
+		t.Errorf("instrumented %d gates, circuit has %d nodes", total, len(c.Nodes))
+	}
+	if len(snap.Levels) == 0 {
+		t.Error("inline fallback recorded no level stats")
+	}
+}

@@ -34,7 +34,21 @@ type MomentTiming struct {
 	// unit-delay level concurrently (0 = GOMAXPROCS, 1 = serial);
 	// results are bit-identical for any worker count.
 	Workers int
+	// SerialCutoff tunes the cost-aware schedule: a level whose
+	// estimated work — sum over its gates of enumerated subset
+	// leaves, 2^k for a monotone gate of fanin k and 4^k for parity —
+	// falls below the cutoff runs inline instead of being dispatched
+	// to the worker pool. 0 selects DefaultMomentSerialCutoff;
+	// negative disables the fallback. On GOMAXPROCS=1 runtimes every
+	// level runs inline regardless (unless SerialCutoff is negative).
+	SerialCutoff int64
 }
+
+// DefaultMomentSerialCutoff is the default serial-fallback threshold
+// of MomentTiming in subset-leaf units — the break-even point between
+// per-level dispatch overhead and distributable enumeration work on
+// the cmd/benchperf harness.
+const DefaultMomentSerialCutoff = 8192
 
 // MomentState is the per-net analytic SPSTA view.
 type MomentState struct {
@@ -64,7 +78,31 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 	res := &MomentResult{C: c, State: make([]MomentState, len(c.Nodes))}
 	defaultStats := logic.UniformStats()
 	name := func(id netlist.NodeID) string { return c.Nodes[id].Name }
-	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, func(id netlist.NodeID) error {
+	cutoff := a.SerialCutoff
+	if cutoff == 0 {
+		cutoff = DefaultMomentSerialCutoff
+	}
+	// Per-gate work is the subset enumeration: ~2·2^k leaves for a
+	// monotone gate of fanin k, 4^k value combinations for parity,
+	// constant for buffers/inverters and launch points.
+	cost := func(id netlist.NodeID) int64 {
+		n := c.Nodes[id]
+		k := len(n.Fanin)
+		switch {
+		case n.Type.Parity():
+			if k > 15 {
+				k = 15
+			}
+			return 1 << uint(2*k)
+		case n.Type.Monotone() && k > 1:
+			if k > 30 {
+				k = 30
+			}
+			return 2 << uint(k)
+		}
+		return 1
+	}
+	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 		n := c.Nodes[id]
 		st := &res.State[id]
 		switch {

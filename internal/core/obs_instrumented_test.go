@@ -36,7 +36,7 @@ func TestInstrumentedParallelMatchesSerial(t *testing.T) {
 	tr := obs.StartTrace()
 	defer obs.StopTrace()
 
-	parallel := Analyzer{Workers: 4}
+	parallel := Analyzer{Workers: 4, SerialCutoff: -1}
 	rp, err := parallel.Run(c, in)
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +118,7 @@ func TestParallelErrorMidLevelInstrumented(t *testing.T) {
 	defer obs.StopTrace()
 
 	a.Workers = 4
+	a.SerialCutoff = -1 // dispatch even the small failing level
 	for i := 0; i < 8; i++ {
 		_, errPar := a.Run(c, in)
 		if errPar == nil || errPar.Error() != errSerial.Error() {
@@ -157,7 +158,7 @@ func TestInstrumentedMomentTimingMatchesSerial(t *testing.T) {
 
 	obs.Enable()
 	defer obs.Disable()
-	parallel := MomentTiming{Workers: 4}
+	parallel := MomentTiming{Workers: 4, SerialCutoff: -1}
 	rp, err := parallel.Run(c, in)
 	if err != nil {
 		t.Fatal(err)

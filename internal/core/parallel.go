@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
@@ -31,11 +32,22 @@ func resolveWorkers(w int) int {
 // serial order because each node's arithmetic never depends on its
 // siblings.
 //
-// With workers <= 1 the levels are walked inline. Otherwise a fixed
-// pool of goroutines drains a work channel of level chunks; every
-// node of a level is evaluated even after a failure so that the
-// returned error is deterministically the first one in level order,
-// not whichever worker lost a race.
+// Scheduling is cost-aware. cost estimates one node's work in
+// arbitrary units (nil means every node costs 1); a level whose
+// summed cost is below serialBelow is run inline on the scheduling
+// goroutine instead of being dispatched to the pool — for the small
+// levels that dominate ISCAS'89-scale circuits, the channel sends and
+// the barrier wake-up cost more than the gate evaluations they
+// distribute. serialBelow < 0 disables the fallback (every level is
+// dispatched; used by the scheduler's own tests), and on a
+// single-processor runtime (GOMAXPROCS == 1) every level is inlined:
+// the pool cannot overlap any work there, only add switches. Worker
+// goroutines start lazily, on the first dispatched level.
+//
+// With workers <= 1 the levels are walked inline. A dispatched level
+// evaluates every node even after a failure so that the returned
+// error is deterministically the first one in level order, not
+// whichever worker lost a race.
 //
 // Instrumentation (obs.M / obs.T, loaded once per call) is purely
 // observational: per-level gate counts and wall time, per-worker
@@ -44,10 +56,12 @@ func resolveWorkers(w int) int {
 // tracing is on. The cost is tiered: with both registries nil the
 // gate loop is the bare f(id) call behind a single local nil check;
 // with metrics only, busy time is attributed from two Nanotime
-// readings per chunk (serial mode reuses the level reading — zero
+// readings per chunk (inline levels reuse the level reading — zero
 // extra clock reads); tracing adds a time.Now/Since pair per gate
 // for span timestamps and is explicitly the heavier mode.
-func runLevels(workers int, levels [][]netlist.NodeID, nnodes int, name func(netlist.NodeID) string, f func(netlist.NodeID) error) error {
+func runLevels(workers int, levels [][]netlist.NodeID, nnodes int,
+	name func(netlist.NodeID) string, cost func(netlist.NodeID) int64,
+	serialBelow int64, f func(netlist.NodeID) error) error {
 	m, tr := obs.M(), obs.T()
 	instr := m != nil || tr != nil
 	if tr != nil {
@@ -58,85 +72,77 @@ func runLevels(workers int, levels [][]netlist.NodeID, nnodes int, name func(net
 			tr.NameThread(1, "worker 0")
 		}
 		for li, level := range levels {
-			var lt0 time.Time
-			if instr {
-				lt0 = time.Now()
-			}
-			switch {
-			case !instr:
-				for _, id := range level {
-					if err := f(id); err != nil {
-						return err
-					}
-				}
-			case tr == nil:
-				// Metrics only: the single worker is busy for exactly
-				// the level wall time, so the level clock reading
-				// doubles as the busy-time attribution.
-				for _, id := range level {
-					if err := f(id); err != nil {
-						return err
-					}
-				}
-				d := time.Since(lt0)
-				m.AddWorkerChunk(0, len(level), int64(d))
-				m.RecordLevel(li, len(level), d)
-			default:
-				for _, id := range level {
-					g0 := time.Now()
-					err := f(id)
-					d := time.Since(g0)
-					if m != nil {
-						m.AddWorkerBusy(0, d)
-					}
-					tr.Span(name(id), "gate", 1, g0, d, nil)
-					if err != nil {
-						return err
-					}
-				}
-				recordLevel(m, tr, li, len(level), lt0)
+			if err := runLevelInline(m, tr, li, level, name, f); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
-	errs := make([]error, nnodes)
-	work := make(chan []netlist.NodeID)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		if tr != nil {
-			tr.NameThread(w+1, "worker "+strconv.Itoa(w))
-		}
-		go func() {
-			for chunk := range work {
-				switch {
-				case !instr:
-					for _, id := range chunk {
-						errs[id] = f(id)
-					}
-				case tr == nil:
-					g0 := obs.Nanotime()
-					for _, id := range chunk {
-						errs[id] = f(id)
-					}
-					m.AddWorkerChunk(w, len(chunk), obs.Nanotime()-g0)
-				default:
-					for _, id := range chunk {
-						g0 := time.Now()
-						errs[id] = f(id)
-						d := time.Since(g0)
-						if m != nil {
-							m.AddWorkerBusy(w, d)
-						}
-						tr.Span(name(id), "gate", w+1, g0, d, nil)
-					}
-				}
-				wg.Done()
-			}
-		}()
+	if serialBelow >= 0 && runtime.GOMAXPROCS(0) == 1 {
+		// One P: the pool cannot overlap work, only add context
+		// switches, so every level falls below the bar.
+		serialBelow = math.MaxInt64
 	}
-	defer close(work)
+
+	var (
+		errs    []error
+		work    chan []netlist.NodeID
+		wg      sync.WaitGroup
+		started bool
+	)
+	startPool := func() {
+		errs = make([]error, nnodes)
+		work = make(chan []netlist.NodeID)
+		for w := 0; w < workers; w++ {
+			w := w
+			if tr != nil {
+				tr.NameThread(w+1, "worker "+strconv.Itoa(w))
+			}
+			go func() {
+				for chunk := range work {
+					switch {
+					case !instr:
+						for _, id := range chunk {
+							errs[id] = f(id)
+						}
+					case tr == nil:
+						g0 := obs.Nanotime()
+						for _, id := range chunk {
+							errs[id] = f(id)
+						}
+						m.AddWorkerChunk(w, len(chunk), obs.Nanotime()-g0)
+					default:
+						for _, id := range chunk {
+							g0 := time.Now()
+							errs[id] = f(id)
+							d := time.Since(g0)
+							if m != nil {
+								m.AddWorkerBusy(w, d)
+							}
+							tr.Span(name(id), "gate", w+1, g0, d, nil)
+						}
+					}
+					wg.Done()
+				}
+			}()
+		}
+		started = true
+	}
+	defer func() {
+		if started {
+			close(work)
+		}
+	}()
 	for li, level := range levels {
+		if levelCost(level, cost) < serialBelow {
+			if err := runLevelInline(m, tr, li, level, name, f); err != nil {
+				return err
+			}
+			continue
+		}
+		if !started {
+			startPool()
+		}
 		var lt0 time.Time
 		if instr {
 			lt0 = time.Now()
@@ -165,6 +171,66 @@ func runLevels(workers int, levels [][]netlist.NodeID, nnodes int, name func(net
 				return errs[id]
 			}
 		}
+	}
+	return nil
+}
+
+// levelCost sums the estimated work of a level; a nil model charges
+// one unit per node.
+func levelCost(level []netlist.NodeID, cost func(netlist.NodeID) int64) int64 {
+	if cost == nil {
+		return int64(len(level))
+	}
+	var c int64
+	for _, id := range level {
+		c += cost(id)
+	}
+	return c
+}
+
+// runLevelInline evaluates one level on the calling goroutine,
+// attributing instrumentation to worker 0, and stops at the first
+// error (serial order is deterministic by construction).
+func runLevelInline(m *obs.Metrics, tr *obs.Tracer, li int, level []netlist.NodeID,
+	name func(netlist.NodeID) string, f func(netlist.NodeID) error) error {
+	var lt0 time.Time
+	instr := m != nil || tr != nil
+	if instr {
+		lt0 = time.Now()
+	}
+	switch {
+	case !instr:
+		for _, id := range level {
+			if err := f(id); err != nil {
+				return err
+			}
+		}
+	case tr == nil:
+		// Metrics only: the single worker is busy for exactly
+		// the level wall time, so the level clock reading
+		// doubles as the busy-time attribution.
+		for _, id := range level {
+			if err := f(id); err != nil {
+				return err
+			}
+		}
+		d := time.Since(lt0)
+		m.AddWorkerChunk(0, len(level), int64(d))
+		m.RecordLevel(li, len(level), d)
+	default:
+		for _, id := range level {
+			g0 := time.Now()
+			err := f(id)
+			d := time.Since(g0)
+			if m != nil {
+				m.AddWorkerBusy(0, d)
+			}
+			tr.Span(name(id), "gate", 1, g0, d, nil)
+			if err != nil {
+				return err
+			}
+		}
+		recordLevel(m, tr, li, len(level), lt0)
 	}
 	return nil
 }

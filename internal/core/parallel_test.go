@@ -36,6 +36,9 @@ func TestParallelRunMatchesSerial(t *testing.T) {
 				serial, parallel := cfg.a, cfg.a
 				serial.Workers = 1
 				parallel.Workers = 4
+				// Always exercise the pool, even where the cost-aware
+				// schedule (or a single-P runtime) would inline.
+				parallel.SerialCutoff = -1
 				rs, err := serial.Run(c, in)
 				if err != nil {
 					t.Fatal(err)
@@ -87,7 +90,7 @@ func TestParallelMomentTimingMatchesSerial(t *testing.T) {
 	for _, c := range cs {
 		in := uniform(c)
 		serial := MomentTiming{Workers: 1}
-		parallel := MomentTiming{Workers: 4}
+		parallel := MomentTiming{Workers: 4, SerialCutoff: -1}
 		rs, err := serial.Run(c, in)
 		if err != nil {
 			t.Fatal(err)
@@ -127,6 +130,7 @@ func TestParallelErrorDeterministic(t *testing.T) {
 		t.Fatal("expected parity-cap error")
 	}
 	a.Workers = 4
+	a.SerialCutoff = -1
 	for i := 0; i < 8; i++ {
 		_, errPar := a.Run(c, in)
 		if errPar == nil || errPar.Error() != errSerial.Error() {

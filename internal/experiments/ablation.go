@@ -62,7 +62,7 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 			return nil, err
 		}
 		sst := ssta.Analyze(c, in, nil)
-		mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed})
+		mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Packed: cfg.Packed})
 		if err != nil {
 			return nil, err
 		}

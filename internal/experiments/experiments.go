@@ -74,6 +74,10 @@ type Config struct {
 	// SPSTA results are identical for any worker count; Monte Carlo
 	// results are determined by the (Seed, Workers) pair.
 	Workers int
+	// Packed selects the word-packed bit-parallel Monte Carlo engine
+	// (montecarlo.Config.Packed); results are bit-identical to the
+	// scalar engine for the same (Seed, Workers).
+	Packed bool
 }
 
 func (cfg Config) runs() int {
@@ -142,7 +146,7 @@ func RunAll(cfg Config, s Scenario) ([]Analysis, error) {
 		a.SSTATime = time.Since(t0)
 
 		t0 = time.Now()
-		a.MC, err = montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers})
+		a.MC, err = montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers, Packed: cfg.Packed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: MC on %s: %w", c.Name, err)
 		}
@@ -327,7 +331,7 @@ func Fig1(w io.Writer, cfg Config, s Scenario) error {
 	in := Inputs(c, s)
 	end := c.CriticalEndpoint()
 
-	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers})
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers, Packed: cfg.Packed})
 	if err != nil {
 		return err
 	}

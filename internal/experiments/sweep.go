@@ -65,7 +65,7 @@ func Sweep(circuit string, rhos []float64, cfg Config) ([]SweepPoint, error) {
 			return nil, err
 		}
 		sst := ssta.Analyze(c, in, nil)
-		mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed})
+		mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Packed: cfg.Packed})
 		if err != nil {
 			return nil, err
 		}

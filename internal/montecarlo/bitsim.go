@@ -1,0 +1,307 @@
+// Word-packed bit-parallel Monte Carlo engine.
+//
+// The four-value logic value of a net is two Booleans — the value at
+// the start and at the end of the cycle (logic.Value.Initial/Final) —
+// and a gate's four-value output is the gate's Boolean function
+// applied to each of those planes independently (logic.GateType.Eval).
+// The packed engine exploits this: it simulates a block of 64 runs at
+// once by keeping, per net, two uint64 bit-planes (bit l of iw/fw is
+// run l's initial/final value) so one gate evaluation for all 64 runs
+// is a handful of word operations (AND/OR/XOR reductions over the
+// fanin words, complemented for inverting gates).
+//
+// Derived word masks per net:
+//
+//	switching = iw ^ fw      (Rise or Fall)
+//	one       = iw & fw
+//	rise      = ^iw & fw
+//	fall      = iw & ^fw
+//
+// Arrival-time settling is inherently per-run arithmetic, so it runs
+// as a sparse pass: a bits.TrailingZeros64 walk over the switching
+// mask visits only the lanes whose output actually transitions and
+// replays the scalar engine's settle (MIN/MAX over the switching
+// fanins' times, per-lane MIN/MAX selected from the output's final
+// value for monotone gates).
+//
+// Randomness: each lane l of a block starting at global run b draws
+// from the SplitMix64 stream runState(seed, b+l) (rng.go). The node-
+// major loop order consumes each lane's stream in topological node
+// order — exactly the order the scalar engine consumes run b+l's
+// stream — so every sampled value matches the scalar engine bit for
+// bit, and so do the per-net Welford accumulators: lanes are read out
+// in ascending order, which is ascending global run order.
+package montecarlo
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// laneCount is the number of runs packed per bit-plane word.
+const laneCount = 64
+
+// packedState is the per-block scratch of the packed engine,
+// allocated once per simulated range.
+type packedState struct {
+	iw []uint64  // per-net initial-value bit-plane
+	fw []uint64  // per-net final-value bit-plane
+	tm []float64 // per-net per-lane transition times, stride laneCount
+
+	// Per-lane random streams; lane l is reseeded to
+	// runState(seed, block+l) at each block start, so the rand.Rand
+	// wrappers are built once per simulated range.
+	srcs [laneCount]runSource
+	rngs [laneCount]*rand.Rand
+
+	// Per-gate fanin scratch for the settle pass: switching mask and
+	// tm base offset of each fanin.
+	fsw   []uint64
+	fbase []int
+}
+
+// simulatePacked simulates runs runs with global indices
+// [start, start+runs) into res using the bit-parallel engine.
+// Preconditions (enforced by simulateRange): no CountGlitches, no
+// ProbeTimes; cfg.Delay non-nil.
+func simulatePacked(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg *Config, seed int64, res *Result, start, runs int) {
+	nn := len(c.Nodes)
+	st := &packedState{
+		iw: make([]uint64, nn),
+		fw: make([]uint64, nn),
+		tm: make([]float64, nn*laneCount),
+	}
+	for l := range st.srcs {
+		st.rngs[l] = newRunRNG(&st.srcs[l])
+	}
+	var endpoints []netlist.NodeID
+	if cfg.CountCriticality {
+		endpoints = c.Endpoints()
+	}
+	order := c.TopoOrder()
+	defaultStats := logic.UniformStats()
+	m := obs.M()
+
+	for block := 0; block < runs; block += laneCount {
+		active := runs - block
+		if active > laneCount {
+			active = laneCount
+		}
+		var t0 int64
+		if m != nil {
+			t0 = obs.Nanotime()
+		}
+		settled := simulateBlock(c, inputs, cfg, st, order, endpoints, defaultStats, res,
+			seed, start+block, active)
+		if m != nil {
+			m.MCPackedBlocks.Add(1)
+			m.MCPackedSettleLanes.Add(settled)
+			m.MCPackedBlockNS.Add(obs.Nanotime() - t0)
+		}
+	}
+}
+
+// simulateBlock runs one block of active (<= 64) runs with global
+// indices [block, block+active) and accumulates its statistics.
+// It returns the number of sparse settle-pass lane visits.
+func simulateBlock(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg *Config, st *packedState,
+	order, endpoints []netlist.NodeID, defaultStats logic.InputStats, res *Result,
+	seed int64, block, active int) int64 {
+
+	activeMask := ^uint64(0) >> (laneCount - uint(active))
+	for l := 0; l < active; l++ {
+		st.srcs[l].state = runState(seed, block+l)
+	}
+	iw, fw, tm := st.iw, st.fw, st.tm
+	settled := int64(0)
+
+	for _, id := range order {
+		n := c.Nodes[id]
+		var wi, wf uint64
+		switch {
+		case n.Type == logic.Const0:
+			wi, wf = 0, 0
+		case n.Type == logic.Const1:
+			wi, wf = activeMask, activeMask
+		case !n.Type.Combinational():
+			ist, ok := inputs[id]
+			if !ok {
+				ist = defaultStats
+			}
+			base := int(id) * laneCount
+			for l := 0; l < active; l++ {
+				v, t := ist.Sample(st.rngs[l])
+				bit := uint64(1) << uint(l)
+				if v.Initial() {
+					wi |= bit
+				}
+				if v.Final() {
+					wf |= bit
+				}
+				tm[base+l] = t
+			}
+		default:
+			wi, wf = evalPlanes(n.Type, n.Fanin, iw, fw)
+			if sw := (wi ^ wf) & activeMask; sw != 0 {
+				settled += int64(bits.OnesCount64(sw))
+				settleLanes(cfg, st, n, id, wf, sw)
+			}
+		}
+		iw[id], fw[id] = wi, wf
+
+		// Statistics: word popcounts for the occurrence counts, a
+		// per-lane walk over the transition masks for the moments.
+		// Lanes are visited in ascending order = ascending global run
+		// order, matching the scalar engine's Welford Add sequence.
+		s := &res.Stats[id]
+		one := wi & wf & activeMask
+		rise := ^wi & wf & activeMask
+		fall := wi & ^wf & activeMask
+		zero := activeMask &^ (one | rise | fall)
+		s.Count[logic.Zero] += int64(bits.OnesCount64(zero))
+		s.Count[logic.One] += int64(bits.OnesCount64(one))
+		s.Count[logic.Rise] += int64(bits.OnesCount64(rise))
+		s.Count[logic.Fall] += int64(bits.OnesCount64(fall))
+		base := int(id) * laneCount
+		for w := rise; w != 0; w &= w - 1 {
+			s.Rise.Add(tm[base+bits.TrailingZeros64(w)])
+		}
+		for w := fall; w != 0; w &= w - 1 {
+			s.Fall.Add(tm[base+bits.TrailingZeros64(w)])
+		}
+	}
+
+	if cfg.CountCriticality {
+		for l := 0; l < active; l++ {
+			bit := uint64(1) << uint(l)
+			last := netlist.InvalidNode
+			lastT := 0.0
+			for _, ep := range endpoints {
+				if (iw[ep]^fw[ep])&bit == 0 {
+					continue
+				}
+				t := tm[int(ep)*laneCount+l]
+				if last == netlist.InvalidNode || t > lastT {
+					last, lastT = ep, t
+				}
+			}
+			if last != netlist.InvalidNode {
+				res.Stats[last].Critical++
+			}
+		}
+	}
+	return settled
+}
+
+// evalPlanes evaluates the gate's Boolean function bitwise on the
+// initial and final planes of its fanins: 64 four-value gate
+// evaluations in a handful of word operations. Inverted planes carry
+// garbage in the inactive high lanes; every consumer masks with
+// activeMask, and lane-local word ops never mix lanes, so the garbage
+// stays confined.
+func evalPlanes(g logic.GateType, fanin []netlist.NodeID, iw, fw []uint64) (wi, wf uint64) {
+	switch g {
+	case logic.Buf:
+		return iw[fanin[0]], fw[fanin[0]]
+	case logic.Not:
+		return ^iw[fanin[0]], ^fw[fanin[0]]
+	case logic.And, logic.Nand:
+		wi, wf = ^uint64(0), ^uint64(0)
+		for _, f := range fanin {
+			wi &= iw[f]
+			wf &= fw[f]
+		}
+		if g == logic.Nand {
+			wi, wf = ^wi, ^wf
+		}
+		return wi, wf
+	case logic.Or, logic.Nor:
+		for _, f := range fanin {
+			wi |= iw[f]
+			wf |= fw[f]
+		}
+		if g == logic.Nor {
+			wi, wf = ^wi, ^wf
+		}
+		return wi, wf
+	case logic.Xor, logic.Xnor:
+		for _, f := range fanin {
+			wi ^= iw[f]
+			wf ^= fw[f]
+		}
+		if g == logic.Xnor {
+			wi, wf = ^wi, ^wf
+		}
+		return wi, wf
+	}
+	panic("montecarlo: evalPlanes on non-combinational gate " + g.String())
+}
+
+// settleLanes runs the sparse settle pass for gate n: for each lane
+// in the switching mask sw, combine the switching fanins' transition
+// times with the lane's MIN/MAX settle operation and add the sampled
+// gate delay. This replays simulateScalar's settle arithmetic (same
+// first-then-strict-compare accumulation, same comparison order) so
+// the times are bit-identical.
+func settleLanes(cfg *Config, st *packedState, n *netlist.Node, id netlist.NodeID, wf, sw uint64) {
+	// opMin per lane: SettleOp returns OpMin exactly when a monotone
+	// gate's output settles to its controlled value, i.e. when the
+	// output's final bit equals controlledOut; Buf/Not and parity
+	// gates always settle at OpMax.
+	opMinMask := uint64(0)
+	if ctrl, ok := n.Type.Controlling(); ok {
+		if ctrl != n.Type.Inverting() {
+			opMinMask = wf
+		} else {
+			opMinMask = ^wf
+		}
+	}
+	st.fsw = st.fsw[:0]
+	st.fbase = st.fbase[:0]
+	for _, f := range n.Fanin {
+		st.fsw = append(st.fsw, st.iw[f]^st.fw[f])
+		st.fbase = append(st.fbase, int(f)*laneCount)
+	}
+	dn := cfg.Delay(n)
+	base := int(id) * laneCount
+	tm := st.tm
+	for w := sw; w != 0; w &= w - 1 {
+		l := bits.TrailingZeros64(w)
+		bit := uint64(1) << uint(l)
+		opMin := opMinMask&bit != 0
+		first := true
+		acc := 0.0
+		k := 0
+		for j, fsw := range st.fsw {
+			if fsw&bit == 0 {
+				continue
+			}
+			k++
+			t := tm[st.fbase[j]+l]
+			if first {
+				acc, first = t, false
+				continue
+			}
+			if opMin {
+				if t < acc {
+					acc = t
+				}
+			} else if t > acc {
+				acc = t
+			}
+		}
+		d := dn
+		if cfg.MIS != nil {
+			d = cfg.MIS(n, k)
+		}
+		dt := d.Mu
+		if d.Sigma > 0 {
+			dt += d.Sigma * st.rngs[l].NormFloat64()
+		}
+		tm[base+l] = acc + dt
+	}
+}

@@ -1,0 +1,200 @@
+package montecarlo
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// scenarios are the paper's two launch-point statistics settings.
+var scenarios = []struct {
+	name  string
+	stats func() logic.InputStats
+}{
+	{"uniform", logic.UniformStats},
+	{"skewed", logic.SkewedStats},
+}
+
+func scenarioInputs(c *netlist.Circuit, stats func() logic.InputStats) map[netlist.NodeID]logic.InputStats {
+	m := make(map[netlist.NodeID]logic.InputStats)
+	for _, id := range c.LaunchPoints() {
+		m[id] = stats()
+	}
+	return m
+}
+
+// comparePackedScalar runs cfg twice — scalar and Packed — and
+// requires every per-net statistic to match bit for bit.
+func comparePackedScalar(t *testing.T, c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg Config) {
+	t.Helper()
+	scalar, err := Simulate(c, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Packed = true
+	packed, err := Simulate(c, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Runs != packed.Runs {
+		t.Fatalf("Runs: scalar %d, packed %d", scalar.Runs, packed.Runs)
+	}
+	for id := range scalar.Stats {
+		if !reflect.DeepEqual(scalar.Stats[id], packed.Stats[id]) {
+			t.Errorf("%s: net %s stats diverge:\nscalar %+v\npacked %+v",
+				c.Name, c.Nodes[id].Name, scalar.Stats[id], packed.Stats[id])
+		}
+	}
+}
+
+// TestPackedMatchesScalarAllCircuits is the tentpole equivalence
+// contract: across all synthetic benchmark circuits, both scenarios
+// and serial/parallel sharding, the packed engine's occurrence counts
+// and moment accumulators are bit-identical to the scalar engine's.
+// 999 runs exercise partial trailing blocks (999 = 15*64 + 39) and
+// odd shard boundaries.
+func TestPackedMatchesScalarAllCircuits(t *testing.T) {
+	circuits, err := synth.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range circuits {
+		for _, sc := range scenarios {
+			inputs := scenarioInputs(c, sc.stats)
+			for _, workers := range []int{1, 3} {
+				cfg := Config{Runs: 999, Seed: 11, Workers: workers, CountCriticality: true}
+				comparePackedScalar(t, c, inputs, cfg)
+			}
+		}
+	}
+}
+
+// TestPackedMatchesScalarSigmaDelay adds per-gate process variation
+// (Sigma > 0 delay), which makes the settle pass draw from the lane
+// RNGs — the hardest part of the draw-order contract.
+func TestPackedMatchesScalarSigmaDelay(t *testing.T) {
+	c := genCircuit(t, "s298")
+	noisy := func(*netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: 0.2} }
+	for _, sc := range scenarios {
+		inputs := scenarioInputs(c, sc.stats)
+		for _, workers := range []int{1, 4} {
+			cfg := Config{Runs: 500, Seed: 3, Workers: workers, Delay: noisy, CountCriticality: true}
+			comparePackedScalar(t, c, inputs, cfg)
+		}
+	}
+}
+
+// TestPackedMatchesScalarMIS exercises the multiple-input-switching
+// delay override, whose per-lane switching-fanin count k must match
+// the scalar engine's.
+func TestPackedMatchesScalarMIS(t *testing.T) {
+	c := genCircuit(t, "s344")
+	mis := func(n *netlist.Node, k int) dist.Normal {
+		return dist.Normal{Mu: 1 + 0.25*float64(k-1), Sigma: 0.1}
+	}
+	inputs := scenarioInputs(c, logic.UniformStats)
+	cfg := Config{Runs: 500, Seed: 5, MIS: mis}
+	comparePackedScalar(t, c, inputs, cfg)
+}
+
+// TestPackedFallback verifies that CountGlitches and ProbeTimes force
+// the scalar engine (counted by obs) and that results still match the
+// scalar engine exactly.
+func TestPackedFallback(t *testing.T) {
+	c := genCircuit(t, "s208")
+	inputs := scenarioInputs(c, logic.UniformStats)
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"glitches", func(cfg *Config) { cfg.CountGlitches = true }},
+		{"probes", func(cfg *Config) { cfg.ProbeTimes = []float64{0.5, 2, 4} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Runs: 300, Seed: 9}
+			tc.mod(&cfg)
+			m := obs.Enable()
+			defer obs.Disable()
+			comparePackedScalar(t, c, inputs, cfg)
+			snap := m.Snapshot()
+			if snap.MonteCarloPacked.ScalarFallbacks == 0 {
+				t.Error("expected a scalar fallback to be counted")
+			}
+			if snap.MonteCarloPacked.Blocks != 0 {
+				t.Errorf("packed blocks = %d, want 0 (fallback)", snap.MonteCarloPacked.Blocks)
+			}
+		})
+	}
+}
+
+// TestPackedObsCounters checks the packed engine's block accounting:
+// ceil(runs/64) blocks per shard and a positive settle-lane count on
+// a circuit that certainly toggles.
+func TestPackedObsCounters(t *testing.T) {
+	c := genCircuit(t, "s208")
+	inputs := scenarioInputs(c, logic.UniformStats)
+	m := obs.Enable()
+	defer obs.Disable()
+	if _, err := Simulate(c, inputs, Config{Runs: 130, Seed: 1, Packed: true}); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if want := int64(3); snap.MonteCarloPacked.Blocks != want { // ceil(130/64)
+		t.Errorf("blocks = %d, want %d", snap.MonteCarloPacked.Blocks, want)
+	}
+	if snap.MonteCarloPacked.SettleLanes == 0 {
+		t.Error("settle lanes = 0, want > 0")
+	}
+	if snap.MonteCarloPacked.ScalarFallbacks != 0 {
+		t.Errorf("scalar fallbacks = %d, want 0", snap.MonteCarloPacked.ScalarFallbacks)
+	}
+	if snap.MonteCarloRuns != 130 {
+		t.Errorf("runs = %d, want 130", snap.MonteCarloRuns)
+	}
+}
+
+// TestPackedWorkersInvariance: with per-run derived streams, the
+// merged statistics are independent of the shard split for counts,
+// and the moment accumulators differ only by Welford association —
+// which Merge keeps deterministic — so packed results for different
+// Workers agree on all integer statistics and agree with the scalar
+// engine at the same Workers value (the bit-identity tests above).
+// Here we pin down the weaker cross-worker contract on counts.
+func TestPackedWorkersInvariance(t *testing.T) {
+	c := genCircuit(t, "s298")
+	inputs := scenarioInputs(c, logic.SkewedStats)
+	base, err := Simulate(c, inputs, Config{Runs: 777, Seed: 13, Packed: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		r, err := Simulate(c, inputs, Config{Runs: 777, Seed: 13, Packed: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range base.Stats {
+			if base.Stats[id].Count != r.Stats[id].Count {
+				t.Fatalf("workers=%d: net %s counts diverge", workers, c.Nodes[id].Name)
+			}
+		}
+	}
+}
+
+func genCircuit(t *testing.T, name string) *netlist.Circuit {
+	t.Helper()
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -5,11 +5,15 @@
 // transition times through the netlist (glitches filtered, MIN/MAX
 // settle semantics per gate logic and transition direction), and
 // accumulates per-net occurrence counts and arrival-time moments.
+//
+// Two engines share the same sampling streams and therefore produce
+// bit-identical statistics: the scalar engine walks one run at a
+// time, and the packed engine (bitsim.go) evaluates 64 runs per gate
+// with word-level bit operations.
 package montecarlo
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 	"sync"
 	"time"
@@ -26,37 +30,59 @@ type Config struct {
 	// Runs is the number of Monte Carlo runs (default 10000, the
 	// paper's setting).
 	Runs int
-	// Seed seeds the deterministic RNG (default 1).
+	// Seed selects the deterministic random streams (default 1).
+	// Every run r draws from its own SplitMix64 stream with starting
+	// state runState(Seed, r) — see rng.go — so the randomness
+	// consumed by run r depends only on (Seed, r), not on the engine
+	// (scalar or packed), the Workers count, or the shard split.
+	// Results are bit-identical across engines for a fixed (Seed,
+	// Workers) pair, and the per-shard streams cannot overlap the way
+	// the previous additive per-shard reseeding
+	// (rand.NewSource(Seed + w*1_000_003)) could.
 	Seed int64
 	// Delay is the gate delay model (default ssta.UnitDelay). A
 	// model with Sigma > 0 is sampled independently per gate per
 	// run, adding process variation to the input-statistics
-	// variation.
+	// variation. Models must be deterministic pure functions of the
+	// gate (all ssta models are): the packed engine evaluates
+	// Delay(n) once per 64-run block instead of once per run.
 	Delay ssta.DelayModel
 	// CountGlitches additionally runs the event-walk semantics to
 	// count filtered glitches per net (slower; used by the glitch
-	// example).
+	// example). Forces the scalar engine even when Packed is set.
 	CountGlitches bool
 	// ProbeTimes requests time-resolved state sampling: for every
 	// probe time t, the per-net count of runs whose net is at logic
 	// one at t (initial value before its transition, final after).
 	// This is the sampled probability waveform of probabilistic
-	// waveform simulation.
+	// waveform simulation. Forces the scalar engine even when Packed
+	// is set.
 	ProbeTimes []float64
 	// CountCriticality tracks, per run, which endpoint settles
 	// last (among endpoints that transition) and accumulates
 	// per-endpoint criticality counts.
 	CountCriticality bool
 	// Workers splits the runs across goroutines (default 1,
-	// sequential). Each worker uses an independent seed derived
-	// from Seed, and the per-net moment accumulators are merged
-	// (parallel Welford), so results are deterministic for a given
-	// (Seed, Workers) pair.
+	// sequential). Each worker owns a contiguous range of global run
+	// indices and the per-net moment accumulators are merged in
+	// shard order (parallel Welford), so results are deterministic
+	// for a given (Seed, Workers) pair.
 	Workers int
 	// MIS, when non-nil, replaces Delay with a multiple-input
 	// switching model: the sampled gate delay is MIS(gate, k) for k
 	// simultaneously switching inputs (mirrors core.Analyzer.MIS).
+	// Like Delay, MIS models must be pure functions of (gate, k).
 	MIS ssta.MISModel
+	// Packed selects the bit-parallel engine: 64 runs are packed
+	// into a pair of uint64 bit-planes per net and every gate is
+	// evaluated for all 64 runs with a handful of word operations;
+	// only the lanes whose output actually transitions take the
+	// scalar settling pass. Statistics are bit-identical to the
+	// scalar engine for the same (Seed, Workers). CountGlitches and
+	// ProbeTimes need per-run event context and fall back to the
+	// scalar engine (results still identical, obs counts the
+	// fallback).
+	Packed bool
 }
 
 // NetStats accumulates per-net observations across runs.
@@ -85,13 +111,22 @@ type Result struct {
 	Stats []NetStats
 }
 
+// newResult allocates a result for runs runs with probes probe slots
+// per net.
+func newResult(c *netlist.Circuit, runs, probes int) *Result {
+	res := &Result{C: c, Runs: runs, Stats: make([]NetStats, len(c.Nodes))}
+	if probes > 0 {
+		for i := range res.Stats {
+			res.Stats[i].OneAt = make([]int64, probes)
+		}
+	}
+	return res
+}
+
 // Simulate runs the Monte Carlo analysis. inputs maps launch points
 // to their cycle statistics; missing launch points default to the
 // paper's scenario I (uniform) statistics.
 func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg Config) (*Result, error) {
-	if cfg.Workers > 1 {
-		return simulateParallel(c, inputs, cfg)
-	}
 	runs := cfg.Runs
 	if runs == 0 {
 		runs = 10000
@@ -103,22 +138,113 @@ func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cf
 	if seed == 0 {
 		seed = 1
 	}
-	delay := cfg.Delay
-	if delay == nil {
-		delay = ssta.UnitDelay
+	if cfg.Delay == nil {
+		cfg.Delay = ssta.UnitDelay
 	}
 	for id, st := range inputs {
 		if err := st.Validate(); err != nil {
 			return nil, fmt.Errorf("montecarlo: launch %s: %w", c.Nodes[id].Name, err)
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
-	res := &Result{C: c, Runs: runs, Stats: make([]NetStats, len(c.Nodes))}
-	if len(cfg.ProbeTimes) > 0 {
+	if m := obs.M(); m != nil {
+		m.MCRuns.Add(int64(runs))
+	}
+	workers := cfg.Workers
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		res := newResult(c, runs, len(cfg.ProbeTimes))
+		simulateRange(c, inputs, &cfg, seed, res, 0, runs)
+		return res, nil
+	}
+	return simulateParallel(c, inputs, &cfg, seed, runs, workers)
+}
+
+// simulateParallel assigns each worker a contiguous range of global
+// run indices and merges the per-net statistics with the parallel
+// Welford combination. Because run r's random stream depends only on
+// (seed, r), the shard boundaries never change what any run draws —
+// only how the Welford accumulators associate, which the shard-order
+// merge keeps deterministic.
+func simulateParallel(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg *Config, seed int64, runs, workers int) (*Result, error) {
+	shards := make([]*Result, workers)
+	var wg sync.WaitGroup
+	base := runs / workers
+	extra := runs % workers
+	start := 0
+	for w := 0; w < workers; w++ {
+		n := base
+		if w < extra {
+			n++
+		}
+		w, ws, wn := w, start, n
+		start += n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sres := newResult(c, wn, len(cfg.ProbeTimes))
+			m, tr := obs.M(), obs.T()
+			var t0 time.Time
+			if m != nil || tr != nil {
+				t0 = time.Now()
+			}
+			simulateRange(c, inputs, cfg, seed, sres, ws, wn)
+			if m != nil || tr != nil {
+				d := time.Since(t0)
+				if m != nil {
+					m.AddWorkerChunk(w, 0, int64(d))
+				}
+				if tr != nil {
+					tr.NameThread(w+1, "worker "+strconv.Itoa(w))
+					tr.Span("mc shard "+strconv.Itoa(w)+" ("+strconv.Itoa(wn)+" runs)",
+						"montecarlo", w+1, t0, d, nil)
+				}
+			}
+			shards[w] = sres
+		}()
+	}
+	wg.Wait()
+	res := newResult(c, runs, len(cfg.ProbeTimes))
+	for _, sh := range shards {
 		for i := range res.Stats {
-			res.Stats[i].OneAt = make([]int64, len(cfg.ProbeTimes))
+			dst, src := &res.Stats[i], &sh.Stats[i]
+			for v := range dst.Count {
+				dst.Count[v] += src.Count[v]
+			}
+			dst.Rise.Merge(&src.Rise)
+			dst.Fall.Merge(&src.Fall)
+			dst.Glitches += src.Glitches
+			dst.Critical += src.Critical
+			for j := range dst.OneAt {
+				dst.OneAt[j] += src.OneAt[j]
+			}
 		}
 	}
+	return res, nil
+}
+
+// simulateRange simulates runs runs with global indices
+// [start, start+runs) into res, dispatching to the packed or scalar
+// engine. cfg has been normalized by Simulate (Delay non-nil, inputs
+// validated).
+func simulateRange(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg *Config, seed int64, res *Result, start, runs int) {
+	if cfg.Packed {
+		if !cfg.CountGlitches && len(cfg.ProbeTimes) == 0 {
+			simulatePacked(c, inputs, cfg, seed, res, start, runs)
+			return
+		}
+		if m := obs.M(); m != nil {
+			m.MCScalarFallbacks.Add(1)
+		}
+	}
+	simulateScalar(c, inputs, cfg, seed, res, start, runs)
+}
+
+// simulateScalar is the one-run-at-a-time engine: per run, per node
+// in topological order, draw or evaluate the four-value output and
+// settle the transition time.
+func simulateScalar(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg *Config, seed int64, res *Result, start, runs int) {
 	var endpoints []netlist.NodeID
 	if cfg.CountCriticality {
 		endpoints = c.Endpoints()
@@ -130,8 +256,11 @@ func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cf
 	inTimes := make([]float64, 0, 8)
 	order := c.TopoOrder()
 	defaultStats := logic.UniformStats()
+	src := &runSource{}
+	rng := newRunRNG(src)
 
 	for run := 0; run < runs; run++ {
+		src.state = runState(seed, start+run)
 		for _, id := range order {
 			n := c.Nodes[id]
 			switch {
@@ -160,7 +289,7 @@ func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cf
 				}
 				if out.Switching() {
 					t := settle(op, inVals, inTimes)
-					dn := delay(n)
+					dn := cfg.Delay(n)
 					if cfg.MIS != nil {
 						k := 0
 						for _, v := range inVals {
@@ -209,10 +338,6 @@ func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cf
 			}
 		}
 	}
-	if m := obs.M(); m != nil {
-		m.MCRuns.Add(int64(runs))
-	}
-	return res, nil
 }
 
 // oneAt reports whether a net with cycle value v and transition time
@@ -287,96 +412,4 @@ func (r *Result) OneProbabilityAt(id netlist.NodeID, i int) float64 {
 // last-settling endpoint (requires Config.CountCriticality).
 func (r *Result) Criticality(id netlist.NodeID) float64 {
 	return float64(r.Stats[id].Critical) / float64(r.Runs)
-}
-
-// simulateParallel shards the runs across Workers goroutines and
-// merges the per-net statistics with the parallel Welford
-// combination.
-func simulateParallel(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cfg Config) (*Result, error) {
-	workers := cfg.Workers
-	runs := cfg.Runs
-	if runs == 0 {
-		runs = 10000
-	}
-	if runs < 0 {
-		return nil, fmt.Errorf("montecarlo: %d runs", runs)
-	}
-	if workers > runs {
-		workers = runs
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	type shard struct {
-		res *Result
-		err error
-	}
-	out := make([]shard, workers)
-	var wg sync.WaitGroup
-	base := runs / workers
-	extra := runs % workers
-	for w := 0; w < workers; w++ {
-		w := w
-		sub := cfg
-		sub.Workers = 1
-		sub.Runs = base
-		if w < extra {
-			sub.Runs++
-		}
-		// Distinct, deterministic per-shard seeds.
-		sub.Seed = seed + int64(w)*1_000_003
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if sub.Runs == 0 {
-				out[w] = shard{res: &Result{C: c, Stats: make([]NetStats, len(c.Nodes))}}
-				return
-			}
-			m, tr := obs.M(), obs.T()
-			var t0 time.Time
-			if m != nil || tr != nil {
-				t0 = time.Now()
-			}
-			r, err := Simulate(c, inputs, sub)
-			if m != nil || tr != nil {
-				d := time.Since(t0)
-				if m != nil {
-					m.WorkerBusyNS[w%obs.MaxWorkers].Add(int64(d))
-				}
-				if tr != nil {
-					tr.NameThread(w+1, "worker "+strconv.Itoa(w))
-					tr.Span("mc shard "+strconv.Itoa(w)+" ("+strconv.Itoa(sub.Runs)+" runs)",
-						"montecarlo", w+1, t0, d, nil)
-				}
-			}
-			out[w] = shard{res: r, err: err}
-		}()
-	}
-	wg.Wait()
-	res := &Result{C: c, Runs: runs, Stats: make([]NetStats, len(c.Nodes))}
-	if len(cfg.ProbeTimes) > 0 {
-		for i := range res.Stats {
-			res.Stats[i].OneAt = make([]int64, len(cfg.ProbeTimes))
-		}
-	}
-	for _, sh := range out {
-		if sh.err != nil {
-			return nil, sh.err
-		}
-		for i := range res.Stats {
-			dst, src := &res.Stats[i], &sh.res.Stats[i]
-			for v := range dst.Count {
-				dst.Count[v] += src.Count[v]
-			}
-			dst.Rise.Merge(&src.Rise)
-			dst.Fall.Merge(&src.Fall)
-			dst.Glitches += src.Glitches
-			dst.Critical += src.Critical
-			for j := range dst.OneAt {
-				dst.OneAt[j] += src.OneAt[j]
-			}
-		}
-	}
-	return res, nil
 }

@@ -152,6 +152,19 @@ type Metrics struct {
 	// MCRuns counts Monte Carlo runs simulated.
 	MCRuns atomic.Int64
 
+	// Packed Monte Carlo engine (montecarlo/bitsim.go):
+	// MCPackedBlocks counts simulated 64-run blocks,
+	// MCPackedSettleLanes counts sparse settle-pass lane visits
+	// (gate outputs that transitioned and took the scalar settling
+	// arithmetic), MCPackedBlockNS accumulates per-block wall time,
+	// and MCScalarFallbacks counts Packed requests that fell back to
+	// the scalar engine (CountGlitches / ProbeTimes need per-run
+	// event context).
+	MCPackedBlocks      atomic.Int64
+	MCPackedSettleLanes atomic.Int64
+	MCPackedBlockNS     atomic.Int64
+	MCScalarFallbacks   atomic.Int64
+
 	// Per-worker busy time and gate counts from the level-parallel
 	// schedule (worker id folded modulo MaxWorkers; Monte Carlo
 	// shards report under their shard index).
@@ -230,9 +243,15 @@ type Snapshot struct {
 		EvalsByFanin        []FaninBucket `json:"evals_by_fanin,omitempty"`
 		SubsetLeavesByFanin []FaninBucket `json:"subset_leaves_by_fanin,omitempty"`
 	} `json:"mixture"`
-	MonteCarloRuns int64            `json:"monte_carlo_runs,omitempty"`
-	Levels         []LevelSnapshot  `json:"levels,omitempty"`
-	Workers        []WorkerSnapshot `json:"workers,omitempty"`
+	MonteCarloRuns   int64 `json:"monte_carlo_runs,omitempty"`
+	MonteCarloPacked struct {
+		Blocks          int64 `json:"blocks"`
+		SettleLanes     int64 `json:"settle_lanes"`
+		BlockNS         int64 `json:"block_ns"`
+		ScalarFallbacks int64 `json:"scalar_fallbacks"`
+	} `json:"monte_carlo_packed,omitzero"`
+	Levels  []LevelSnapshot  `json:"levels,omitempty"`
+	Workers []WorkerSnapshot `json:"workers,omitempty"`
 }
 
 // Snapshot captures the registry's current totals.
@@ -249,6 +268,10 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.Mixture.EvalsByFanin = m.MixtureEvals.snapshot()
 	s.Mixture.SubsetLeavesByFanin = m.SubsetLeaves.snapshot()
 	s.MonteCarloRuns = m.MCRuns.Load()
+	s.MonteCarloPacked.Blocks = m.MCPackedBlocks.Load()
+	s.MonteCarloPacked.SettleLanes = m.MCPackedSettleLanes.Load()
+	s.MonteCarloPacked.BlockNS = m.MCPackedBlockNS.Load()
+	s.MonteCarloPacked.ScalarFallbacks = m.MCScalarFallbacks.Load()
 	m.mu.Lock()
 	for i, l := range m.levels {
 		s.Levels = append(s.Levels, LevelSnapshot{Level: i, Gates: l.gates, WallNS: l.wallNS})
@@ -283,6 +306,10 @@ func (m *Metrics) Reset() {
 		m.SubsetLeaves.b[i].Store(0)
 	}
 	m.MCRuns.Store(0)
+	m.MCPackedBlocks.Store(0)
+	m.MCPackedSettleLanes.Store(0)
+	m.MCPackedBlockNS.Store(0)
+	m.MCScalarFallbacks.Store(0)
 	for w := 0; w < MaxWorkers; w++ {
 		m.WorkerBusyNS[w].Store(0)
 		m.WorkerGates[w].Store(0)

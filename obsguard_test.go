@@ -8,6 +8,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/synth"
 )
@@ -83,6 +86,112 @@ func TestBenchGuardObsOverhead(t *testing.T) {
 		t.Errorf("instrumentation overhead %.2f%% exceeds the 2%% contract "+
 			"(disabled %v/op, enabled %v/op)", overhead*100, minDisabled, minEnabled)
 	}
+}
+
+// TestBenchGuardPackedSpeedup enforces the packed Monte Carlo
+// engine's throughput contract: on s1196 at 10,000 runs the
+// word-packed engine must be at least 5x faster than the scalar
+// engine. The measured ratio is ~13x on the reference machine (see
+// BENCH_mc.json); 5x leaves headroom for slower hosts while still
+// failing loudly if a regression serializes the packed path (e.g. an
+// accidental scalar fallback on the default configuration).
+//
+// Opt-in via BENCH_GUARD=1 like the overhead guard, with the same
+// interleaved min-of-N timing.
+func TestBenchGuardPackedSpeedup(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 (or run `make bench-guard`) to measure the packed speedup")
+	}
+	c, in := guardCircuit(t, "s1196")
+	one := func(packed bool) time.Duration {
+		t0 := time.Now()
+		if _, err := montecarlo.Simulate(c, in, montecarlo.Config{
+			Runs: 10000, Seed: 1, Workers: 1, Packed: packed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	one(false)
+	one(true)
+
+	const rounds = 5
+	minScalar, minPacked := time.Hour, time.Hour
+	for r := 0; r < rounds; r++ {
+		if d := one(false); d < minScalar {
+			minScalar = d
+		}
+		if d := one(true); d < minPacked {
+			minPacked = d
+		}
+	}
+
+	speedup := float64(minScalar) / float64(minPacked)
+	t.Logf("scalar %v/op, packed %v/op, speedup %.1fx", minScalar, minPacked, speedup)
+	if speedup < 5 {
+		t.Errorf("packed Monte Carlo speedup %.1fx below the 5x contract "+
+			"(scalar %v/op, packed %v/op)", speedup, minScalar, minPacked)
+	}
+}
+
+// TestBenchGuardPackedObsOverhead extends the disabled-path overhead
+// contract to the packed Monte Carlo engine: its per-block counters
+// (blocks, settle lanes, block wall time) must reduce to nil checks
+// when no registry is installed, keeping the enabled-vs-disabled
+// delta within 2% — the same bound, proxy argument, and timing
+// discipline as TestBenchGuardObsOverhead.
+func TestBenchGuardPackedObsOverhead(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 (or run `make bench-guard`) to measure the packed engine's disabled-path overhead")
+	}
+	c, in := guardCircuit(t, "s1196")
+	one := func() time.Duration {
+		t0 := time.Now()
+		if _, err := montecarlo.Simulate(c, in, montecarlo.Config{
+			Runs: 10000, Seed: 1, Workers: 1, Packed: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	one()
+
+	const rounds = 40
+	minDisabled, minEnabled := time.Hour, time.Hour
+	for r := 0; r < rounds; r++ {
+		obs.Disable()
+		if d := one(); d < minDisabled {
+			minDisabled = d
+		}
+		obs.Enable()
+		if d := one(); d < minEnabled {
+			minEnabled = d
+		}
+	}
+	obs.Disable()
+
+	overhead := float64(minEnabled-minDisabled) / float64(minDisabled)
+	t.Logf("disabled %v/op, enabled %v/op, overhead %+.2f%%",
+		minDisabled, minEnabled, overhead*100)
+	if overhead > 0.02 {
+		t.Errorf("packed engine instrumentation overhead %.2f%% exceeds the 2%% contract "+
+			"(disabled %v/op, enabled %v/op)", overhead*100, minDisabled, minEnabled)
+	}
+}
+
+// guardCircuit generates a named synthetic circuit with scenario I
+// inputs for the benchmark guards.
+func guardCircuit(t *testing.T, name string) (*netlist.Circuit, map[netlist.NodeID]logic.InputStats) {
+	t.Helper()
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no %s profile", name)
+	}
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, experiments.Inputs(c, experiments.ScenarioI)
 }
 
 // ExampleEnableEngineMetrics shows the public observability surface:
