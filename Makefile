@@ -22,6 +22,10 @@ bench:
 #     scalar engine on s1196 at 10,000 runs.
 #   - TestBenchGuardPackedObsOverhead: the packed engine's per-block
 #     counters also reduce to nil checks when disabled (delta <= 2%).
+#   - TestBenchGuardPruneSpeedup: epsilon=1e-4 adaptive pruning >= 2x
+#     the exact engine single-threaded on the widest-fanin cell under
+#     variational delays, with the certificate's error ceiling checked
+#     in the same run.
 bench-guard:
 	BENCH_GUARD=1 $(GO) test -run TestBenchGuard -v -timeout 20m .
 
@@ -33,6 +37,8 @@ bench-guard:
 # (core.TestInstrumentedParallelMatchesSerial and friends) re-check
 # it with metrics and tracing live.
 check:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-guard

@@ -183,6 +183,27 @@ func AnalyzeSPSTAMoments(c *Circuit, inputs map[NodeID]InputStats) (*SPSTAMoment
 	return a.Run(c, inputs)
 }
 
+// AnalyzeSPSTAPruned runs the discretized SPSTA analyzer with
+// ε-bounded adaptive pruning: each net may spend at most eps of
+// occurrence mass on subset branch-and-bound, negligible-switcher
+// absorption and t.o.p. tail truncation. The removed mass is folded
+// back so four-value probabilities still sum to 1, and the result
+// carries a certified worst-case deviation per net
+// (SPSTAResult.ConsumedBudget, .DeviationBounds). eps = 0 is
+// bit-identical to AnalyzeSPSTA.
+func AnalyzeSPSTAPruned(c *Circuit, inputs map[NodeID]InputStats, eps float64) (*SPSTAResult, error) {
+	a := core.Analyzer{ErrorBudget: eps}
+	return a.Run(c, inputs)
+}
+
+// AnalyzeSPSTAMomentsPruned runs the analytic SPSTA abstraction with
+// ε-bounded subset branch-and-bound (see AnalyzeSPSTAPruned); eps = 0
+// is bit-identical to AnalyzeSPSTAMoments.
+func AnalyzeSPSTAMomentsPruned(c *Circuit, inputs map[NodeID]InputStats, eps float64) (*SPSTAMomentResult, error) {
+	a := core.MomentTiming{ErrorBudget: eps}
+	return a.Run(c, inputs)
+}
+
 // AnalyzeToggleMoments propagates toggling-rate means, variances and
 // correlations per the paper's Eq. 13.
 func AnalyzeToggleMoments(c *Circuit, inputs map[NodeID]InputStats) *ToggleMomentsResult {
@@ -392,6 +413,15 @@ type IncrementalSPSTA = incr.SPSTA
 // NewIncrementalSPSTA runs the initial full SPSTA analysis.
 func NewIncrementalSPSTA(c *Circuit, inputs map[NodeID]InputStats) (*IncrementalSPSTA, error) {
 	return incr.NewSPSTA(core.Analyzer{}, c, inputs)
+}
+
+// NewIncrementalSPSTAPruned runs the initial full SPSTA analysis with
+// ε-bounded pruning; incremental updates re-derive every recomputed
+// gate's budget from the configuration, so repeated SetDelay/SetInput
+// calls match a pruned full re-run with the same eps instead of
+// compounding the error.
+func NewIncrementalSPSTAPruned(c *Circuit, inputs map[NodeID]InputStats, eps float64) (*IncrementalSPSTA, error) {
+	return incr.NewSPSTA(core.Analyzer{ErrorBudget: eps}, c, inputs)
 }
 
 // ParseVerilog reads a gate-level structural Verilog module.

@@ -2,12 +2,18 @@
 // results as JSON (machine metadata plus ns/op rows), the raw
 // material for scaling plots and regression tracking.
 //
-// Two engines are benchmarked:
+// Three engines are benchmarked:
 //
 //	-engine spsta   SPSTA propagation per circuit per worker count
 //	                (default output BENCH_spsta.json)
+//	-engine moment  analytic moment-matching SPSTA per circuit per
+//	                worker count (default output BENCH_moment.json)
 //	-engine mc      scalar vs word-packed Monte Carlo per circuit
 //	                (default output BENCH_mc.json)
+//
+// The spsta and moment engines additionally sweep the -epsilon list of
+// adaptive-pruning error budgets; each ε>0 cell reports its speedup
+// over the exact ε=0 cell at the same worker count.
 //
 // Measurement is interleaved min-of-N: every variant of a circuit
 // (worker counts, or scalar/packed) is calibrated to a per-round
@@ -35,12 +41,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/logic"
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/ssta"
 	"repro/internal/synth"
 )
 
@@ -49,8 +57,16 @@ type Row struct {
 	Circuit string `json:"circuit"`
 	Gates   int    `json:"gates"`
 	Depth   int    `json:"depth"`
-	// Workers is the worker count of an SPSTA cell.
+	// Workers is the worker count of an SPSTA or moment cell.
 	Workers int `json:"workers,omitempty"`
+	// Epsilon is the adaptive-pruning error budget of an SPSTA or
+	// moment cell (0 = exact).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Sigma is the gate-delay standard deviation of an SPSTA or moment
+	// cell: 0 benchmarks deterministic unit delays (pure shifts), >0
+	// benchmarks variational N(1, σ²) delays, which exercise the
+	// per-gate convolution path where tail truncation shrinks kernels.
+	Sigma float64 `json:"sigma,omitempty"`
 	// Engine ("scalar" or "packed") and Runs identify a Monte Carlo
 	// cell.
 	Engine  string  `json:"engine,omitempty"`
@@ -66,6 +82,14 @@ type Row struct {
 	// SpeedupVsScalar compares a packed Monte Carlo cell to the same
 	// circuit's scalar cell.
 	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+	// SpeedupVsExact compares a pruned (ε>0) cell to the same
+	// circuit's exact ε=0 cell at the same worker count.
+	SpeedupVsExact float64 `json:"speedup_vs_exact,omitempty"`
+	// PrunedMass and MaxBudget report the pruning certificate of an
+	// ε>0 cell: total mass dropped circuit-wide and the largest per-net
+	// consumed budget.
+	PrunedMass float64 `json:"pruned_mass,omitempty"`
+	MaxBudget  float64 `json:"max_consumed_budget,omitempty"`
 	// Schedule marks SPSTA cells whose cost-aware scheduler inlined
 	// every level ("serial-inline"): the cell executes the identical
 	// instruction stream as workers=1, so its speedup is 1.0 by
@@ -96,9 +120,11 @@ func main() {
 }
 
 func run() error {
-	engine := flag.String("engine", "spsta", "benchmark engine: spsta (level-parallel analyzer sweep) or mc (scalar vs packed Monte Carlo)")
+	engine := flag.String("engine", "spsta", "benchmark engine: spsta (level-parallel analyzer sweep), moment (analytic moment-matching sweep), or mc (scalar vs packed Monte Carlo)")
 	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_<engine>.json)")
-	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (-engine spsta)")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (-engine spsta/moment)")
+	epsilonList := flag.String("epsilon", "0", "comma-separated adaptive-pruning error budgets to sweep (-engine spsta/moment); 0 is the exact baseline")
+	sigmaList := flag.String("sigma", "0", "comma-separated gate-delay sigmas to sweep (-engine spsta/moment); 0 is deterministic unit delay, >0 selects variational N(1, sigma^2) delays")
 	circuitsList := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	runs := flag.Int("runs", 10000, "Monte Carlo runs per op (-engine mc)")
 	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum total measurement time per (circuit, variant) cell")
@@ -107,8 +133,8 @@ func run() error {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address for the duration of the sweep")
 	flag.Parse()
 
-	if *engine != "spsta" && *engine != "mc" {
-		return fmt.Errorf("unknown engine %q (want spsta or mc)", *engine)
+	if *engine != "spsta" && *engine != "moment" && *engine != "mc" {
+		return fmt.Errorf("unknown engine %q (want spsta, moment, or mc)", *engine)
 	}
 	if *out == "" {
 		*out = "BENCH_" + *engine + ".json"
@@ -139,12 +165,20 @@ func run() error {
 		Engine:     *engine,
 	}
 	switch *engine {
-	case "spsta":
+	case "spsta", "moment":
 		workers, err := parseInts(*workersList)
 		if err != nil {
 			return err
 		}
-		f.Benchmarks, err = benchSPSTA(circuits, workers, *minTime, *rounds, *withMetrics)
+		epsilons, err := parseFloats(*epsilonList)
+		if err != nil {
+			return err
+		}
+		sigmas, err := parseFloats(*sigmaList)
+		if err != nil {
+			return err
+		}
+		f.Benchmarks, err = benchAnalyzer(*engine, circuits, workers, epsilons, sigmas, *minTime, *rounds, *withMetrics)
 		if err != nil {
 			return err
 		}
@@ -171,47 +205,97 @@ func run() error {
 	return nil
 }
 
-// benchSPSTA sweeps worker counts per circuit, all variants
-// interleaved.
-func benchSPSTA(circuits []*netlist.Circuit, workers []int, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
+// benchAnalyzer sweeps worker counts × pruning budgets per circuit
+// for the spsta (discretized t.o.p.) or moment (analytic
+// moment-matching) engine, all variants interleaved.
+func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, epsilons, sigmas []float64, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
+	type cell struct {
+		eps   float64
+		sigma float64
+		w     int
+	}
+	runOnce := func(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cl cell) error {
+		if engine == "moment" {
+			_, err := (&core.MomentTiming{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
+			return err
+		}
+		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
+		if err != nil {
+			return err
+		}
+		res.Recycle()
+		return nil
+	}
+	// certificate reruns the cell once (deterministically) outside the
+	// timed loop to extract the pruning certificate.
+	certificate := func(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cl cell) (pruned, budget float64, err error) {
+		if engine == "moment" {
+			res, err := (&core.MomentTiming{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.TotalPrunedMass(), res.MaxConsumedBudget(), nil
+		}
+		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.TotalPrunedMass(), res.MaxConsumedBudget(), nil
+	}
 	var out []Row
 	for _, c := range circuits {
 		in := experiments.Inputs(c, experiments.ScenarioI)
 		st := c.Stats()
-		vs := make([]variant, len(workers))
-		for i, w := range workers {
-			a := core.Analyzer{Workers: w}
+		var cells []cell
+		for _, s := range sigmas {
+			for _, e := range epsilons {
+				for _, w := range workers {
+					cells = append(cells, cell{e, s, w})
+				}
+			}
+		}
+		vs := make([]variant, len(cells))
+		for i, cl := range cells {
+			cl := cl
 			vs[i] = variant{
-				name: "workers=" + strconv.Itoa(w),
-				fn: func() error {
-					_, err := a.Run(c, in)
-					return err
-				},
+				name: fmt.Sprintf("workers=%d eps=%g sigma=%g", cl.w, cl.eps, cl.sigma),
+				fn:   func() error { return runOnce(c, in, cl) },
 			}
 		}
 		mins, reps, err := measureInterleaved(vs, minTime, rounds)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Name, err)
 		}
-		base := 0.0
-		for i, w := range workers {
-			if w == 1 {
-				base = mins[i]
+		type baseKey struct{ eps, sigma float64 }
+		type exactKey struct {
+			w     int
+			sigma float64
+		}
+		base := make(map[baseKey]float64)   // (ε, σ) → workers=1 ns/op
+		exact := make(map[exactKey]float64) // (workers, σ) → ε=0 ns/op
+		for i, cl := range cells {
+			if cl.w == 1 {
+				base[baseKey{cl.eps, cl.sigma}] = mins[i]
+			}
+			if cl.eps == 0 {
+				exact[exactKey{cl.w, cl.sigma}] = mins[i]
 			}
 		}
-		for i, w := range workers {
+		for i, cl := range cells {
 			row := Row{
 				Circuit: c.Name,
 				Gates:   st.Gates,
 				Depth:   st.Depth,
-				Workers: w,
+				Workers: cl.w,
+				Epsilon: cl.eps,
+				Sigma:   cl.sigma,
 				Reps:    reps[i],
 				Rounds:  rounds,
 				NsPerOp: mins[i],
 			}
-			if w != 1 && base > 0 {
-				row.SpeedupV1 = base / mins[i]
-				if inlined, err := spstaAllInline(c, in, w); err != nil {
+			if cl.w != 1 && base[baseKey{cl.eps, cl.sigma}] > 0 {
+				row.SpeedupV1 = base[baseKey{cl.eps, cl.sigma}] / mins[i]
+				if inlined, err := allInline(engine, c, in, cl.w, cl.eps, cl.sigma); err != nil {
 					return nil, err
 				} else if inlined {
 					// Identical instruction stream as workers=1: the
@@ -221,19 +305,39 @@ func benchSPSTA(circuits []*netlist.Circuit, workers []int, minTime time.Duratio
 					row.Schedule = "serial-inline"
 				}
 			}
-			if withMetrics {
-				snap, err := snapshotSPSTA(c, in, w)
+			if cl.eps > 0 {
+				if e := exact[exactKey{cl.w, cl.sigma}]; e > 0 {
+					row.SpeedupVsExact = e / mins[i]
+				}
+				pruned, budget, err := certificate(c, in, cl)
 				if err != nil {
-					return nil, fmt.Errorf("%s workers=%d: %w", c.Name, w, err)
+					return nil, fmt.Errorf("%s %s: %w", c.Name, vs[i].name, err)
+				}
+				row.PrunedMass, row.MaxBudget = pruned, budget
+			}
+			if withMetrics {
+				snap, err := snapshotAnalyzer(engine, c, in, cl.w, cl.eps, cl.sigma)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", c.Name, vs[i].name, err)
 				}
 				row.Metrics = snap
 			}
 			out = append(out, row)
-			fmt.Fprintf(os.Stderr, "%-8s workers=%d  %12.0f ns/op  (%d reps × %d rounds)%s\n",
-				c.Name, w, row.NsPerOp, row.Reps, rounds, scheduleSuffix(row.Schedule))
+			fmt.Fprintf(os.Stderr, "%-8s %-30s  %12.0f ns/op  (%d reps × %d rounds)%s\n",
+				c.Name, vs[i].name, row.NsPerOp, row.Reps, rounds, scheduleSuffix(row.Schedule))
 		}
 	}
 	return out, nil
+}
+
+// delayFor maps a -sigma value to a delay model: deterministic unit
+// delays for 0 (the paper's experimental model), variational
+// N(1, σ²) gate delays otherwise.
+func delayFor(sigma float64) ssta.DelayModel {
+	if sigma == 0 {
+		return nil
+	}
+	return func(*netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: sigma} }
 }
 
 func scheduleSuffix(s string) string {
@@ -362,14 +466,19 @@ func measureInterleaved(vs []variant, minTime time.Duration, rounds int) ([]floa
 	return mins, reps, nil
 }
 
-// spstaAllInline reports whether an instrumented Run with the given
-// worker count dispatched no level to the pool (every gate was
-// attributed to worker 0 by the cost-aware serial fallback).
-func spstaAllInline(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int) (bool, error) {
+// allInline reports whether an instrumented Run with the given worker
+// count dispatched no level to the pool (every gate was attributed to
+// worker 0 by the cost-aware serial fallback).
+func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64) (bool, error) {
 	m := obs.Enable()
 	defer obs.Disable()
-	a := core.Analyzer{Workers: w}
-	if _, err := a.Run(c, in); err != nil {
+	var err error
+	if engine == "moment" {
+		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+	} else {
+		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+	}
+	if err != nil {
 		return false, err
 	}
 	for _, ws := range m.Snapshot().Workers {
@@ -380,14 +489,20 @@ func spstaAllInline(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, 
 	return true, nil
 }
 
-// snapshotSPSTA runs the analyzer once more with metrics enabled and
-// returns the snapshot. It runs outside the timed loop so the
+// snapshotAnalyzer runs the engine once more with metrics enabled and
+// returns the snapshot (including the pruned-leaf and truncated-mass
+// counters of an ε>0 cell). It runs outside the timed loop so the
 // reported ns/op measures the uninstrumented fast path.
-func snapshotSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int) (*obs.Snapshot, error) {
+func snapshotAnalyzer(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64) (*obs.Snapshot, error) {
 	m := obs.Enable()
 	defer obs.Disable()
-	a := core.Analyzer{Workers: w}
-	if _, err := a.Run(c, in); err != nil {
+	var err error
+	if engine == "moment" {
+		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+	} else {
+		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return m.Snapshot(), nil
@@ -418,6 +533,25 @@ func parseInts(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty -workers list")
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad epsilon %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -epsilon list")
 	}
 	return out, nil
 }

@@ -34,9 +34,10 @@ func run() error {
 	workers := flag.Int("workers", 0, "worker goroutines for the SPSTA level-parallel schedule and the Monte Carlo shards (0 = GOMAXPROCS); SPSTA results are identical for any worker count")
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	packed := flag.Bool("packed", true, "use the word-packed bit-parallel Monte Carlo engine (bit-identical to -packed=false for the same seed and workers)")
+	epsilon := flag.Float64("epsilon", 0, "SPSTA per-net adaptive-pruning error budget (0 = exact); reported probabilities deviate from exact by at most the consumed budget")
 	flag.Parse()
 
-	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers, Packed: *packed}
+	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers, Packed: *packed, Epsilon: *epsilon}
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}

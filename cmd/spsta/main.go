@@ -57,6 +57,7 @@ func run() error {
 	net := flag.String("net", "", "report a single net instead of the endpoints")
 	split := flag.Int("split", 0, "decompose gates wider than this fanin into trees (0 disables)")
 	sigma := flag.Float64("sigma", 0, "gate delay sigma: >0 selects variational N(1, sigma^2) gate delays (exercising the convolution SUM path) instead of deterministic unit delays")
+	epsilon := flag.Float64("epsilon", 0, "per-net error budget for adaptive pruning in the spsta and spsta-moments engines (0 = exact; results deviate from the exact run by at most the consumed budget reported per net)")
 	metricsOut := flag.String("metrics", "", "append a JSON engine-metrics snapshot to the run report: - for stdout, or a file path")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the level schedule to this file (open in chrome://tracing or Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) for the duration of the run")
@@ -115,12 +116,17 @@ func run() error {
 		delay = func(n *netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: s} }
 	}
 
+	if *epsilon < 0 {
+		return fmt.Errorf("-epsilon must be >= 0 (got %v)", *epsilon)
+	}
 	dispatch := func() error {
 		switch *analyzer {
 		case "spsta":
-			return runSPSTA(c, in, targets, *workers, delay)
+			_, err := runSPSTA(c, in, targets, *workers, *epsilon, delay)
+			return err
 		case "spsta-moments":
-			return runSPSTAMoments(c, in, targets, *workers, delay)
+			_, err := runSPSTAMoments(c, in, targets, *workers, *epsilon, delay)
+			return err
 		case "ssta":
 			return runSSTA(c, in, targets, delay)
 		case "sta":
@@ -134,7 +140,7 @@ func run() error {
 		case "yield":
 			return runYield(c, in, *workers, delay)
 		case "all":
-			return runAll(c, in, targets, *runs, *seed, *workers, *packed, delay)
+			return runAll(c, in, targets, *runs, *seed, *workers, *packed, *epsilon, delay)
 		}
 		return fmt.Errorf("unknown analyzer %q", *analyzer)
 	}
@@ -144,22 +150,36 @@ func run() error {
 	return writeObsOutputs(met, tracer, *metricsOut, *traceOut)
 }
 
+// pruneStats is the ε-pruning certificate of one engine run, shown in
+// the -analyzer all footer: the total approximation mass dropped across
+// the circuit and the largest per-net consumed budget (the certified
+// bound on any single net's probability deviation).
+type pruneStats struct {
+	ok     bool
+	pruned float64
+	budget float64
+}
+
 // runAll runs every comparison engine and prints a summary footer
-// with per-engine wall time and the peak HeapAlloc growth observed
-// while the engine ran (sampled concurrently).
-func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, delay ssta.DelayModel) error {
+// with per-engine wall time, the peak HeapAlloc growth observed while
+// the engine ran (sampled concurrently), and — for the pruning-capable
+// SPSTA engines — the total pruned mass and max consumed error budget.
+func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, epsilon float64, delay ssta.DelayModel) error {
 	engines := []struct {
 		name string
-		f    func() error
+		f    func() (pruneStats, error)
 	}{
-		{"spsta", func() error { return runSPSTA(c, in, targets, workers, delay) }},
-		{"ssta", func() error { return runSSTA(c, in, targets, delay) }},
-		{"sta", func() error { return runSTA(c, in, targets, delay) }},
-		{"mc", func() error { return runMC(c, in, targets, runs, seed, workers, packed, delay) }},
+		{"spsta", func() (pruneStats, error) { return runSPSTA(c, in, targets, workers, epsilon, delay) }},
+		{"spsta-moments", func() (pruneStats, error) { return runSPSTAMoments(c, in, targets, workers, epsilon, delay) }},
+		{"ssta", func() (pruneStats, error) { return pruneStats{}, runSSTA(c, in, targets, delay) }},
+		{"sta", func() (pruneStats, error) { return pruneStats{}, runSTA(c, in, targets, delay) }},
+		{"mc", func() (pruneStats, error) {
+			return pruneStats{}, runMC(c, in, targets, runs, seed, workers, packed, delay)
+		}},
 	}
 	footer := report.Table{
-		Title:   "Engine summary",
-		Headers: []string{"engine", "elapsed", "peak heap delta"},
+		Title:   fmt.Sprintf("Engine summary (epsilon=%g)", epsilon),
+		Headers: []string{"engine", "elapsed", "peak heap delta", "pruned mass", "max budget"},
 	}
 	for _, e := range engines {
 		runtime.GC() // settle the baseline so deltas are per-engine
@@ -168,13 +188,18 @@ func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 		before := ms.HeapAlloc
 		sampler := startHeapSampler(before)
 		t0 := time.Now()
-		err := e.f()
+		ps, err := e.f()
 		elapsed := time.Since(t0)
 		peak := sampler.stop()
 		if err != nil {
 			return err
 		}
-		footer.Add(e.name, elapsed.Round(time.Microsecond).String(), formatBytes(peak))
+		pruned, budget := "-", "-"
+		if ps.ok {
+			pruned = fmt.Sprintf("%.3g", ps.pruned)
+			budget = fmt.Sprintf("%.3g", ps.budget)
+		}
+		footer.Add(e.name, elapsed.Round(time.Microsecond).String(), formatBytes(peak), pruned, budget)
 		fmt.Println()
 	}
 	return footer.Render(os.Stdout)
@@ -330,11 +355,11 @@ func targetNets(c *netlist.Circuit, net string) ([]netlist.NodeID, error) {
 	return []netlist.NodeID{n.ID}, nil
 }
 
-func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, delay ssta.DelayModel) error {
-	a := core.Analyzer{Workers: workers, Delay: delay}
+func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel) (pruneStats, error) {
+	a := core.Analyzer{Workers: workers, Delay: delay, ErrorBudget: epsilon}
 	res, err := a.Run(c, in)
 	if err != nil {
-		return err
+		return pruneStats{}, err
 	}
 	t := report.Table{
 		Title:   "SPSTA (discretized t.o.p.)",
@@ -349,14 +374,17 @@ func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, target
 			report.F3(res.Probability(id, logic.Rise)), report.F3(res.Probability(id, logic.Fall)),
 			report.F(rm), report.F(rs), report.F(fm), report.F(fs))
 	}
-	return t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		return pruneStats{}, err
+	}
+	return pruneStats{ok: true, pruned: res.TotalPrunedMass(), budget: res.MaxConsumedBudget()}, nil
 }
 
-func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, delay ssta.DelayModel) error {
-	a := core.MomentTiming{Workers: workers, Delay: delay}
+func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel) (pruneStats, error) {
+	a := core.MomentTiming{Workers: workers, Delay: delay, ErrorBudget: epsilon}
 	res, err := a.Run(c, in)
 	if err != nil {
-		return err
+		return pruneStats{}, err
 	}
 	t := report.Table{
 		Title:   "SPSTA (analytic moments)",
@@ -369,7 +397,10 @@ func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats,
 		t.Add(n.Name, report.F3(rp), report.F(ra.Mu), report.F(ra.Sigma),
 			report.F3(fp), report.F(fa.Mu), report.F(fa.Sigma))
 	}
-	return t.Render(os.Stdout)
+	if err := t.Render(os.Stdout); err != nil {
+		return pruneStats{}, err
+	}
+	return pruneStats{ok: true, pruned: res.TotalPrunedMass(), budget: res.MaxConsumedBudget()}, nil
 }
 
 func runSSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, delay ssta.DelayModel) error {

@@ -86,6 +86,17 @@ type Analyzer struct {
 	// runs inline regardless (unless SerialCutoff is negative), since
 	// a single processor cannot overlap the pool's work.
 	SerialCutoff int64
+	// ErrorBudget is the per-net ε for adaptive pruning (DESIGN.md
+	// §11): each net may spend at most this much occurrence mass on
+	// subset branch-and-bound cuts, negligible-switcher absorption
+	// and t.o.p. tail truncation combined. Removed mass is folded
+	// back into the four-value probabilities (they still sum to 1)
+	// and tracked per net: NetState.PrunedMass is the local spend,
+	// NetState.Budget the cumulative certified deviation bound. Zero
+	// disables pruning and is bit-identical to the exact engine;
+	// pruning decisions depend only on the configuration, never on
+	// Workers.
+	ErrorBudget float64
 }
 
 // DefaultAnalyzerSerialCutoff is the default serial-fallback
@@ -108,6 +119,13 @@ type NetState struct {
 	// probability function per direction, indexed by ssta.Dir.
 	// TOP[d].Mass() equals P[Rise] or P[Fall] up to discretization.
 	TOP [2]*dist.PMF
+	// PrunedMass bounds the occurrence mass removed or displaced at
+	// this net by ε-bounded pruning (0 on exact runs). It has already
+	// been folded back into P, so the probabilities still sum to 1.
+	PrunedMass float64
+	// Budget is the net's cumulative certified deviation bound: the
+	// local pruning bound plus every combinational fanin's Budget.
+	Budget float64
 }
 
 // Result is a completed SPSTA analysis.
@@ -120,6 +138,27 @@ type Result struct {
 	// analysis; it lives on the Result so incremental re-analysis
 	// (ComputeNode) keeps hitting the cache built by Run.
 	kernels *dist.KernelCache
+
+	// arena backs the stored t.o.p. functions; Recycle hands it back
+	// for reuse by a later Run.
+	arena *dist.Arena
+}
+
+// Recycle releases the result's t.o.p. storage for reuse by a later
+// Run, skipping the slab allocation and full-width zeroing that
+// otherwise dominate repeated analyses of small circuits. Every
+// stored t.o.p. pointer in State becomes invalid; the caller must be
+// completely done with the result. The probability and certificate
+// scalars (P, PrunedMass, Budget) remain readable.
+func (r *Result) Recycle() {
+	if r.arena == nil {
+		return
+	}
+	for i := range r.State {
+		r.State[i].TOP = [2]*dist.PMF{}
+	}
+	r.arena.Recycle()
+	r.arena = nil
 }
 
 // runCtx carries the per-run configuration threaded through node
@@ -130,6 +169,24 @@ type runCtx struct {
 	delay     ssta.DelayModel
 	maxParity int
 	kernels   *dist.KernelCache
+	// eps is the per-net pruning budget; 0 keeps every code path
+	// bit-identical to the exact engine. empty is the shared empty
+	// t.o.p. that absorbed mixture inputs point at (allocated only
+	// when eps > 0).
+	eps   float64
+	empty *dist.PMF
+	// arena backs the stored t.o.p. functions of a full Run (nil for
+	// single-node recomputation, which falls back to NewPMF).
+	arena *dist.Arena
+}
+
+// newTOP returns an empty PMF for a stored t.o.p. function, carved
+// from the run's arena when one is available.
+func (rc *runCtx) newTOP() *dist.PMF {
+	if p := rc.arena.Take(); p != nil {
+		return p
+	}
+	return dist.NewPMF(rc.grid)
 }
 
 // Run executes SPSTA over the circuit. inputs maps launch points to
@@ -176,7 +233,15 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 		State:   make([]NetState, len(c.Nodes)),
 		kernels: dist.NewKernelCache(grid),
 	}
-	rc := &runCtx{grid: grid, delay: delay, maxParity: maxParity, kernels: res.kernels}
+	rc := &runCtx{
+		grid: grid, delay: delay, maxParity: maxParity, kernels: res.kernels,
+		eps:   a.ErrorBudget,
+		arena: dist.NewArena(grid, 2*len(c.Nodes)),
+	}
+	res.arena = rc.arena
+	if rc.eps > 0 {
+		rc.empty = dist.NewPMF(grid)
+	}
 	name := func(id netlist.NodeID) string { return c.Nodes[id].Name }
 	cutoff := a.SerialCutoff
 	if cutoff == 0 {
@@ -186,6 +251,36 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 	// combined and the width of the shared grid they live on.
 	cost := func(id netlist.NodeID) int64 {
 		return int64(len(c.Nodes[id].Fanin)+1) * int64(grid.N)
+	}
+	if rc.eps > 0 {
+		// Post-pruning estimate: the kernels only visit the union of
+		// the fanin t.o.p. supports, which tail truncation keeps
+		// narrow. Fanin states are final when the scheduler costs a
+		// level (levels are costed after the previous level's barrier),
+		// so reading them here is race-free.
+		cost = func(id netlist.NodeID) int64 {
+			n := c.Nodes[id]
+			lo, hi := grid.N, 0
+			for _, f := range n.Fanin {
+				for d := range res.State[f].TOP {
+					if top := res.State[f].TOP[d]; top != nil {
+						if tlo, thi := top.Support(); tlo < thi {
+							if tlo < lo {
+								lo = tlo
+							}
+							if thi > hi {
+								hi = thi
+							}
+						}
+					}
+				}
+			}
+			w := hi - lo
+			if w < 1 {
+				w = 1
+			}
+			return int64(len(n.Fanin)+1) * int64(w)
+		}
 	}
 	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 		if err := a.computeNode(res, id, inputs, rc); err != nil {
@@ -219,25 +314,27 @@ func (a *Analyzer) ComputeNode(res *Result, id netlist.NodeID, inputs map[netlis
 	if res.kernels == nil || res.kernels.Grid() != res.Grid {
 		res.kernels = dist.NewKernelCache(res.Grid)
 	}
-	rc := &runCtx{grid: res.Grid, delay: delay, maxParity: maxParity, kernels: res.kernels}
+	rc := &runCtx{grid: res.Grid, delay: delay, maxParity: maxParity, kernels: res.kernels, eps: a.ErrorBudget}
+	if rc.eps > 0 {
+		rc.empty = dist.NewPMF(res.Grid)
+	}
 	return a.computeNode(res, id, inputs, rc)
 }
 
 func (a *Analyzer) computeNode(res *Result, id netlist.NodeID, inputs map[netlist.NodeID]logic.InputStats, rc *runCtx) error {
-	grid := rc.grid
 	n := res.C.Nodes[id]
 	st := &res.State[id]
 	switch {
 	case n.Type == logic.Const0:
 		*st = NetState{}
 		st.P[logic.Zero] = 1
-		st.TOP[ssta.DirRise] = dist.NewPMF(grid)
-		st.TOP[ssta.DirFall] = dist.NewPMF(grid)
+		st.TOP[ssta.DirRise] = rc.newTOP()
+		st.TOP[ssta.DirFall] = rc.newTOP()
 	case n.Type == logic.Const1:
 		*st = NetState{}
 		st.P[logic.One] = 1
-		st.TOP[ssta.DirRise] = dist.NewPMF(grid)
-		st.TOP[ssta.DirFall] = dist.NewPMF(grid)
+		st.TOP[ssta.DirRise] = rc.newTOP()
+		st.TOP[ssta.DirFall] = rc.newTOP()
 	case !n.Type.Combinational():
 		in, ok := inputs[id]
 		if !ok {
@@ -248,11 +345,25 @@ func (a *Analyzer) computeNode(res *Result, id netlist.NodeID, inputs map[netlis
 		// The cached launch kernel is shared and read-only; each
 		// direction scales it into its own fresh t.o.p.
 		arr := rc.kernels.FromNormal(dist.Normal{Mu: in.Mu, Sigma: in.Sigma})
-		st.TOP[ssta.DirRise] = dist.NewPMF(grid).AccumWeighted(arr, in.P[logic.Rise])
-		st.TOP[ssta.DirFall] = dist.NewPMF(grid).AccumWeighted(arr, in.P[logic.Fall])
+		st.TOP[ssta.DirRise] = rc.newTOP().AccumWeighted(arr, in.P[logic.Rise])
+		st.TOP[ssta.DirFall] = rc.newTOP().AccumWeighted(arr, in.P[logic.Fall])
+		if rc.eps > 0 {
+			truncateState(st, rc.eps)
+		}
 	default:
 		*st = NetState{}
-		return a.gate(res, n, rc)
+		if err := a.gate(res, n, rc); err != nil {
+			return err
+		}
+		if rc.eps > 0 {
+			// Cumulative certificate: the gate's probability map is
+			// multilinear in its fanin probabilities with coefficients
+			// in [0,1], so fanin deviation bounds add. gate() stored
+			// the local bound; fanins are final (earlier levels).
+			for _, f := range n.Fanin {
+				st.Budget += res.State[f].Budget
+			}
+		}
 	}
 	return nil
 }
@@ -298,8 +409,11 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 			fall = in.TOP[ssta.DirRise]
 		}
 		d := rc.delay(n)
-		st.TOP[ssta.DirRise] = applyDelayInto(dist.NewPMF(grid), rise, d, rc.kernels)
-		st.TOP[ssta.DirFall] = applyDelayInto(dist.NewPMF(grid), fall, d, rc.kernels)
+		st.TOP[ssta.DirRise] = applyDelayInto(rc.newTOP(), rise, d, rc.kernels)
+		st.TOP[ssta.DirFall] = applyDelayInto(rc.newTOP(), fall, d, rc.kernels)
+		if rc.eps > 0 {
+			truncateState(st, rc.eps)
+		}
 		return nil
 
 	case n.Type.Monotone():
@@ -315,10 +429,14 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 		}
 		k := len(n.Fanin)
 		var ncdArr, cdArr [16]dist.SwitchInput
+		var ncdMassArr, cdMassArr [16]float64
 		ncdIn, cdIn := ncdArr[:0], cdArr[:0]
+		ncdMass, cdMass := ncdMassArr[:0], cdMassArr[:0]
 		if k > len(ncdArr) {
 			ncdIn = make([]dist.SwitchInput, 0, k)
 			cdIn = make([]dist.SwitchInput, 0, k)
+			ncdMass = make([]float64, 0, k)
+			cdMass = make([]float64, 0, k)
 		}
 		pNCD := 1.0 // probability of the constant non-controlled output
 		for _, f := range n.Fanin {
@@ -327,16 +445,31 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 			pNCD *= stay
 			ncdIn = append(ncdIn, dist.SwitchInput{Stay: stay, TOP: in.TOP[dirOf(towardNC)]})
 			cdIn = append(cdIn, dist.SwitchInput{Stay: stay, TOP: in.TOP[dirOf(towardCtrl)]})
+			ncdMass = append(ncdMass, in.P[towardNC])
+			cdMass = append(cdMass, in.P[towardCtrl])
 		}
 		// Transition to the non-controlled output value: every
 		// switching input must arrive — MAX (Eq. 11). Transition to
 		// the controlled value: the first controlling arrival — MIN.
 		var ncdTOP, cdTOP *dist.PMF
 		if a.MIS != nil {
+			// MIS falls back to subset enumeration, so the ε budget is
+			// spent on branch-and-bound cuts (ε/4 per mixture; exact
+			// when eps is 0).
 			misDelay := func(size int) dist.Normal { return a.MIS(n, size) }
-			ncdTOP = dist.SizedMixture(grid, ncdIn, true, misDelay)
-			cdTOP = dist.SizedMixture(grid, cdIn, false, misDelay)
+			var p1, p2 float64
+			ncdTOP, p1 = dist.SizedMixturePruned(grid, ncdIn, true, misDelay, rc.eps/4)
+			cdTOP, p2 = dist.SizedMixturePruned(grid, cdIn, false, misDelay, rc.eps/4)
+			st.PrunedMass += p1 + p2
 		} else {
+			if rc.eps > 0 {
+				// Negligible-switcher absorption (ε/4 per mixture):
+				// the closed-form kernels then iterate a narrower
+				// union support. The residual probability bucket
+				// below absorbs the displaced mass.
+				st.PrunedMass += absorbNegligible(ncdIn, ncdMass, rc.eps/4, rc.empty, obs.M())
+				st.PrunedMass += absorbNegligible(cdIn, cdMass, rc.eps/4, rc.empty, obs.M())
+			}
 			ncdTOP = dist.MaxMixtureInto(dist.NewScratch(grid), ncdIn)
 			cdTOP = dist.MinMixtureInto(dist.NewScratch(grid), cdIn)
 		}
@@ -358,10 +491,24 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 			st.TOP[ssta.DirFall] = fall
 		} else {
 			d := rc.delay(n)
-			st.TOP[ssta.DirRise] = applyDelayInto(dist.NewPMF(grid), rise, d, rc.kernels)
-			st.TOP[ssta.DirFall] = applyDelayInto(dist.NewPMF(grid), fall, d, rc.kernels)
+			st.TOP[ssta.DirRise] = applyDelayInto(rc.newTOP(), rise, d, rc.kernels)
+			st.TOP[ssta.DirFall] = applyDelayInto(rc.newTOP(), fall, d, rc.kernels)
 			rise.Release()
 			fall.Release()
+		}
+		if rc.eps > 0 {
+			// Trim the stored tails (ε/4 per direction) and deduct the
+			// trimmed mass from the transition probabilities (set from
+			// the mixture masses above; the delay shift preserves mass);
+			// the controlled-value residual bucket absorbs the trimmed
+			// and pruned mass so the four probabilities sum to 1.
+			tr := st.TOP[ssta.DirRise].TruncateTail(rc.eps / 4)
+			tf := st.TOP[ssta.DirFall].TruncateTail(rc.eps / 4)
+			st.PrunedMass += tr + tf
+			st.P[logic.Rise] = clampProb(st.P[logic.Rise] - tr)
+			st.P[logic.Fall] = clampProb(st.P[logic.Fall] - tf)
+			st.P[boolVal(!ncdOut)] = clampProb(1 - pNCD - st.P[logic.Rise] - st.P[logic.Fall])
+			st.Budget = st.PrunedMass
 		}
 		return nil
 
@@ -373,20 +520,33 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 		if a.MIS != nil {
 			// parityCombos applies the per-combo MIS delay; the
 			// accumulators are stored directly.
-			rise = dist.NewPMF(grid)
-			fall = dist.NewPMF(grid)
+			rise = rc.newTOP()
+			fall = rc.newTOP()
 		} else {
 			rise = dist.NewScratch(grid)
 			fall = dist.NewScratch(grid)
 		}
 		vals := make([]logic.Value, len(n.Fanin))
+		// With a budget, fanins are reordered by ascending switching
+		// probability so low-weight subtrees sit near the enumeration
+		// root, and whole subtrees are cut when their exact remaining
+		// occurrence weight fits in the budget (ε/2 for the
+		// enumeration, ε/4 per direction for tail trimming below).
+		ord := n.Fanin
+		var suffix []float64
+		var bb *bbState
+		if rc.eps > 0 {
+			ord, suffix = parityOrder(res, n.Fanin)
+			bb = &bbState{budget: rc.eps / 2}
+		}
 		if m := obs.M(); m != nil {
 			var leaves int64
-			a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall, rc, &leaves)
+			a.parityCombos(res, n, ord, vals, 0, 1.0, st, rise, fall, rc, &leaves, suffix, bb)
 			m.SubsetLeaves.Add(len(n.Fanin), leaves)
 		} else {
-			a.parityCombos(res, n, vals, 0, 1.0, st, rise, fall, rc, nil)
+			a.parityCombos(res, n, ord, vals, 0, 1.0, st, rise, fall, rc, nil, suffix, bb)
 		}
+		bb.flush(obs.M(), len(n.Fanin))
 		st.P[logic.Rise] = rise.Mass()
 		st.P[logic.Fall] = fall.Mass()
 		if a.MIS != nil {
@@ -394,10 +554,17 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 			st.TOP[ssta.DirFall] = fall
 		} else {
 			d := rc.delay(n)
-			st.TOP[ssta.DirRise] = applyDelayInto(dist.NewPMF(grid), rise, d, rc.kernels)
-			st.TOP[ssta.DirFall] = applyDelayInto(dist.NewPMF(grid), fall, d, rc.kernels)
+			st.TOP[ssta.DirRise] = applyDelayInto(rc.newTOP(), rise, d, rc.kernels)
+			st.TOP[ssta.DirFall] = applyDelayInto(rc.newTOP(), fall, d, rc.kernels)
 			rise.Release()
 			fall.Release()
+		}
+		if rc.eps > 0 {
+			tr := st.TOP[ssta.DirRise].TruncateTail(rc.eps / 4)
+			tf := st.TOP[ssta.DirFall].TruncateTail(rc.eps / 4)
+			st.P[logic.Rise] = clampProb(st.P[logic.Rise] - tr)
+			st.P[logic.Fall] = clampProb(st.P[logic.Fall] - tf)
+			renormParity(st)
 		}
 		return nil
 	}
@@ -411,9 +578,25 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 // is the MAX over its switching inputs (every switch toggles the
 // output; see logic.SettleOp). leaves, when non-nil, counts the
 // enumerated combinations for the obs subset-leaf histogram.
-func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value, i int, weight float64, st *NetState, rise, fall *dist.PMF, rc *runCtx, leaves *int64) {
+//
+// ord is the fanin evaluation order (n.Fanin itself on exact runs,
+// a switching-probability sort under a budget). When bb is non-nil,
+// suffix[i] holds the exact total occurrence weight of the subtree
+// rooted at position i per unit of incoming weight (Π_{j≥i} Σ_v
+// P_j[v]), and any subtree whose weight·suffix[i] fits in the
+// remaining budget is cut whole.
+func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, ord []netlist.NodeID, vals []logic.Value, i int, weight float64, st *NetState, rise, fall *dist.PMF, rc *runCtx, leaves *int64, suffix []float64, bb *bbState) {
 	if weight == 0 {
 		return
+	}
+	if bb != nil {
+		if sub := weight * suffix[i]; sub <= bb.budget {
+			bb.budget -= sub
+			bb.pruned += sub
+			bb.cuts++
+			bb.leaves += pow4(len(vals) - i)
+			return
+		}
 	}
 	if i == len(vals) {
 		if leaves != nil {
@@ -431,7 +614,7 @@ func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value
 			if !v.Switching() {
 				continue
 			}
-			in := &res.State[n.Fanin[j]]
+			in := &res.State[ord[j]]
 			p := in.P[v]
 			if p == 0 {
 				if acc != nil {
@@ -476,10 +659,10 @@ func (a *Analyzer) parityCombos(res *Result, n *netlist.Node, vals []logic.Value
 		acc.Release()
 		return
 	}
-	in := &res.State[n.Fanin[i]]
+	in := &res.State[ord[i]]
 	for v := logic.Zero; v < logic.NumValues; v++ {
 		vals[i] = v
-		a.parityCombos(res, n, vals, i+1, weight*in.P[v], st, rise, fall, rc, leaves)
+		a.parityCombos(res, n, ord, vals, i+1, weight*in.P[v], st, rise, fall, rc, leaves, suffix, bb)
 	}
 }
 

@@ -42,6 +42,16 @@ type MomentTiming struct {
 	// negative disables the fallback. On GOMAXPROCS=1 runtimes every
 	// level runs inline regardless (unless SerialCutoff is negative).
 	SerialCutoff int64
+	// ErrorBudget is the per-net ε for adaptive pruning (DESIGN.md
+	// §11): the subset enumerations order fanins by switching
+	// probability and cut whole subtrees whose exact remaining
+	// occurrence weight fits in the budget (ε/2 per mixture direction
+	// for monotone gates, ε for the parity enumeration). Removed mass
+	// is folded back into the four-value probabilities and tracked in
+	// MomentState.PrunedMass/Budget. Zero disables pruning and is
+	// bit-identical to the exact engine; pruning decisions depend only
+	// on the configuration, never on Workers.
+	ErrorBudget float64
 }
 
 // DefaultMomentSerialCutoff is the default serial-fallback threshold
@@ -57,12 +67,22 @@ type MomentState struct {
 	// Arr[d] is the conditional arrival-time normal of direction d
 	// (meaningful when P[Rise]/P[Fall] > 0).
 	Arr [2]dist.Normal
+	// PrunedMass bounds the occurrence mass removed at this net by
+	// ε-bounded pruning (0 on exact runs); already folded back into P.
+	PrunedMass float64
+	// Budget is the net's cumulative certified deviation bound: the
+	// local pruning bound plus every combinational fanin's Budget.
+	Budget float64
 }
 
 // MomentResult is a completed analytic SPSTA analysis.
 type MomentResult struct {
 	C     *netlist.Circuit
 	State []MomentState
+	// Span is the analytic arrival interval width every conditional
+	// statistic of the run lies in (the grid-free analog of the
+	// Analyzer's grid span), used by DeviationBounds.
+	Span float64
 }
 
 // Run executes the analytic analyzer.
@@ -75,7 +95,7 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 	if maxFanin == 0 {
 		maxFanin = DefaultMaxMomentFanin
 	}
-	res := &MomentResult{C: c, State: make([]MomentState, len(c.Nodes))}
+	res := &MomentResult{C: c, State: make([]MomentState, len(c.Nodes)), Span: momentSpan(c, inputs)}
 	defaultStats := logic.UniformStats()
 	name := func(id netlist.NodeID) string { return c.Nodes[id].Name }
 	cutoff := a.SerialCutoff
@@ -102,6 +122,48 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 		}
 		return 1
 	}
+	if a.ErrorBudget > 0 {
+		// Post-pruning leaf estimate: fanins whose value probabilities
+		// fit in the budget are cut near the enumeration root, so only
+		// significant values multiply the leaf count. Fanin states are
+		// final when the scheduler costs a level.
+		eps := a.ErrorBudget
+		cost = func(id netlist.NodeID) int64 {
+			n := c.Nodes[id]
+			switch {
+			case n.Type.Parity():
+				leaves := int64(1)
+				for _, f := range n.Fanin {
+					nv := int64(0)
+					for v := logic.Zero; v < logic.NumValues; v++ {
+						if res.State[f].P[v] > eps {
+							nv++
+						}
+					}
+					if nv == 0 {
+						nv = 1
+					}
+					leaves *= nv
+					if leaves > 1<<30 {
+						return leaves
+					}
+				}
+				return leaves
+			case n.Type.Monotone() && len(n.Fanin) > 1:
+				k := 0
+				for _, f := range n.Fanin {
+					if res.State[f].P[logic.Rise]+res.State[f].P[logic.Fall] > eps {
+						k++
+					}
+				}
+				if k > 30 {
+					k = 30
+				}
+				return 2 << uint(k)
+			}
+			return 1
+		}
+	}
 	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 		n := c.Nodes[id]
 		st := &res.State[id]
@@ -123,7 +185,16 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 			st.Arr[ssta.DirRise] = arr
 			st.Arr[ssta.DirFall] = arr
 		default:
-			return momentGate(res, n, delay, maxFanin)
+			if err := momentGate(res, n, delay, maxFanin, a.ErrorBudget); err != nil {
+				return err
+			}
+			if a.ErrorBudget > 0 {
+				// Cumulative certificate: fanin deviation bounds add
+				// (see Analyzer.computeNode).
+				for _, f := range n.Fanin {
+					st.Budget += res.State[f].Budget
+				}
+			}
 		}
 		return nil
 	})
@@ -165,7 +236,7 @@ func sqrt(v float64) float64 {
 	return math.Sqrt(v)
 }
 
-func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFanin int) error {
+func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFanin int, eps float64) error {
 	st := &res.State[n.ID]
 	d := delay(n)
 	shift := func(x dist.Normal) dist.Normal {
@@ -209,8 +280,26 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		if m != nil {
 			leaves = new(int64)
 		}
-		subsetMoments(res, n.Fanin, ncVal, towardNC, true, &ncd, leaves)
-		subsetMoments(res, n.Fanin, ncVal, towardCtrl, false, &cd, leaves)
+		ordNC, ordC := n.Fanin, n.Fanin
+		var sufNC, ncsNC, sufC, ncsC []float64
+		var bbNCD, bbCD *bbState
+		if eps > 0 {
+			// ε/2 of branch-and-bound budget per mixture direction.
+			ordNC, sufNC, ncsNC = momentOrder(res, n.Fanin, ncVal, towardNC)
+			ordC, sufC, ncsC = momentOrder(res, n.Fanin, ncVal, towardCtrl)
+			bbNCD = &bbState{budget: eps / 2}
+			bbCD = &bbState{budget: eps / 2}
+		}
+		subsetMoments(res, ordNC, ncVal, towardNC, true, &ncd, leaves, sufNC, ncsNC, bbNCD)
+		subsetMoments(res, ordC, ncVal, towardCtrl, false, &cd, leaves, sufC, ncsC, bbCD)
+		if eps > 0 {
+			bbNCD.flush(m, len(n.Fanin))
+			bbCD.flush(m, len(n.Fanin))
+			// The controlled-value residual bucket below absorbs the
+			// pruned mixture mass, so probabilities still sum to 1.
+			st.PrunedMass = bbNCD.pruned + bbCD.pruned
+			st.Budget = st.PrunedMass
+		}
 		if m != nil {
 			m.SubsetLeaves.Add(len(n.Fanin), *leaves)
 		}
@@ -243,10 +332,30 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		if m != nil {
 			leaves = new(int64)
 		}
+		// With a budget, fanins are reordered by ascending switching
+		// probability and subtrees whose exact remaining occurrence
+		// weight (suffix product) fits in ε are cut whole; the missing
+		// mass is restored by renormMomentParity below.
+		ord := n.Fanin
+		var suffix []float64
+		var bb *bbState
+		if eps > 0 {
+			ord, suffix = momentParityOrder(res, n.Fanin)
+			bb = &bbState{budget: eps}
+		}
 		var rec func(i int, weight float64)
 		rec = func(i int, weight float64) {
 			if weight == 0 {
 				return
+			}
+			if bb != nil {
+				if sub := weight * suffix[i]; sub > 0 && sub <= bb.budget {
+					bb.budget -= sub
+					bb.pruned += sub
+					bb.cuts++
+					bb.leaves += pow4(len(vals) - i)
+					return
+				}
 			}
 			if i == len(vals) {
 				if leaves != nil {
@@ -263,7 +372,7 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 					if !v.Switching() {
 						continue
 					}
-					arr := res.State[n.Fanin[j]].Arr[dirOf(v)]
+					arr := res.State[ord[j]].Arr[dirOf(v)]
 					if first {
 						acc, first = arr, false
 					} else if op == logic.OpMax {
@@ -279,13 +388,14 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 				}
 				return
 			}
-			in := &res.State[n.Fanin[i]]
+			in := &res.State[ord[i]]
 			for v := logic.Zero; v < logic.NumValues; v++ {
 				vals[i] = v
 				rec(i+1, weight*in.P[v])
 			}
 		}
 		rec(0, 1)
+		bb.flush(m, len(n.Fanin))
 		if m != nil {
 			m.SubsetLeaves.Add(len(n.Fanin), *leaves)
 		}
@@ -295,6 +405,9 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		st.P[logic.Fall] = fallP
 		st.Arr[ssta.DirRise] = shift(riseArr)
 		st.Arr[ssta.DirFall] = shift(fallArr)
+		if eps > 0 {
+			renormMomentParity(st)
+		}
 		return nil
 	}
 	return fmt.Errorf("core: unsupported gate %v", n.Type)
@@ -305,11 +418,33 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 // subset arrival moments into acc. max selects MAX (true) or MIN
 // combination. leaves, when non-nil, counts enumerated subset leaves
 // for the obs histogram.
-func subsetMoments(res *MomentResult, fanin []netlist.NodeID, ncVal, dir logic.Value, max bool, acc *mixAccum, leaves *int64) {
+//
+// fanin is the evaluation order (the node's fanin slice on exact
+// runs, a switching-probability sort under a budget). When bb is
+// non-nil, suffix[i] = Π_{j≥i}(Pnc_j + Pdir_j) and ncSuffix[i] =
+// Π_{j≥i} Pnc_j bound the subtree at position i: its contribution to
+// the mixture is exactly weight·suffix[i] once a switcher was taken
+// (has), and weight·(suffix[i]−ncSuffix[i]) before (the all-stay
+// continuation never reaches acc), so subtrees whose contribution
+// fits in the remaining budget are cut whole.
+func subsetMoments(res *MomentResult, fanin []netlist.NodeID, ncVal, dir logic.Value, max bool, acc *mixAccum, leaves *int64, suffix, ncSuffix []float64, bb *bbState) {
 	var rec func(i int, weight float64, cur dist.Normal, has bool)
 	rec = func(i int, weight float64, cur dist.Normal, has bool) {
 		if weight == 0 {
 			return
+		}
+		if bb != nil {
+			sub := weight * suffix[i]
+			if !has {
+				sub = weight * (suffix[i] - ncSuffix[i])
+			}
+			if sub > 0 && sub <= bb.budget {
+				bb.budget -= sub
+				bb.pruned += sub
+				bb.cuts++
+				bb.leaves += int64(1) << uint(len(fanin)-i)
+				return
+			}
 		}
 		if i == len(fanin) {
 			if leaves != nil {

@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Arena hands out zeroed grid-sized PMFs carved from one contiguous
+// backing slice. A full-circuit analysis stores two t.o.p. functions
+// per net; allocating each individually makes the allocator and
+// garbage collector the dominant cost once pruning has shrunk the
+// kernels' per-bin work, while one pointer-free backing array costs a
+// single allocation and is skipped by the GC scanner. Take is safe
+// for concurrent use (circuit levels evaluate in parallel).
+//
+// Arena PMFs are never Released into the scratch pool — they stay
+// referenced by the analysis result for its whole lifetime. A caller
+// that has finished with every PMF taken from the arena may hand the
+// whole arena back with Recycle; repeat analyses then skip both the
+// slab allocation and the full-width zeroing (only the dirtied
+// supports are cleared, which is what pruning makes narrow).
+type Arena struct {
+	grid Grid
+	w    []float64
+	hdr  []PMF
+	cnt  atomic.Int64
+}
+
+// arenaPool recycles arenas across analysis runs. Pooled arenas obey
+// the same invariant as the scratch-PMF pool: every bin of the
+// backing slice is zero.
+var arenaPool sync.Pool
+
+// NewArena returns an arena with room for n grid-sized PMFs, reusing
+// a recycled arena of compatible shape when one is available.
+func NewArena(g Grid, n int) *Arena {
+	if v := arenaPool.Get(); v != nil {
+		a := v.(*Arena)
+		if a.grid == g && len(a.hdr) >= n {
+			return a
+		}
+	}
+	a := &Arena{grid: g, w: make([]float64, n*g.N), hdr: make([]PMF, n)}
+	for i := range a.hdr {
+		lo := i * g.N
+		a.hdr[i] = PMF{grid: g, w: a.w[lo : lo+g.N : lo+g.N]}
+	}
+	return a
+}
+
+// Take returns an empty PMF backed by the arena. A nil or exhausted
+// arena returns nil; the caller falls back to NewPMF.
+func (a *Arena) Take() *PMF {
+	if a == nil {
+		return nil
+	}
+	i := a.cnt.Add(1) - 1
+	if int(i) >= len(a.hdr) {
+		return nil
+	}
+	return &a.hdr[i]
+}
+
+// Recycle clears every PMF handed out so far and returns the arena to
+// the package pool for reuse by a later NewArena. The caller must not
+// touch any PMF taken from this arena afterwards.
+func (a *Arena) Recycle() {
+	if a == nil {
+		return
+	}
+	n := int(a.cnt.Load())
+	if n > len(a.hdr) {
+		n = len(a.hdr)
+	}
+	for i := 0; i < n; i++ {
+		a.hdr[i].Reset()
+	}
+	a.cnt.Store(0)
+	arenaPool.Put(a)
+}

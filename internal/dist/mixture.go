@@ -1,6 +1,10 @@
 package dist
 
-import "repro/internal/obs"
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
 
 // SwitchInput describes one gate input for the WEIGHTED SUM mixture
 // of Eq. 11: the input either holds the gate's non-controlling
@@ -241,4 +245,95 @@ func SizedMixture(g Grid, in []SwitchInput, max bool, delay func(size int) Norma
 		m.SubsetLeaves.Add(len(in), leaves)
 	}
 	return out
+}
+
+// SizedMixturePruned is SizedMixture with ε-bounded subset
+// branch-and-bound: inputs are ordered by ascending switching mass
+// (so low-probability switch branches sit near the enumeration root),
+// and any subtree whose exact remaining occurrence weight —
+// weight · Π_{j≥i}(Stay_j + mass_j), maintained as a suffix product —
+// fits in the remaining budget is cut whole, its weight spent from
+// the budget. The second return value is the total occurrence weight
+// cut; the caller folds it back into its four-value probability
+// accounting so probabilities still sum to 1. eps <= 0 falls through
+// to the exact SizedMixture (bit-identical, no reordering).
+func SizedMixturePruned(g Grid, in []SwitchInput, max bool, delay func(size int) Normal, eps float64) (*PMF, float64) {
+	if eps <= 0 {
+		return SizedMixture(g, in, max, delay), 0
+	}
+	idx := make([]int, len(in))
+	masses := make([]float64, len(in))
+	for i := range in {
+		idx[i] = i
+		masses[i] = in[i].TOP.Mass()
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return masses[idx[a]] < masses[idx[b]] })
+	ord := make([]SwitchInput, len(in))
+	// suffix[i] is the exact total occurrence weight of the subtree
+	// rooted at input i per unit of incoming weight.
+	suffix := make([]float64, len(ord)+1)
+	suffix[len(ord)] = 1
+	for i := len(ord) - 1; i >= 0; i-- {
+		ord[i] = in[idx[i]]
+		suffix[i] = (ord[i].Stay + masses[idx[i]]) * suffix[i+1]
+	}
+	out := NewPMF(g)
+	budget, pruned := eps, 0.0
+	leaves, cuts, cutLeaves := int64(0), int64(0), int64(0)
+	var rec func(i, size int, weight float64, acc *PMF)
+	rec = func(i, size int, weight float64, acc *PMF) {
+		if weight == 0 {
+			return
+		}
+		if i < len(ord) {
+			if sub := weight * suffix[i]; sub <= budget {
+				budget -= sub
+				pruned += sub
+				cuts++
+				cutLeaves += int64(1) << uint(len(ord)-i)
+				return
+			}
+		}
+		if i == len(ord) {
+			leaves++
+			if acc == nil {
+				return
+			}
+			d := delay(size)
+			var shifted *PMF
+			if d.Sigma == 0 {
+				shifted = acc.Shift(d.Mu)
+			} else {
+				shifted = acc.Convolve(FromNormal(g, d))
+			}
+			out.AccumWeighted(shifted, weight)
+			return
+		}
+		s := ord[i]
+		rec(i+1, size, weight*s.Stay, acc)
+		m := s.TOP.Mass()
+		if m == 0 {
+			return
+		}
+		cond := s.TOP.Clone()
+		cond.Scale(1 / m)
+		next := cond
+		if acc != nil {
+			if max {
+				next = MaxPMF(acc, cond)
+			} else {
+				next = MinPMF(acc, cond)
+			}
+			next.Scale(1 / next.Mass())
+		}
+		rec(i+1, size+1, weight*m, next)
+	}
+	rec(0, 0, 1, nil)
+	if m := obs.M(); m != nil {
+		m.SubsetLeaves.Add(len(in), leaves)
+		m.PrunedSubtrees.Add(cuts)
+		m.PrunedLeaves.Add(len(in), cutLeaves)
+		m.PrunedMassFP.Add(obs.MassFP(pruned))
+	}
+	return out, pruned
 }

@@ -233,10 +233,33 @@ func (p *PMF) Shift(d float64) *PMF {
 func (p *PMF) ShiftInto(dst *PMF, d float64) *PMF {
 	p.grid.check(dst.grid, "ShiftInto")
 	dst.Reset()
+	if p.lo == p.hi {
+		return dst
+	}
 	k := d / p.grid.Dt
 	base := math.Floor(k)
 	frac := k - base
 	ib := int(base)
+	// Fast path: the shifted support lies entirely inside the grid, so
+	// no per-bin edge clamping is needed and the destination support is
+	// known up front.
+	if lo, hi := p.lo+ib, p.hi+ib; lo >= 0 && hi < p.grid.N {
+		if frac == 0 {
+			copy(dst.w[lo:hi], p.w[p.lo:p.hi])
+			dst.lo, dst.hi = lo, hi
+			return dst
+		}
+		for i := p.lo; i < p.hi; i++ {
+			v := p.w[i]
+			if v == 0 {
+				continue
+			}
+			dst.w[i+ib] += v * (1 - frac)
+			dst.w[i+ib+1] += v * frac
+		}
+		dst.lo, dst.hi = lo, hi+1
+		return dst
+	}
 	add := func(i int, v float64) {
 		if v == 0 {
 			return
@@ -415,6 +438,56 @@ func unionSupport(a, b *PMF) (lo, hi int) {
 		hi = b.hi
 	}
 	return lo, hi
+}
+
+// TruncateTail zeroes support bins from both ends of [lo, hi) while
+// the cumulative removed mass stays within eps, shrinking the tracked
+// support, and returns the mass actually removed. The smaller end bin
+// is always taken first, so for a fixed PMF and budget the truncation
+// is deterministic; interior zero bins at the ends are absorbed for
+// free. Removed mass is deleted, not redistributed — a t.o.p.'s Mass()
+// (its transition occurrence probability) shrinks by the returned
+// amount, which the caller folds back into its four-value probability
+// accounting (see core's ε-bounded pruning, DESIGN.md §11). Every
+// downstream kernel iterates only the support, so trimming the
+// low-mass tails is what pushes mixture, MIN/MAX and convolution
+// costs down. eps <= 0 is a no-op returning 0.
+func (p *PMF) TruncateTail(eps float64) float64 {
+	if eps <= 0 || p.lo == p.hi {
+		return 0
+	}
+	removed := 0.0
+	lo, hi := p.lo, p.hi
+	for lo < hi {
+		lw, rw := p.w[lo], p.w[hi-1]
+		if lw <= rw {
+			if removed+lw > eps {
+				break
+			}
+			removed += lw
+			p.w[lo] = 0
+			lo++
+		} else {
+			if removed+rw > eps {
+				break
+			}
+			removed += rw
+			p.w[hi-1] = 0
+			hi--
+		}
+	}
+	if m := obs.M(); m != nil && (removed > 0 || lo != p.lo || hi != p.hi) {
+		m.TruncTails.Add(1)
+		m.TruncatedMassFP.Add(obs.MassFP(removed))
+		m.TruncatedBins.Observe((lo - p.lo) + (p.hi - hi))
+		m.PrunedSupportWidth.Observe(hi - lo)
+	}
+	if lo >= hi {
+		p.lo, p.hi = 0, 0
+	} else {
+		p.lo, p.hi = lo, hi
+	}
+	return removed
 }
 
 // Mean returns the conditional mean over bin centers (conditioned on

@@ -78,6 +78,11 @@ type Config struct {
 	// (montecarlo.Config.Packed); results are bit-identical to the
 	// scalar engine for the same (Seed, Workers).
 	Packed bool
+	// Epsilon is the SPSTA adaptive-pruning error budget per net
+	// (core.Analyzer.ErrorBudget); 0 runs the exact engine. Pruned
+	// runs carry a certificate: every reported probability deviates
+	// from exact by at most the consumed budget.
+	Epsilon float64
 }
 
 func (cfg Config) runs() int {
@@ -134,7 +139,7 @@ func RunAll(cfg Config, s Scenario) ([]Analysis, error) {
 		a := Analysis{Circuit: c}
 
 		t0 := time.Now()
-		an := core.Analyzer{Workers: cfg.Workers}
+		an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon}
 		a.SPSTA, err = an.Run(c, in)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SPSTA on %s: %w", c.Name, err)
@@ -339,7 +344,7 @@ func Fig1(w io.Writer, cfg Config, s Scenario) error {
 	sta := ssta.AnalyzeSTA(c, in, nil, 3)
 
 	grid := dist.TimingGrid(c.Depth(), 0, 1)
-	an := core.Analyzer{Workers: cfg.Workers}
+	an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon}
 	an.Grid = grid
 	spsta, err := an.Run(c, in)
 	if err != nil {

@@ -253,6 +253,13 @@ func stateClose(a, b *core.NetState, eps float64) bool {
 			return false
 		}
 	}
+	// The pruning certificate is part of the state: a stale consumed
+	// budget could under-report the certified deviation of a cone
+	// whose fanins re-spent their budgets differently, so budget
+	// changes propagate like value changes.
+	if math.Abs(a.PrunedMass-b.PrunedMass) > eps || math.Abs(a.Budget-b.Budget) > eps {
+		return false
+	}
 	for d := range a.TOP {
 		pa, pb := a.TOP[d], b.TOP[d]
 		if (pa == nil) != (pb == nil) {

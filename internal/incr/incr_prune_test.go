@@ -1,0 +1,99 @@
+package incr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+// TestSPSTAIncrementalPrunedMatchesFull: with a nonzero error budget
+// the incremental engine must land on the same state as a pruned full
+// re-run with the same ε after a sequence of SetDelay/SetInput
+// changes. Budgets are per gate and re-derived from the configuration
+// on every ComputeNode, so the incremental path cannot double-spend ε
+// no matter how many times a cone is recomputed.
+func TestSPSTAIncrementalPrunedMatchesFull(t *testing.T) {
+	const eps = 1e-4
+	c := gen(t, "s344")
+	in := experiments.Inputs(c, experiments.ScenarioI)
+	a := core.Analyzer{ErrorBudget: eps}
+	inc, err := NewSPSTA(a, c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A launch change followed by a delay change, with the delay
+	// change applied twice (the second recomputation of the same cone
+	// must not spend any further budget).
+	launch := c.LaunchPoints()[1]
+	st := logic.SkewedStats()
+	if _, err := inc.SetInput(launch, st); err != nil {
+		t.Fatal(err)
+	}
+	g := pickGate(c)
+	d := dist.Normal{Mu: 2.5, Sigma: 0.2}
+	if _, err := inc.SetDelay(g, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.SetDelay(g, d); err != nil {
+		t.Fatal(err)
+	}
+
+	in2 := experiments.Inputs(c, experiments.ScenarioI)
+	in2[launch] = st
+	full := core.Analyzer{ErrorBudget: eps, Delay: func(n *netlist.Node) dist.Normal {
+		if n.ID == g {
+			return d
+		}
+		return ssta.UnitDelay(n)
+	}}
+	want, err := full.Run(c, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			got := inc.Result().Probability(n.ID, v)
+			if diff := math.Abs(got - want.Probability(n.ID, v)); diff > 1e-9 {
+				t.Fatalf("%s P[%v]: incremental %v vs pruned full %v", n.Name, v, got, want.Probability(n.ID, v))
+			}
+		}
+		if diff := math.Abs(inc.Result().ConsumedBudget(n.ID) - want.ConsumedBudget(n.ID)); diff > 1e-9 {
+			t.Fatalf("%s: incremental consumed budget %v vs pruned full %v",
+				n.Name, inc.Result().ConsumedBudget(n.ID), want.ConsumedBudget(n.ID))
+		}
+		for _, dir := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+			gm, gs, gp := inc.Result().Arrival(n.ID, dir)
+			wm, ws, wp := want.Arrival(n.ID, dir)
+			if math.Abs(gp-wp) > 1e-9 {
+				t.Fatalf("%s %v: incremental prob %v vs pruned full %v", n.Name, dir, gp, wp)
+			}
+			if wp > 1e-9 && (math.Abs(gm-wm) > 1e-6 || math.Abs(gs-ws) > 1e-6) {
+				t.Fatalf("%s %v: incremental (%v,%v) vs pruned full (%v,%v)", n.Name, dir, gm, gs, wm, ws)
+			}
+		}
+	}
+
+	// The pruned incremental result stays within the certified budget
+	// of an exact incremental-equivalent full run.
+	exact := core.Analyzer{Delay: full.Delay}
+	ref, err := exact.Run(c, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		budget := inc.Result().ConsumedBudget(n.ID)
+		for v := logic.Zero; v < logic.NumValues; v++ {
+			diff := math.Abs(inc.Result().Probability(n.ID, v) - ref.Probability(n.ID, v))
+			if diff > budget+1e-9 {
+				t.Fatalf("%s P[%v]: deviation %v exceeds consumed budget %v", n.Name, v, diff, budget)
+			}
+		}
+	}
+}

@@ -149,6 +149,26 @@ type Metrics struct {
 	MixtureEvals FaninHist
 	SubsetLeaves FaninHist
 
+	// ε-bounded pruning (core ErrorBudget > 0): PrunedSubtrees counts
+	// branch-and-bound cuts, PrunedLeaves the enumeration leaves those
+	// cuts skipped (by gate fanin, the complement of SubsetLeaves),
+	// and PrunedMassFP the occurrence mass the cuts removed, in
+	// MassFPUnit fixed point (atomic float accumulation without CAS
+	// loops). TruncTails counts PMF.TruncateTail calls that removed
+	// mass, TruncatedMassFP their removed mass (same fixed point),
+	// TruncatedBins a power-of-two histogram of support bins trimmed
+	// per call — the support width the downstream kernels no longer
+	// visit — and PrunedSupportWidth a power-of-two histogram of the
+	// support width remaining after each truncation, the width those
+	// kernels still pay for.
+	PrunedSubtrees     atomic.Int64
+	PrunedLeaves       FaninHist
+	PrunedMassFP       atomic.Int64
+	TruncTails         atomic.Int64
+	TruncatedMassFP    atomic.Int64
+	TruncatedBins      Pow2Hist
+	PrunedSupportWidth Pow2Hist
+
 	// MCRuns counts Monte Carlo runs simulated.
 	MCRuns atomic.Int64
 
@@ -177,6 +197,21 @@ type Metrics struct {
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics { return &Metrics{} }
+
+// MassFPUnit is the fixed-point quantum used to accumulate
+// probability-mass totals in atomic int64 counters: one unit is
+// 1e-12 of mass, so per-event masses down to the pruning budgets'
+// practical floor register and cumulative totals up to ~9e6 fit.
+const MassFPUnit = 1e-12
+
+// MassFP converts a probability mass to fixed-point counter units
+// (rounding half up; negative masses clamp to zero).
+func MassFP(m float64) int64 {
+	if m <= 0 {
+		return 0
+	}
+	return int64(m/MassFPUnit + 0.5)
+}
 
 // AddWorkerBusy accumulates busy time and one evaluated gate for a
 // worker.
@@ -243,6 +278,15 @@ type Snapshot struct {
 		EvalsByFanin        []FaninBucket `json:"evals_by_fanin,omitempty"`
 		SubsetLeavesByFanin []FaninBucket `json:"subset_leaves_by_fanin,omitempty"`
 	} `json:"mixture"`
+	Pruning struct {
+		Subtrees            int64         `json:"subtrees"`
+		PrunedLeavesByFanin []FaninBucket `json:"pruned_leaves_by_fanin,omitempty"`
+		PrunedMass          float64       `json:"pruned_mass"`
+		Truncations         int64         `json:"truncations"`
+		TruncatedMass       float64       `json:"truncated_mass"`
+		TruncatedBinsHist   []HistBucket  `json:"truncated_bins_hist,omitempty"`
+		SupportWidthHist    []HistBucket  `json:"pruned_support_width_hist,omitempty"`
+	} `json:"pruning,omitzero"`
 	MonteCarloRuns   int64 `json:"monte_carlo_runs,omitempty"`
 	MonteCarloPacked struct {
 		Blocks          int64 `json:"blocks"`
@@ -267,6 +311,13 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.ScratchPool.News = m.PoolNews.Load()
 	s.Mixture.EvalsByFanin = m.MixtureEvals.snapshot()
 	s.Mixture.SubsetLeavesByFanin = m.SubsetLeaves.snapshot()
+	s.Pruning.Subtrees = m.PrunedSubtrees.Load()
+	s.Pruning.PrunedLeavesByFanin = m.PrunedLeaves.snapshot()
+	s.Pruning.PrunedMass = float64(m.PrunedMassFP.Load()) * MassFPUnit
+	s.Pruning.Truncations = m.TruncTails.Load()
+	s.Pruning.TruncatedMass = float64(m.TruncatedMassFP.Load()) * MassFPUnit
+	s.Pruning.TruncatedBinsHist = m.TruncatedBins.snapshot()
+	s.Pruning.SupportWidthHist = m.PrunedSupportWidth.snapshot()
 	s.MonteCarloRuns = m.MCRuns.Load()
 	s.MonteCarloPacked.Blocks = m.MCPackedBlocks.Load()
 	s.MonteCarloPacked.SettleLanes = m.MCPackedSettleLanes.Load()
@@ -304,6 +355,19 @@ func (m *Metrics) Reset() {
 	}
 	for i := range m.SubsetLeaves.b {
 		m.SubsetLeaves.b[i].Store(0)
+	}
+	m.PrunedSubtrees.Store(0)
+	for i := range m.PrunedLeaves.b {
+		m.PrunedLeaves.b[i].Store(0)
+	}
+	m.PrunedMassFP.Store(0)
+	m.TruncTails.Store(0)
+	m.TruncatedMassFP.Store(0)
+	for i := range m.TruncatedBins.b {
+		m.TruncatedBins.b[i].Store(0)
+	}
+	for i := range m.PrunedSupportWidth.b {
+		m.PrunedSupportWidth.b[i].Store(0)
 	}
 	m.MCRuns.Store(0)
 	m.MCPackedBlocks.Store(0)
