@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-guard check
+.PHONY: build test bench bench-guard smoke check
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,16 @@ bench:
 bench-guard:
 	BENCH_GUARD=1 $(GO) test -run TestBenchGuard -v -timeout 20m .
 
-# CI gate: vet, the full suite under the race detector, then the
-# instrumentation overhead guard. The parallel determinism tests
+# spstad end-to-end smoke: start the service on an ephemeral port,
+# POST an s208 analyze request, scrape /metrics as Prometheus text,
+# shut down gracefully.
+smoke:
+	$(GO) test -run TestSpstadSmoke -v ./internal/service/
+
+# CI gate: vet, the full suite under the race detector (which
+# includes the spstad smoke test and the concurrent scope-isolation
+# tests), an explicit spstad smoke run, then the instrumentation
+# overhead guard. The parallel determinism tests
 # (core.TestParallelRunMatchesSerial and friends) exercise the
 # level-parallel analyzers with Workers=4, so this is the
 # schedule-safety check; the instrumented variants
@@ -41,4 +49,5 @@ check:
 		echo "gofmt: needs formatting:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) smoke
 	$(MAKE) bench-guard

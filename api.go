@@ -450,12 +450,14 @@ func AnalyzeSPSTAMIS(c *Circuit, inputs map[NodeID]InputStats, mis MISModel) (*S
 	return a.Run(c, inputs)
 }
 
-// Observability. The engines carry an always-compiled, process-global
+// Observability. The engines carry an always-compiled, request-scoped
 // instrumentation layer (see internal/obs): a metrics registry of
 // atomic counters and bounded histograms, and a tracer emitting Chrome
-// trace_event timelines of the level-parallel schedule. Both are
-// observational only — enabling them never changes analysis results —
-// and cost a single nil pointer check per site when disabled.
+// trace_event timelines of the level-parallel schedule. Registries are
+// bundled into scopes — one per analysis — so concurrent analyses
+// never share counters or spans. Instrumentation is observational
+// only: attaching a scope never changes analysis results, and an
+// analysis without a scope costs a single nil pointer check per site.
 type (
 	// EngineMetrics is the live metrics registry of the analysis
 	// engines (kernel-cache hits, convolution counts, subset leaves,
@@ -467,26 +469,37 @@ type (
 	// EngineTracer records per-level and per-gate spans from the
 	// level-parallel schedule and writes Chrome trace_event JSON.
 	EngineTracer = obs.Tracer
+	// EngineScope is one analysis' observability handle: a metrics
+	// registry plus an optional tracer. Pass it via the Obs field of
+	// core.Analyzer / core.MomentTiming / montecarlo.Config (or the
+	// Scoped facade functions below); a nil scope disables
+	// instrumentation.
+	EngineScope = obs.Scope
 )
 
-// EnableEngineMetrics installs (and returns) a fresh process-global
-// metrics registry; subsequent analyses record into it.
-func EnableEngineMetrics() *EngineMetrics { return obs.Enable() }
+// NewEngineScope returns a scope with a fresh metrics registry and no
+// tracer.
+func NewEngineScope() *EngineScope { return obs.NewScope() }
 
-// DisableEngineMetrics uninstalls the process-global metrics registry,
-// restoring the zero-overhead fast path.
-func DisableEngineMetrics() { obs.Disable() }
+// NewTracedEngineScope returns a scope with a fresh metrics registry
+// and a fresh tracer.
+func NewTracedEngineScope() *EngineScope { return obs.NewTracedScope() }
 
-// ActiveEngineMetrics returns the installed metrics registry, or nil.
-func ActiveEngineMetrics() *EngineMetrics { return obs.M() }
+// AnalyzeSPSTAScoped is AnalyzeSPSTAParallel recording kernel metrics
+// and schedule spans into the given scope (nil runs uninstrumented).
+// Results are bit-identical with and without a scope.
+func AnalyzeSPSTAScoped(c *Circuit, inputs map[NodeID]InputStats, workers int, scope *EngineScope) (*SPSTAResult, error) {
+	a := core.Analyzer{Workers: workers, Obs: scope}
+	return a.Run(c, inputs)
+}
 
-// StartEngineTrace installs (and returns) a fresh process-global
-// tracer; subsequent analyses record schedule spans into it.
-func StartEngineTrace() *EngineTracer { return obs.StartTrace() }
-
-// StopEngineTrace uninstalls the process-global tracer and returns it
-// (nil if none was active) so its spans can still be written.
-func StopEngineTrace() *EngineTracer { return obs.StopTrace() }
+// SimulateMonteCarloScoped is SimulateMonteCarlo recording run counts,
+// shard busy times and packed-engine block statistics into the given
+// scope (nil runs uninstrumented).
+func SimulateMonteCarloScoped(c *Circuit, inputs map[NodeID]InputStats, cfg MonteCarloConfig, scope *EngineScope) (*MonteCarloResult, error) {
+	cfg.Obs = scope
+	return montecarlo.Simulate(c, inputs, cfg)
+}
 
 // SplitWideGates returns an equivalent circuit with every gate's
 // fanin bounded by maxFanin (wide gates become balanced trees) so

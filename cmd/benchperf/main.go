@@ -144,11 +144,12 @@ func run() error {
 	}
 
 	if *pprofAddr != "" {
-		addr, err := obshttp.Serve(*pprofAddr)
+		srv, err := obshttp.Serve(*pprofAddr, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/vars\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", srv.Addr())
 	}
 
 	circuits, err := loadCircuits(*circuitsList)
@@ -470,13 +471,13 @@ func measureInterleaved(vs []variant, minTime time.Duration, rounds int) ([]floa
 // count dispatched no level to the pool (every gate was attributed to
 // worker 0 by the cost-aware serial fallback).
 func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64) (bool, error) {
-	m := obs.Enable()
-	defer obs.Disable()
+	scope := obs.NewScope()
+	m := scope.Metrics
 	var err error
 	if engine == "moment" {
-		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
 	} else {
-		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
 	}
 	if err != nil {
 		return false, err
@@ -494,28 +495,27 @@ func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.In
 // counters of an ε>0 cell). It runs outside the timed loop so the
 // reported ns/op measures the uninstrumented fast path.
 func snapshotAnalyzer(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64) (*obs.Snapshot, error) {
-	m := obs.Enable()
-	defer obs.Disable()
+	scope := obs.NewScope()
 	var err error
 	if engine == "moment" {
-		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
 	} else {
-		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma)}).Run(c, in)
+		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return m.Snapshot(), nil
+	return scope.Snapshot(), nil
 }
 
 // snapshotMC is the Monte Carlo analog of snapshotSPSTA.
 func snapshotMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cfg montecarlo.Config) (*obs.Snapshot, error) {
-	m := obs.Enable()
-	defer obs.Disable()
+	scope := obs.NewScope()
+	cfg.Obs = scope
 	if _, err := montecarlo.Simulate(c, in, cfg); err != nil {
 		return nil, err
 	}
-	return m.Snapshot(), nil
+	return scope.Snapshot(), nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -12,12 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,11 +37,15 @@ func run() error {
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	packed := flag.Bool("packed", true, "use the word-packed bit-parallel Monte Carlo engine (bit-identical to -packed=false for the same seed and workers)")
 	epsilon := flag.Float64("epsilon", 0, "SPSTA per-net adaptive-pruning error budget (0 = exact); reported probabilities deviate from exact by at most the consumed budget")
+	metricsOut := flag.String("metrics", "", "write an aggregated engine-metrics snapshot of every run as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers, Packed: *packed, Epsilon: *epsilon}
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
+	}
+	if *metricsOut != "" {
+		cfg.Obs = obs.NewScope()
 	}
 	out := os.Stdout
 
@@ -131,7 +137,27 @@ func run() error {
 	}
 	switch *what {
 	case "all", "table2", "table3", "summary", "fig1", "fig2", "fig3", "fig4", "ablation", "sweep":
-		return nil
+		return writeMetrics(cfg.Obs, *metricsOut)
 	}
 	return fmt.Errorf("unknown artifact %q", *what)
+}
+
+// writeMetrics dumps the harness scope's aggregated snapshot — every
+// analyzer and Monte Carlo run of this invocation — as indented JSON.
+func writeMetrics(scope *obs.Scope, path string) error {
+	if path == "" {
+		return nil
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(scope.Snapshot())
 }

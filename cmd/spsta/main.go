@@ -63,22 +63,26 @@ func run() error {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
+	// One scope for the whole CLI invocation: metrics when -metrics
+	// or -pprof asks for them, a tracer when -trace does. A nil scope
+	// (no flag) keeps the zero-overhead fast path.
+	var scope *obs.Scope
+	if *metricsOut != "" || *pprofAddr != "" || *traceOut != "" {
+		scope = &obs.Scope{}
+		if *metricsOut != "" || *pprofAddr != "" {
+			scope.Metrics = obs.NewMetrics()
+		}
+		if *traceOut != "" {
+			scope.Tracer = obs.NewTracer()
+		}
+	}
 	if *pprofAddr != "" {
-		addr, err := obshttp.Serve(*pprofAddr)
+		srv, err := obshttp.Serve(*pprofAddr, scope)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/vars\n", addr)
-	}
-	var met *obs.Metrics
-	if *metricsOut != "" || *pprofAddr != "" {
-		met = obs.Enable()
-		defer obs.Disable()
-	}
-	var tracer *obs.Tracer
-	if *traceOut != "" {
-		tracer = obs.StartTrace()
-		defer obs.StopTrace()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/metrics\n", srv.Addr())
 	}
 
 	c, err := loadCircuit(*gen, flag.Arg(0))
@@ -122,32 +126,32 @@ func run() error {
 	dispatch := func() error {
 		switch *analyzer {
 		case "spsta":
-			_, err := runSPSTA(c, in, targets, *workers, *epsilon, delay)
+			_, err := runSPSTA(c, in, targets, *workers, *epsilon, delay, scope)
 			return err
 		case "spsta-moments":
-			_, err := runSPSTAMoments(c, in, targets, *workers, *epsilon, delay)
+			_, err := runSPSTAMoments(c, in, targets, *workers, *epsilon, delay, scope)
 			return err
 		case "ssta":
 			return runSSTA(c, in, targets, delay)
 		case "sta":
 			return runSTA(c, in, targets, delay)
 		case "mc":
-			return runMC(c, in, targets, *runs, *seed, *workers, *packed, delay)
+			return runMC(c, in, targets, *runs, *seed, *workers, *packed, delay, scope)
 		case "critical":
-			return runCritical(c, in, *workers, delay)
+			return runCritical(c, in, *workers, delay, scope)
 		case "paths":
 			return runPaths(c, in)
 		case "yield":
-			return runYield(c, in, *workers, delay)
+			return runYield(c, in, *workers, delay, scope)
 		case "all":
-			return runAll(c, in, targets, *runs, *seed, *workers, *packed, *epsilon, delay)
+			return runAll(c, in, targets, *runs, *seed, *workers, *packed, *epsilon, delay, scope)
 		}
 		return fmt.Errorf("unknown analyzer %q", *analyzer)
 	}
 	if err := dispatch(); err != nil {
 		return err
 	}
-	return writeObsOutputs(met, tracer, *metricsOut, *traceOut)
+	return writeObsOutputs(scope.M(), scope.T(), *metricsOut, *traceOut)
 }
 
 // pruneStats is the ε-pruning certificate of one engine run, shown in
@@ -164,17 +168,17 @@ type pruneStats struct {
 // with per-engine wall time, the peak HeapAlloc growth observed while
 // the engine ran (sampled concurrently), and — for the pruning-capable
 // SPSTA engines — the total pruned mass and max consumed error budget.
-func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, epsilon float64, delay ssta.DelayModel) error {
+func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, epsilon float64, delay ssta.DelayModel, scope *obs.Scope) error {
 	engines := []struct {
 		name string
 		f    func() (pruneStats, error)
 	}{
-		{"spsta", func() (pruneStats, error) { return runSPSTA(c, in, targets, workers, epsilon, delay) }},
-		{"spsta-moments", func() (pruneStats, error) { return runSPSTAMoments(c, in, targets, workers, epsilon, delay) }},
+		{"spsta", func() (pruneStats, error) { return runSPSTA(c, in, targets, workers, epsilon, delay, scope) }},
+		{"spsta-moments", func() (pruneStats, error) { return runSPSTAMoments(c, in, targets, workers, epsilon, delay, scope) }},
 		{"ssta", func() (pruneStats, error) { return pruneStats{}, runSSTA(c, in, targets, delay) }},
 		{"sta", func() (pruneStats, error) { return pruneStats{}, runSTA(c, in, targets, delay) }},
 		{"mc", func() (pruneStats, error) {
-			return pruneStats{}, runMC(c, in, targets, runs, seed, workers, packed, delay)
+			return pruneStats{}, runMC(c, in, targets, runs, seed, workers, packed, delay, scope)
 		}},
 	}
 	footer := report.Table{
@@ -355,8 +359,8 @@ func targetNets(c *netlist.Circuit, net string) ([]netlist.NodeID, error) {
 	return []netlist.NodeID{n.ID}, nil
 }
 
-func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel) (pruneStats, error) {
-	a := core.Analyzer{Workers: workers, Delay: delay, ErrorBudget: epsilon}
+func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel, scope *obs.Scope) (pruneStats, error) {
+	a := core.Analyzer{Workers: workers, Delay: delay, ErrorBudget: epsilon, Obs: scope}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return pruneStats{}, err
@@ -380,8 +384,8 @@ func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, target
 	return pruneStats{ok: true, pruned: res.TotalPrunedMass(), budget: res.MaxConsumedBudget()}, nil
 }
 
-func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel) (pruneStats, error) {
-	a := core.MomentTiming{Workers: workers, Delay: delay, ErrorBudget: epsilon}
+func runSPSTAMoments(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel, scope *obs.Scope) (pruneStats, error) {
+	a := core.MomentTiming{Workers: workers, Delay: delay, ErrorBudget: epsilon, Obs: scope}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return pruneStats{}, err
@@ -431,14 +435,14 @@ func runSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 	return t.Render(os.Stdout)
 }
 
-func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, delay ssta.DelayModel) error {
+func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, delay ssta.DelayModel, scope *obs.Scope) error {
 	// The montecarlo package treats Workers as an exact shard count;
 	// resolve the 0 default here so the CLI contract ("0 means
 	// GOMAXPROCS") holds for Monte Carlo too.
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed, Workers: workers, Delay: delay, Packed: packed})
+	res, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: runs, Seed: seed, Workers: workers, Delay: delay, Packed: packed, Obs: scope})
 	if err != nil {
 		return err
 	}
@@ -457,8 +461,8 @@ func runMC(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets [
 	return t.Render(os.Stdout)
 }
 
-func runCritical(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int, delay ssta.DelayModel) error {
-	a := core.Analyzer{Workers: workers, Delay: delay}
+func runCritical(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int, delay ssta.DelayModel, scope *obs.Scope) error {
+	a := core.Analyzer{Workers: workers, Delay: delay, Obs: scope}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err
@@ -508,8 +512,8 @@ func runPaths(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats) error 
 	return t.Render(os.Stdout)
 }
 
-func runYield(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int, delay ssta.DelayModel) error {
-	a := core.Analyzer{Workers: workers, Delay: delay}
+func runYield(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, workers int, delay ssta.DelayModel, scope *obs.Scope) error {
+	a := core.Analyzer{Workers: workers, Delay: delay, Obs: scope}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return err

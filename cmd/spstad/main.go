@@ -1,0 +1,101 @@
+// Command spstad serves SPSTA analyses over HTTP.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   run one or all engines on a circuit
+//	POST /v1/compare   SPSTA vs Monte Carlo deviation per endpoint
+//	GET  /metrics      Prometheus text exposition (RED + engine totals)
+//	GET  /healthz      liveness
+//	GET  /readyz       readiness (503 once shutdown has begun)
+//
+// A request names a built-in synthetic benchmark or carries an inline
+// .bench netlist:
+//
+//	curl -s localhost:8321/v1/analyze -d '{"circuit":"s208","engine":"all"}'
+//
+// Logs are JSON lines on stderr (log/slog); every request carries a
+// request ID. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spstad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:8321", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "analyses allowed to run at once (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 16, "requests allowed to wait for a worker slot before 429s (negative disables queueing)")
+	traceDir := flag.String("trace-dir", "", "directory for per-request Chrome trace files (empty disables tracing)")
+	driftInterval := flag.Duration("drift-interval", time.Minute, "accuracy-drift monitor period (0 disables); each tick replays a sampled request through the packed Monte Carlo engine and exports the SPSTA deviation as gauges")
+	driftRuns := flag.Int("drift-runs", 2000, "Monte Carlo runs per drift replay")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level: %w", err)
+	}
+	log := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	svc := service.New(service.Config{
+		Logger:        log,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		TraceDir:      *traceDir,
+		DriftInterval: *driftInterval,
+		DriftRuns:     *driftRuns,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Info("listening", "addr", ln.Addr().String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Info("shutting down", "drain_deadline", shutdownTimeout.String())
+	svc.Close() // readyz flips to 503; drift monitor stops
+	dctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	log.Info("stopped")
+	return nil
+}

@@ -97,6 +97,12 @@ type Analyzer struct {
 	// pruning decisions depend only on the configuration, never on
 	// Workers.
 	ErrorBudget float64
+	// Obs is the analysis' observability scope (metrics and optional
+	// tracing). nil disables instrumentation — the zero-cost default.
+	// Scopes are per-analysis: concurrent Runs with distinct scopes
+	// record into fully isolated registries, and instrumentation never
+	// changes results.
+	Obs *obs.Scope
 }
 
 // DefaultAnalyzerSerialCutoff is the default serial-fallback
@@ -178,6 +184,9 @@ type runCtx struct {
 	// arena backs the stored t.o.p. functions of a full Run (nil for
 	// single-node recomputation, which falls back to NewPMF).
 	arena *dist.Arena
+	// met is the run's metrics registry (also carried by grid); nil
+	// disables the core-level counters.
+	met *obs.Metrics
 }
 
 // newTOP returns an empty PMF for a stored t.o.p. function, carved
@@ -210,6 +219,10 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 		}
 		grid = dist.TimingGrid(c.Depth(), mu, sigma)
 	}
+	// Attach the scope's registry to the grid so every dist kernel
+	// call site (convolution, mixtures, the scratch pool, the kernel
+	// cache) records into this run's scope.
+	grid = grid.WithMetrics(a.Obs.M())
 	for id, st := range inputs {
 		if err := st.Validate(); err != nil {
 			return nil, fmt.Errorf("core: launch %s: %w", c.Nodes[id].Name, err)
@@ -237,6 +250,7 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 		grid: grid, delay: delay, maxParity: maxParity, kernels: res.kernels,
 		eps:   a.ErrorBudget,
 		arena: dist.NewArena(grid, 2*len(c.Nodes)),
+		met:   a.Obs.M(),
 	}
 	res.arena = rc.arena
 	if rc.eps > 0 {
@@ -282,7 +296,7 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 			return int64(len(n.Fanin)+1) * int64(w)
 		}
 	}
-	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
+	err := runLevels(a.Obs.M(), a.Obs.T(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 		if err := a.computeNode(res, id, inputs, rc); err != nil {
 			return err
 		}
@@ -311,10 +325,12 @@ func (a *Analyzer) ComputeNode(res *Result, id netlist.NodeID, inputs map[netlis
 	if maxParity == 0 {
 		maxParity = DefaultMaxParityFanin
 	}
-	if res.kernels == nil || res.kernels.Grid() != res.Grid {
+	if res.kernels == nil || !res.kernels.Grid().Equal(res.Grid) {
 		res.kernels = dist.NewKernelCache(res.Grid)
 	}
-	rc := &runCtx{grid: res.Grid, delay: delay, maxParity: maxParity, kernels: res.kernels, eps: a.ErrorBudget}
+	// Incremental recomputation records into the scope the result was
+	// built with: res.Grid carries the registry Run attached.
+	rc := &runCtx{grid: res.Grid, delay: delay, maxParity: maxParity, kernels: res.kernels, eps: a.ErrorBudget, met: res.Grid.Metrics()}
 	if rc.eps > 0 {
 		rc.empty = dist.NewPMF(res.Grid)
 	}
@@ -467,8 +483,8 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 				// the closed-form kernels then iterate a narrower
 				// union support. The residual probability bucket
 				// below absorbs the displaced mass.
-				st.PrunedMass += absorbNegligible(ncdIn, ncdMass, rc.eps/4, rc.empty, obs.M())
-				st.PrunedMass += absorbNegligible(cdIn, cdMass, rc.eps/4, rc.empty, obs.M())
+				st.PrunedMass += absorbNegligible(ncdIn, ncdMass, rc.eps/4, rc.empty, rc.met)
+				st.PrunedMass += absorbNegligible(cdIn, cdMass, rc.eps/4, rc.empty, rc.met)
 			}
 			ncdTOP = dist.MaxMixtureInto(dist.NewScratch(grid), ncdIn)
 			cdTOP = dist.MinMixtureInto(dist.NewScratch(grid), cdIn)
@@ -539,14 +555,14 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 			ord, suffix = parityOrder(res, n.Fanin)
 			bb = &bbState{budget: rc.eps / 2}
 		}
-		if m := obs.M(); m != nil {
+		if m := rc.met; m != nil {
 			var leaves int64
 			a.parityCombos(res, n, ord, vals, 0, 1.0, st, rise, fall, rc, &leaves, suffix, bb)
 			m.SubsetLeaves.Add(len(n.Fanin), leaves)
 		} else {
 			a.parityCombos(res, n, ord, vals, 0, 1.0, st, rise, fall, rc, nil, suffix, bb)
 		}
-		bb.flush(obs.M(), len(n.Fanin))
+		bb.flush(rc.met, len(n.Fanin))
 		st.P[logic.Rise] = rise.Mass()
 		st.P[logic.Fall] = fall.Mass()
 		if a.MIS != nil {

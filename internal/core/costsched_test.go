@@ -71,13 +71,12 @@ func TestCostAwareInlineAttribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := uniform(c)
-	m := obs.Enable()
-	defer obs.Disable()
-	a := Analyzer{Workers: 4, SerialCutoff: 1 << 40}
+	scope := obs.NewScope()
+	a := Analyzer{Workers: 4, SerialCutoff: 1 << 40, Obs: scope}
 	if _, err := a.Run(c, in); err != nil {
 		t.Fatal(err)
 	}
-	snap := m.Snapshot()
+	snap := scope.Snapshot()
 	var total, w0 int64
 	for _, w := range snap.Workers {
 		total += w.Gates

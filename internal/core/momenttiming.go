@@ -52,6 +52,10 @@ type MomentTiming struct {
 	// bit-identical to the exact engine; pruning decisions depend only
 	// on the configuration, never on Workers.
 	ErrorBudget float64
+	// Obs is the analysis' observability scope (metrics and optional
+	// tracing); nil disables instrumentation. Scopes are per-analysis,
+	// so concurrent Runs with distinct scopes never share counters.
+	Obs *obs.Scope
 }
 
 // DefaultMomentSerialCutoff is the default serial-fallback threshold
@@ -164,7 +168,7 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 			return 1
 		}
 	}
-	err := runLevels(resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
+	err := runLevels(a.Obs.M(), a.Obs.T(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 		n := c.Nodes[id]
 		st := &res.State[id]
 		switch {
@@ -185,7 +189,7 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 			st.Arr[ssta.DirRise] = arr
 			st.Arr[ssta.DirFall] = arr
 		default:
-			if err := momentGate(res, n, delay, maxFanin, a.ErrorBudget); err != nil {
+			if err := momentGate(res, n, delay, maxFanin, a.ErrorBudget, a.Obs.M()); err != nil {
 				return err
 			}
 			if a.ErrorBudget > 0 {
@@ -236,7 +240,7 @@ func sqrt(v float64) float64 {
 	return math.Sqrt(v)
 }
 
-func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFanin int, eps float64) error {
+func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFanin int, eps float64, m *obs.Metrics) error {
 	st := &res.State[n.ID]
 	d := delay(n)
 	shift := func(x dist.Normal) dist.Normal {
@@ -276,7 +280,6 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 			pNCD *= res.State[f].P[ncVal]
 		}
 		var leaves *int64
-		m := obs.M()
 		if m != nil {
 			leaves = new(int64)
 		}
@@ -328,7 +331,6 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		var rise, fall mixAccum
 		vals := make([]logic.Value, len(n.Fanin))
 		var leaves *int64
-		m := obs.M()
 		if m != nil {
 			leaves = new(int64)
 		}

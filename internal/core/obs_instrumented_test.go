@@ -31,12 +31,10 @@ func TestInstrumentedParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m := obs.Enable()
-	defer obs.Disable()
-	tr := obs.StartTrace()
-	defer obs.StopTrace()
+	scope := obs.NewTracedScope()
+	tr := scope.Tracer
 
-	parallel := Analyzer{Workers: 4, SerialCutoff: -1}
+	parallel := Analyzer{Workers: 4, SerialCutoff: -1, Obs: scope}
 	rp, err := parallel.Run(c, in)
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +43,7 @@ func TestInstrumentedParallelMatchesSerial(t *testing.T) {
 		compareNetState(t, c, netlist.NodeID(id), &rs.State[id], &rp.State[id])
 	}
 
-	snap := m.Snapshot()
+	snap := scope.Snapshot()
 	if snap.KernelCache.Hits == 0 {
 		t.Error("instrumented run recorded no kernel-cache hits")
 	}
@@ -112,13 +110,12 @@ func TestParallelErrorMidLevelInstrumented(t *testing.T) {
 		t.Fatalf("serial error %q does not name g2, the first failing gate in level order", errSerial)
 	}
 
-	m := obs.Enable()
-	defer obs.Disable()
-	tr := obs.StartTrace()
-	defer obs.StopTrace()
+	scope := obs.NewTracedScope()
+	tr := scope.Tracer
 
 	a.Workers = 4
 	a.SerialCutoff = -1 // dispatch even the small failing level
+	a.Obs = scope
 	for i := 0; i < 8; i++ {
 		_, errPar := a.Run(c, in)
 		if errPar == nil || errPar.Error() != errSerial.Error() {
@@ -127,7 +124,7 @@ func TestParallelErrorMidLevelInstrumented(t *testing.T) {
 	}
 	// All four gates of the failing level ran every repeat: the level
 	// drains fully so the error choice cannot depend on worker timing.
-	snap := m.Snapshot()
+	snap := scope.Snapshot()
 	gates := int64(0)
 	for _, w := range snap.Workers {
 		gates += w.Gates
@@ -156,9 +153,7 @@ func TestInstrumentedMomentTimingMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	obs.Enable()
-	defer obs.Disable()
-	parallel := MomentTiming{Workers: 4, SerialCutoff: -1}
+	parallel := MomentTiming{Workers: 4, SerialCutoff: -1, Obs: obs.NewScope()}
 	rp, err := parallel.Run(c, in)
 	if err != nil {
 		t.Fatal(err)

@@ -49,7 +49,7 @@ func resolveWorkers(w int) int {
 // error is deterministically the first one in level order, not
 // whichever worker lost a race.
 //
-// Instrumentation (obs.M / obs.T, loaded once per call) is purely
+// Instrumentation (the caller's scoped m / tr registries) is purely
 // observational: per-level gate counts and wall time, per-worker
 // busy time, and per-level/per-gate tracer spans. name resolves a
 // node id to its display name for gate spans and is only called when
@@ -59,10 +59,9 @@ func resolveWorkers(w int) int {
 // readings per chunk (inline levels reuse the level reading — zero
 // extra clock reads); tracing adds a time.Now/Since pair per gate
 // for span timestamps and is explicitly the heavier mode.
-func runLevels(workers int, levels [][]netlist.NodeID, nnodes int,
+func runLevels(m *obs.Metrics, tr *obs.Tracer, workers int, levels [][]netlist.NodeID, nnodes int,
 	name func(netlist.NodeID) string, cost func(netlist.NodeID) int64,
 	serialBelow int64, f func(netlist.NodeID) error) error {
-	m, tr := obs.M(), obs.T()
 	instr := m != nil || tr != nil
 	if tr != nil {
 		tr.NameThread(0, "level schedule")

@@ -1,10 +1,6 @@
 package dist
 
-import (
-	"sync"
-
-	"repro/internal/obs"
-)
+import "sync"
 
 // KernelCache memoizes FromNormal discretizations on one fixed grid,
 // so a delay kernel shared by many gates (the common case: a cell
@@ -53,7 +49,7 @@ func (kc *KernelCache) FromNormal(n Normal) *PMF {
 	kc.mu.RLock()
 	e := kc.m[n]
 	kc.mu.RUnlock()
-	m := obs.M()
+	m := kc.grid.met
 	if e == nil {
 		kc.mu.Lock()
 		if e = kc.m[n]; e == nil {

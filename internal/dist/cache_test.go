@@ -13,10 +13,9 @@ import (
 // entry's Once instead of each discretizing and discarding the kernel.
 func TestKernelCacheConcurrentOnce(t *testing.T) {
 	const callers = 32
-	m := obs.Enable()
-	defer obs.Disable()
+	m := obs.NewMetrics()
 
-	g := Grid{Lo: -4, Dt: 0.125, N: 128}
+	g := Grid{Lo: -4, Dt: 0.125, N: 128}.WithMetrics(m)
 	kc := NewKernelCache(g)
 	n := Normal{Mu: 1, Sigma: 0.2}
 

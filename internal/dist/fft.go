@@ -31,8 +31,8 @@ func convolveFFTInto(dst, p, q *PMF) {
 	}
 	// Pack a into the real part and b into the imaginary part of one
 	// complex vector: one forward transform computes both spectra.
-	re := getBins(m)
-	im := getBins(m)
+	re := getBins(m, g.met)
+	im := getBins(m, g.met)
 	copy(re[:sa], p.w[p.lo:p.hi])
 	copy(im[:sb], q.w[q.lo:q.hi])
 	fftRadix2(re, im, false)

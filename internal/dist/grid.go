@@ -1,17 +1,30 @@
 package dist
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Grid is a uniform time grid shared by all discretized
 // distributions of one analysis. Bin i covers
 // [Lo + i·Dt, Lo + (i+1)·Dt) and is represented by its center.
 //
 // Every binary PMF operation requires both operands to live on the
-// same grid; mixing grids is a programming error and panics.
+// same grid; mixing grids is a programming error and panics. Grid
+// identity is its geometry (Lo, Dt, N) — the metrics handle a grid
+// may carry does not participate in Equal or the cross-grid checks.
 type Grid struct {
 	Lo float64 // left edge of bin 0
 	Dt float64 // bin width
 	N  int     // number of bins
+
+	// met is the observability registry of the analysis this grid
+	// belongs to; nil disables instrumentation. The kernels in this
+	// package have no config struct, so the scoped-metrics handle
+	// rides on the grid value they already receive — one plain field
+	// load per kernel call, free on the disabled path.
+	met *obs.Metrics
 }
 
 // NewGrid builds a grid covering [lo, hi] with bin width dt.
@@ -60,11 +73,26 @@ func (g Grid) Index(x float64) int {
 	return i
 }
 
-// Equal reports whether two grids are identical.
-func (g Grid) Equal(o Grid) bool { return g == o }
+// WithMetrics returns a copy of the grid carrying the metrics
+// registry (nil detaches). Analyzers attach their scope's registry
+// before building PMFs so every kernel call site records into it.
+func (g Grid) WithMetrics(m *obs.Metrics) Grid {
+	g.met = m
+	return g
+}
+
+// Metrics returns the registry the grid carries, or nil when
+// instrumentation is disabled.
+func (g Grid) Metrics() *obs.Metrics { return g.met }
+
+// Equal reports whether two grids have identical geometry. The
+// metrics handle is ignored: a caller-built bare grid and the same
+// grid tagged by an analyzer are the same grid.
+func (g Grid) Equal(o Grid) bool { return g.Lo == o.Lo && g.Dt == o.Dt && g.N == o.N }
 
 func (g Grid) check(o Grid, op string) {
-	if g != o {
-		panic(fmt.Sprintf("dist: %s across different grids: %+v vs %+v", op, g, o))
+	if !g.Equal(o) {
+		panic(fmt.Sprintf("dist: %s across different grids: [%v,%v) dt=%v n=%d vs [%v,%v) dt=%v n=%d",
+			op, g.Lo, g.Hi(), g.Dt, g.N, o.Lo, o.Hi(), o.Dt, o.N))
 	}
 }

@@ -43,7 +43,7 @@ func MaxMixtureInto(dst *PMF, in []SwitchInput) *PMF {
 	if len(in) == 0 {
 		return dst
 	}
-	if m := obs.M(); m != nil {
+	if m := dst.grid.met; m != nil {
 		m.MixtureEvals.Add(len(in), 1)
 	}
 	prev := 1.0 // H[-1] = Π Stay_i
@@ -98,7 +98,7 @@ func MinMixtureInto(dst *PMF, in []SwitchInput) *PMF {
 	if len(in) == 0 {
 		return dst
 	}
-	if m := obs.M(); m != nil {
+	if m := dst.grid.met; m != nil {
 		m.MixtureEvals.Add(len(in), 1)
 	}
 	var massArr, cumArr [16]float64
@@ -186,7 +186,7 @@ func SubsetMixture(g Grid, in []SwitchInput, max bool) *PMF {
 		rec(i+1, weight*m, next)
 	}
 	rec(0, 1, nil)
-	if m := obs.M(); m != nil {
+	if m := g.met; m != nil {
 		m.SubsetLeaves.Add(len(in), leaves)
 	}
 	return out
@@ -241,7 +241,7 @@ func SizedMixture(g Grid, in []SwitchInput, max bool, delay func(size int) Norma
 		rec(i+1, size+1, weight*m, next)
 	}
 	rec(0, 0, 1, nil)
-	if m := obs.M(); m != nil {
+	if m := g.met; m != nil {
 		m.SubsetLeaves.Add(len(in), leaves)
 	}
 	return out
@@ -329,7 +329,7 @@ func SizedMixturePruned(g Grid, in []SwitchInput, max bool, delay func(size int)
 		rec(i+1, size+1, weight*m, next)
 	}
 	rec(0, 0, 1, nil)
-	if m := obs.M(); m != nil {
+	if m := g.met; m != nil {
 		m.SubsetLeaves.Add(len(in), leaves)
 		m.PrunedSubtrees.Add(cuts)
 		m.PrunedLeaves.Add(len(in), cutLeaves)

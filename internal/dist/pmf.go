@@ -39,18 +39,19 @@ func NewPMF(g Grid) *PMF {
 // full capacity, so a fresh scratch PMF needs no clearing.
 var binPool sync.Pool
 
-// getBins returns an all-zero slice of length n from the pool.
-func getBins(n int) []float64 {
+// getBins returns an all-zero slice of length n from the pool,
+// recording the pool hit/miss into m (nil skips recording).
+func getBins(n int, m *obs.Metrics) []float64 {
 	if v := binPool.Get(); v != nil {
 		s := *(v.(*[]float64))
 		if cap(s) >= n {
-			if m := obs.M(); m != nil {
+			if m != nil {
 				m.PoolGets.Add(1)
 			}
 			return s[:n]
 		}
 	}
-	if m := obs.M(); m != nil {
+	if m != nil {
 		m.PoolNews.Add(1)
 	}
 	return make([]float64, n)
@@ -67,7 +68,7 @@ func putBins(s []float64) {
 // Release when done; a scratch PMF that escapes into a long-lived
 // result must simply never be released.
 func NewScratch(g Grid) *PMF {
-	return &PMF{grid: g, w: getBins(g.N)}
+	return &PMF{grid: g, w: getBins(g.N, g.met)}
 }
 
 // Release clears the PMF and returns its bin buffer to the scratch
@@ -311,7 +312,7 @@ func (p *PMF) ConvolveInto(dst, q *PMF) *PMF {
 		return dst
 	}
 	useFFT := sa >= fftCrossover && sb >= fftCrossover
-	if m := obs.M(); m != nil {
+	if m := p.grid.met; m != nil {
 		m.ConvSupport.Observe(sa)
 		m.ConvSupport.Observe(sb)
 		if useFFT {
@@ -476,7 +477,7 @@ func (p *PMF) TruncateTail(eps float64) float64 {
 			hi--
 		}
 	}
-	if m := obs.M(); m != nil && (removed > 0 || lo != p.lo || hi != p.hi) {
+	if m := p.grid.met; m != nil && (removed > 0 || lo != p.lo || hi != p.hi) {
 		m.TruncTails.Add(1)
 		m.TruncatedMassFP.Add(obs.MassFP(removed))
 		m.TruncatedBins.Observe((lo - p.lo) + (p.hi - hi))

@@ -42,12 +42,12 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 		in := Inputs(c, ScenarioI)
 		end := c.CriticalEndpoint()
 
-		var discrete core.Analyzer
+		discrete := core.Analyzer{Obs: cfg.Obs}
 		dres, err := discrete.Run(c, in)
 		if err != nil {
 			return nil, err
 		}
-		var analytic core.MomentTiming
+		analytic := core.MomentTiming{Obs: cfg.Obs}
 		mres, err := analytic.Run(c, in)
 		if err != nil {
 			return nil, err
@@ -56,13 +56,13 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		exact := core.Analyzer{ExactProbabilities: true}
+		exact := core.Analyzer{ExactProbabilities: true, Obs: cfg.Obs}
 		eres, err := exact.Run(c, in)
 		if err != nil {
 			return nil, err
 		}
 		sst := ssta.Analyze(c, in, nil)
-		mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Packed: cfg.Packed})
+		mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Packed: cfg.Packed, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

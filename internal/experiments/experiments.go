@@ -18,6 +18,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/ssta"
@@ -83,6 +84,11 @@ type Config struct {
 	// runs carry a certificate: every reported probability deviates
 	// from exact by at most the consumed budget.
 	Epsilon float64
+	// Obs, when non-nil, collects engine metrics from every analyzer
+	// and Monte Carlo run the harness performs. All runs of one
+	// harness invocation share the scope, so its snapshot aggregates
+	// the whole experiment. Nil keeps the uninstrumented fast path.
+	Obs *obs.Scope
 }
 
 func (cfg Config) runs() int {
@@ -139,7 +145,7 @@ func RunAll(cfg Config, s Scenario) ([]Analysis, error) {
 		a := Analysis{Circuit: c}
 
 		t0 := time.Now()
-		an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon}
+		an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon, Obs: cfg.Obs}
 		a.SPSTA, err = an.Run(c, in)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SPSTA on %s: %w", c.Name, err)
@@ -151,7 +157,7 @@ func RunAll(cfg Config, s Scenario) ([]Analysis, error) {
 		a.SSTATime = time.Since(t0)
 
 		t0 = time.Now()
-		a.MC, err = montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers, Packed: cfg.Packed})
+		a.MC, err = montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers, Packed: cfg.Packed, Obs: cfg.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: MC on %s: %w", c.Name, err)
 		}
@@ -336,7 +342,7 @@ func Fig1(w io.Writer, cfg Config, s Scenario) error {
 	in := Inputs(c, s)
 	end := c.CriticalEndpoint()
 
-	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers, Packed: cfg.Packed})
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{Runs: cfg.runs(), Seed: cfg.Seed, Workers: cfg.Workers, Packed: cfg.Packed, Obs: cfg.Obs})
 	if err != nil {
 		return err
 	}
@@ -344,7 +350,7 @@ func Fig1(w io.Writer, cfg Config, s Scenario) error {
 	sta := ssta.AnalyzeSTA(c, in, nil, 3)
 
 	grid := dist.TimingGrid(c.Depth(), 0, 1)
-	an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon}
+	an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon, Obs: cfg.Obs}
 	an.Grid = grid
 	spsta, err := an.Run(c, in)
 	if err != nil {

@@ -84,7 +84,7 @@ func simulatePacked(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputSta
 	}
 	order := c.TopoOrder()
 	defaultStats := logic.UniformStats()
-	m := obs.M()
+	m := cfg.Obs.M()
 
 	for block := 0; block < runs; block += laneCount {
 		active := runs - block

@@ -117,12 +117,11 @@ func TestPackedFallback(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			cfg := Config{Runs: 300, Seed: 9}
+			scope := obs.NewScope()
+			cfg := Config{Runs: 300, Seed: 9, Obs: scope}
 			tc.mod(&cfg)
-			m := obs.Enable()
-			defer obs.Disable()
 			comparePackedScalar(t, c, inputs, cfg)
-			snap := m.Snapshot()
+			snap := scope.Snapshot()
 			if snap.MonteCarloPacked.ScalarFallbacks == 0 {
 				t.Error("expected a scalar fallback to be counted")
 			}
@@ -139,12 +138,11 @@ func TestPackedFallback(t *testing.T) {
 func TestPackedObsCounters(t *testing.T) {
 	c := genCircuit(t, "s208")
 	inputs := scenarioInputs(c, logic.UniformStats)
-	m := obs.Enable()
-	defer obs.Disable()
-	if _, err := Simulate(c, inputs, Config{Runs: 130, Seed: 1, Packed: true}); err != nil {
+	scope := obs.NewScope()
+	if _, err := Simulate(c, inputs, Config{Runs: 130, Seed: 1, Packed: true, Obs: scope}); err != nil {
 		t.Fatal(err)
 	}
-	snap := m.Snapshot()
+	snap := scope.Snapshot()
 	if want := int64(3); snap.MonteCarloPacked.Blocks != want { // ceil(130/64)
 		t.Errorf("blocks = %d, want %d", snap.MonteCarloPacked.Blocks, want)
 	}

@@ -83,6 +83,11 @@ type Config struct {
 	// scalar engine (results still identical, obs counts the
 	// fallback).
 	Packed bool
+	// Obs is the simulation's observability scope (metrics and
+	// optional tracing); nil disables instrumentation. Scopes are
+	// per-simulation: concurrent simulations with distinct scopes
+	// record into fully isolated registries.
+	Obs *obs.Scope
 }
 
 // NetStats accumulates per-net observations across runs.
@@ -146,7 +151,7 @@ func Simulate(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, cf
 			return nil, fmt.Errorf("montecarlo: launch %s: %w", c.Nodes[id].Name, err)
 		}
 	}
-	if m := obs.M(); m != nil {
+	if m := cfg.Obs.M(); m != nil {
 		m.MCRuns.Add(int64(runs))
 	}
 	workers := cfg.Workers
@@ -184,7 +189,7 @@ func simulateParallel(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputS
 		go func() {
 			defer wg.Done()
 			sres := newResult(c, wn, len(cfg.ProbeTimes))
-			m, tr := obs.M(), obs.T()
+			m, tr := cfg.Obs.M(), cfg.Obs.T()
 			var t0 time.Time
 			if m != nil || tr != nil {
 				t0 = time.Now()
@@ -234,7 +239,7 @@ func simulateRange(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStat
 			simulatePacked(c, inputs, cfg, seed, res, start, runs)
 			return
 		}
-		if m := obs.M(); m != nil {
+		if m := cfg.Obs.M(); m != nil {
 			m.MCScalarFallbacks.Add(1)
 		}
 	}

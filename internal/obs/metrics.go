@@ -3,23 +3,26 @@
 // recorder (Tracer) that exports Chrome trace_event JSON.
 //
 // The layer is always compiled and near-zero-cost when disabled: hot
-// paths in dist, core and montecarlo call obs.M() / obs.T() — one
-// atomic pointer load — and skip every measurement on nil. Enabling
-// instrumentation never changes analysis results; counters and spans
-// are observational only, so the parallel-vs-serial bit-identity
-// contract holds with instrumentation on (asserted by
-// core.TestInstrumentedParallelMatchesSerial).
+// paths in dist, core and montecarlo hold a *Metrics / *Tracer —
+// threaded through analyzer config and the dist.Grid value — and skip
+// every measurement on nil. Enabling instrumentation never changes
+// analysis results; counters and spans are observational only, so the
+// parallel-vs-serial bit-identity contract holds with instrumentation
+// on (asserted by core.TestInstrumentedParallelMatchesSerial).
 //
-// Metrics and Tracer are process-global by design — the kernels they
-// observe (dist.PMF convolutions, the scratch pool) have no per-run
-// handle to thread a registry through. Concurrent analyses therefore
-// share one registry; per-run snapshots are taken by enabling,
-// running, snapshotting and disabling in sequence (see cmd/spsta and
-// cmd/benchperf).
+// Registries are request-scoped, not process-global: a Scope bundles
+// one Metrics and one optional Tracer, and every concurrent analysis
+// carries its own (see scope.go). The kernels that have no config
+// struct of their own (dist.PMF convolutions, the scratch pool, the
+// kernel cache) read the Metrics pointer riding on the Grid value
+// they already receive, so scoping costs one plain field load per
+// kernel call — cheaper than the atomic pointer load the old global
+// registry needed.
 package obs
 
 import (
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -383,23 +386,93 @@ func (m *Metrics) Reset() {
 	m.mu.Unlock()
 }
 
-// active is the process-global registry; nil means disabled and every
-// instrumentation site takes its nil-check fast path.
-var active atomic.Pointer[Metrics]
-
-// Enable installs a fresh registry and returns it.
-func Enable() *Metrics {
-	m := NewMetrics()
-	active.Store(m)
-	return m
+// Merge adds every counter, histogram bucket, level and worker total
+// of o into s. Aggregators (the spstad /metrics endpoint) use it to
+// fold per-request snapshots into a service-lifetime view.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	s.KernelCache.Hits += o.KernelCache.Hits
+	s.KernelCache.Misses += o.KernelCache.Misses
+	s.KernelCache.Races += o.KernelCache.Races
+	s.Convolution.Direct += o.Convolution.Direct
+	s.Convolution.FFT += o.Convolution.FFT
+	s.Convolution.SupportHist = mergeHist(s.Convolution.SupportHist, o.Convolution.SupportHist)
+	s.ScratchPool.Gets += o.ScratchPool.Gets
+	s.ScratchPool.News += o.ScratchPool.News
+	s.Mixture.EvalsByFanin = mergeFanin(s.Mixture.EvalsByFanin, o.Mixture.EvalsByFanin)
+	s.Mixture.SubsetLeavesByFanin = mergeFanin(s.Mixture.SubsetLeavesByFanin, o.Mixture.SubsetLeavesByFanin)
+	s.Pruning.Subtrees += o.Pruning.Subtrees
+	s.Pruning.PrunedLeavesByFanin = mergeFanin(s.Pruning.PrunedLeavesByFanin, o.Pruning.PrunedLeavesByFanin)
+	s.Pruning.PrunedMass += o.Pruning.PrunedMass
+	s.Pruning.Truncations += o.Pruning.Truncations
+	s.Pruning.TruncatedMass += o.Pruning.TruncatedMass
+	s.Pruning.TruncatedBinsHist = mergeHist(s.Pruning.TruncatedBinsHist, o.Pruning.TruncatedBinsHist)
+	s.Pruning.SupportWidthHist = mergeHist(s.Pruning.SupportWidthHist, o.Pruning.SupportWidthHist)
+	s.MonteCarloRuns += o.MonteCarloRuns
+	s.MonteCarloPacked.Blocks += o.MonteCarloPacked.Blocks
+	s.MonteCarloPacked.SettleLanes += o.MonteCarloPacked.SettleLanes
+	s.MonteCarloPacked.BlockNS += o.MonteCarloPacked.BlockNS
+	s.MonteCarloPacked.ScalarFallbacks += o.MonteCarloPacked.ScalarFallbacks
+	for _, l := range o.Levels {
+		for len(s.Levels) <= l.Level {
+			s.Levels = append(s.Levels, LevelSnapshot{Level: len(s.Levels)})
+		}
+		s.Levels[l.Level].Gates += l.Gates
+		s.Levels[l.Level].WallNS += l.WallNS
+	}
+	for _, w := range o.Workers {
+		found := false
+		for i := range s.Workers {
+			if s.Workers[i].Worker == w.Worker {
+				s.Workers[i].BusyNS += w.BusyNS
+				s.Workers[i].Gates += w.Gates
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.Workers = append(s.Workers, w)
+		}
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
 }
 
-// Use installs an existing registry (nil disables).
-func Use(m *Metrics) { active.Store(m) }
+// mergeHist merges two non-empty-bucket lists keyed by [Lo, Hi].
+func mergeHist(a, b []HistBucket) []HistBucket {
+	for _, o := range b {
+		found := false
+		for i := range a {
+			if a[i].Lo == o.Lo && a[i].Hi == o.Hi {
+				a[i].Count += o.Count
+				found = true
+				break
+			}
+		}
+		if !found {
+			a = append(a, o)
+		}
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].Lo < a[j].Lo })
+	return a
+}
 
-// Disable uninstalls the registry; M() returns nil afterwards.
-func Disable() { active.Store(nil) }
-
-// M returns the active registry, or nil when metrics are disabled.
-// Hot paths load it once per kernel call and branch on nil.
-func M() *Metrics { return active.Load() }
+// mergeFanin merges two non-empty-bucket lists keyed by fanin.
+func mergeFanin(a, b []FaninBucket) []FaninBucket {
+	for _, o := range b {
+		found := false
+		for i := range a {
+			if a[i].Fanin == o.Fanin {
+				a[i].Count += o.Count
+				found = true
+				break
+			}
+		}
+		if !found {
+			a = append(a, o)
+		}
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].Fanin < a[j].Fanin })
+	return a
+}

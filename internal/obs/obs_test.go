@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"sync"
 	"testing"
@@ -109,23 +110,81 @@ func TestMetricsSnapshotAndReset(t *testing.T) {
 	}
 }
 
-func TestGlobalRegistry(t *testing.T) {
-	if M() != nil {
-		t.Fatal("metrics unexpectedly enabled at test start")
+func TestScopeNilSafety(t *testing.T) {
+	var s *Scope
+	if s.M() != nil || s.T() != nil || s.Snapshot() != nil {
+		t.Error("nil scope accessors must return nil")
 	}
-	m := Enable()
-	if M() != m {
-		t.Error("Enable did not install the registry")
+	s = NewScope()
+	if s.M() == nil {
+		t.Error("NewScope has no metrics registry")
 	}
-	Disable()
-	if M() != nil {
-		t.Error("Disable left the registry installed")
+	if s.T() != nil {
+		t.Error("NewScope must not trace")
 	}
-	Use(m)
-	if M() != m {
-		t.Error("Use did not install the registry")
+	s = NewTracedScope()
+	if s.M() == nil || s.T() == nil {
+		t.Error("NewTracedScope must carry both registries")
 	}
-	Use(nil)
+	if s.Snapshot() == nil {
+		t.Error("Snapshot on a live scope returned nil")
+	}
+}
+
+func TestScopeContextCarriage(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("bare context unexpectedly carries a scope")
+	}
+	s := NewScope()
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Error("FromContext did not return the attached scope")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.KernelHits.Add(2)
+	a.ConvSupport.Observe(5)
+	a.MixtureEvals.Add(2, 3)
+	a.RecordLevel(0, 4, time.Millisecond)
+	a.AddWorkerBusy(0, time.Millisecond)
+	b.KernelHits.Add(5)
+	b.ConvSupport.Observe(5)
+	b.ConvSupport.Observe(1000)
+	b.MixtureEvals.Add(2, 1)
+	b.MixtureEvals.Add(7, 2)
+	b.RecordLevel(0, 1, time.Millisecond)
+	b.RecordLevel(3, 2, time.Millisecond)
+	b.AddWorkerBusy(0, time.Millisecond)
+	b.AddWorkerBusy(2, time.Millisecond)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	s.Merge(nil) // must be a no-op
+	if s.KernelCache.Hits != 7 {
+		t.Errorf("merged hits = %d, want 7", s.KernelCache.Hits)
+	}
+	var support int64
+	for _, h := range s.Convolution.SupportHist {
+		support += h.Count
+	}
+	if support != 3 {
+		t.Errorf("merged support observations = %d, want 3", support)
+	}
+	evals := map[int]int64{}
+	for _, f := range s.Mixture.EvalsByFanin {
+		evals[f.Fanin] = f.Count
+	}
+	if evals[2] != 4 || evals[7] != 2 {
+		t.Errorf("merged evals = %v", evals)
+	}
+	if len(s.Levels) != 4 || s.Levels[0].Gates != 5 || s.Levels[3].Gates != 2 {
+		t.Errorf("merged levels = %+v", s.Levels)
+	}
+	if len(s.Workers) != 2 || s.Workers[0].Gates != 2 || s.Workers[1].Worker != 2 {
+		t.Errorf("merged workers = %+v", s.Workers)
+	}
 }
 
 func TestMetricsConcurrentUpdates(t *testing.T) {
@@ -223,18 +282,28 @@ func TestTracerDropsOverCap(t *testing.T) {
 	}
 }
 
-func TestTraceGlobalRegistry(t *testing.T) {
-	if T() != nil {
-		t.Fatal("tracer unexpectedly enabled at test start")
+func TestTraceMetadataRecordsDropped(t *testing.T) {
+	tr := NewTracer()
+	tr.max = 4
+	t0 := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Span("g", "gate", 1, t0, time.Microsecond, nil)
 	}
-	tr := StartTrace()
-	if T() != tr {
-		t.Error("StartTrace did not install the tracer")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
 	}
-	if got := StopTrace(); got != tr {
-		t.Error("StopTrace did not return the tracer")
+	var doc struct {
+		Metadata struct {
+			Spans     int   `json:"spans"`
+			Dropped   int64 `json:"dropped"`
+			MaxEvents int   `json:"max_events"`
+		} `json:"metadata"`
 	}
-	if T() != nil {
-		t.Error("StopTrace left the tracer installed")
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metadata.Spans != 4 || doc.Metadata.Dropped != 6 || doc.Metadata.MaxEvents != 4 {
+		t.Errorf("trace metadata = %+v", doc.Metadata)
 	}
 }

@@ -1,37 +1,65 @@
 // Package obshttp serves the live profiling endpoints behind the
-// -pprof CLI flag: net/http/pprof handlers plus the active engine
-// metrics registry published through expvar at /debug/vars (key
-// "spsta_metrics"). It lives apart from package obs so that the
-// instrumented hot-path packages never pull net/http into their
-// dependency graph — only binaries that opt in import this package.
+// -pprof CLI flag: net/http/pprof handlers plus a scope's metrics
+// snapshot as JSON at /debug/metrics. It lives apart from package obs
+// so that the instrumented hot-path packages never pull net/http into
+// their dependency graph — only binaries that opt in import this
+// package.
+//
+// Each server owns a private mux and returns a handle with Close and
+// graceful Shutdown, so tests (and long-running daemons) can start
+// several servers and tear them down without leaking listeners.
 package obshttp
 
 import (
-	"expvar"
+	"context"
+	"encoding/json"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"net/http/pprof"
 
 	"repro/internal/obs"
 )
 
-func init() {
-	expvar.Publish("spsta_metrics", expvar.Func(func() any {
-		if m := obs.M(); m != nil {
-			return m.Snapshot()
-		}
-		return nil
-	}))
+// Server is a running profiling server.
+type Server struct {
+	addr string
+	srv  *http.Server
 }
 
-// Serve starts the profiling HTTP server on addr in a background
-// goroutine and returns the bound address (useful with a ":0" addr).
-// The server runs until the process exits.
-func Serve(addr string) (string, error) {
+// Serve starts a profiling HTTP server on addr in a background
+// goroutine, exposing /debug/pprof/* and /debug/metrics (the scope's
+// metrics snapshot as JSON; scope may be nil for pprof-only serving).
+// Use the returned handle's Addr for the bound address (useful with a
+// ":0" addr) and Close/Shutdown to stop the server.
+func Serve(addr string, scope *obs.Scope) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go func() { _ = http.Serve(ln, nil) }()
-	return ln.Addr().String(), nil
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(scope.Snapshot())
+	})
+	s := &Server{addr: ln.Addr().String(), srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
 }
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the server immediately, closing its listener and any
+// active connections.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully stops the server: the listener closes at once
+// and in-flight requests are allowed to finish until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -1,0 +1,74 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestServeScopedMetricsAndShutdown starts two servers with distinct
+// scopes — impossible under the old DefaultServeMux registration —
+// and checks each serves its own snapshot and shuts down cleanly.
+func TestServeScopedMetricsAndShutdown(t *testing.T) {
+	s1, s2 := obs.NewScope(), obs.NewScope()
+	s1.Metrics.KernelHits.Add(3)
+	s2.Metrics.KernelHits.Add(7)
+
+	srv1, err := Serve("127.0.0.1:0", s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+	srv2, err := Serve("127.0.0.1:0", s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	hits := func(addr string) int64 {
+		resp, err := http.Get("http://" + addr + "/debug/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap.KernelCache.Hits
+	}
+	if got := hits(srv1.Addr()); got != 3 {
+		t.Errorf("server 1 hits = %d, want 3", got)
+	}
+	if got := hits(srv2.Addr()); got != 7 {
+		t.Errorf("server 2 hits = %d, want 7", got)
+	}
+
+	// pprof index must be mounted on the private mux.
+	resp, err := http.Get("http://" + srv1.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv1.Addr() + "/debug/metrics"); err == nil {
+		t.Error("server 1 still serving after Shutdown")
+	}
+	if got := hits(srv2.Addr()); got != 7 {
+		t.Errorf("server 2 affected by server 1 shutdown: hits = %d", got)
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "context"
+
+// Scope is one analysis' observability handle: a metrics registry
+// plus an optional tracer. Every concurrent analysis (a spstad
+// request, a CLI invocation, a test goroutine) owns its own Scope, so
+// counters and spans from different analyses never mix. A nil *Scope
+// means instrumentation is fully disabled; its accessors are nil-safe
+// so config structs embed a *Scope and hot paths branch on the nil
+// registry exactly as they would for a disabled global.
+type Scope struct {
+	// Metrics is the scope's counter registry; nil disables metrics.
+	Metrics *Metrics
+	// Tracer is the scope's span recorder; nil disables tracing.
+	Tracer *Tracer
+}
+
+// NewScope returns a scope with a fresh metrics registry and no
+// tracer.
+func NewScope() *Scope { return &Scope{Metrics: NewMetrics()} }
+
+// NewTracedScope returns a scope with a fresh metrics registry and a
+// fresh tracer.
+func NewTracedScope() *Scope { return &Scope{Metrics: NewMetrics(), Tracer: NewTracer()} }
+
+// M returns the scope's metrics registry; nil on a nil scope or an
+// untraced metrics-less scope. Hot paths load it once per call and
+// branch on nil.
+func (s *Scope) M() *Metrics {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// T returns the scope's tracer; nil on a nil scope or when tracing is
+// off.
+func (s *Scope) T() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer
+}
+
+// Snapshot captures the scope's metrics totals; nil when the scope
+// records no metrics.
+func (s *Scope) Snapshot() *Snapshot {
+	if m := s.M(); m != nil {
+		return m.Snapshot()
+	}
+	return nil
+}
+
+// ctxKey keys a *Scope in a context.Context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s; request handlers attach their
+// per-request scope here and pass the context down to analysis code.
+func NewContext(ctx context.Context, s *Scope) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the scope carried by ctx, or nil when none is
+// attached — the disabled-instrumentation default.
+func FromContext(ctx context.Context) *Scope {
+	s, _ := ctx.Value(ctxKey{}).(*Scope)
+	return s
+}

@@ -97,17 +97,30 @@ func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
 
 // traceFile is the emitted JSON document (the "JSON Object Format" of
 // the trace_event spec; the bare-array format is also accepted by
-// viewers but the object form carries displayTimeUnit).
+// viewers but the object form carries displayTimeUnit and the
+// metadata block).
 type traceFile struct {
-	TraceEvents     []Event `json:"traceEvents"`
-	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []Event       `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Metadata        traceMetadata `json:"metadata"`
+}
+
+// traceMetadata summarizes the buffer in the exported document, most
+// importantly the spans discarded over the buffer cap — a truncated
+// timeline must be identifiable from the file alone.
+type traceMetadata struct {
+	Spans     int   `json:"spans"`
+	Dropped   int64 `json:"dropped"`
+	MaxEvents int   `json:"max_events"`
 }
 
 // WriteJSON writes the buffered spans, plus thread-name metadata, as
 // a trace_event JSON document loadable in chrome://tracing or
-// Perfetto.
+// Perfetto. The document's metadata block records the buffered span
+// count and how many spans were dropped over the buffer cap.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	t.mu.Lock()
+	spans := len(t.events)
 	events := make([]Event, 0, len(t.events)+len(t.threads))
 	tids := make([]int, 0, len(t.threads))
 	for tid := range t.threads {
@@ -126,25 +139,9 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	events = append(events, t.events...)
 	t.mu.Unlock()
 	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+	return enc.Encode(traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata:        traceMetadata{Spans: spans, Dropped: t.Dropped(), MaxEvents: t.max},
+	})
 }
-
-// activeTracer is the process-global tracer; nil means tracing is
-// disabled.
-var activeTracer atomic.Pointer[Tracer]
-
-// StartTrace installs a fresh tracer and returns it.
-func StartTrace() *Tracer {
-	t := NewTracer()
-	activeTracer.Store(t)
-	return t
-}
-
-// StopTrace uninstalls and returns the active tracer (nil if tracing
-// was not on).
-func StopTrace() *Tracer {
-	return activeTracer.Swap(nil)
-}
-
-// T returns the active tracer, or nil when tracing is disabled.
-func T() *Tracer { return activeTracer.Load() }

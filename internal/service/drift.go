@@ -1,0 +1,87 @@
+// Accuracy-drift monitor: a background loop that periodically replays
+// the most recent sampled request through the packed Monte Carlo
+// engine and compares the SPSTA analyzer's arrival statistics against
+// the simulation at the circuit's critical endpoint. The absolute
+// mean and sigma deviations are exported as gauges
+// (spstad_drift_mean_deviation / spstad_drift_sigma_deviation), so a
+// regression that skews the analytic engines away from simulation —
+// a bad kernel, a mis-tuned pruning budget — shows up on a dashboard
+// without anyone issuing compare requests.
+package service
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/montecarlo"
+	"repro/internal/ssta"
+)
+
+func (s *Service) driftLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.DriftInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.RunDriftCheck(); err != nil {
+				s.log.Error("drift check failed", "error", err.Error())
+			}
+		}
+	}
+}
+
+// RunDriftCheck performs one drift replay synchronously: it re-runs
+// the most recent sampled request's circuit through the SPSTA
+// analyzer and the packed Monte Carlo engine and updates the
+// deviation gauges. A no-op when no request has been sampled yet.
+// The ticker loop calls this; tests may call it directly.
+func (s *Service) RunDriftCheck() error {
+	s.mu.Lock()
+	req := s.sampled
+	s.mu.Unlock()
+	if req == nil {
+		return nil
+	}
+	c, in, err := req.load()
+	if err != nil {
+		return err
+	}
+	a := core.Analyzer{Workers: req.Workers, Delay: req.delay(), ErrorBudget: req.Epsilon}
+	sp, err := a.Run(c, in)
+	if err != nil {
+		return err
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mc, err := montecarlo.Simulate(c, in, montecarlo.Config{
+		Runs: s.cfg.DriftRuns, Seed: req.Seed, Workers: workers,
+		Delay: req.delay(), Packed: true,
+	})
+	if err != nil {
+		return err
+	}
+	ep := c.CriticalEndpoint()
+	var muDev, sigmaDev float64
+	for _, dir := range []ssta.Dir{ssta.DirRise, ssta.DirFall} {
+		am, as, _ := sp.Arrival(ep, dir)
+		m := mc.Arrival(ep, dir)
+		if m.N() == 0 {
+			continue // endpoint never transitioned in this direction
+		}
+		muDev = max(muDev, abs(am-m.Mean()))
+		sigmaDev = max(sigmaDev, abs(as-m.Sigma()))
+	}
+	s.reg.driftMeanDev.Store(muDev)
+	s.reg.driftSigmaDev.Store(sigmaDev)
+	s.reg.driftSamples.Add(1)
+	s.log.Info("drift check",
+		"circuit", c.Name, "endpoint", c.Nodes[ep].Name,
+		"mu_dev", muDev, "sigma_dev", sigmaDev, "mc_runs", s.cfg.DriftRuns)
+	return nil
+}

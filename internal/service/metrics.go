@@ -1,0 +1,190 @@
+// RED metrics for the spstad service: request rate, error count and
+// latency histograms per engine, plus worker-pool gauges and the
+// accuracy-drift monitor's deviation gauges. The registry is a fixed
+// set of atomics — no dependency beyond the standard library — and
+// renders itself in the Prometheus text exposition format, including
+// a summary of the merged per-request engine scopes.
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Engines accepted by the analyze endpoint, in label order. The extra
+// "compare" label counts /v1/compare requests, which always run the
+// spsta and mc engines as a pair.
+var engineLabels = []string{"spsta", "moment", "mc", "all", "compare"}
+
+func engineIndex(engine string) int {
+	for i, l := range engineLabels {
+		if l == engine {
+			return i
+		}
+	}
+	return -1
+}
+
+// latencyBounds are the histogram upper bounds in seconds. Fixed
+// buckets keep observation lock-free: one atomic add per request.
+var latencyBounds = [...]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latencyHist is a fixed-bucket latency histogram; buckets[i] counts
+// observations in (bounds[i-1], bounds[i]], the last bucket is +Inf.
+type latencyHist struct {
+	buckets [len(latencyBounds) + 1]atomic.Int64
+	sumNS   atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// atomicFloat is a float64 gauge stored as bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// registry is the service-level metrics store.
+type registry struct {
+	requests [5]atomic.Int64
+	errors   [5]atomic.Int64
+	latency  [5]latencyHist
+
+	queueDepth atomic.Int64
+	inflight   atomic.Int64
+	rejected   atomic.Int64
+
+	driftSamples  atomic.Int64
+	driftMeanDev  atomicFloat
+	driftSigmaDev atomicFloat
+
+	// agg accumulates the per-request engine scopes: every request's
+	// snapshot is merged in after it completes, so /metrics exposes
+	// lifetime engine totals next to the RED series.
+	aggMu sync.Mutex
+	agg   obs.Snapshot
+}
+
+// observe records one finished request for the engine label.
+func (r *registry) observe(engine string, d time.Duration, failed bool) {
+	i := engineIndex(engine)
+	if i < 0 {
+		return
+	}
+	r.requests[i].Add(1)
+	if failed {
+		r.errors[i].Add(1)
+	}
+	r.latency[i].observe(d)
+}
+
+// merge folds a finished request's engine-scope snapshot into the
+// lifetime aggregate.
+func (r *registry) merge(s *obs.Snapshot) {
+	if s == nil {
+		return
+	}
+	r.aggMu.Lock()
+	r.agg.Merge(s)
+	r.aggMu.Unlock()
+}
+
+// writePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *registry) writePrometheus(w io.Writer) {
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("spstad_requests_total", "Requests served, by engine.")
+	for i, l := range engineLabels {
+		fmt.Fprintf(w, "spstad_requests_total{engine=%q} %d\n", l, r.requests[i].Load())
+	}
+	counter("spstad_request_errors_total", "Requests that failed, by engine.")
+	for i, l := range engineLabels {
+		fmt.Fprintf(w, "spstad_request_errors_total{engine=%q} %d\n", l, r.errors[i].Load())
+	}
+
+	fmt.Fprintf(w, "# HELP spstad_request_duration_seconds Request latency, by engine.\n")
+	fmt.Fprintf(w, "# TYPE spstad_request_duration_seconds histogram\n")
+	for i, l := range engineLabels {
+		h := &r.latency[i]
+		if h.count.Load() == 0 {
+			continue
+		}
+		cum := int64(0)
+		for b, bound := range latencyBounds {
+			cum += h.buckets[b].Load()
+			fmt.Fprintf(w, "spstad_request_duration_seconds_bucket{engine=%q,le=%q} %d\n", l, trimFloat(bound), cum)
+		}
+		cum += h.buckets[len(latencyBounds)].Load()
+		fmt.Fprintf(w, "spstad_request_duration_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", l, cum)
+		fmt.Fprintf(w, "spstad_request_duration_seconds_sum{engine=%q} %g\n", l, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "spstad_request_duration_seconds_count{engine=%q} %d\n", l, h.count.Load())
+	}
+
+	gauge("spstad_queue_depth", "Requests waiting for a worker slot.")
+	fmt.Fprintf(w, "spstad_queue_depth %d\n", r.queueDepth.Load())
+	gauge("spstad_inflight_requests", "Requests currently being analyzed.")
+	fmt.Fprintf(w, "spstad_inflight_requests %d\n", r.inflight.Load())
+	counter("spstad_requests_rejected_total", "Requests rejected because the queue was full or the service was shutting down.")
+	fmt.Fprintf(w, "spstad_requests_rejected_total %d\n", r.rejected.Load())
+
+	counter("spstad_drift_samples_total", "Accuracy-drift monitor replays performed.")
+	fmt.Fprintf(w, "spstad_drift_samples_total %d\n", r.driftSamples.Load())
+	gauge("spstad_drift_mean_deviation", "Absolute mean arrival-time deviation, SPSTA vs packed Monte Carlo, at the last replayed request's critical endpoint.")
+	fmt.Fprintf(w, "spstad_drift_mean_deviation %g\n", r.driftMeanDev.Load())
+	gauge("spstad_drift_sigma_deviation", "Absolute arrival-time sigma deviation, SPSTA vs packed Monte Carlo, at the last replayed request's critical endpoint.")
+	fmt.Fprintf(w, "spstad_drift_sigma_deviation %g\n", r.driftSigmaDev.Load())
+
+	r.aggMu.Lock()
+	agg := r.agg
+	gates := int64(0)
+	for _, ws := range r.agg.Workers {
+		gates += ws.Gates
+	}
+	r.aggMu.Unlock()
+
+	counter("spstad_engine_kernel_cache_hits_total", "Delay-kernel cache hits across all requests.")
+	fmt.Fprintf(w, "spstad_engine_kernel_cache_hits_total %d\n", agg.KernelCache.Hits)
+	counter("spstad_engine_kernel_cache_misses_total", "Delay-kernel cache misses across all requests.")
+	fmt.Fprintf(w, "spstad_engine_kernel_cache_misses_total %d\n", agg.KernelCache.Misses)
+	counter("spstad_engine_convolutions_total", "PMF convolutions across all requests, by method.")
+	fmt.Fprintf(w, "spstad_engine_convolutions_total{method=\"direct\"} %d\n", agg.Convolution.Direct)
+	fmt.Fprintf(w, "spstad_engine_convolutions_total{method=\"fft\"} %d\n", agg.Convolution.FFT)
+	counter("spstad_engine_gates_total", "Gates evaluated by the level-parallel schedule across all requests.")
+	fmt.Fprintf(w, "spstad_engine_gates_total %d\n", gates)
+	counter("spstad_engine_mc_runs_total", "Monte Carlo runs simulated across all requests.")
+	fmt.Fprintf(w, "spstad_engine_mc_runs_total %d\n", agg.MonteCarloRuns)
+	counter("spstad_engine_mc_packed_blocks_total", "Word-packed Monte Carlo blocks across all requests.")
+	fmt.Fprintf(w, "spstad_engine_mc_packed_blocks_total %d\n", agg.MonteCarloPacked.Blocks)
+	gauge("spstad_engine_pruned_mass", "Probability mass pruned by the adaptive engine across all requests.")
+	fmt.Fprintf(w, "spstad_engine_pruned_mass %g\n", agg.Pruning.PrunedMass)
+}
+
+// trimFloat formats a histogram bound the way Prometheus clients
+// expect: no trailing zeros, no exponent for these magnitudes.
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,631 @@
+// Package service implements the spstad analysis daemon: an HTTP
+// service that runs the SPSTA, moment-matching and Monte Carlo
+// engines on demand. Every request gets its own request ID and its
+// own *obs.Scope, so concurrent analyses never share instrumentation
+// state; finished scopes are merged into a service-lifetime aggregate
+// that /metrics exposes in the Prometheus text format next to RED
+// series (request rate, errors, latency per engine) and worker-pool
+// gauges. A background drift monitor replays a sampled recent request
+// through the packed Monte Carlo engine and exports the deviation of
+// the analytic engines from simulation as gauges.
+//
+// cmd/spstad wires this package to flags, JSON logging and signal
+// handling; tests drive the Service directly through Handler.
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Logger receives request and lifecycle logs; nil discards them.
+	Logger *slog.Logger
+	// MaxConcurrent bounds the analyses running at once (worker
+	// slots). 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds the requests allowed to wait for a slot beyond
+	// MaxConcurrent; further requests are rejected with 429. 0 means
+	// a default of 16; negative disables queueing entirely.
+	MaxQueue int
+	// TraceDir, when non-empty, enables per-request trace files:
+	// requests with "trace": true get a Chrome trace_event JSON
+	// timeline written to TraceDir/req-<id>.json.
+	TraceDir string
+	// DriftInterval is the period of the background accuracy-drift
+	// monitor; 0 disables it. Each tick replays the most recent
+	// sampled request through the packed Monte Carlo engine and
+	// compares the SPSTA arrival statistics against it.
+	DriftInterval time.Duration
+	// DriftRuns is the Monte Carlo run count of a drift replay
+	// (default 2000).
+	DriftRuns int
+}
+
+// Service is the spstad request handler and its shared state.
+type Service struct {
+	cfg   Config
+	log   *slog.Logger
+	reg   registry
+	slots chan struct{}
+
+	mu      sync.Mutex
+	sampled *Request // most recent analyze request, for drift replays
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Service and starts its drift monitor if configured.
+func New(cfg Config) *Service {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 16
+	}
+	if cfg.DriftRuns <= 0 {
+		cfg.DriftRuns = 2000
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	s := &Service{
+		cfg:   cfg,
+		log:   log,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		stop:  make(chan struct{}),
+	}
+	if cfg.DriftInterval > 0 {
+		s.wg.Add(1)
+		go s.driftLoop()
+	}
+	return s
+}
+
+// Close stops the drift monitor and marks the service not ready. It
+// does not stop an http.Server serving the handler — that is the
+// caller's job (see cmd/spstad's graceful shutdown).
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+func (s *Service) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.closing() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+// Request is the body of /v1/analyze and /v1/compare.
+type Request struct {
+	// Circuit names a built-in synthetic benchmark profile (s208 …
+	// s1238); Bench alternatively carries an inline ISCAS-style
+	// .bench netlist. Exactly one must be set.
+	Circuit string `json:"circuit,omitempty"`
+	Bench   string `json:"bench,omitempty"`
+	// Scenario selects the launch-point statistics: "I" (uniform,
+	// default) or "II" (skewed).
+	Scenario string `json:"scenario,omitempty"`
+	// Engine: spsta (default), moment, mc, or all.
+	Engine string `json:"engine,omitempty"`
+	// Epsilon is the per-net adaptive-pruning error budget of the
+	// spsta and moment engines (0 = exact).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Sigma > 0 selects variational N(1, sigma^2) gate delays
+	// instead of deterministic unit delays.
+	Sigma float64 `json:"sigma,omitempty"`
+	// Workers is the level-parallel worker count / Monte Carlo shard
+	// count (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Runs and Seed parameterize the Monte Carlo engine (defaults
+	// 10000 and 1).
+	Runs int   `json:"runs,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// Trace requests a per-request trace file (requires the service
+	// to be configured with a TraceDir).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// DirStat is one direction's arrival statistics at an endpoint.
+type DirStat struct {
+	Mu    float64 `json:"mu"`
+	Sigma float64 `json:"sigma"`
+	P     float64 `json:"p"`
+}
+
+// EndpointStat is one endpoint's statistics from one engine.
+type EndpointStat struct {
+	Net  string  `json:"net"`
+	P0   float64 `json:"p0,omitempty"`
+	P1   float64 `json:"p1,omitempty"`
+	Rise DirStat `json:"rise"`
+	Fall DirStat `json:"fall"`
+}
+
+// EngineResult is one engine's output for a request.
+type EngineResult struct {
+	Engine    string         `json:"engine"`
+	ElapsedNS int64          `json:"elapsed_ns"`
+	Endpoints []EndpointStat `json:"endpoints"`
+	// PrunedMass and MaxBudget certify an epsilon > 0 run of the
+	// discrete engines.
+	PrunedMass float64 `json:"pruned_mass,omitempty"`
+	MaxBudget  float64 `json:"max_budget,omitempty"`
+}
+
+// CircuitInfo describes the analyzed circuit.
+type CircuitInfo struct {
+	Name  string `json:"name"`
+	Gates int    `json:"gates"`
+	Depth int    `json:"depth"`
+}
+
+// Response is the body of a successful /v1/analyze.
+type Response struct {
+	RequestID string         `json:"request_id"`
+	Circuit   CircuitInfo    `json:"circuit"`
+	Scenario  string         `json:"scenario"`
+	Engines   []EngineResult `json:"engines"`
+	TraceFile string         `json:"trace_file,omitempty"`
+}
+
+// CompareRow is one endpoint/direction line of /v1/compare: the
+// SPSTA and Monte Carlo arrival statistics side by side with their
+// absolute deviations.
+type CompareRow struct {
+	Net        string  `json:"net"`
+	Dir        string  `json:"dir"`
+	SPSTAMu    float64 `json:"spsta_mu"`
+	SPSTASigma float64 `json:"spsta_sigma"`
+	MCMu       float64 `json:"mc_mu"`
+	MCSigma    float64 `json:"mc_sigma"`
+	DMu        float64 `json:"d_mu"`
+	DSigma     float64 `json:"d_sigma"`
+}
+
+// CompareResponse is the body of a successful /v1/compare.
+type CompareResponse struct {
+	RequestID   string       `json:"request_id"`
+	Circuit     CircuitInfo  `json:"circuit"`
+	Scenario    string       `json:"scenario"`
+	Rows        []CompareRow `json:"rows"`
+	MaxMuDev    float64      `json:"max_mu_dev"`
+	MaxSigmaDev float64      `json:"max_sigma_dev"`
+}
+
+// httpError carries a status code out of request decoding/validation.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// newRequestID returns a 16-hex-digit random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it
+		// somehow does, a constant ID only degrades log correlation.
+		return "req-00000000"
+	}
+	return "req-" + hex.EncodeToString(b[:])
+}
+
+// acquire takes a worker slot, queueing up to cfg.MaxQueue requests.
+// The returned release func must be called when the work is done; a
+// nil release means the request was rejected with the returned error.
+func (s *Service) acquire(r *http.Request) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	default:
+	}
+	if s.cfg.MaxQueue < 0 || s.reg.queueDepth.Load() >= int64(s.cfg.MaxQueue) {
+		s.reg.rejected.Add(1)
+		return nil, &httpError{status: http.StatusTooManyRequests, msg: "worker queue full"}
+	}
+	s.reg.queueDepth.Add(1)
+	defer s.reg.queueDepth.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	case <-r.Context().Done():
+		s.reg.rejected.Add(1)
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "client went away while queued"}
+	case <-s.stop:
+		s.reg.rejected.Add(1)
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "shutting down"}
+	}
+}
+
+// decode parses and validates a request body.
+func decode(r *http.Request) (*Request, error) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, errBadRequest("bad request body: %v", err)
+	}
+	if (req.Circuit == "") == (req.Bench == "") {
+		return nil, errBadRequest("exactly one of circuit or bench must be set")
+	}
+	if req.Engine == "" {
+		req.Engine = "spsta"
+	}
+	switch req.Engine {
+	case "spsta", "moment", "mc", "all":
+	default:
+		return nil, errBadRequest("unknown engine %q (want spsta, moment, mc, or all)", req.Engine)
+	}
+	switch req.Scenario {
+	case "", "I":
+		req.Scenario = "I"
+	case "II":
+	default:
+		return nil, errBadRequest("unknown scenario %q (want I or II)", req.Scenario)
+	}
+	if req.Epsilon < 0 {
+		return nil, errBadRequest("epsilon must be >= 0")
+	}
+	if req.Runs == 0 {
+		req.Runs = 10000
+	}
+	if req.Runs < 0 || req.Runs > 10_000_000 {
+		return nil, errBadRequest("runs must be in [1, 10000000]")
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	return &req, nil
+}
+
+// load resolves the request's circuit and inputs.
+func (req *Request) load() (*netlist.Circuit, map[netlist.NodeID]logic.InputStats, error) {
+	var c *netlist.Circuit
+	var err error
+	if req.Circuit != "" {
+		p, ok := synth.ProfileByName(req.Circuit)
+		if !ok {
+			return nil, nil, errBadRequest("unknown circuit %q (want a built-in profile, s208 … s1238)", req.Circuit)
+		}
+		c, err = synth.Generate(p)
+	} else {
+		c, err = bench.Parse(strings.NewReader(req.Bench), "inline")
+	}
+	if err != nil {
+		return nil, nil, errBadRequest("%v", err)
+	}
+	scen := experiments.ScenarioI
+	if req.Scenario == "II" {
+		scen = experiments.ScenarioII
+	}
+	return c, experiments.Inputs(c, scen), nil
+}
+
+func (req *Request) delay() ssta.DelayModel {
+	if req.Sigma <= 0 {
+		return nil
+	}
+	sigma := req.Sigma
+	return func(n *netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: sigma} }
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	id := newRequestID()
+	t0 := time.Now()
+	req, err := decode(r)
+	if err != nil {
+		s.fail(w, id, "analyze", "", t0, err)
+		return
+	}
+	release, err := s.acquire(r)
+	if err != nil {
+		s.fail(w, id, "analyze", req.Engine, t0, err)
+		return
+	}
+	defer release()
+	s.reg.inflight.Add(1)
+	defer s.reg.inflight.Add(-1)
+
+	resp, scope, err := s.analyze(id, req)
+	if err != nil {
+		s.fail(w, id, "analyze", req.Engine, t0, err)
+		return
+	}
+	s.reg.merge(scope.Snapshot())
+	s.sample(req)
+	s.reg.observe(req.Engine, time.Since(t0), false)
+	s.log.Info("request",
+		"request_id", id, "path", "/v1/analyze", "engine", req.Engine,
+		"circuit", resp.Circuit.Name, "status", http.StatusOK,
+		"duration_ms", float64(time.Since(t0).Microseconds())/1e3)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyze runs the requested engines under a fresh request scope.
+func (s *Service) analyze(id string, req *Request) (*Response, *obs.Scope, error) {
+	c, in, err := req.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	scope := obs.NewScope()
+	traced := req.Trace && s.cfg.TraceDir != ""
+	if traced {
+		scope = obs.NewTracedScope()
+	}
+	resp := &Response{
+		RequestID: id,
+		Circuit:   CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
+		Scenario:  req.Scenario,
+	}
+	engines := []string{req.Engine}
+	if req.Engine == "all" {
+		engines = []string{"spsta", "moment", "mc"}
+	}
+	for _, engine := range engines {
+		er, err := runEngine(engine, c, in, req, scope)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", engine, err)
+		}
+		resp.Engines = append(resp.Engines, er)
+	}
+	if traced {
+		path := filepath.Join(s.cfg.TraceDir, id+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		werr := scope.Tracer.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, nil, werr
+		}
+		resp.TraceFile = path
+	}
+	return resp, scope, nil
+}
+
+// runEngine runs one engine and formats its endpoint statistics.
+func runEngine(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, req *Request, scope *obs.Scope) (EngineResult, error) {
+	er := EngineResult{Engine: engine}
+	eps := c.Endpoints()
+	t0 := time.Now()
+	switch engine {
+	case "spsta":
+		a := core.Analyzer{Workers: req.Workers, Delay: req.delay(), ErrorBudget: req.Epsilon, Obs: scope}
+		res, err := a.Run(c, in)
+		if err != nil {
+			return er, err
+		}
+		for _, ep := range eps {
+			rm, rs, rp := res.Arrival(ep, ssta.DirRise)
+			fm, fs, fp := res.Arrival(ep, ssta.DirFall)
+			er.Endpoints = append(er.Endpoints, EndpointStat{
+				Net: c.Nodes[ep].Name,
+				P0:  res.Probability(ep, logic.Zero), P1: res.Probability(ep, logic.One),
+				Rise: DirStat{Mu: rm, Sigma: rs, P: rp},
+				Fall: DirStat{Mu: fm, Sigma: fs, P: fp},
+			})
+		}
+		er.PrunedMass = res.TotalPrunedMass()
+		er.MaxBudget = res.MaxConsumedBudget()
+	case "moment":
+		a := core.MomentTiming{Workers: req.Workers, Delay: req.delay(), ErrorBudget: req.Epsilon, Obs: scope}
+		res, err := a.Run(c, in)
+		if err != nil {
+			return er, err
+		}
+		for _, ep := range eps {
+			ra, rp := res.Arrival(ep, ssta.DirRise)
+			fa, fp := res.Arrival(ep, ssta.DirFall)
+			er.Endpoints = append(er.Endpoints, EndpointStat{
+				Net:  c.Nodes[ep].Name,
+				Rise: DirStat{Mu: ra.Mu, Sigma: ra.Sigma, P: rp},
+				Fall: DirStat{Mu: fa.Mu, Sigma: fa.Sigma, P: fp},
+			})
+		}
+		er.PrunedMass = res.TotalPrunedMass()
+		er.MaxBudget = res.MaxConsumedBudget()
+	case "mc":
+		workers := req.Workers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		res, err := montecarlo.Simulate(c, in, montecarlo.Config{
+			Runs: req.Runs, Seed: req.Seed, Workers: workers,
+			Delay: req.delay(), Packed: true, Obs: scope,
+		})
+		if err != nil {
+			return er, err
+		}
+		for _, ep := range eps {
+			ra := res.Arrival(ep, ssta.DirRise)
+			fa := res.Arrival(ep, ssta.DirFall)
+			er.Endpoints = append(er.Endpoints, EndpointStat{
+				Net: c.Nodes[ep].Name,
+				P0:  res.P(ep, logic.Zero), P1: res.P(ep, logic.One),
+				Rise: DirStat{Mu: ra.Mean(), Sigma: ra.Sigma(), P: res.P(ep, logic.Rise)},
+				Fall: DirStat{Mu: fa.Mean(), Sigma: fa.Sigma(), P: res.P(ep, logic.Fall)},
+			})
+		}
+	default:
+		return er, errBadRequest("unknown engine %q", engine)
+	}
+	er.ElapsedNS = time.Since(t0).Nanoseconds()
+	return er, nil
+}
+
+func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
+	id := newRequestID()
+	t0 := time.Now()
+	req, err := decode(r)
+	if err != nil {
+		s.fail(w, id, "compare", "compare", t0, err)
+		return
+	}
+	release, err := s.acquire(r)
+	if err != nil {
+		s.fail(w, id, "compare", "compare", t0, err)
+		return
+	}
+	defer release()
+	s.reg.inflight.Add(1)
+	defer s.reg.inflight.Add(-1)
+
+	c, in, err := req.load()
+	if err != nil {
+		s.fail(w, id, "compare", "compare", t0, err)
+		return
+	}
+	scope := obs.NewScope()
+	sp, err := runEngine("spsta", c, in, req, scope)
+	if err != nil {
+		s.fail(w, id, "compare", "compare", t0, err)
+		return
+	}
+	mc, err := runEngine("mc", c, in, req, scope)
+	if err != nil {
+		s.fail(w, id, "compare", "compare", t0, err)
+		return
+	}
+	resp := &CompareResponse{
+		RequestID: id,
+		Circuit:   CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
+		Scenario:  req.Scenario,
+	}
+	for i := range sp.Endpoints {
+		for _, dir := range []string{"rise", "fall"} {
+			a, b := sp.Endpoints[i].Rise, mc.Endpoints[i].Rise
+			if dir == "fall" {
+				a, b = sp.Endpoints[i].Fall, mc.Endpoints[i].Fall
+			}
+			if b.P == 0 {
+				// No simulated run saw this transition, so the Monte
+				// Carlo conditional moments are undefined; a deviation
+				// against them would be noise.
+				continue
+			}
+			row := CompareRow{
+				Net: sp.Endpoints[i].Net, Dir: dir,
+				SPSTAMu: a.Mu, SPSTASigma: a.Sigma,
+				MCMu: b.Mu, MCSigma: b.Sigma,
+				DMu: abs(a.Mu - b.Mu), DSigma: abs(a.Sigma - b.Sigma),
+			}
+			resp.Rows = append(resp.Rows, row)
+			resp.MaxMuDev = max(resp.MaxMuDev, row.DMu)
+			resp.MaxSigmaDev = max(resp.MaxSigmaDev, row.DSigma)
+		}
+	}
+	s.reg.merge(scope.Snapshot())
+	s.sample(req)
+	s.reg.observe("compare", time.Since(t0), false)
+	s.log.Info("request",
+		"request_id", id, "path", "/v1/compare",
+		"circuit", resp.Circuit.Name, "status", http.StatusOK,
+		"duration_ms", float64(time.Since(t0).Microseconds())/1e3)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.writePrometheus(w)
+}
+
+// sample stores the request for the drift monitor. Inline-bench
+// requests are kept too — the replay re-parses the source.
+func (s *Service) sample(req *Request) {
+	cp := *req
+	s.mu.Lock()
+	s.sampled = &cp
+	s.mu.Unlock()
+}
+
+// fail writes an error response and records it in the RED series.
+func (s *Service) fail(w http.ResponseWriter, id, path, engine string, t0 time.Time, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	if engine != "" {
+		s.reg.observe(engine, time.Since(t0), true)
+	}
+	s.log.Error("request failed",
+		"request_id", id, "path", "/v1/"+path, "engine", engine,
+		"status", status, "error", err.Error())
+	writeJSON(w, status, map[string]string{"request_id": id, "error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -48,9 +48,10 @@ func TestBenchGuardObsOverhead(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := experiments.Inputs(c, experiments.ScenarioI)
-	a := core.Analyzer{Workers: 4}
+	off := core.Analyzer{Workers: 4}
+	on := core.Analyzer{Workers: 4, Obs: obs.NewScope()}
 
-	one := func() time.Duration {
+	one := func(a *core.Analyzer) time.Duration {
 		t0 := time.Now()
 		if _, err := a.Run(c, in); err != nil {
 			t.Fatal(err)
@@ -58,7 +59,7 @@ func TestBenchGuardObsOverhead(t *testing.T) {
 		return time.Since(t0)
 	}
 	// Warm allocator caches and the synth generator before timing.
-	one()
+	one(&off)
 
 	// Interleave the two configurations run by run and keep each
 	// one's fastest single run: the minimum discards GC pauses and
@@ -68,16 +69,13 @@ func TestBenchGuardObsOverhead(t *testing.T) {
 	const rounds = 120
 	minDisabled, minEnabled := time.Hour, time.Hour
 	for r := 0; r < rounds; r++ {
-		obs.Disable()
-		if d := one(); d < minDisabled {
+		if d := one(&off); d < minDisabled {
 			minDisabled = d
 		}
-		obs.Enable()
-		if d := one(); d < minEnabled {
+		if d := one(&on); d < minEnabled {
 			minEnabled = d
 		}
 	}
-	obs.Disable()
 
 	overhead := float64(minEnabled-minDisabled) / float64(minDisabled)
 	t.Logf("disabled %v/op, enabled %v/op, overhead %+.2f%%",
@@ -145,30 +143,28 @@ func TestBenchGuardPackedObsOverhead(t *testing.T) {
 		t.Skip("set BENCH_GUARD=1 (or run `make bench-guard`) to measure the packed engine's disabled-path overhead")
 	}
 	c, in := guardCircuit(t, "s1196")
-	one := func() time.Duration {
+	scope := obs.NewScope()
+	one := func(s *obs.Scope) time.Duration {
 		t0 := time.Now()
 		if _, err := montecarlo.Simulate(c, in, montecarlo.Config{
-			Runs: 10000, Seed: 1, Workers: 1, Packed: true,
+			Runs: 10000, Seed: 1, Workers: 1, Packed: true, Obs: s,
 		}); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(t0)
 	}
-	one()
+	one(nil)
 
 	const rounds = 40
 	minDisabled, minEnabled := time.Hour, time.Hour
 	for r := 0; r < rounds; r++ {
-		obs.Disable()
-		if d := one(); d < minDisabled {
+		if d := one(nil); d < minDisabled {
 			minDisabled = d
 		}
-		obs.Enable()
-		if d := one(); d < minEnabled {
+		if d := one(scope); d < minEnabled {
 			minEnabled = d
 		}
 	}
-	obs.Disable()
 
 	overhead := float64(minEnabled-minDisabled) / float64(minDisabled)
 	t.Logf("disabled %v/op, enabled %v/op, overhead %+.2f%%",
@@ -194,19 +190,20 @@ func guardCircuit(t *testing.T, name string) (*netlist.Circuit, map[netlist.Node
 	return c, experiments.Inputs(c, experiments.ScenarioI)
 }
 
-// ExampleEnableEngineMetrics shows the public observability surface:
-// install a registry, run an analysis, snapshot it.
-func ExampleEnableEngineMetrics() {
+// ExampleNewEngineScope shows the public observability surface:
+// build a scope, run an analysis against it, snapshot it. Scopes are
+// per-request handles — two concurrent analyses with distinct scopes
+// never share counters.
+func ExampleNewEngineScope() {
 	c, err := GenerateBenchmark("s208")
 	if err != nil {
 		panic(err)
 	}
-	m := EnableEngineMetrics()
-	defer DisableEngineMetrics()
-	if _, err := AnalyzeSPSTAParallel(c, UniformInputs(c), 2); err != nil {
+	scope := NewEngineScope()
+	if _, err := AnalyzeSPSTAScoped(c, UniformInputs(c), 2, scope); err != nil {
 		panic(err)
 	}
-	snap := m.Snapshot()
+	snap := scope.Snapshot()
 	fmt.Println("levels recorded:", len(snap.Levels) > 0)
 	fmt.Println("kernel lookups recorded:", snap.KernelCache.Hits+snap.KernelCache.Misses > 0)
 	// Output:
