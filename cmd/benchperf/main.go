@@ -67,6 +67,13 @@ type Row struct {
 	// benchmarks variational N(1, σ²) delays, which exercise the
 	// per-gate convolution path where tail truncation shrinks kernels.
 	Sigma float64 `json:"sigma,omitempty"`
+	// Batched ("on" or "off") records the level scheduler of an SPSTA
+	// cell: the batched struct-of-arrays scheduler or the sequential
+	// per-gate escape hatch.
+	Batched string `json:"batched,omitempty"`
+	// Precision ("f64" or "f32") records the grid storage precision of
+	// an SPSTA cell.
+	Precision string `json:"precision,omitempty"`
 	// Engine ("scalar" or "packed") and Runs identify a Monte Carlo
 	// cell.
 	Engine  string  `json:"engine,omitempty"`
@@ -85,6 +92,10 @@ type Row struct {
 	// SpeedupVsExact compares a pruned (ε>0) cell to the same
 	// circuit's exact ε=0 cell at the same worker count.
 	SpeedupVsExact float64 `json:"speedup_vs_exact,omitempty"`
+	// SpeedupVsSequential compares a batched SPSTA cell to the
+	// sequential (batched=off, f64) cell at the same worker count,
+	// budget and sigma.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
 	// PrunedMass and MaxBudget report the pruning certificate of an
 	// ε>0 cell: total mass dropped circuit-wide and the largest per-net
 	// consumed budget.
@@ -125,6 +136,8 @@ func run() error {
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (-engine spsta/moment)")
 	epsilonList := flag.String("epsilon", "0", "comma-separated adaptive-pruning error budgets to sweep (-engine spsta/moment); 0 is the exact baseline")
 	sigmaList := flag.String("sigma", "0", "comma-separated gate-delay sigmas to sweep (-engine spsta/moment); 0 is deterministic unit delay, >0 selects variational N(1, sigma^2) delays")
+	batchedList := flag.String("batched", "on", "comma-separated level-scheduler modes to sweep (-engine spsta): on (batched slabs), off (sequential per-gate)")
+	precisionList := flag.String("precision", "f64", "comma-separated grid precisions to sweep (-engine spsta): f64, f32; the off×f32 combination is skipped (the packed mode is a batch-scheduler feature)")
 	circuitsList := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	runs := flag.Int("runs", 10000, "Monte Carlo runs per op (-engine mc)")
 	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum total measurement time per (circuit, variant) cell")
@@ -179,7 +192,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		f.Benchmarks, err = benchAnalyzer(*engine, circuits, workers, epsilons, sigmas, *minTime, *rounds, *withMetrics)
+		modes, err := parseModes(*engine, *batchedList, *precisionList)
+		if err != nil {
+			return err
+		}
+		f.Benchmarks, err = benchAnalyzer(*engine, circuits, workers, epsilons, sigmas, modes, *minTime, *rounds, *withMetrics)
 		if err != nil {
 			return err
 		}
@@ -206,21 +223,96 @@ func run() error {
 	return nil
 }
 
-// benchAnalyzer sweeps worker counts × pruning budgets per circuit
-// for the spsta (discretized t.o.p.) or moment (analytic
-// moment-matching) engine, all variants interleaved.
-func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, epsilons, sigmas []float64, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
+// schedMode is one (batched, precision) combination of the spsta
+// sweep.
+type schedMode struct {
+	batched bool
+	prec    dist.Precision
+}
+
+// parseModes builds the (batched × precision) mode list of the spsta
+// sweep, skipping the sequential×f32 combination (the packed float32
+// mode is a batch-scheduler feature). The moment engine has neither
+// axis and accepts only the defaults.
+func parseModes(engine, batchedList, precisionList string) ([]schedMode, error) {
+	if engine == "moment" {
+		if batchedList != "on" || precisionList != "f64" {
+			return nil, fmt.Errorf("-batched/-precision axes apply to -engine spsta only")
+		}
+		return []schedMode{{batched: true, prec: dist.F64}}, nil
+	}
+	var bs []bool
+	for _, part := range strings.Split(batchedList, ",") {
+		switch strings.TrimSpace(part) {
+		case "on":
+			bs = append(bs, true)
+		case "off":
+			bs = append(bs, false)
+		case "":
+		default:
+			return nil, fmt.Errorf("bad -batched value %q (want on or off)", part)
+		}
+	}
+	var ps []dist.Precision
+	for _, part := range strings.Split(precisionList, ",") {
+		switch strings.TrimSpace(part) {
+		case "f64":
+			ps = append(ps, dist.F64)
+		case "f32":
+			ps = append(ps, dist.F32)
+		case "":
+		default:
+			return nil, fmt.Errorf("bad -precision value %q (want f64 or f32)", part)
+		}
+	}
+	if len(bs) == 0 || len(ps) == 0 {
+		return nil, fmt.Errorf("empty -batched or -precision list")
+	}
+	var out []schedMode
+	for _, b := range bs {
+		for _, p := range ps {
+			if !b && p == dist.F32 {
+				continue
+			}
+			out = append(out, schedMode{batched: b, prec: p})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no valid (batched, precision) combination in the sweep")
+	}
+	return out, nil
+}
+
+func (m schedMode) batchMode() core.BatchMode {
+	if m.batched {
+		return core.BatchAuto
+	}
+	return core.BatchOff
+}
+
+func (m schedMode) label() string {
+	if m.batched {
+		return "on"
+	}
+	return "off"
+}
+
+// benchAnalyzer sweeps worker counts × pruning budgets × scheduler
+// modes per circuit for the spsta (discretized t.o.p.) or moment
+// (analytic moment-matching) engine, all variants interleaved.
+func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, epsilons, sigmas []float64, modes []schedMode, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
 	type cell struct {
 		eps   float64
 		sigma float64
 		w     int
+		mode  schedMode
 	}
 	runOnce := func(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cl cell) error {
 		if engine == "moment" {
 			_, err := (&core.MomentTiming{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
 			return err
 		}
-		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
+		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma), Batched: cl.mode.batchMode(), Precision: cl.mode.prec}).Run(c, in)
 		if err != nil {
 			return err
 		}
@@ -237,7 +329,7 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 			}
 			return res.TotalPrunedMass(), res.MaxConsumedBudget(), nil
 		}
-		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
+		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma), Batched: cl.mode.batchMode(), Precision: cl.mode.prec}).Run(c, in)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -251,15 +343,21 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 		for _, s := range sigmas {
 			for _, e := range epsilons {
 				for _, w := range workers {
-					cells = append(cells, cell{e, s, w})
+					for _, md := range modes {
+						cells = append(cells, cell{e, s, w, md})
+					}
 				}
 			}
 		}
 		vs := make([]variant, len(cells))
 		for i, cl := range cells {
 			cl := cl
+			name := fmt.Sprintf("workers=%d eps=%g sigma=%g", cl.w, cl.eps, cl.sigma)
+			if engine != "moment" {
+				name += fmt.Sprintf(" batched=%s prec=%s", cl.mode.label(), cl.mode.prec)
+			}
 			vs[i] = variant{
-				name: fmt.Sprintf("workers=%d eps=%g sigma=%g", cl.w, cl.eps, cl.sigma),
+				name: name,
 				fn:   func() error { return runOnce(c, in, cl) },
 			}
 		}
@@ -267,19 +365,31 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Name, err)
 		}
-		type baseKey struct{ eps, sigma float64 }
+		type baseKey struct {
+			eps, sigma float64
+			mode       schedMode
+		}
 		type exactKey struct {
 			w     int
 			sigma float64
+			mode  schedMode
 		}
-		base := make(map[baseKey]float64)   // (ε, σ) → workers=1 ns/op
-		exact := make(map[exactKey]float64) // (workers, σ) → ε=0 ns/op
+		type seqKey struct {
+			w          int
+			eps, sigma float64
+		}
+		base := make(map[baseKey]float64)   // (ε, σ, mode) → workers=1 ns/op
+		exact := make(map[exactKey]float64) // (workers, σ, mode) → ε=0 ns/op
+		seq := make(map[seqKey]float64)     // (workers, ε, σ) → sequential f64 ns/op
 		for i, cl := range cells {
 			if cl.w == 1 {
-				base[baseKey{cl.eps, cl.sigma}] = mins[i]
+				base[baseKey{cl.eps, cl.sigma, cl.mode}] = mins[i]
 			}
 			if cl.eps == 0 {
-				exact[exactKey{cl.w, cl.sigma}] = mins[i]
+				exact[exactKey{cl.w, cl.sigma, cl.mode}] = mins[i]
+			}
+			if !cl.mode.batched && cl.mode.prec == dist.F64 {
+				seq[seqKey{cl.w, cl.eps, cl.sigma}] = mins[i]
 			}
 		}
 		for i, cl := range cells {
@@ -294,9 +404,13 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 				Rounds:  rounds,
 				NsPerOp: mins[i],
 			}
-			if cl.w != 1 && base[baseKey{cl.eps, cl.sigma}] > 0 {
-				row.SpeedupV1 = base[baseKey{cl.eps, cl.sigma}] / mins[i]
-				if inlined, err := allInline(engine, c, in, cl.w, cl.eps, cl.sigma); err != nil {
+			if engine != "moment" {
+				row.Batched = cl.mode.label()
+				row.Precision = cl.mode.prec.String()
+			}
+			if cl.w != 1 && base[baseKey{cl.eps, cl.sigma, cl.mode}] > 0 {
+				row.SpeedupV1 = base[baseKey{cl.eps, cl.sigma, cl.mode}] / mins[i]
+				if inlined, err := allInline(engine, c, in, cl.w, cl.eps, cl.sigma, cl.mode); err != nil {
 					return nil, err
 				} else if inlined {
 					// Identical instruction stream as workers=1: the
@@ -307,7 +421,7 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 				}
 			}
 			if cl.eps > 0 {
-				if e := exact[exactKey{cl.w, cl.sigma}]; e > 0 {
+				if e := exact[exactKey{cl.w, cl.sigma, cl.mode}]; e > 0 {
 					row.SpeedupVsExact = e / mins[i]
 				}
 				pruned, budget, err := certificate(c, in, cl)
@@ -316,8 +430,13 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 				}
 				row.PrunedMass, row.MaxBudget = pruned, budget
 			}
+			if cl.mode.batched {
+				if s := seq[seqKey{cl.w, cl.eps, cl.sigma}]; s > 0 {
+					row.SpeedupVsSequential = s / mins[i]
+				}
+			}
 			if withMetrics {
-				snap, err := snapshotAnalyzer(engine, c, in, cl.w, cl.eps, cl.sigma)
+				snap, err := snapshotAnalyzer(engine, c, in, cl.w, cl.eps, cl.sigma, cl.mode)
 				if err != nil {
 					return nil, fmt.Errorf("%s %s: %w", c.Name, vs[i].name, err)
 				}
@@ -470,14 +589,14 @@ func measureInterleaved(vs []variant, minTime time.Duration, rounds int) ([]floa
 // allInline reports whether an instrumented Run with the given worker
 // count dispatched no level to the pool (every gate was attributed to
 // worker 0 by the cost-aware serial fallback).
-func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64) (bool, error) {
+func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64, mode schedMode) (bool, error) {
 	scope := obs.NewScope()
 	m := scope.Metrics
 	var err error
 	if engine == "moment" {
 		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
 	} else {
-		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
+		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Batched: mode.batchMode(), Precision: mode.prec, Obs: scope}).Run(c, in)
 	}
 	if err != nil {
 		return false, err
@@ -494,13 +613,13 @@ func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.In
 // returns the snapshot (including the pruned-leaf and truncated-mass
 // counters of an ε>0 cell). It runs outside the timed loop so the
 // reported ns/op measures the uninstrumented fast path.
-func snapshotAnalyzer(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64) (*obs.Snapshot, error) {
+func snapshotAnalyzer(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64, mode schedMode) (*obs.Snapshot, error) {
 	scope := obs.NewScope()
 	var err error
 	if engine == "moment" {
 		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
 	} else {
-		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
+		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Batched: mode.batchMode(), Precision: mode.prec, Obs: scope}).Run(c, in)
 	}
 	if err != nil {
 		return nil, err

@@ -58,6 +58,8 @@ func run() error {
 	split := flag.Int("split", 0, "decompose gates wider than this fanin into trees (0 disables)")
 	sigma := flag.Float64("sigma", 0, "gate delay sigma: >0 selects variational N(1, sigma^2) gate delays (exercising the convolution SUM path) instead of deterministic unit delays")
 	epsilon := flag.Float64("epsilon", 0, "per-net error budget for adaptive pruning in the spsta and spsta-moments engines (0 = exact; results deviate from the exact run by at most the consumed budget reported per net)")
+	batched := flag.Bool("batched", true, "use the batched level scheduler in the spsta engine (struct-of-arrays slabs, shared delay kernels; bit-identical to -batched=false on float64 grids)")
+	precision := flag.String("precision", "f64", "spsta grid precision: f64 (exact) or f32 (packed batch kernels with bounded deviation; see DESIGN.md §13)")
 	metricsOut := flag.String("metrics", "", "append a JSON engine-metrics snapshot to the run report: - for stdout, or a file path")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the level schedule to this file (open in chrome://tracing or Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) for the duration of the run")
@@ -123,10 +125,26 @@ func run() error {
 	if *epsilon < 0 {
 		return fmt.Errorf("-epsilon must be >= 0 (got %v)", *epsilon)
 	}
+	mode := core.BatchAuto
+	if !*batched {
+		mode = core.BatchOff
+	}
+	var prec dist.Precision
+	switch *precision {
+	case "f64":
+		prec = dist.F64
+	case "f32":
+		prec = dist.F32
+	default:
+		return fmt.Errorf("unknown -precision %q (want f64 or f32)", *precision)
+	}
+	if prec == dist.F32 && mode == core.BatchOff {
+		return fmt.Errorf("-precision f32 requires the batched scheduler (drop -batched=false)")
+	}
 	dispatch := func() error {
 		switch *analyzer {
 		case "spsta":
-			_, err := runSPSTA(c, in, targets, *workers, *epsilon, delay, scope)
+			_, err := runSPSTA(c, in, targets, *workers, *epsilon, delay, mode, prec, scope)
 			return err
 		case "spsta-moments":
 			_, err := runSPSTAMoments(c, in, targets, *workers, *epsilon, delay, scope)
@@ -144,7 +162,7 @@ func run() error {
 		case "yield":
 			return runYield(c, in, *workers, delay, scope)
 		case "all":
-			return runAll(c, in, targets, *runs, *seed, *workers, *packed, *epsilon, delay, scope)
+			return runAll(c, in, targets, *runs, *seed, *workers, *packed, *epsilon, delay, mode, prec, scope)
 		}
 		return fmt.Errorf("unknown analyzer %q", *analyzer)
 	}
@@ -168,12 +186,14 @@ type pruneStats struct {
 // with per-engine wall time, the peak HeapAlloc growth observed while
 // the engine ran (sampled concurrently), and — for the pruning-capable
 // SPSTA engines — the total pruned mass and max consumed error budget.
-func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, epsilon float64, delay ssta.DelayModel, scope *obs.Scope) error {
+func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, epsilon float64, delay ssta.DelayModel, mode core.BatchMode, prec dist.Precision, scope *obs.Scope) error {
 	engines := []struct {
 		name string
 		f    func() (pruneStats, error)
 	}{
-		{"spsta", func() (pruneStats, error) { return runSPSTA(c, in, targets, workers, epsilon, delay, scope) }},
+		{"spsta", func() (pruneStats, error) {
+			return runSPSTA(c, in, targets, workers, epsilon, delay, mode, prec, scope)
+		}},
 		{"spsta-moments", func() (pruneStats, error) { return runSPSTAMoments(c, in, targets, workers, epsilon, delay, scope) }},
 		{"ssta", func() (pruneStats, error) { return pruneStats{}, runSSTA(c, in, targets, delay) }},
 		{"sta", func() (pruneStats, error) { return pruneStats{}, runSTA(c, in, targets, delay) }},
@@ -206,7 +226,23 @@ func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 		footer.Add(e.name, elapsed.Round(time.Microsecond).String(), formatBytes(peak), pruned, budget)
 		fmt.Println()
 	}
-	return footer.Render(os.Stdout)
+	if err := footer.Render(os.Stdout); err != nil {
+		return err
+	}
+	// Batch-scheduler counters, when a metrics scope is live: how many
+	// nets the batched levels carried, how the FFT plan cache fared and
+	// how much slab storage the runs reused.
+	if m := scope.M(); m != nil {
+		b := m.Snapshot().Batch
+		var levels, nets int64
+		for _, bk := range b.NetsHist {
+			levels += bk.Count
+			nets += bk.Count * int64(bk.Lo)
+		}
+		fmt.Printf("\nbatch kernels: %d levels batched (>=%d nets), fft plans %d hit / %d miss, %s slab reuse\n",
+			levels, nets, b.FFTPlanHits, b.FFTPlanMisses, formatBytes(uint64(b.SlabBytesReused)))
+	}
+	return nil
 }
 
 // heapSampler polls runtime.MemStats.HeapAlloc on a short ticker and
@@ -359,8 +395,8 @@ func targetNets(c *netlist.Circuit, net string) ([]netlist.NodeID, error) {
 	return []netlist.NodeID{n.ID}, nil
 }
 
-func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel, scope *obs.Scope) (pruneStats, error) {
-	a := core.Analyzer{Workers: workers, Delay: delay, ErrorBudget: epsilon, Obs: scope}
+func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel, mode core.BatchMode, prec dist.Precision, scope *obs.Scope) (pruneStats, error) {
+	a := core.Analyzer{Workers: workers, Delay: delay, ErrorBudget: epsilon, Batched: mode, Precision: prec, Obs: scope}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return pruneStats{}, err

@@ -103,6 +103,17 @@ type Analyzer struct {
 	// record into fully isolated registries, and instrumentation never
 	// changes results.
 	Obs *obs.Scope
+	// Batched selects the level scheduler: the default (BatchAuto)
+	// analyzes all nets of a topological level as one batch — slab
+	// staging, per-delay-kernel grouping, table-driven convolution —
+	// with bit-identical float64 results; BatchOff restores the
+	// per-gate scheduler (see batch.go).
+	Batched BatchMode
+	// Precision, when dist.F32 and Grid is auto-built, runs the batch
+	// path in the packed float32 slab mode: staged and stored rows
+	// are quantized to float32 and the batch convolution streams the
+	// packed mirror. An explicit Grid carries its own Precision tag.
+	Precision dist.Precision
 }
 
 // DefaultAnalyzerSerialCutoff is the default serial-fallback
@@ -217,7 +228,7 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 				sigma = st.Sigma
 			}
 		}
-		grid = dist.TimingGrid(c.Depth(), mu, sigma)
+		grid = dist.TimingGrid(c.Depth(), mu, sigma).WithPrecision(a.Precision)
 	}
 	// Attach the scope's registry to the grid so every dist kernel
 	// call site (convolution, mixtures, the scratch pool, the kernel
@@ -296,15 +307,20 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 			return int64(len(n.Fanin)+1) * int64(w)
 		}
 	}
-	err := runLevels(a.Obs.M(), a.Obs.T(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
-		if err := a.computeNode(res, id, inputs, rc); err != nil {
-			return err
-		}
-		if exact != nil {
-			correctToExact(&res.State[id], exact[id])
-		}
-		return nil
-	})
+	var err error
+	if a.Batched.On() {
+		err = a.runBatched(res, c, inputs, rc, exact, resolveWorkers(a.Workers), cost, cutoff)
+	} else {
+		err = runLevels(a.Obs.M(), a.Obs.T(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
+			if err := a.computeNode(res, id, inputs, rc); err != nil {
+				return err
+			}
+			if exact != nil {
+				correctToExact(&res.State[id], exact[id])
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +341,10 @@ func (a *Analyzer) ComputeNode(res *Result, id netlist.NodeID, inputs map[netlis
 	if maxParity == 0 {
 		maxParity = DefaultMaxParityFanin
 	}
-	if res.kernels == nil || !res.kernels.Grid().Equal(res.Grid) {
+	// Same, not Equal: a float32 result must never adopt a cache whose
+	// kernels were discretized (unquantized) for a float64 grid of the
+	// same geometry, and vice versa.
+	if res.kernels == nil || !res.kernels.Grid().Same(res.Grid) {
 		res.kernels = dist.NewKernelCache(res.Grid)
 	}
 	// Incremental recomputation records into the scope the result was

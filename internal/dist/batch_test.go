@@ -1,0 +1,347 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// randPMF fills a PMF with positive mass on [lo, hi) so every bin of
+// the support participates in the kernels under test.
+func randPMF(g Grid, rng *rand.Rand, lo, hi int) *PMF {
+	p := NewPMF(g)
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		p.SetBin(i, rng.Float64())
+		total += p.W(i)
+	}
+	p.Scale(1 / total)
+	return p
+}
+
+// requireSameBins asserts bit-identical bin values across the whole
+// grid. Supports are allowed to differ (a batch kernel may
+// over-approximate with exactly-zero edge bins); the support
+// invariant — zero outside [lo, hi) — is checked for both.
+func requireSameBins(t *testing.T, name string, want, got *PMF) {
+	t.Helper()
+	for _, p := range []*PMF{want, got} {
+		lo, hi := p.Support()
+		for i := 0; i < p.Grid().N; i++ {
+			if (i < lo || i >= hi) && p.W(i) != 0 {
+				t.Fatalf("%s: bin %d = %v outside support [%d,%d)", name, i, p.W(i), lo, hi)
+			}
+		}
+	}
+	for i := 0; i < want.Grid().N; i++ {
+		if math.Float64bits(want.W(i)) != math.Float64bits(got.W(i)) {
+			t.Fatalf("%s: bin %d: want %v got %v", name, i, want.W(i), got.W(i))
+		}
+	}
+}
+
+// TestConvPlanBitIdenticalDirect drives the plan's table-driven direct
+// kernel over narrow, edge-clamped and sparse operands and requires
+// bit-identical bins against PMF.ConvolveInto — the fast
+// register-carried rows and the clamped fallback rows must replay the
+// serial kernel's floating-point adds exactly.
+func TestConvPlanBitIdenticalDirect(t *testing.T) {
+	g := NewGrid(-4, 12, 1.0/16)
+	pl := NewConvPlan(g)
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name               string
+		plo, phi, qlo, qhi int
+	}{
+		{"interior", 64, 96, 100, 120},
+		{"left-clamp", 0, 20, 0, 16},
+		{"right-clamp", g.N - 30, g.N - 1, g.N - 40, g.N - 1},
+		{"narrow-kernel", 80, 140, 90, 92},
+		{"single-bin", 100, 101, 50, 51},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := randPMF(g, rng, tc.plo, tc.phi)
+			q := randPMF(g, rng, tc.qlo, tc.qhi)
+			// Punch zero holes so the serial b==0 skip paths run.
+			if tc.phi-tc.plo > 4 {
+				p.SetBin(tc.plo+2, 0)
+			}
+			if tc.qhi-tc.qlo > 4 {
+				q.SetBin(tc.qlo+1, 0)
+			}
+			want := NewPMF(g)
+			got := NewPMF(g)
+			p.ConvolveInto(want, q)
+			pl.ConvolveInto(got, p, q)
+			requireSameBins(t, tc.name, want, got)
+		})
+	}
+}
+
+// TestConvPlanBitIdenticalFFT checks the wide-operand dispatch: both
+// paths must route to the FFT and agree bitwise (they share
+// convolveFFTInto, so this also covers the plan-table FFT against the
+// historical per-call Sincos kernel via TestFFTPlanTwiddles).
+func TestConvPlanBitIdenticalFFT(t *testing.T) {
+	g := NewGrid(-8, 24, 1.0/16)
+	m := obs.NewMetrics()
+	gm := g.WithMetrics(m)
+	pl := NewConvPlan(gm)
+	p := FromNormal(gm, Normal{Mu: 4, Sigma: 2})
+	q := FromNormal(gm, Normal{Mu: 2, Sigma: 1.5})
+	if sa, sb := supportWidth(p), supportWidth(q); sa < fftCrossover || sb < fftCrossover {
+		t.Fatalf("operands too narrow for FFT dispatch: %d, %d", sa, sb)
+	}
+	want := NewPMF(gm)
+	got := NewPMF(gm)
+	p.ConvolveInto(want, q)
+	pl.ConvolveInto(got, p, q)
+	requireSameBins(t, "fft", want, got)
+	if n := m.Snapshot().Convolution.FFT; n != 2 {
+		t.Errorf("ConvFFT = %d, want 2 (both paths dispatched to FFT)", n)
+	}
+}
+
+func supportWidth(p *PMF) int {
+	lo, hi := p.Support()
+	return hi - lo
+}
+
+// TestFFTPlanTwiddles pins the plan tables to the values the
+// un-planned kernel computed per call: forward twiddles are exactly
+// math.Sincos(−π·j/h) and the bit-reversal table is the standard
+// permutation. This is the bit-identity anchor for the cached-plan
+// transform.
+func TestFFTPlanTwiddles(t *testing.T) {
+	const n = 64
+	p := newFFTPlan(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := -math.Pi / float64(half)
+		off := half - 1
+		for j := 0; j < half; j++ {
+			wi, wr := math.Sincos(ang * float64(j))
+			if math.Float64bits(p.wr[off+j]) != math.Float64bits(wr) ||
+				math.Float64bits(p.wi[off+j]) != math.Float64bits(wi) {
+				t.Fatalf("stage %d twiddle %d: (%v,%v) want (%v,%v)",
+					size, j, p.wr[off+j], p.wi[off+j], wr, wi)
+			}
+		}
+	}
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		r := int(p.rev[i])
+		if r < 0 || r >= n || (i > 0 && seen[r]) {
+			t.Fatalf("rev[%d] = %d is not a permutation", i, r)
+		}
+		seen[r] = true
+	}
+}
+
+// TestFFTPlanCacheCounters checks the per-run hit/miss accounting on
+// the process-global plan cache: after one transform size is planned,
+// further lookups are hits.
+func TestFFTPlanCacheCounters(t *testing.T) {
+	m := obs.NewMetrics()
+	// An odd size no convolution uses, so this test owns the cache
+	// entry regardless of test order.
+	const n = 1 << 18
+	planFFT(n, m)
+	planFFT(n, m)
+	planFFT(n, m)
+	s := m.Snapshot().Batch
+	if s.FFTPlanMisses != 1 {
+		t.Errorf("misses = %d, want 1", s.FFTPlanMisses)
+	}
+	if s.FFTPlanHits != 2 {
+		t.Errorf("hits = %d, want 2", s.FFTPlanHits)
+	}
+}
+
+// TestShiftBatchMatchesSerial covers both branches of the shift pass:
+// d == 0 degenerates to CopyFrom, d != 0 to ShiftInto, bin for bin.
+func TestShiftBatchMatchesSerial(t *testing.T) {
+	g := NewGrid(-4, 12, 1.0/16)
+	rng := rand.New(rand.NewSource(3))
+	srcs := []*PMF{randPMF(g, rng, 10, 40), randPMF(g, rng, 100, 160)}
+	for _, d := range []float64{0, 1.375} {
+		dsts := []*PMF{NewPMF(g), NewPMF(g)}
+		ShiftBatch(dsts, srcs, d)
+		for i, src := range srcs {
+			want := NewPMF(g)
+			if d == 0 {
+				want.CopyFrom(src)
+			} else {
+				src.ShiftInto(want, d)
+			}
+			requireSameBins(t, "shift", want, dsts[i])
+		}
+	}
+}
+
+// TestSlabRowsAndQuantize checks the struct-of-arrays layout: rows are
+// independent despite the shared backing array, and Quantize leaves
+// the float64 row and the float32 mirror holding identical numbers.
+func TestSlabRowsAndQuantize(t *testing.T) {
+	g := NewGrid(0, 4, 0.25).WithPrecision(F32)
+	s := NewSlab(g, 4)
+	defer s.Recycle()
+	if s.Rows() < 4 {
+		t.Fatalf("Rows() = %d, want >= 4", s.Rows())
+	}
+	r0, r1 := s.Row(0), s.Row(1)
+	r0.SetBin(3, 1.0/3.0)
+	r1.SetBin(3, 0.25)
+	if r0.W(3) != 1.0/3.0 || r1.W(3) != 0.25 {
+		t.Fatal("rows share bins")
+	}
+	s.Quantize(0)
+	want := float64(float32(1.0 / 3.0))
+	if r0.W(3) != want {
+		t.Errorf("quantized row bin = %v, want %v", r0.W(3), want)
+	}
+	if got := s.Row32(0)[3]; float64(got) != want {
+		t.Errorf("mirror bin = %v, want %v", got, want)
+	}
+	s.ResetRows(2)
+	if r0.W(3) != 0 || r1.W(3) != 0 {
+		t.Error("ResetRows left mass behind")
+	}
+	if lo, hi := r0.Support(); lo != hi {
+		t.Errorf("reset row support [%d,%d), want empty", lo, hi)
+	}
+}
+
+// TestSlabRecycleReuse checks the pool round trip: a recycled slab of
+// compatible shape is reused (counted in SlabBytesReused) and its rows
+// are retagged with the caller's grid; an incompatible precision
+// forces a fresh allocation.
+func TestSlabRecycleReuse(t *testing.T) {
+	m := obs.NewMetrics()
+	g := NewGrid(-1, 7, 0.125).WithMetrics(m)
+	// Drain any pooled slab from other tests so Get returns ours.
+	for v := slabPool.Get(); v != nil; v = slabPool.Get() {
+	}
+	s := NewSlab(g, 6)
+	s.Row(2).SetBin(5, 0.5)
+	s.Recycle()
+	s2 := NewSlab(g, 4)
+	if s2 != s {
+		t.Fatal("compatible slab was not reused")
+	}
+	if s2.Row(2).W(5) != 0 {
+		t.Error("recycled slab rows not zeroed")
+	}
+	if got := m.Snapshot().Batch.SlabBytesReused; got != int64(len(s.w))*8 {
+		t.Errorf("SlabBytesReused = %d, want %d", got, int64(len(s.w))*8)
+	}
+	s2.Recycle()
+	// Same geometry, different precision: the F64 slab has no float32
+	// mirror, so it must not satisfy an F32 request.
+	s3 := NewSlab(g.WithPrecision(F32), 4)
+	if s3 == s {
+		t.Fatal("F64 slab reused for an F32 grid")
+	}
+	s3.Recycle()
+}
+
+// TestKernelCachePrecisionKey is the regression test for the cache
+// keying bug: kernels for an F32 grid are quantized at discretization,
+// so the cache must key on precision as well as the Normal — a
+// same-geometry F64 lookup must never see the quantized kernel and
+// vice versa.
+func TestKernelCachePrecisionKey(t *testing.T) {
+	geo := NewGrid(-4, 12, 1.0/16)
+	n := Normal{Mu: 1, Sigma: 0.2}
+
+	k64 := NewKernelCache(geo).FromNormal(n)
+	k32 := NewKernelCache(geo.WithPrecision(F32)).FromNormal(n)
+
+	exact64 := 0
+	for i := 0; i < geo.N; i++ {
+		if v := k32.W(i); v != float64(float32(v)) {
+			t.Fatalf("F32 kernel bin %d = %v is not float32-representable", i, v)
+		}
+		if v := k64.W(i); v == float64(float32(v)) {
+			exact64++
+		}
+	}
+	if exact64 == geo.N {
+		t.Fatal("F64 kernel is fully float32-representable; test cannot distinguish precisions")
+	}
+	// The distinct keys must coexist in one map: rebind-style sharing
+	// of a cache across precisions may not alias entries.
+	kc := NewKernelCache(geo)
+	kc.FromNormal(n)
+	kc.grid = geo.WithPrecision(F32)
+	q := kc.FromNormal(n)
+	if kc.Len() != 2 {
+		t.Fatalf("cache holds %d entries after F64+F32 lookups of one Normal, want 2", kc.Len())
+	}
+	for i := 0; i < geo.N; i++ {
+		if v := q.W(i); v != float64(float32(v)) {
+			t.Fatalf("rebind lookup returned unquantized kernel (bin %d = %v)", i, v)
+		}
+	}
+}
+
+// TestConvolveBatchF32MatchesQuantizedSerial checks the packed-operand
+// kernel against its definition: reading the float32 mirror and the
+// float32 kernel image is bit-identical to the float64 plan kernel on
+// the quantized rows, followed by output rounding.
+func TestConvolveBatchF32MatchesQuantizedSerial(t *testing.T) {
+	g := NewGrid(-4, 12, 1.0/16).WithPrecision(F32)
+	pl := NewConvPlan(g)
+	rng := rand.New(rand.NewSource(11))
+
+	slab := NewSlab(g, 2)
+	defer slab.Recycle()
+	rows := []int{0, 1}
+	srcs := []*PMF{slab.Row(0), slab.Row(1)}
+	for i, span := range [][2]int{{30, 70}, {0, 20}} {
+		r := randPMF(g, rng, span[0], span[1])
+		srcs[i].CopyFrom(r)
+		slab.Quantize(rows[i])
+	}
+	kc := NewKernelCache(g)
+	kernel := kc.FromNormal(Normal{Mu: 1, Sigma: 0.2})
+	k32 := KernelF32(kernel, nil)
+
+	dsts := []*PMF{NewPMF(g), NewPMF(g)}
+	ConvolveBatchF32(pl, dsts, slab, rows, srcs, kernel, k32)
+
+	for i, src := range srcs {
+		want := NewPMF(g)
+		pl.ConvolveInto(want, src, kernel)
+		want.QuantizeF32()
+		requireSameBins(t, "f32-conv", want, dsts[i])
+		for k := 0; k < g.N; k++ {
+			if v := dsts[i].W(k); v != float64(float32(v)) {
+				t.Fatalf("output bin %d = %v not float32-representable", k, v)
+			}
+		}
+	}
+}
+
+// TestMixtureBatchMatchesSerial checks the mixture pass against the
+// closed-form kernels it wraps.
+func TestMixtureBatchMatchesSerial(t *testing.T) {
+	g := NewGrid(-4, 12, 1.0/16)
+	rng := rand.New(rand.NewSource(5))
+	in := []SwitchInput{
+		{Stay: 0.5, TOP: randPMF(g, rng, 20, 60).Scale(0.25)},
+		{Stay: 0.25, TOP: randPMF(g, rng, 40, 90).Scale(0.5)},
+	}
+	jobs := []MixtureJob{
+		{Dst: NewPMF(g), In: in},
+		{Dst: NewPMF(g), In: in, Min: true},
+	}
+	MixtureBatch(jobs)
+	wantMax := MaxMixtureInto(NewPMF(g), in)
+	wantMin := MinMixtureInto(NewPMF(g), in)
+	requireSameBins(t, "max-mixture", wantMax, jobs[0].Dst)
+	requireSameBins(t, "min-mixture", wantMin, jobs[1].Dst)
+}

@@ -21,10 +21,23 @@ import "sync"
 // record hits, misses and races (slow-path lookups that found the
 // entry already inserted — exactly the lookups that used to waste a
 // discretization).
+//
+// Entries are keyed on the Normal AND the grid's storage precision:
+// an F32 grid's kernels are quantized to float32-representable bins
+// at discretization time, so a float32 run must never pick up a
+// full-precision kernel discretized for a float64 grid of the same
+// geometry (or vice versa), even if a caller rebinds the cache's grid
+// tag between runs.
 type KernelCache struct {
 	grid Grid
 	mu   sync.RWMutex
-	m    map[Normal]*cacheEntry
+	m    map[kernelKey]*cacheEntry
+}
+
+// kernelKey identifies one cached discretization.
+type kernelKey struct {
+	n    Normal
+	prec Precision
 }
 
 // cacheEntry is one once-per-key cache slot; p is written inside once
@@ -37,24 +50,28 @@ type cacheEntry struct {
 
 // NewKernelCache returns an empty cache for grid g.
 func NewKernelCache(g Grid) *KernelCache {
-	return &KernelCache{grid: g, m: make(map[Normal]*cacheEntry)}
+	return &KernelCache{grid: g, m: make(map[kernelKey]*cacheEntry)}
 }
 
 // Grid returns the grid the cached kernels live on.
 func (kc *KernelCache) Grid() Grid { return kc.grid }
 
 // FromNormal returns the discretization of n on the cache's grid,
-// computing it on first use. The result is shared: read-only.
+// computing it on first use. The result is shared: read-only. On an
+// F32-precision grid the kernel's bins are rounded to float32 once at
+// discretization, so the packed batch loops read exactly the values
+// the float64 mirror holds.
 func (kc *KernelCache) FromNormal(n Normal) *PMF {
+	key := kernelKey{n: n, prec: kc.grid.Precision}
 	kc.mu.RLock()
-	e := kc.m[n]
+	e := kc.m[key]
 	kc.mu.RUnlock()
 	m := kc.grid.met
 	if e == nil {
 		kc.mu.Lock()
-		if e = kc.m[n]; e == nil {
+		if e = kc.m[key]; e == nil {
 			e = &cacheEntry{}
-			kc.m[n] = e
+			kc.m[key] = e
 			if m != nil {
 				m.KernelMisses.Add(1)
 			}
@@ -68,7 +85,12 @@ func (kc *KernelCache) FromNormal(n Normal) *PMF {
 	} else if m != nil {
 		m.KernelHits.Add(1)
 	}
-	e.once.Do(func() { e.p = FromNormal(kc.grid, n) })
+	e.once.Do(func() {
+		e.p = FromNormal(kc.grid, n)
+		if kc.grid.Precision == F32 {
+			e.p.QuantizeF32()
+		}
+	})
 	return e.p
 }
 

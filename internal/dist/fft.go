@@ -35,7 +35,8 @@ func convolveFFTInto(dst, p, q *PMF) {
 	im := getBins(m, g.met)
 	copy(re[:sa], p.w[p.lo:p.hi])
 	copy(im[:sb], q.w[q.lo:q.hi])
-	fftRadix2(re, im, false)
+	pl := planFFT(m, g.met)
+	fftRadix2(re, im, false, pl)
 	// With z = a + i·b, A[k] = (Z[k] + conj(Z[−k]))/2 and
 	// B[k] = (Z[k] − conj(Z[−k]))/(2i). Store P = A·B back in place,
 	// handling the conjugate-symmetric pair (k, m−k) together.
@@ -52,7 +53,7 @@ func convolveFFTInto(dst, p, q *PMF) {
 			re[j], im[j] = pr, -pi // P[−k] = conj(P[k]) for real a, b
 		}
 	}
-	fftRadix2(re, im, true)
+	fftRadix2(re, im, true, pl)
 	// Distribute r[m] at integer center-sum s = lo_a + lo_b + m with
 	// the direct kernel's constant-fraction split and edge clamping.
 	off := g.Lo/g.Dt + 0.5
@@ -91,37 +92,37 @@ func convolveFFTInto(dst, p, q *PMF) {
 }
 
 // fftRadix2 is an in-place iterative radix-2 complex FFT (stdlib
-// only, decimation in time). len(re) == len(im) must be a power of
-// two. Twiddle factors are computed exactly per frequency index with
-// math.Sincos — n calls total — rather than by multiplicative
-// recurrence, which keeps the accumulated error near machine epsilon
-// for the sizes used here.
-func fftRadix2(re, im []float64, inverse bool) {
+// only, decimation in time). len(re) == len(im) must equal pl.n, a
+// power of two. The twiddle factors come from the plan, which stores
+// one exact math.Sincos evaluation per frequency index — the same
+// values the kernel historically computed per call, so planned
+// transforms are bit-identical to the unplanned ones while the
+// butterfly loop runs with pure table loads. The inverse transform
+// negates the stored sine (exact), avoiding a second table.
+func fftRadix2(re, im []float64, inverse bool, pl *fftPlan) {
 	n := len(re)
 	if n < 2 {
 		return
 	}
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j |= bit
+	// Bit-reversal permutation from the plan.
+	for i, jj := range pl.rev {
+		j := int(jj)
 		if i < j {
 			re[i], re[j] = re[j], re[i]
 			im[i], im[j] = im[j], im[i]
 		}
 	}
-	sign := -1.0
+	sign := 1.0
 	if inverse {
-		sign = 1.0
+		sign = -1.0
 	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		ang := sign * math.Pi / float64(half)
+		twr := pl.wr[half-1 : 2*half-1]
+		twi := pl.wi[half-1 : 2*half-1]
 		for j := 0; j < half; j++ {
-			wi, wr := math.Sincos(ang * float64(j))
+			wr := twr[j]
+			wi := sign * twi[j]
 			for k := j; k < n; k += size {
 				l := k + half
 				tr := re[l]*wr - im[l]*wi

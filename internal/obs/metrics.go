@@ -172,6 +172,18 @@ type Metrics struct {
 	TruncatedBins      Pow2Hist
 	PrunedSupportWidth Pow2Hist
 
+	// Batched level scheduler (core Analyzer.Batched): BatchNets is a
+	// power-of-two histogram of the batchable-net count per level (one
+	// observation per level the batch path executed), FFTPlanHits /
+	// FFTPlanMisses count FFT plan-cache lookups (a miss builds the
+	// twiddle and bit-reversal tables for a transform size), and
+	// SlabBytesReused accumulates the backing bytes a run obtained
+	// from the slab pool instead of allocating.
+	BatchNets       Pow2Hist
+	FFTPlanHits     atomic.Int64
+	FFTPlanMisses   atomic.Int64
+	SlabBytesReused atomic.Int64
+
 	// MCRuns counts Monte Carlo runs simulated.
 	MCRuns atomic.Int64
 
@@ -290,6 +302,12 @@ type Snapshot struct {
 		TruncatedBinsHist   []HistBucket  `json:"truncated_bins_hist,omitempty"`
 		SupportWidthHist    []HistBucket  `json:"pruned_support_width_hist,omitempty"`
 	} `json:"pruning,omitzero"`
+	Batch struct {
+		NetsHist        []HistBucket `json:"batch_nets_hist,omitempty"`
+		FFTPlanHits     int64        `json:"fft_plan_hits"`
+		FFTPlanMisses   int64        `json:"fft_plan_misses"`
+		SlabBytesReused int64        `json:"slab_bytes_reused"`
+	} `json:"batch,omitzero"`
 	MonteCarloRuns   int64 `json:"monte_carlo_runs,omitempty"`
 	MonteCarloPacked struct {
 		Blocks          int64 `json:"blocks"`
@@ -321,6 +339,10 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.Pruning.TruncatedMass = float64(m.TruncatedMassFP.Load()) * MassFPUnit
 	s.Pruning.TruncatedBinsHist = m.TruncatedBins.snapshot()
 	s.Pruning.SupportWidthHist = m.PrunedSupportWidth.snapshot()
+	s.Batch.NetsHist = m.BatchNets.snapshot()
+	s.Batch.FFTPlanHits = m.FFTPlanHits.Load()
+	s.Batch.FFTPlanMisses = m.FFTPlanMisses.Load()
+	s.Batch.SlabBytesReused = m.SlabBytesReused.Load()
 	s.MonteCarloRuns = m.MCRuns.Load()
 	s.MonteCarloPacked.Blocks = m.MCPackedBlocks.Load()
 	s.MonteCarloPacked.SettleLanes = m.MCPackedSettleLanes.Load()
@@ -372,6 +394,12 @@ func (m *Metrics) Reset() {
 	for i := range m.PrunedSupportWidth.b {
 		m.PrunedSupportWidth.b[i].Store(0)
 	}
+	for i := range m.BatchNets.b {
+		m.BatchNets.b[i].Store(0)
+	}
+	m.FFTPlanHits.Store(0)
+	m.FFTPlanMisses.Store(0)
+	m.SlabBytesReused.Store(0)
 	m.MCRuns.Store(0)
 	m.MCPackedBlocks.Store(0)
 	m.MCPackedSettleLanes.Store(0)
@@ -410,6 +438,10 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.Pruning.TruncatedMass += o.Pruning.TruncatedMass
 	s.Pruning.TruncatedBinsHist = mergeHist(s.Pruning.TruncatedBinsHist, o.Pruning.TruncatedBinsHist)
 	s.Pruning.SupportWidthHist = mergeHist(s.Pruning.SupportWidthHist, o.Pruning.SupportWidthHist)
+	s.Batch.NetsHist = mergeHist(s.Batch.NetsHist, o.Batch.NetsHist)
+	s.Batch.FFTPlanHits += o.Batch.FFTPlanHits
+	s.Batch.FFTPlanMisses += o.Batch.FFTPlanMisses
+	s.Batch.SlabBytesReused += o.Batch.SlabBytesReused
 	s.MonteCarloRuns += o.MonteCarloRuns
 	s.MonteCarloPacked.Blocks += o.MonteCarloPacked.Blocks
 	s.MonteCarloPacked.SettleLanes += o.MonteCarloPacked.SettleLanes

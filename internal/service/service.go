@@ -173,6 +173,14 @@ type Request struct {
 	// 10000 and 1).
 	Runs int   `json:"runs,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
+	// Batched selects the spsta engine's level scheduler: "on"
+	// (default) stages same-level nets through the batched PMF
+	// kernels, "off" forces the sequential per-gate path.
+	Batched string `json:"batched,omitempty"`
+	// Precision selects the spsta engine's PMF grid precision: "f64"
+	// (default) or "f32" (requires the batched scheduler; see
+	// DESIGN.md §13 for the rounding model).
+	Precision string `json:"precision,omitempty"`
 	// Trace requests a per-request trace file (requires the service
 	// to be configured with a TraceDir).
 	Trace bool `json:"trace,omitempty"`
@@ -324,6 +332,28 @@ func decode(r *http.Request) (*Request, error) {
 	if req.Epsilon < 0 {
 		return nil, errBadRequest("epsilon must be >= 0")
 	}
+	switch req.Batched {
+	case "":
+		req.Batched = "on"
+	case "on", "off":
+	default:
+		return nil, errBadRequest("unknown batched mode %q (want on or off)", req.Batched)
+	}
+	switch req.Precision {
+	case "":
+		req.Precision = "f64"
+	case "f64":
+	case "f32":
+		if req.Batched == "off" {
+			return nil, errBadRequest("precision f32 requires the batched scheduler (batched: on)")
+		}
+	default:
+		return nil, errBadRequest("unknown precision %q (want f64 or f32)", req.Precision)
+	}
+	if (req.Batched == "off" || req.Precision == "f32") &&
+		req.Engine != "spsta" && req.Engine != "all" {
+		return nil, errBadRequest("batched/precision apply only to the spsta engine (engine %q)", req.Engine)
+	}
 	if req.Runs == 0 {
 		req.Runs = 10000
 	}
@@ -357,6 +387,20 @@ func (req *Request) load() (*netlist.Circuit, map[netlist.NodeID]logic.InputStat
 		scen = experiments.ScenarioII
 	}
 	return c, experiments.Inputs(c, scen), nil
+}
+
+func (req *Request) batchMode() core.BatchMode {
+	if req.Batched == "off" {
+		return core.BatchOff
+	}
+	return core.BatchAuto
+}
+
+func (req *Request) precision() dist.Precision {
+	if req.Precision == "f32" {
+		return dist.F32
+	}
+	return dist.F64
 }
 
 func (req *Request) delay() ssta.DelayModel {
@@ -451,7 +495,10 @@ func runEngine(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.In
 	t0 := time.Now()
 	switch engine {
 	case "spsta":
-		a := core.Analyzer{Workers: req.Workers, Delay: req.delay(), ErrorBudget: req.Epsilon, Obs: scope}
+		a := core.Analyzer{
+			Workers: req.Workers, Delay: req.delay(), ErrorBudget: req.Epsilon,
+			Batched: req.batchMode(), Precision: req.precision(), Obs: scope,
+		}
 		res, err := a.Run(c, in)
 		if err != nil {
 			return er, err

@@ -254,6 +254,52 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestBatchedRequestKnobs exercises the batched/precision request
+// fields end to end: a batched f32 analyze succeeds, a sequential
+// analyze succeeds, the invalid combinations 400, and the batch
+// counters (levels, FFT plans, slab reuse) show up in /metrics after
+// a batched request ran.
+func TestBatchedRequestKnobs(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{"circuit":"s208","sigma":0.2,"precision":"f32"}`,
+		`{"circuit":"s208","batched":"off"}`,
+		`{"circuit":"s208","engine":"all","runs":200,"batched":"on"}`,
+	} {
+		resp, b := post(t, srv.URL+"/v1/analyze", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("body %s: status = %d (%s)", body, resp.StatusCode, b)
+		}
+	}
+	for _, body := range []string{
+		`{"circuit":"s208","batched":"maybe"}`,
+		`{"circuit":"s208","precision":"f16"}`,
+		`{"circuit":"s208","batched":"off","precision":"f32"}`,
+		`{"circuit":"s208","engine":"mc","precision":"f32"}`,
+		`{"circuit":"s208","engine":"moment","batched":"off"}`,
+	} {
+		resp, b := post(t, srv.URL+"/v1/analyze", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d, want 400 (%s)", body, resp.StatusCode, b)
+		}
+	}
+
+	var buf bytes.Buffer
+	svc.reg.writePrometheus(&buf)
+	samples := checkPrometheus(t, buf.String())
+	if got := sampleValue(t, samples, "spstad_engine_batch_levels_total"); got == "0" {
+		t.Error("batch_levels_total = 0 after batched requests")
+	}
+	sampleValue(t, samples, `spstad_engine_fft_plans_total{result="hit"}`)
+	sampleValue(t, samples, `spstad_engine_fft_plans_total{result="miss"}`)
+	sampleValue(t, samples, "spstad_engine_slab_bytes_reused_total")
+	sampleValue(t, samples, "spstad_engine_batch_nets_total")
+}
+
 // TestDriftMonitor samples a request and runs one drift replay: the
 // deviation gauges and sample counter must show up in /metrics.
 func TestDriftMonitor(t *testing.T) {
