@@ -20,6 +20,9 @@ bench:
 #     cost on uninstrumented runs.
 #   - TestBenchGuardPackedSpeedup: word-packed Monte Carlo >= 5x the
 #     scalar engine on s1196 at 10,000 runs.
+#   - TestBenchGuardTracingOverhead: the always-on service scope
+#     (metrics + coarse tracer + trace ID, what spstad attaches to
+#     every request) vs observability disabled, delta <= 2%.
 #   - TestBenchGuardPackedObsOverhead: the packed engine's per-block
 #     counters also reduce to nil checks when disabled (delta <= 2%).
 #   - TestBenchGuardPruneSpeedup: epsilon=1e-4 adaptive pruning >= 2x

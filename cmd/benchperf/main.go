@@ -110,6 +110,10 @@ type Row struct {
 	// instrumented run of this cell (-metrics); the timed reps above
 	// run uninstrumented so NsPerOp is unaffected.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// CostUnits is the cell's deterministic work-unit cost (DESIGN.md
+	// §14) from the same instrumented probe run — a machine-independent
+	// per-engine cost column next to the wall-clock ns/op.
+	CostUnits int64 `json:"cost_units,omitempty"`
 }
 
 // File is the emitted JSON document.
@@ -441,6 +445,7 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 					return nil, fmt.Errorf("%s %s: %w", c.Name, vs[i].name, err)
 				}
 				row.Metrics = snap
+				row.CostUnits = snap.Cost.Total
 			}
 			out = append(out, row)
 			fmt.Fprintf(os.Stderr, "%-8s %-30s  %12.0f ns/op  (%d reps × %d rounds)%s\n",
@@ -512,6 +517,7 @@ func benchMC(circuits []*netlist.Circuit, runs int, minTime time.Duration, round
 					return nil, fmt.Errorf("%s %s: %w", c.Name, v.name, err)
 				}
 				row.Metrics = snap
+				row.CostUnits = snap.Cost.Total
 			}
 			out = append(out, row)
 			fmt.Fprintf(os.Stderr, "%-8s mc/%-6s  %12.0f ns/op  %12.0f runs/s  (%d reps × %d rounds)\n",

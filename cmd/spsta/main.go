@@ -60,18 +60,19 @@ func run() error {
 	epsilon := flag.Float64("epsilon", 0, "per-net error budget for adaptive pruning in the spsta and spsta-moments engines (0 = exact; results deviate from the exact run by at most the consumed budget reported per net)")
 	batched := flag.Bool("batched", true, "use the batched level scheduler in the spsta engine (struct-of-arrays slabs, shared delay kernels; bit-identical to -batched=false on float64 grids)")
 	precision := flag.String("precision", "f64", "spsta grid precision: f64 (exact) or f32 (packed batch kernels with bounded deviation; see DESIGN.md §13)")
+	costFlag := flag.Bool("cost", false, "report per-engine deterministic work-unit cost (DESIGN.md §14) in the -analyzer all footer (enables the metrics scope)")
 	metricsOut := flag.String("metrics", "", "append a JSON engine-metrics snapshot to the run report: - for stdout, or a file path")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the level schedule to this file (open in chrome://tracing or Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
-	// One scope for the whole CLI invocation: metrics when -metrics
-	// or -pprof asks for them, a tracer when -trace does. A nil scope
-	// (no flag) keeps the zero-overhead fast path.
+	// One scope for the whole CLI invocation: metrics when -metrics,
+	// -pprof or -cost asks for them, a tracer when -trace does. A nil
+	// scope (no flag) keeps the zero-overhead fast path.
 	var scope *obs.Scope
-	if *metricsOut != "" || *pprofAddr != "" || *traceOut != "" {
+	if *metricsOut != "" || *pprofAddr != "" || *traceOut != "" || *costFlag {
 		scope = &obs.Scope{}
-		if *metricsOut != "" || *pprofAddr != "" {
+		if *metricsOut != "" || *pprofAddr != "" || *costFlag {
 			scope.Metrics = obs.NewMetrics()
 		}
 		if *traceOut != "" {
@@ -203,14 +204,16 @@ func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 	}
 	footer := report.Table{
 		Title:   fmt.Sprintf("Engine summary (epsilon=%g)", epsilon),
-		Headers: []string{"engine", "elapsed", "peak heap delta", "pruned mass", "max budget"},
+		Headers: []string{"engine", "elapsed", "peak heap delta", "cost units", "pruned mass", "max budget"},
 	}
+	met := scope.M()
 	for _, e := range engines {
 		runtime.GC() // settle the baseline so deltas are per-engine
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		before := ms.HeapAlloc
 		sampler := startHeapSampler(before)
+		cost0 := met.CostUnits()
 		t0 := time.Now()
 		ps, err := e.f()
 		elapsed := time.Since(t0)
@@ -218,12 +221,19 @@ func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 		if err != nil {
 			return err
 		}
+		// Engines run serially, so the counter delta is exactly this
+		// engine's deterministic work-unit cost (DESIGN.md §14). The
+		// closed-form ssta/sta engines don't count work units.
+		cost := "-"
+		if met != nil {
+			cost = fmt.Sprint(met.CostUnits() - cost0)
+		}
 		pruned, budget := "-", "-"
 		if ps.ok {
 			pruned = fmt.Sprintf("%.3g", ps.pruned)
 			budget = fmt.Sprintf("%.3g", ps.budget)
 		}
-		footer.Add(e.name, elapsed.Round(time.Microsecond).String(), formatBytes(peak), pruned, budget)
+		footer.Add(e.name, elapsed.Round(time.Microsecond).String(), formatBytes(peak), cost, pruned, budget)
 		fmt.Println()
 	}
 	if err := footer.Render(os.Stdout); err != nil {

@@ -2,11 +2,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze   run one or all engines on a circuit
-//	POST /v1/compare   SPSTA vs Monte Carlo deviation per endpoint
-//	GET  /metrics      Prometheus text exposition (RED + engine totals)
-//	GET  /healthz      liveness
-//	GET  /readyz       readiness (503 once shutdown has begun)
+//	POST /v1/analyze          run one or all engines on a circuit
+//	POST /v1/compare          SPSTA vs Monte Carlo deviation per endpoint
+//	GET  /metrics             Prometheus text exposition (RED + engine totals)
+//	GET  /debug/requests      flight recorder: recent request summaries
+//	GET  /debug/requests/{id} one recorded request; captured slow requests
+//	                          include the span tree (?format=trace downloads
+//	                          the Chrome trace_event JSON)
+//	GET  /healthz             liveness
+//	GET  /readyz              readiness (503 once shutdown has begun)
 //
 // A request names a built-in synthetic benchmark or carries an inline
 // .bench netlist:
@@ -46,6 +50,9 @@ func run() error {
 	traceDir := flag.String("trace-dir", "", "directory for per-request Chrome trace files (empty disables tracing)")
 	driftInterval := flag.Duration("drift-interval", time.Minute, "accuracy-drift monitor period (0 disables); each tick replays a sampled request through the packed Monte Carlo engine and exports the SPSTA deviation as gauges")
 	driftRuns := flag.Int("drift-runs", 2000, "Monte Carlo runs per drift replay")
+	flightSize := flag.Int("flight-size", 128, "flight recorder ring size (recent request summaries kept for /debug/requests)")
+	slowLatency := flag.Duration("slow-latency", 2*time.Second, "flight recorder full-capture latency threshold (0 disables)")
+	slowCost := flag.Int64("slow-cost", 0, "flight recorder full-capture work-unit cost threshold (0 disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
@@ -69,6 +76,9 @@ func run() error {
 		TraceDir:      *traceDir,
 		DriftInterval: *driftInterval,
 		DriftRuns:     *driftRuns,
+		FlightSize:    *flightSize,
+		SlowLatency:   *slowLatency,
+		SlowCost:      *slowCost,
 	})
 	defer svc.Close()
 

@@ -311,7 +311,7 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 	if a.Batched.On() {
 		err = a.runBatched(res, c, inputs, rc, exact, resolveWorkers(a.Workers), cost, cutoff)
 	} else {
-		err = runLevels(a.Obs.M(), a.Obs.T(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
+		err = runLevels(a.Obs.M(), a.Obs.T(), a.Obs.SpanID(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 			if err := a.computeNode(res, id, inputs, rc); err != nil {
 				return err
 			}
@@ -578,6 +578,7 @@ func (a *Analyzer) gate(res *Result, n *netlist.Node, rc *runCtx) error {
 			var leaves int64
 			a.parityCombos(res, n, ord, vals, 0, 1.0, st, rise, fall, rc, &leaves, suffix, bb)
 			m.SubsetLeaves.Add(len(n.Fanin), leaves)
+			m.CostLeafOps.Add(leaves)
 		} else {
 			a.parityCombos(res, n, ord, vals, 0, 1.0, st, rise, fall, rc, nil, suffix, bb)
 		}

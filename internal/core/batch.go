@@ -28,6 +28,7 @@ package core
 import (
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -128,6 +129,7 @@ func (a *Analyzer) runBatched(res *Result, c *netlist.Circuit, inputs map[netlis
 	rc *runCtx, exact [][logic.NumValues]float64, workers int, cost func(netlist.NodeID) int64, serialBelow int64) error {
 	levels := c.Levelize()
 	m, tr := rc.met, a.Obs.T()
+	parent := a.Obs.SpanID()
 	instr := m != nil || tr != nil
 	if workers > 1 && serialBelow >= 0 && runtime.GOMAXPROCS(0) == 1 {
 		// One P: fanning out cannot overlap work, only add context
@@ -166,25 +168,32 @@ func (a *Analyzer) runBatched(res *Result, c *netlist.Circuit, inputs map[netlis
 			lw = 1
 		}
 		var lt0 time.Time
+		var lid obs.SpanID
+		var cost0 int64
 		if instr {
 			lt0 = time.Now()
+			lid = tr.NewSpan()
+			cost0 = m.CostUnits()
 		}
-		if err := bx.runLevel(level, lw); err != nil {
+		if err := bx.runLevel(level, lw, tr, lid); err != nil {
 			return err
 		}
 		if instr {
 			if m != nil && lw <= 1 {
 				m.AddWorkerChunk(0, len(level), int64(time.Since(lt0)))
 			}
-			recordLevel(m, tr, li, len(level), lt0)
+			recordLevel(m, tr, parent, lid, li, len(level), lt0, m.CostUnits()-cost0)
 		}
 	}
 	return nil
 }
 
 // runLevel executes one level: fallback nets through computeNode,
-// batchable nets through the M/D/T phases.
-func (bx *batchExec) runLevel(level []netlist.NodeID, workers int) error {
+// batchable nets through the M/D/T phases. lid is the level span's
+// pre-allocated ID; the fallback pass and the combined batch phases
+// each record one child span under it (coarse-tracer friendly — the
+// span count stays O(levels), never O(gates)).
+func (bx *batchExec) runLevel(level []netlist.NodeID, workers int, tr *obs.Tracer, lid obs.SpanID) error {
 	c, m := bx.res.C, bx.rc.met
 	bx.batch = bx.batch[:0]
 	bx.fallback = bx.fallback[:0]
@@ -207,10 +216,22 @@ func (bx *batchExec) runLevel(level []netlist.NodeID, workers int) error {
 	// run regardless and the fallback error is returned afterwards.
 	var ferr error
 	if len(bx.fallback) > 0 {
+		var f0 time.Time
+		if tr != nil {
+			f0 = time.Now()
+		}
 		ferr = bx.runFallback(workers)
+		if tr != nil {
+			tr.RecordSpan(tr.NewSpan(), lid, "fallback ("+strconv.Itoa(len(bx.fallback))+" nets)",
+				"phase", 0, f0, time.Since(f0), nil)
+		}
 	}
 	if len(bx.batch) == 0 {
 		return ferr
+	}
+	var b0 time.Time
+	if tr != nil {
+		b0 = time.Now()
 	}
 
 	// Phase M: switching-input lists, mixtures into slab rows, and
@@ -239,6 +260,10 @@ func (bx *batchExec) runLevel(level []netlist.NodeID, workers int) error {
 		}
 	}
 
+	if tr != nil {
+		tr.RecordSpan(tr.NewSpan(), lid, "batch ("+strconv.Itoa(len(bx.batch))+" nets)",
+			"phase", 0, b0, time.Since(b0), nil)
+	}
 	bx.slab.ResetRows(2 * len(bx.batch))
 	return ferr
 }

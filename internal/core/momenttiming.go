@@ -168,7 +168,7 @@ func (a *MomentTiming) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.I
 			return 1
 		}
 	}
-	err := runLevels(a.Obs.M(), a.Obs.T(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
+	err := runLevels(a.Obs.M(), a.Obs.T(), a.Obs.SpanID(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
 		n := c.Nodes[id]
 		st := &res.State[id]
 		switch {
@@ -305,6 +305,7 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		}
 		if m != nil {
 			m.SubsetLeaves.Add(len(n.Fanin), *leaves)
+			m.CostLeafOps.Add(*leaves)
 		}
 		ncdOut := n.Type.EvalBool(allBool(len(n.Fanin), !ctrl))
 		ncdArr, ncdP := ncd.normal()
@@ -400,6 +401,7 @@ func momentGate(res *MomentResult, n *netlist.Node, delay ssta.DelayModel, maxFa
 		bb.flush(m, len(n.Fanin))
 		if m != nil {
 			m.SubsetLeaves.Add(len(n.Fanin), *leaves)
+			m.CostLeafOps.Add(*leaves)
 		}
 		riseArr, riseP := rise.normal()
 		fallArr, fallP := fall.normal()

@@ -55,23 +55,31 @@ func resolveWorkers(w int) int {
 // node id to its display name for gate spans and is only called when
 // tracing is on. The cost is tiered: with both registries nil the
 // gate loop is the bare f(id) call behind a single local nil check;
-// with metrics only, busy time is attributed from two Nanotime
-// readings per chunk (inline levels reuse the level reading — zero
-// extra clock reads); tracing adds a time.Now/Since pair per gate
-// for span timestamps and is explicitly the heavier mode.
-func runLevels(m *obs.Metrics, tr *obs.Tracer, workers int, levels [][]netlist.NodeID, nnodes int,
+// with metrics only or a coarse tracer, busy time is attributed from
+// two Nanotime readings per chunk (inline levels reuse the level
+// reading — zero extra clock reads) and only per-level spans are
+// recorded; a fine tracer adds a time.Now/Since pair per gate for
+// gate-span timestamps and is explicitly the heavier mode.
+//
+// Level spans parent under the caller's span (parent; 0 makes them
+// roots) and carry the level's gate count and work-unit cost delta.
+// Each level's span ID is allocated before the level runs so worker
+// gate spans can name their parent even though the level span itself
+// is recorded after the barrier.
+func runLevels(m *obs.Metrics, tr *obs.Tracer, parent obs.SpanID, workers int, levels [][]netlist.NodeID, nnodes int,
 	name func(netlist.NodeID) string, cost func(netlist.NodeID) int64,
 	serialBelow int64, f func(netlist.NodeID) error) error {
 	instr := m != nil || tr != nil
+	fine := tr.Fine()
 	if tr != nil {
 		tr.NameThread(0, "level schedule")
 	}
 	if workers <= 1 {
-		if tr != nil {
+		if fine {
 			tr.NameThread(1, "worker 0")
 		}
 		for li, level := range levels {
-			if err := runLevelInline(m, tr, li, level, name, f); err != nil {
+			if err := runLevelInline(m, tr, parent, li, level, name, f); err != nil {
 				return err
 			}
 		}
@@ -88,29 +96,25 @@ func runLevels(m *obs.Metrics, tr *obs.Tracer, workers int, levels [][]netlist.N
 		work    chan []netlist.NodeID
 		wg      sync.WaitGroup
 		started bool
+		// curLevelSpan is the running level's pre-allocated span ID,
+		// written by the scheduler before the level's chunk sends and
+		// read by workers — the channel send orders the write before
+		// every read, and the barrier orders the reads before the next
+		// write.
+		curLevelSpan obs.SpanID
 	)
 	startPool := func() {
 		errs = make([]error, nnodes)
 		work = make(chan []netlist.NodeID)
 		for w := 0; w < workers; w++ {
 			w := w
-			if tr != nil {
+			if fine {
 				tr.NameThread(w+1, "worker "+strconv.Itoa(w))
 			}
 			go func() {
 				for chunk := range work {
 					switch {
-					case !instr:
-						for _, id := range chunk {
-							errs[id] = f(id)
-						}
-					case tr == nil:
-						g0 := obs.Nanotime()
-						for _, id := range chunk {
-							errs[id] = f(id)
-						}
-						m.AddWorkerChunk(w, len(chunk), obs.Nanotime()-g0)
-					default:
+					case fine:
 						for _, id := range chunk {
 							g0 := time.Now()
 							errs[id] = f(id)
@@ -118,7 +122,17 @@ func runLevels(m *obs.Metrics, tr *obs.Tracer, workers int, levels [][]netlist.N
 							if m != nil {
 								m.AddWorkerBusy(w, d)
 							}
-							tr.Span(name(id), "gate", w+1, g0, d, nil)
+							tr.RecordSpan(tr.NewSpan(), curLevelSpan, name(id), "gate", w+1, g0, d, nil)
+						}
+					case m != nil:
+						g0 := obs.Nanotime()
+						for _, id := range chunk {
+							errs[id] = f(id)
+						}
+						m.AddWorkerChunk(w, len(chunk), obs.Nanotime()-g0)
+					default:
+						for _, id := range chunk {
+							errs[id] = f(id)
 						}
 					}
 					wg.Done()
@@ -134,7 +148,7 @@ func runLevels(m *obs.Metrics, tr *obs.Tracer, workers int, levels [][]netlist.N
 	}()
 	for li, level := range levels {
 		if levelCost(level, cost) < serialBelow {
-			if err := runLevelInline(m, tr, li, level, name, f); err != nil {
+			if err := runLevelInline(m, tr, parent, li, level, name, f); err != nil {
 				return err
 			}
 			continue
@@ -143,8 +157,11 @@ func runLevels(m *obs.Metrics, tr *obs.Tracer, workers int, levels [][]netlist.N
 			startPool()
 		}
 		var lt0 time.Time
+		var cost0 int64
 		if instr {
 			lt0 = time.Now()
+			curLevelSpan = tr.NewSpan()
+			cost0 = m.CostUnits()
 		}
 		// Subdivide the level finer than the worker count so slow
 		// chunks still spread, but coarse enough that channel ops and
@@ -163,7 +180,7 @@ func runLevels(m *obs.Metrics, tr *obs.Tracer, workers int, levels [][]netlist.N
 		}
 		wg.Wait() // level barrier: level L+1 reads these slots
 		if instr {
-			recordLevel(m, tr, li, len(level), lt0)
+			recordLevel(m, tr, parent, curLevelSpan, li, len(level), lt0, m.CostUnits()-cost0)
 		}
 		for _, id := range level {
 			if errs[id] != nil {
@@ -190,12 +207,14 @@ func levelCost(level []netlist.NodeID, cost func(netlist.NodeID) int64) int64 {
 // runLevelInline evaluates one level on the calling goroutine,
 // attributing instrumentation to worker 0, and stops at the first
 // error (serial order is deterministic by construction).
-func runLevelInline(m *obs.Metrics, tr *obs.Tracer, li int, level []netlist.NodeID,
+func runLevelInline(m *obs.Metrics, tr *obs.Tracer, parent obs.SpanID, li int, level []netlist.NodeID,
 	name func(netlist.NodeID) string, f func(netlist.NodeID) error) error {
 	var lt0 time.Time
+	var cost0 int64
 	instr := m != nil || tr != nil
 	if instr {
 		lt0 = time.Now()
+		cost0 = m.CostUnits()
 	}
 	switch {
 	case !instr:
@@ -204,19 +223,8 @@ func runLevelInline(m *obs.Metrics, tr *obs.Tracer, li int, level []netlist.Node
 				return err
 			}
 		}
-	case tr == nil:
-		// Metrics only: the single worker is busy for exactly
-		// the level wall time, so the level clock reading
-		// doubles as the busy-time attribution.
-		for _, id := range level {
-			if err := f(id); err != nil {
-				return err
-			}
-		}
-		d := time.Since(lt0)
-		m.AddWorkerChunk(0, len(level), int64(d))
-		m.RecordLevel(li, len(level), d)
-	default:
+	case tr.Fine():
+		lid := tr.NewSpan()
 		for _, id := range level {
 			g0 := time.Now()
 			err := f(id)
@@ -224,24 +232,43 @@ func runLevelInline(m *obs.Metrics, tr *obs.Tracer, li int, level []netlist.Node
 			if m != nil {
 				m.AddWorkerBusy(0, d)
 			}
-			tr.Span(name(id), "gate", 1, g0, d, nil)
+			tr.RecordSpan(tr.NewSpan(), lid, name(id), "gate", 1, g0, d, nil)
 			if err != nil {
 				return err
 			}
 		}
-		recordLevel(m, tr, li, len(level), lt0)
+		recordLevel(m, tr, parent, lid, li, len(level), lt0, m.CostUnits()-cost0)
+	default:
+		// Metrics only or coarse tracer: the single worker is busy for
+		// exactly the level wall time, so the level clock reading
+		// doubles as the busy-time attribution.
+		for _, id := range level {
+			if err := f(id); err != nil {
+				return err
+			}
+		}
+		if m != nil {
+			m.AddWorkerChunk(0, len(level), int64(time.Since(lt0)))
+		}
+		recordLevel(m, tr, parent, tr.NewSpan(), li, len(level), lt0, m.CostUnits()-cost0)
 	}
 	return nil
 }
 
 // recordLevel publishes one completed level's metrics and trace span.
-func recordLevel(m *obs.Metrics, tr *obs.Tracer, level, gates int, start time.Time) {
+// lid is the level span's pre-allocated ID (its gate spans, if any,
+// already name it as parent); costDelta is the work-unit cost the
+// level accumulated.
+func recordLevel(m *obs.Metrics, tr *obs.Tracer, parent, lid obs.SpanID, level, gates int, start time.Time, costDelta int64) {
 	d := time.Since(start)
 	if m != nil {
 		m.RecordLevel(level, gates, d)
 	}
 	if tr != nil {
-		tr.Span("L"+strconv.Itoa(level), "level", 0, start, d,
-			map[string]any{"gates": gates})
+		args := map[string]any{"gates": gates}
+		if m != nil {
+			args["cost_units"] = costDelta
+		}
+		tr.RecordSpan(lid, parent, "L"+strconv.Itoa(level), "level", 0, start, d, args)
 	}
 }

@@ -80,8 +80,10 @@ func (pl *ConvPlan) ConvolveInto(dst, p, q *PMF) *PMF {
 		m.ConvSupport.Observe(sb)
 		if useFFT {
 			m.ConvFFT.Add(1)
+			m.CostBinOps.Add(fftCostUnits(sa + sb - 1))
 		} else {
 			m.ConvDirect.Add(1)
+			m.CostBinOps.Add(int64(sa) * int64(sb))
 		}
 	}
 	if useFFT {
@@ -258,8 +260,10 @@ func ConvolveBatchF32(pl *ConvPlan, dsts []*PMF, slab *Slab, rows []int, srcs []
 			m.ConvSupport.Observe(sb)
 			if useFFT {
 				m.ConvFFT.Add(1)
+				m.CostBinOps.Add(fftCostUnits(sa + sb - 1))
 			} else {
 				m.ConvDirect.Add(1)
+				m.CostBinOps.Add(int64(sa) * int64(sb))
 			}
 		}
 		if useFFT {

@@ -1,6 +1,25 @@
 package dist
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
+
+// fftCostUnits is the work-unit cost charged for one FFT convolution
+// of linear length l: three radix-2 transforms of size m (the next
+// power of two ≥ l) at m·log₂(m) butterfly units each, plus the l-bin
+// shift/clamp pass. It is a formula over the operand supports, not a
+// measurement, so the charge is identical whether the plan cache hit
+// or missed — the package-global plan cache is warmed by whichever
+// request runs first, and cost units must not depend on cross-request
+// state (the determinism contract of DESIGN.md §14).
+func fftCostUnits(l int) int64 {
+	m := 1
+	for m < l {
+		m <<= 1
+	}
+	return 3*int64(m)*int64(bits.Len(uint(m))-1) + int64(l)
+}
 
 // fftCrossover is the minimum support size BOTH convolution operands
 // must reach before Convolve switches from the O(sa·sb) direct

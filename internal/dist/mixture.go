@@ -59,6 +59,9 @@ func MaxMixtureInto(dst *PMF, in []SwitchInput) *PMF {
 			}
 		}
 	}
+	if m := dst.grid.met; m != nil && hi > lo {
+		m.CostMixtureOps.Add(int64(len(in)) * int64(hi-lo))
+	}
 	var cumArr [16]float64
 	cum := cumArr[:0]
 	if len(in) <= len(cumArr) {
@@ -121,6 +124,9 @@ func MinMixtureInto(dst *PMF, in []SwitchInput) *PMF {
 				hi = s.TOP.hi
 			}
 		}
+	}
+	if m := dst.grid.met; m != nil && hi > lo {
+		m.CostMixtureOps.Add(int64(len(in)) * int64(hi-lo))
 	}
 	for k := lo; k < hi; k++ {
 		w := 1.0
@@ -188,6 +194,7 @@ func SubsetMixture(g Grid, in []SwitchInput, max bool) *PMF {
 	rec(0, 1, nil)
 	if m := g.met; m != nil {
 		m.SubsetLeaves.Add(len(in), leaves)
+		m.CostLeafOps.Add(leaves)
 	}
 	return out
 }
@@ -243,6 +250,7 @@ func SizedMixture(g Grid, in []SwitchInput, max bool, delay func(size int) Norma
 	rec(0, 0, 1, nil)
 	if m := g.met; m != nil {
 		m.SubsetLeaves.Add(len(in), leaves)
+		m.CostLeafOps.Add(leaves)
 	}
 	return out
 }
@@ -331,6 +339,7 @@ func SizedMixturePruned(g Grid, in []SwitchInput, max bool, delay func(size int)
 	rec(0, 0, 1, nil)
 	if m := g.met; m != nil {
 		m.SubsetLeaves.Add(len(in), leaves)
+		m.CostLeafOps.Add(leaves)
 		m.PrunedSubtrees.Add(cuts)
 		m.PrunedLeaves.Add(len(in), cutLeaves)
 		m.PrunedMassFP.Add(obs.MassFP(pruned))

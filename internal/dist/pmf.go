@@ -237,6 +237,9 @@ func (p *PMF) ShiftInto(dst *PMF, d float64) *PMF {
 	if p.lo == p.hi {
 		return dst
 	}
+	if m := p.grid.met; m != nil {
+		m.CostBinOps.Add(int64(p.hi - p.lo))
+	}
 	k := d / p.grid.Dt
 	base := math.Floor(k)
 	frac := k - base
@@ -317,8 +320,10 @@ func (p *PMF) ConvolveInto(dst, q *PMF) *PMF {
 		m.ConvSupport.Observe(sb)
 		if useFFT {
 			m.ConvFFT.Add(1)
+			m.CostBinOps.Add(fftCostUnits(sa + sb - 1))
 		} else {
 			m.ConvDirect.Add(1)
+			m.CostBinOps.Add(int64(sa) * int64(sb))
 		}
 	}
 	if useFFT {
@@ -380,6 +385,9 @@ func MaxPMFInto(dst, a, b *PMF) *PMF {
 	a.grid.check(dst.grid, "MaxPMF")
 	dst.Reset()
 	lo, hi := unionSupport(a, b)
+	if m := a.grid.met; m != nil && hi > lo {
+		m.CostBinOps.Add(int64(hi - lo))
+	}
 	ca, cb := 0.0, 0.0 // inclusive cumulative masses of A and B
 	for k := lo; k < hi; k++ {
 		av, bv := a.w[k], b.w[k]
@@ -405,6 +413,9 @@ func MinPMFInto(dst, a, b *PMF) *PMF {
 	a.grid.check(dst.grid, "MinPMF")
 	dst.Reset()
 	lo, hi := unionSupport(a, b)
+	if m := a.grid.met; m != nil && hi > lo {
+		m.CostBinOps.Add(int64(hi - lo))
+	}
 	ma, mb := a.Mass(), b.Mass()
 	ca, cb := 0.0, 0.0
 	for k := lo; k < hi; k++ {

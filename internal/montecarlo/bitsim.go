@@ -101,6 +101,11 @@ func simulatePacked(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputSta
 			m.MCPackedBlocks.Add(1)
 			m.MCPackedSettleLanes.Add(settled)
 			m.MCPackedBlockNS.Add(obs.Nanotime() - t0)
+			// active×nodes + settled sums to a shard-invariant total:
+			// block boundaries shift with the worker split, but every
+			// run visits every node exactly once and a lane's settle
+			// passes depend only on its (seed, run) stream.
+			m.CostMCOps.Add(int64(active)*int64(len(order)) + settled)
 		}
 	}
 }

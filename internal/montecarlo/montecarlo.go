@@ -202,7 +202,8 @@ func simulateParallel(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputS
 				}
 				if tr != nil {
 					tr.NameThread(w+1, "worker "+strconv.Itoa(w))
-					tr.Span("mc shard "+strconv.Itoa(w)+" ("+strconv.Itoa(wn)+" runs)",
+					tr.RecordSpan(tr.NewSpan(), cfg.Obs.SpanID(),
+						"mc shard "+strconv.Itoa(w)+" ("+strconv.Itoa(wn)+" runs)",
 						"montecarlo", w+1, t0, d, nil)
 				}
 			}
@@ -263,6 +264,12 @@ func simulateScalar(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputSta
 	defaultStats := logic.UniformStats()
 	src := &runSource{}
 	rng := newRunRNG(src)
+	// One cost unit per node visit: runs × topo-order length, counted
+	// up front — the walk is unconditional, so the product is exact and
+	// shard-invariant (each shard contributes its own runs).
+	if m := cfg.Obs.M(); m != nil {
+		m.CostMCOps.Add(int64(runs) * int64(len(order)))
+	}
 
 	for run := 0; run < runs; run++ {
 		src.state = runState(seed, start+run)

@@ -187,6 +187,23 @@ type Metrics struct {
 	// MCRuns counts Monte Carlo runs simulated.
 	MCRuns atomic.Int64
 
+	// Deterministic work-unit cost counters (DESIGN.md §14). Each
+	// counts abstract units of algorithmic work at the site where the
+	// work happens, under the determinism contract: identical
+	// (netlist, inputs, ε, σ, engine, batched, precision) runs
+	// accumulate identical totals regardless of worker count, wall
+	// time, or cross-request cache state. CostBinOps counts PMF bin
+	// operations in dist (shift/max/min support widths, sa·sb direct
+	// convolution products, the FFT size formula); CostMixtureOps
+	// counts closed-form mixture work (k terms × union support width);
+	// CostLeafOps counts enumerated subset/parity leaves; CostMCOps
+	// counts Monte Carlo node evaluations (runs × topo nodes, plus
+	// settle-lane visits in the packed engine).
+	CostBinOps     atomic.Int64
+	CostMixtureOps atomic.Int64
+	CostLeafOps    atomic.Int64
+	CostMCOps      atomic.Int64
+
 	// Packed Monte Carlo engine (montecarlo/bitsim.go):
 	// MCPackedBlocks counts simulated 64-run blocks,
 	// MCPackedSettleLanes counts sparse settle-pass lane visits
@@ -226,6 +243,16 @@ func MassFP(m float64) int64 {
 		return 0
 	}
 	return int64(m/MassFPUnit + 0.5)
+}
+
+// CostUnits returns the registry's total work-unit cost: the sum of
+// the four deterministic cost counters. Nil-safe; 0 on a nil registry.
+func (m *Metrics) CostUnits() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.CostBinOps.Load() + m.CostMixtureOps.Load() +
+		m.CostLeafOps.Load() + m.CostMCOps.Load()
 }
 
 // AddWorkerBusy accumulates busy time and one evaluated gate for a
@@ -308,6 +335,13 @@ type Snapshot struct {
 		FFTPlanMisses   int64        `json:"fft_plan_misses"`
 		SlabBytesReused int64        `json:"slab_bytes_reused"`
 	} `json:"batch,omitzero"`
+	Cost struct {
+		BinOps     int64 `json:"bin_ops"`
+		MixtureOps int64 `json:"mixture_ops"`
+		LeafOps    int64 `json:"leaf_ops"`
+		MCOps      int64 `json:"mc_ops"`
+		Total      int64 `json:"total"`
+	} `json:"cost,omitzero"`
 	MonteCarloRuns   int64 `json:"monte_carlo_runs,omitempty"`
 	MonteCarloPacked struct {
 		Blocks          int64 `json:"blocks"`
@@ -343,6 +377,11 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.Batch.FFTPlanHits = m.FFTPlanHits.Load()
 	s.Batch.FFTPlanMisses = m.FFTPlanMisses.Load()
 	s.Batch.SlabBytesReused = m.SlabBytesReused.Load()
+	s.Cost.BinOps = m.CostBinOps.Load()
+	s.Cost.MixtureOps = m.CostMixtureOps.Load()
+	s.Cost.LeafOps = m.CostLeafOps.Load()
+	s.Cost.MCOps = m.CostMCOps.Load()
+	s.Cost.Total = s.Cost.BinOps + s.Cost.MixtureOps + s.Cost.LeafOps + s.Cost.MCOps
 	s.MonteCarloRuns = m.MCRuns.Load()
 	s.MonteCarloPacked.Blocks = m.MCPackedBlocks.Load()
 	s.MonteCarloPacked.SettleLanes = m.MCPackedSettleLanes.Load()
@@ -400,6 +439,10 @@ func (m *Metrics) Reset() {
 	m.FFTPlanHits.Store(0)
 	m.FFTPlanMisses.Store(0)
 	m.SlabBytesReused.Store(0)
+	m.CostBinOps.Store(0)
+	m.CostMixtureOps.Store(0)
+	m.CostLeafOps.Store(0)
+	m.CostMCOps.Store(0)
 	m.MCRuns.Store(0)
 	m.MCPackedBlocks.Store(0)
 	m.MCPackedSettleLanes.Store(0)
@@ -442,6 +485,11 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.Batch.FFTPlanHits += o.Batch.FFTPlanHits
 	s.Batch.FFTPlanMisses += o.Batch.FFTPlanMisses
 	s.Batch.SlabBytesReused += o.Batch.SlabBytesReused
+	s.Cost.BinOps += o.Cost.BinOps
+	s.Cost.MixtureOps += o.Cost.MixtureOps
+	s.Cost.LeafOps += o.Cost.LeafOps
+	s.Cost.MCOps += o.Cost.MCOps
+	s.Cost.Total += o.Cost.Total
 	s.MonteCarloRuns += o.MonteCarloRuns
 	s.MonteCarloPacked.Blocks += o.MonteCarloPacked.Blocks
 	s.MonteCarloPacked.SettleLanes += o.MonteCarloPacked.SettleLanes

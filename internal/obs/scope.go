@@ -14,6 +14,12 @@ type Scope struct {
 	Metrics *Metrics
 	// Tracer is the scope's span recorder; nil disables tracing.
 	Tracer *Tracer
+	// Span is the parent span for the analysis' top-level spans: a
+	// service handler allocates its request/engine span IDs and passes
+	// them down here, so engine-internal spans (levels, batches, Monte
+	// Carlo shards) attach under the right node of the request tree.
+	// Zero (the default) makes engine spans roots.
+	Span SpanID
 }
 
 // NewScope returns a scope with a fresh metrics registry and no
@@ -41,6 +47,27 @@ func (s *Scope) T() *Tracer {
 		return nil
 	}
 	return s.Tracer
+}
+
+// SpanID returns the scope's parent span; 0 on a nil scope.
+func (s *Scope) SpanID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.Span
+}
+
+// WithSpan returns a shallow copy of the scope whose parent span is
+// id. The Metrics and Tracer pointers are shared — only the span
+// lineage changes — so a handler can re-parent each engine run without
+// splitting the request's counters.
+func (s *Scope) WithSpan(id SpanID) *Scope {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Span = id
+	return &cp
 }
 
 // Snapshot captures the scope's metrics totals; nil when the scope

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	id, ok := ParseTraceparent(valid)
+	if !ok || id != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("ParseTraceparent(%q) = %q, %v", valid, id, ok)
+	}
+	for _, h := range []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // too short
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // future version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // all-zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",  // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01",  // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-010", // too long
+	} {
+		if id, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted (id %q), want rejection", h, id)
+		}
+	}
+}
+
+func TestNewTraceIDRoundTrips(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 32 || !isLowerHex(id) {
+		t.Fatalf("NewTraceID() = %q, want 32 lowercase hex digits", id)
+	}
+	h := FormatTraceparent(id, 0x1234)
+	got, ok := ParseTraceparent(h)
+	if !ok || got != id {
+		t.Fatalf("round trip through %q = %q, %v; want %q", h, got, ok, id)
+	}
+	if !strings.Contains(h, "0000000000001234") {
+		t.Errorf("FormatTraceparent span encoding: %q", h)
+	}
+	if a, b := NewTraceID(), NewTraceID(); a == b {
+		t.Errorf("two NewTraceID calls collided: %q", a)
+	}
+}
+
+// TestSpanTree builds a request → engine → level hierarchy the way the
+// service does — parent IDs allocated before children run, parents
+// recorded after — and checks Tree reconstructs the nesting with
+// children in start order.
+func TestSpanTree(t *testing.T) {
+	tr := NewCoarseTracer()
+	tr.SetTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	t0 := time.Now()
+	root := tr.NewSpan()
+	eng := tr.NewSpan()
+	l0, l1 := tr.NewSpan(), tr.NewSpan()
+	tr.RecordSpan(l0, eng, "L0", "level", 0, t0, time.Millisecond, map[string]any{"gates": 3})
+	tr.RecordSpan(l1, eng, "L1", "level", 0, t0.Add(time.Millisecond), time.Millisecond, nil)
+	tr.RecordSpan(eng, root, "engine spsta", "engine", 0, t0, 2*time.Millisecond, nil)
+	tr.RecordSpan(root, 0, "POST /v1/analyze", "request", 0, t0, 3*time.Millisecond, nil)
+	// An orphan (parent never recorded) must surface as a root.
+	tr.RecordSpan(tr.NewSpan(), SpanID(9999), "orphan", "x", 0, t0, time.Microsecond, nil)
+
+	tree := tr.Tree()
+	if tree.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("tree trace ID = %q", tree.TraceID)
+	}
+	if tree.Spans != 5 {
+		t.Errorf("tree spans = %d, want 5", tree.Spans)
+	}
+	if len(tree.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (request + orphan)", len(tree.Roots))
+	}
+	req := tree.Roots[0]
+	if req.Name != "POST /v1/analyze" || len(req.Children) != 1 {
+		t.Fatalf("root = %q with %d children, want request with 1", req.Name, len(req.Children))
+	}
+	e := req.Children[0]
+	if e.Name != "engine spsta" || len(e.Children) != 2 {
+		t.Fatalf("engine span = %q with %d children, want 2 levels", e.Name, len(e.Children))
+	}
+	if e.Children[0].Name != "L0" || e.Children[1].Name != "L1" {
+		t.Errorf("levels out of start order: %q, %q", e.Children[0].Name, e.Children[1].Name)
+	}
+	if g, ok := e.Children[0].Args["gates"]; !ok || g != 3 {
+		t.Errorf("L0 args = %v", e.Children[0].Args)
+	}
+}
+
+func TestCoarseTracerFine(t *testing.T) {
+	if NewCoarseTracer().Fine() {
+		t.Error("coarse tracer reports Fine")
+	}
+	if !NewTracer().Fine() {
+		t.Error("fine tracer reports coarse")
+	}
+	var nilT *Tracer
+	if nilT.Fine() {
+		t.Error("nil tracer reports Fine")
+	}
+	if nilT.NewSpan() != 0 {
+		t.Error("nil tracer allocated a span ID")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/montecarlo"
+	"repro/internal/obs"
 	"repro/internal/ssta"
 )
 
@@ -27,10 +28,20 @@ func (s *Service) driftLoop() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			if err := s.RunDriftCheck(); err != nil {
-				s.log.Error("drift check failed", "error", err.Error())
-			}
+			s.RunDriftCheckLogged()
 		}
+	}
+}
+
+// RunDriftCheckLogged runs one drift replay under a synthetic request
+// identity (a drift- request ID and a fresh trace ID), so drift log
+// lines correlate the same way client requests do.
+func (s *Service) RunDriftCheckLogged() {
+	did := "drift-" + newRequestID()[len("req-"):]
+	tid := obs.NewTraceID()
+	if err := s.runDriftCheck(did, tid); err != nil {
+		s.log.Error("drift check failed",
+			"request_id", did, "trace_id", tid, "error", err.Error())
 	}
 }
 
@@ -38,8 +49,13 @@ func (s *Service) driftLoop() {
 // the most recent sampled request's circuit through the SPSTA
 // analyzer and the packed Monte Carlo engine and updates the
 // deviation gauges. A no-op when no request has been sampled yet.
-// The ticker loop calls this; tests may call it directly.
+// The ticker loop calls this (via RunDriftCheckLogged); tests may
+// call it directly.
 func (s *Service) RunDriftCheck() error {
+	return s.runDriftCheck("drift-"+newRequestID()[len("req-"):], obs.NewTraceID())
+}
+
+func (s *Service) runDriftCheck(did, tid string) error {
 	s.mu.Lock()
 	req := s.sampled
 	s.mu.Unlock()
@@ -81,6 +97,7 @@ func (s *Service) RunDriftCheck() error {
 	s.reg.driftSigmaDev.Store(sigmaDev)
 	s.reg.driftSamples.Add(1)
 	s.log.Info("drift check",
+		"request_id", did, "trace_id", tid,
 		"circuit", c.Name, "endpoint", c.Nodes[ep].Name,
 		"mu_dev", muDev, "sigma_dev", sigmaDev, "mc_runs", s.cfg.DriftRuns)
 	return nil

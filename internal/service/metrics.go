@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,30 @@ func (h *latencyHist) observe(d time.Duration) {
 	h.count.Add(1)
 }
 
+// costBounds are the request cost histogram's upper bounds in work
+// units (DESIGN.md §14): decades covering a trivial inline netlist
+// (~1e3) through a 10M-run Monte Carlo sweep (~1e10).
+var costBounds = [...]float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// costHist is a fixed-bucket work-unit histogram, same lock-free
+// shape as latencyHist.
+type costHist struct {
+	buckets [len(costBounds) + 1]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *costHist) observe(units int64) {
+	v := float64(units)
+	i := 0
+	for i < len(costBounds) && v > costBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(units)
+	h.count.Add(1)
+}
+
 // atomicFloat is a float64 gauge stored as bits.
 type atomicFloat struct{ bits atomic.Uint64 }
 
@@ -71,6 +96,9 @@ type registry struct {
 	queueDepth atomic.Int64
 	inflight   atomic.Int64
 	rejected   atomic.Int64
+
+	// cost observes each successful request's total work-unit cost.
+	cost costHist
 
 	driftSamples  atomic.Int64
 	driftMeanDev  atomicFloat
@@ -144,6 +172,20 @@ func (r *registry) writePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "spstad_request_duration_seconds_count{engine=%q} %d\n", l, h.count.Load())
 	}
 
+	fmt.Fprintf(w, "# HELP spstad_request_cost_units Deterministic work-unit cost per successful request (DESIGN.md §14).\n")
+	fmt.Fprintf(w, "# TYPE spstad_request_cost_units histogram\n")
+	{
+		cum := int64(0)
+		for b, bound := range costBounds {
+			cum += r.cost.buckets[b].Load()
+			fmt.Fprintf(w, "spstad_request_cost_units_bucket{le=%q} %d\n", trimFloat(bound), cum)
+		}
+		cum += r.cost.buckets[len(costBounds)].Load()
+		fmt.Fprintf(w, "spstad_request_cost_units_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "spstad_request_cost_units_sum %d\n", r.cost.sum.Load())
+		fmt.Fprintf(w, "spstad_request_cost_units_count %d\n", r.cost.count.Load())
+	}
+
 	gauge("spstad_queue_depth", "Requests waiting for a worker slot.")
 	fmt.Fprintf(w, "spstad_queue_depth %d\n", r.queueDepth.Load())
 	gauge("spstad_inflight_requests", "Requests currently being analyzed.")
@@ -199,6 +241,22 @@ func (r *registry) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "spstad_engine_fft_plans_total{result=\"miss\"} %d\n", agg.Batch.FFTPlanMisses)
 	counter("spstad_engine_slab_bytes_reused_total", "Slab backing bytes served from the recycle pool across all requests.")
 	fmt.Fprintf(w, "spstad_engine_slab_bytes_reused_total %d\n", agg.Batch.SlabBytesReused)
+
+	counter("spstad_engine_cost_units_total", "Work units accumulated across all requests, by kind (DESIGN.md §14).")
+	fmt.Fprintf(w, "spstad_engine_cost_units_total{kind=\"bin_ops\"} %d\n", agg.Cost.BinOps)
+	fmt.Fprintf(w, "spstad_engine_cost_units_total{kind=\"mixture_ops\"} %d\n", agg.Cost.MixtureOps)
+	fmt.Fprintf(w, "spstad_engine_cost_units_total{kind=\"leaf_ops\"} %d\n", agg.Cost.LeafOps)
+	fmt.Fprintf(w, "spstad_engine_cost_units_total{kind=\"mc_ops\"} %d\n", agg.Cost.MCOps)
+
+	// Process runtime gauges, prefixed go_ per client_golang convention.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("go_goroutines", "Number of goroutines that currently exist.")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	gauge("go_memstats_heap_inuse_bytes", "Heap bytes in in-use spans.")
+	fmt.Fprintf(w, "go_memstats_heap_inuse_bytes %d\n", ms.HeapInuse)
+	counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 }
 
 // trimFloat formats a histogram bound the way Prometheus clients

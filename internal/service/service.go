@@ -63,14 +63,27 @@ type Config struct {
 	// DriftRuns is the Monte Carlo run count of a drift replay
 	// (default 2000).
 	DriftRuns int
+	// FlightSize is the flight recorder's ring capacity — the number
+	// of recent request summaries /debug/requests can list (default
+	// 128).
+	FlightSize int
+	// SlowLatency is the flight recorder's full-capture latency
+	// threshold: a request at least this slow keeps its span tree and
+	// metrics snapshot for /debug/requests/{id}. 0 disables
+	// latency-triggered capture.
+	SlowLatency time.Duration
+	// SlowCost is the capture threshold in work-unit cost (see
+	// DESIGN.md §14); 0 disables cost-triggered capture.
+	SlowCost int64
 }
 
 // Service is the spstad request handler and its shared state.
 type Service struct {
-	cfg   Config
-	log   *slog.Logger
-	reg   registry
-	slots chan struct{}
+	cfg    Config
+	log    *slog.Logger
+	reg    registry
+	slots  chan struct{}
+	flight *flightRecorder
 
 	mu      sync.Mutex
 	sampled *Request // most recent analyze request, for drift replays
@@ -96,10 +109,11 @@ func New(cfg Config) *Service {
 		log = slog.New(slog.DiscardHandler)
 	}
 	s := &Service{
-		cfg:   cfg,
-		log:   log,
-		slots: make(chan struct{}, cfg.MaxConcurrent),
-		stop:  make(chan struct{}),
+		cfg:    cfg,
+		log:    log,
+		slots:  make(chan struct{}, cfg.MaxConcurrent),
+		flight: newFlightRecorder(cfg.FlightSize, cfg.SlowLatency, cfg.SlowCost),
+		stop:   make(chan struct{}),
 	}
 	if cfg.DriftInterval > 0 {
 		s.wg.Add(1)
@@ -135,6 +149,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleFlightList)
+	mux.HandleFunc("GET /debug/requests/{id}", s.handleFlightGet)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -207,6 +223,10 @@ type EngineResult struct {
 	Engine    string         `json:"engine"`
 	ElapsedNS int64          `json:"elapsed_ns"`
 	Endpoints []EndpointStat `json:"endpoints"`
+	// CostUnits is the engine's deterministic work-unit cost (DESIGN.md
+	// §14): identical requests report identical cost regardless of the
+	// worker count or machine.
+	CostUnits int64 `json:"cost_units"`
 	// PrunedMass and MaxBudget certify an epsilon > 0 run of the
 	// discrete engines.
 	PrunedMass float64 `json:"pruned_mass,omitempty"`
@@ -223,9 +243,11 @@ type CircuitInfo struct {
 // Response is the body of a successful /v1/analyze.
 type Response struct {
 	RequestID string         `json:"request_id"`
+	TraceID   string         `json:"trace_id"`
 	Circuit   CircuitInfo    `json:"circuit"`
 	Scenario  string         `json:"scenario"`
 	Engines   []EngineResult `json:"engines"`
+	CostUnits int64          `json:"cost_units"`
 	TraceFile string         `json:"trace_file,omitempty"`
 }
 
@@ -246,11 +268,13 @@ type CompareRow struct {
 // CompareResponse is the body of a successful /v1/compare.
 type CompareResponse struct {
 	RequestID   string       `json:"request_id"`
+	TraceID     string       `json:"trace_id"`
 	Circuit     CircuitInfo  `json:"circuit"`
 	Scenario    string       `json:"scenario"`
 	Rows        []CompareRow `json:"rows"`
 	MaxMuDev    float64      `json:"max_mu_dev"`
 	MaxSigmaDev float64      `json:"max_sigma_dev"`
+	CostUnits   int64        `json:"cost_units"`
 }
 
 // httpError carries a status code out of request decoding/validation.
@@ -411,51 +435,129 @@ func (req *Request) delay() ssta.DelayModel {
 	return func(n *netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: sigma} }
 }
 
+// reqCtx carries one in-flight request's identity and timing through
+// the handler, the engines, and the flight recorder.
+type reqCtx struct {
+	id      string
+	traceID string
+	path    string
+	t0      time.Time
+	queueNS int64
+	req     *Request // nil until decode succeeds
+	scope   *obs.Scope
+}
+
+// begin starts a request context: a fresh request ID, and a trace ID
+// continued from the client's W3C traceparent header when one is
+// present (else newly generated). Both ride back on response headers
+// so clients and proxies can correlate without parsing the body.
+func (s *Service) begin(w http.ResponseWriter, r *http.Request, path string) *reqCtx {
+	rc := &reqCtx{id: newRequestID(), path: path, t0: time.Now()}
+	if tid, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		rc.traceID = tid
+	} else {
+		rc.traceID = obs.NewTraceID()
+	}
+	w.Header().Set("X-Trace-Id", rc.traceID)
+	w.Header().Set("Traceparent", obs.FormatTraceparent(rc.traceID, 0))
+	return rc
+}
+
+// newScope builds the request's observability scope: metrics and a
+// tracer are always on (the flight recorder needs span trees post
+// hoc), but the tracer is coarse — request, engine, level, batch and
+// shard spans only — unless the request asked for a trace file, which
+// upgrades to fine per-gate spans.
+func (s *Service) newScope(rc *reqCtx) (fine bool) {
+	fine = rc.req.Trace && s.cfg.TraceDir != ""
+	tr := obs.NewCoarseTracer()
+	if fine {
+		tr = obs.NewTracer()
+	}
+	tr.SetTraceID(rc.traceID)
+	rc.scope = &obs.Scope{Metrics: obs.NewMetrics(), Tracer: tr}
+	return fine
+}
+
+// summary assembles the flight-recorder record of the request in its
+// current state. engine is the RED label ("compare" on the compare
+// path, the request's engine otherwise).
+func (rc *reqCtx) summary(engine string, status int, errMsg string, cost int64) RequestSummary {
+	sum := RequestSummary{
+		ID: rc.id, TraceID: rc.traceID, Path: rc.path, Engine: engine,
+		Status: status, Error: errMsg,
+		Rejected: status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable,
+		Start:    rc.t0, LatencyNS: time.Since(rc.t0).Nanoseconds(), QueueNS: rc.queueNS,
+		CostUnits: cost,
+	}
+	if req := rc.req; req != nil {
+		sum.Circuit = req.Circuit
+		if sum.Circuit == "" {
+			sum.Circuit = "inline"
+		}
+		sum.Scenario = req.Scenario
+		sum.Epsilon = req.Epsilon
+		sum.Sigma = req.Sigma
+		sum.Workers = req.Workers
+		sum.Runs = req.Runs
+		sum.Batched = req.Batched
+		sum.Precision = req.Precision
+	}
+	return sum
+}
+
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	id := newRequestID()
-	t0 := time.Now()
+	rc := s.begin(w, r, "/v1/analyze")
 	req, err := decode(r)
 	if err != nil {
-		s.fail(w, id, "analyze", "", t0, err)
+		s.fail(w, rc, "", err)
 		return
 	}
+	rc.req = req
+	q0 := time.Now()
 	release, err := s.acquire(r)
+	rc.queueNS = time.Since(q0).Nanoseconds()
 	if err != nil {
-		s.fail(w, id, "analyze", req.Engine, t0, err)
+		s.fail(w, rc, req.Engine, err)
 		return
 	}
 	defer release()
 	s.reg.inflight.Add(1)
 	defer s.reg.inflight.Add(-1)
 
-	resp, scope, err := s.analyze(id, req)
+	resp, err := s.analyze(rc)
 	if err != nil {
-		s.fail(w, id, "analyze", req.Engine, t0, err)
+		s.fail(w, rc, req.Engine, err)
 		return
 	}
-	s.reg.merge(scope.Snapshot())
+	s.reg.merge(rc.scope.Snapshot())
+	s.reg.cost.observe(resp.CostUnits)
 	s.sample(req)
-	s.reg.observe(req.Engine, time.Since(t0), false)
+	s.reg.observe(req.Engine, time.Since(rc.t0), false)
+	captured := s.flight.record(rc.summary(req.Engine, http.StatusOK, "", resp.CostUnits), rc.scope)
 	s.log.Info("request",
-		"request_id", id, "path", "/v1/analyze", "engine", req.Engine,
-		"circuit", resp.Circuit.Name, "status", http.StatusOK,
-		"duration_ms", float64(time.Since(t0).Microseconds())/1e3)
+		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
+		"engine", req.Engine, "circuit", resp.Circuit.Name, "status", http.StatusOK,
+		"duration_ms", float64(time.Since(rc.t0).Microseconds())/1e3,
+		"cost_units", resp.CostUnits, "captured", captured)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// analyze runs the requested engines under a fresh request scope.
-func (s *Service) analyze(id string, req *Request) (*Response, *obs.Scope, error) {
+// analyze runs the requested engines under the request's scope,
+// recording the request → engine span levels of the trace tree.
+func (s *Service) analyze(rc *reqCtx) (*Response, error) {
+	req := rc.req
 	c, in, err := req.load()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	scope := obs.NewScope()
-	traced := req.Trace && s.cfg.TraceDir != ""
-	if traced {
-		scope = obs.NewTracedScope()
-	}
+	traced := s.newScope(rc)
+	tr := rc.scope.Tracer
+	root := tr.NewSpan()
+	rc.scope.Span = root
 	resp := &Response{
-		RequestID: id,
+		RequestID: rc.id,
+		TraceID:   rc.traceID,
 		Circuit:   CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
 		Scenario:  req.Scenario,
 	}
@@ -464,28 +566,47 @@ func (s *Service) analyze(id string, req *Request) (*Response, *obs.Scope, error
 		engines = []string{"spsta", "moment", "mc"}
 	}
 	for _, engine := range engines {
-		er, err := runEngine(engine, c, in, req, scope)
+		er, err := s.runEngineSpanned(engine, c, in, rc)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", engine, err)
+			return nil, fmt.Errorf("%s: %w", engine, err)
 		}
 		resp.Engines = append(resp.Engines, er)
+		resp.CostUnits += er.CostUnits
 	}
+	tr.RecordSpan(root, 0, "POST "+rc.path, "request", 0, rc.t0, time.Since(rc.t0),
+		map[string]any{"request_id": rc.id, "engine": req.Engine, "cost_units": resp.CostUnits})
 	if traced {
-		path := filepath.Join(s.cfg.TraceDir, id+".json")
+		path := filepath.Join(s.cfg.TraceDir, rc.id+".json")
 		f, err := os.Create(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		werr := scope.Tracer.WriteJSON(f)
+		werr := tr.WriteJSON(f)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			return nil, nil, werr
+			return nil, werr
 		}
 		resp.TraceFile = path
 	}
-	return resp, scope, nil
+	return resp, nil
+}
+
+// runEngineSpanned wraps one engine run in an engine span parented
+// under the request root and attributes the engine's work-unit cost
+// delta (engines run serially within a request, so the delta is
+// exactly this engine's cost).
+func (s *Service) runEngineSpanned(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, rc *reqCtx) (EngineResult, error) {
+	tr, m := rc.scope.Tracer, rc.scope.Metrics
+	eid := tr.NewSpan()
+	e0 := time.Now()
+	cost0 := m.CostUnits()
+	er, err := runEngine(engine, c, in, rc.req, rc.scope.WithSpan(eid))
+	er.CostUnits = m.CostUnits() - cost0
+	tr.RecordSpan(eid, rc.scope.SpanID(), "engine "+engine, "engine", 0, e0, time.Since(e0),
+		map[string]any{"cost_units": er.CostUnits})
+	return er, err
 }
 
 // runEngine runs one engine and formats its endpoint statistics.
@@ -562,16 +683,18 @@ func runEngine(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.In
 }
 
 func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
-	id := newRequestID()
-	t0 := time.Now()
+	rc := s.begin(w, r, "/v1/compare")
 	req, err := decode(r)
 	if err != nil {
-		s.fail(w, id, "compare", "compare", t0, err)
+		s.fail(w, rc, "compare", err)
 		return
 	}
+	rc.req = req
+	q0 := time.Now()
 	release, err := s.acquire(r)
+	rc.queueNS = time.Since(q0).Nanoseconds()
 	if err != nil {
-		s.fail(w, id, "compare", "compare", t0, err)
+		s.fail(w, rc, "compare", err)
 		return
 	}
 	defer release()
@@ -580,24 +703,29 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 	c, in, err := req.load()
 	if err != nil {
-		s.fail(w, id, "compare", "compare", t0, err)
+		s.fail(w, rc, "compare", err)
 		return
 	}
-	scope := obs.NewScope()
-	sp, err := runEngine("spsta", c, in, req, scope)
+	s.newScope(rc)
+	tr := rc.scope.Tracer
+	root := tr.NewSpan()
+	rc.scope.Span = root
+	sp, err := s.runEngineSpanned("spsta", c, in, rc)
 	if err != nil {
-		s.fail(w, id, "compare", "compare", t0, err)
+		s.fail(w, rc, "compare", err)
 		return
 	}
-	mc, err := runEngine("mc", c, in, req, scope)
+	mc, err := s.runEngineSpanned("mc", c, in, rc)
 	if err != nil {
-		s.fail(w, id, "compare", "compare", t0, err)
+		s.fail(w, rc, "compare", err)
 		return
 	}
 	resp := &CompareResponse{
-		RequestID: id,
+		RequestID: rc.id,
+		TraceID:   rc.traceID,
 		Circuit:   CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
 		Scenario:  req.Scenario,
+		CostUnits: sp.CostUnits + mc.CostUnits,
 	}
 	for i := range sp.Endpoints {
 		for _, dir := range []string{"rise", "fall"} {
@@ -622,13 +750,18 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 			resp.MaxSigmaDev = max(resp.MaxSigmaDev, row.DSigma)
 		}
 	}
-	s.reg.merge(scope.Snapshot())
+	tr.RecordSpan(root, 0, "POST "+rc.path, "request", 0, rc.t0, time.Since(rc.t0),
+		map[string]any{"request_id": rc.id, "engine": "compare", "cost_units": resp.CostUnits})
+	s.reg.merge(rc.scope.Snapshot())
+	s.reg.cost.observe(resp.CostUnits)
 	s.sample(req)
-	s.reg.observe("compare", time.Since(t0), false)
+	s.reg.observe("compare", time.Since(rc.t0), false)
+	captured := s.flight.record(rc.summary("compare", http.StatusOK, "", resp.CostUnits), rc.scope)
 	s.log.Info("request",
-		"request_id", id, "path", "/v1/compare",
+		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
 		"circuit", resp.Circuit.Name, "status", http.StatusOK,
-		"duration_ms", float64(time.Since(t0).Microseconds())/1e3)
+		"duration_ms", float64(time.Since(rc.t0).Microseconds())/1e3,
+		"cost_units", resp.CostUnits, "captured", captured)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -646,20 +779,66 @@ func (s *Service) sample(req *Request) {
 	s.mu.Unlock()
 }
 
-// fail writes an error response and records it in the RED series.
-func (s *Service) fail(w http.ResponseWriter, id, path, engine string, t0 time.Time, err error) {
+// fail writes an error response, records it in the RED series, and
+// leaves a flight-recorder summary — load-shed requests (429/503)
+// included, with their rejection state and zero cost, so shed traffic
+// stays diagnosable from /debug/requests.
+func (s *Service) fail(w http.ResponseWriter, rc *reqCtx, engine string, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
 	if errors.As(err, &he) {
 		status = he.status
 	}
 	if engine != "" {
-		s.reg.observe(engine, time.Since(t0), true)
+		s.reg.observe(engine, time.Since(rc.t0), true)
 	}
+	var cost int64
+	if m := rc.scope.M(); m != nil {
+		cost = m.CostUnits()
+	}
+	s.flight.record(rc.summary(engine, status, err.Error(), cost), rc.scope)
 	s.log.Error("request failed",
-		"request_id", id, "path", "/v1/"+path, "engine", engine,
+		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path, "engine", engine,
 		"status", status, "error", err.Error())
-	writeJSON(w, status, map[string]string{"request_id": id, "error": err.Error()})
+	writeJSON(w, status, map[string]string{"request_id": rc.id, "trace_id": rc.traceID, "error": err.Error()})
+}
+
+// handleFlightList serves the flight recorder's ring, newest first.
+func (s *Service) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	sums, total := s.flight.list()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total_recorded": total,
+		"requests":       sums,
+	})
+}
+
+// handleFlightGet serves one recorded request: the summary plus, for
+// captured entries, the span tree and metrics snapshot
+// (?format=trace downloads the raw Chrome trace_event JSON instead).
+func (s *Service) handleFlightGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.flight.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "request not in flight recorder"})
+		return
+	}
+	if r.URL.Query().Get("format") == "trace" {
+		if e.tracer == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "request was not captured (below slow threshold)"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", "attachment; filename="+e.sum.ID+".json")
+		_ = e.tracer.WriteJSON(w)
+		return
+	}
+	out := map[string]any{"summary": e.sum}
+	if e.tracer != nil {
+		out["spans"] = e.tracer.Tree()
+	}
+	if e.snap != nil {
+		out["metrics"] = e.snap
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -106,6 +106,66 @@ func TestBenchGuardObsOverhead(t *testing.T) {
 		trials, worst*100)
 }
 
+// TestBenchGuardTracingOverhead enforces the always-on service
+// tracing contract: the scope spstad attaches to every request —
+// metrics registry, coarse tracer, trace ID — must cost no more than
+// 2% over running with observability disabled entirely. The coarse
+// tracer records O(levels) spans, not O(gates), so the span count is
+// bounded by circuit depth regardless of size; the cost counters are
+// plain atomic adds. Same measurement discipline as
+// TestBenchGuardObsOverhead: interleaved min-of-N rounds, three
+// trials, all three must exceed the bound to fail.
+func TestBenchGuardTracingOverhead(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") != "1" {
+		t.Skip("set BENCH_GUARD=1 (or run `make bench-guard`) to measure the service-tracing overhead")
+	}
+	c, in := guardCircuit(t, "s1238")
+	off := core.Analyzer{Workers: 4}
+	traced := &obs.Scope{Metrics: obs.NewMetrics(), Tracer: obs.NewCoarseTracer()}
+	traced.Tracer.SetTraceID(obs.NewTraceID())
+	on := core.Analyzer{Workers: 4, Obs: traced}
+
+	one := func(a *core.Analyzer) time.Duration {
+		t0 := time.Now()
+		if _, err := a.Run(c, in); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	one(&off)
+
+	trial := func() float64 {
+		const rounds = 120
+		minDisabled, minTraced := time.Hour, time.Hour
+		for r := 0; r < rounds; r++ {
+			if d := one(&off); d < minDisabled {
+				minDisabled = d
+			}
+			if d := one(&on); d < minTraced {
+				minTraced = d
+			}
+		}
+		overhead := float64(minTraced-minDisabled) / float64(minDisabled)
+		t.Logf("disabled %v/op, traced %v/op, overhead %+.2f%%",
+			minDisabled, minTraced, overhead*100)
+		return overhead
+	}
+
+	const trials = 3
+	worst := 0.0
+	for i := 0; i < trials; i++ {
+		overhead := trial()
+		if overhead <= 0.02 {
+			return
+		}
+		if overhead > worst {
+			worst = overhead
+		}
+	}
+	t.Errorf("service tracing overhead exceeds the 2%% contract in all %d trials (worst %.2f%%)",
+		trials, worst*100)
+}
+
 // TestBenchGuardPackedSpeedup enforces the packed Monte Carlo
 // engine's throughput contract: on s1196 at 10,000 runs the
 // word-packed engine must be at least 5x faster than the scalar
