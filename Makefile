@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-guard smoke check
+.PHONY: build test bench bench-guard bench-json smoke check
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,22 @@ bench:
 #     the exact engine single-threaded on the widest-fanin cell under
 #     variational delays, with the certificate's error ceiling checked
 #     in the same run.
+#   - TestBenchGuardCoarsenSpeedup: depth-adaptive grid coarsening
+#     (-coarsen auto, DESIGN.md §15) >= 1.5x the same batched analyzer
+#     without coarsening on the two deepest cells at epsilon=1e-4
+#     under variational delays, with every measured deviation checked
+#     against the re-binning certificate in the same run.
 bench-guard:
 	BENCH_GUARD=1 $(GO) test -run TestBenchGuard -v -timeout 20m .
+
+# Regenerate the checked-in benchmark JSON documents (BENCH_spsta.json,
+# BENCH_moment.json, BENCH_mc.json) with the default sweeps, including
+# the spsta engine's -coarsen axis. Run on a quiet machine; the spsta
+# sweep is the long pole.
+bench-json:
+	$(GO) run ./cmd/benchperf -engine spsta -epsilon 0,0.0001 -sigma 0,0.2 -batched on,off -precision f64,f32 -coarsen off,auto
+	$(GO) run ./cmd/benchperf -engine moment -epsilon 0,0.0001 -sigma 0,0.2
+	$(GO) run ./cmd/benchperf -engine mc
 
 # spstad end-to-end smoke: start the service on an ephemeral port,
 # POST an s208 analyze request, scrape /metrics as Prometheus text,

@@ -61,6 +61,12 @@ type (
 	// Precision selects a grid's bin storage precision (float64 by
 	// default, PrecisionF32 for the packed batch mode).
 	Precision = dist.Precision
+	// CoarsenMode selects the discretized analyzer's depth-adaptive
+	// grid-coarsening policy (off by default).
+	CoarsenMode = core.CoarsenMode
+	// CoarsenPolicy configures depth-adaptive grid coarsening: the
+	// mode plus the optional re-binning factor and auto threshold.
+	CoarsenPolicy = core.CoarsenPolicy
 )
 
 // Level-scheduler modes of the discretized analyzer.
@@ -68,6 +74,13 @@ const (
 	BatchAuto = core.BatchAuto
 	BatchOn   = core.BatchOn
 	BatchOff  = core.BatchOff
+)
+
+// Grid-coarsening modes of the discretized analyzer.
+const (
+	CoarsenOff   = core.CoarsenOff
+	CoarsenFixed = core.CoarsenFixed
+	CoarsenAuto  = core.CoarsenAuto
 )
 
 // Grid storage precisions.
@@ -204,6 +217,19 @@ func AnalyzeSPSTAParallel(c *Circuit, inputs map[NodeID]InputStats, workers int)
 // float32-quantized grid (bounded deviation, see DESIGN.md §13).
 func AnalyzeSPSTABatched(c *Circuit, inputs map[NodeID]InputStats, mode BatchMode, prec Precision) (*SPSTAResult, error) {
 	a := core.Analyzer{Batched: mode, Precision: prec}
+	return a.Run(c, inputs)
+}
+
+// AnalyzeSPSTACoarsened runs the discretized SPSTA analyzer with
+// depth-adaptive grid coarsening (DESIGN.md §15): at level boundaries
+// the stored t.o.p. functions are re-binned onto a 2×/4×-coarser grid
+// (policy.Mode fixed or auto), with the re-binning deviation folded
+// into the per-net certificates (SPSTAResult.ConsumedBudget), so deep
+// circuits trade certified accuracy for per-bin kernel work. eps is
+// the usual ε-pruning budget and may be zero; a CoarsenOff policy at
+// eps = 0 is bit-identical to AnalyzeSPSTA.
+func AnalyzeSPSTACoarsened(c *Circuit, inputs map[NodeID]InputStats, eps float64, policy CoarsenPolicy) (*SPSTAResult, error) {
+	a := core.Analyzer{ErrorBudget: eps, Coarsen: policy}
 	return a.Run(c, inputs)
 }
 

@@ -13,7 +13,11 @@
 //
 // The spsta and moment engines additionally sweep the -epsilon list of
 // adaptive-pruning error budgets; each ε>0 cell reports its speedup
-// over the exact ε=0 cell at the same worker count.
+// over the exact ε=0 cell at the same worker count. The spsta engine
+// also sweeps the -coarsen list of depth-adaptive grid-coarsening
+// policies (DESIGN.md §15); each coarsening cell reports its final
+// grid resolution, peak support width, certified deviation budget and
+// speedup over the coarsen=off cell of the same configuration.
 //
 // Measurement is interleaved min-of-N: every variant of a circuit
 // (worker counts, or scalar/packed) is calibrated to a per-round
@@ -74,6 +78,15 @@ type Row struct {
 	// Precision ("f64" or "f32") records the grid storage precision of
 	// an SPSTA cell.
 	Precision string `json:"precision,omitempty"`
+	// Coarsen ("off", "fixed" or "auto") records the depth-adaptive
+	// grid-coarsening policy of an SPSTA cell (DESIGN.md §15).
+	Coarsen string `json:"coarsen,omitempty"`
+	// GridBins is the bin count of the cell's final (possibly
+	// coarsened) grid, and MaxSupportWidth the widest t.o.p. support
+	// (in bins) observed anywhere in the run — together they show what
+	// resolution the deep levels actually ran at.
+	GridBins        int   `json:"grid_bins,omitempty"`
+	MaxSupportWidth int64 `json:"max_support_width,omitempty"`
 	// Engine ("scalar" or "packed") and Runs identify a Monte Carlo
 	// cell.
 	Engine  string  `json:"engine,omitempty"`
@@ -96,6 +109,10 @@ type Row struct {
 	// sequential (batched=off, f64) cell at the same worker count,
 	// budget and sigma.
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	// SpeedupVsNoCoarsen compares a coarsening SPSTA cell to the
+	// coarsen=off cell at the same worker count, budget, sigma and
+	// scheduler mode.
+	SpeedupVsNoCoarsen float64 `json:"speedup_vs_no_coarsen,omitempty"`
 	// PrunedMass and MaxBudget report the pruning certificate of an
 	// ε>0 cell: total mass dropped circuit-wide and the largest per-net
 	// consumed budget.
@@ -142,6 +159,7 @@ func run() error {
 	sigmaList := flag.String("sigma", "0", "comma-separated gate-delay sigmas to sweep (-engine spsta/moment); 0 is deterministic unit delay, >0 selects variational N(1, sigma^2) delays")
 	batchedList := flag.String("batched", "on", "comma-separated level-scheduler modes to sweep (-engine spsta): on (batched slabs), off (sequential per-gate)")
 	precisionList := flag.String("precision", "f64", "comma-separated grid precisions to sweep (-engine spsta): f64, f32; the off×f32 combination is skipped (the packed mode is a batch-scheduler feature)")
+	coarsenList := flag.String("coarsen", "off", "comma-separated grid-coarsening policies to sweep (-engine spsta): off, fixed, auto (DESIGN.md §15)")
 	circuitsList := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	runs := flag.Int("runs", 10000, "Monte Carlo runs per op (-engine mc)")
 	minTime := flag.Duration("mintime", 200*time.Millisecond, "minimum total measurement time per (circuit, variant) cell")
@@ -200,7 +218,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		f.Benchmarks, err = benchAnalyzer(*engine, circuits, workers, epsilons, sigmas, modes, *minTime, *rounds, *withMetrics)
+		coarsens, err := parseCoarsens(*engine, *coarsenList)
+		if err != nil {
+			return err
+		}
+		f.Benchmarks, err = benchAnalyzer(*engine, circuits, workers, epsilons, sigmas, modes, coarsens, *minTime, *rounds, *withMetrics)
 		if err != nil {
 			return err
 		}
@@ -287,6 +309,34 @@ func parseModes(engine, batchedList, precisionList string) ([]schedMode, error) 
 	return out, nil
 }
 
+// parseCoarsens builds the coarsening-policy axis of the spsta sweep.
+// The moment engine runs on analytic moments, not grids, and accepts
+// only the off default.
+func parseCoarsens(engine, list string) ([]core.CoarsenMode, error) {
+	if engine == "moment" {
+		if list != "off" {
+			return nil, fmt.Errorf("-coarsen applies to -engine spsta only")
+		}
+		return []core.CoarsenMode{core.CoarsenOff}, nil
+	}
+	var out []core.CoarsenMode
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := core.ParseCoarsenMode(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -coarsen list")
+	}
+	return out, nil
+}
+
 func (m schedMode) batchMode() core.BatchMode {
 	if m.batched {
 		return core.BatchAuto
@@ -304,19 +354,25 @@ func (m schedMode) label() string {
 // benchAnalyzer sweeps worker counts × pruning budgets × scheduler
 // modes per circuit for the spsta (discretized t.o.p.) or moment
 // (analytic moment-matching) engine, all variants interleaved.
-func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, epsilons, sigmas []float64, modes []schedMode, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
+func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, epsilons, sigmas []float64, modes []schedMode, coarsens []core.CoarsenMode, minTime time.Duration, rounds int, withMetrics bool) ([]Row, error) {
 	type cell struct {
-		eps   float64
-		sigma float64
-		w     int
-		mode  schedMode
+		eps     float64
+		sigma   float64
+		w       int
+		mode    schedMode
+		coarsen core.CoarsenMode
+	}
+	analyzerFor := func(cl cell) *core.Analyzer {
+		return &core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma),
+			Batched: cl.mode.batchMode(), Precision: cl.mode.prec,
+			Coarsen: core.CoarsenPolicy{Mode: cl.coarsen}}
 	}
 	runOnce := func(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cl cell) error {
 		if engine == "moment" {
 			_, err := (&core.MomentTiming{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
 			return err
 		}
-		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma), Batched: cl.mode.batchMode(), Precision: cl.mode.prec}).Run(c, in)
+		res, err := analyzerFor(cl).Run(c, in)
 		if err != nil {
 			return err
 		}
@@ -324,7 +380,7 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 		return nil
 	}
 	// certificate reruns the cell once (deterministically) outside the
-	// timed loop to extract the pruning certificate.
+	// timed loop to extract the pruning / re-binning certificate.
 	certificate := func(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cl cell) (pruned, budget float64, err error) {
 		if engine == "moment" {
 			res, err := (&core.MomentTiming{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma)}).Run(c, in)
@@ -333,11 +389,29 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 			}
 			return res.TotalPrunedMass(), res.MaxConsumedBudget(), nil
 		}
-		res, err := (&core.Analyzer{Workers: cl.w, ErrorBudget: cl.eps, Delay: delayFor(cl.sigma), Batched: cl.mode.batchMode(), Precision: cl.mode.prec}).Run(c, in)
+		res, err := analyzerFor(cl).Run(c, in)
 		if err != nil {
 			return 0, 0, err
 		}
 		return res.TotalPrunedMass(), res.MaxConsumedBudget(), nil
+	}
+	// gridProbe reruns an spsta cell once with metrics enabled and
+	// reports the final (possibly coarsened) grid resolution, the peak
+	// t.o.p. support width, and the full snapshot (reused as the
+	// -metrics embed). It runs outside the timed loop so NsPerOp stays
+	// uninstrumented.
+	gridProbe := func(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, cl cell) (int, int64, *obs.Snapshot, error) {
+		scope := obs.NewScope()
+		a := analyzerFor(cl)
+		a.Obs = scope
+		res, err := a.Run(c, in)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		bins := res.Grid.N
+		res.Recycle()
+		snap := scope.Snapshot()
+		return bins, snap.Grid.SupportWidthPeak, snap, nil
 	}
 	var out []Row
 	for _, c := range circuits {
@@ -348,7 +422,9 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 			for _, e := range epsilons {
 				for _, w := range workers {
 					for _, md := range modes {
-						cells = append(cells, cell{e, s, w, md})
+						for _, cm := range coarsens {
+							cells = append(cells, cell{e, s, w, md, cm})
+						}
 					}
 				}
 			}
@@ -358,7 +434,7 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 			cl := cl
 			name := fmt.Sprintf("workers=%d eps=%g sigma=%g", cl.w, cl.eps, cl.sigma)
 			if engine != "moment" {
-				name += fmt.Sprintf(" batched=%s prec=%s", cl.mode.label(), cl.mode.prec)
+				name += fmt.Sprintf(" batched=%s prec=%s coarsen=%s", cl.mode.label(), cl.mode.prec, cl.coarsen)
 			}
 			vs[i] = variant{
 				name: name,
@@ -372,28 +448,40 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 		type baseKey struct {
 			eps, sigma float64
 			mode       schedMode
+			coarsen    core.CoarsenMode
 		}
 		type exactKey struct {
-			w     int
-			sigma float64
-			mode  schedMode
+			w       int
+			sigma   float64
+			mode    schedMode
+			coarsen core.CoarsenMode
 		}
 		type seqKey struct {
 			w          int
 			eps, sigma float64
+			coarsen    core.CoarsenMode
 		}
-		base := make(map[baseKey]float64)   // (ε, σ, mode) → workers=1 ns/op
-		exact := make(map[exactKey]float64) // (workers, σ, mode) → ε=0 ns/op
-		seq := make(map[seqKey]float64)     // (workers, ε, σ) → sequential f64 ns/op
+		type fineKey struct {
+			w          int
+			eps, sigma float64
+			mode       schedMode
+		}
+		base := make(map[baseKey]float64)   // (ε, σ, mode, coarsen) → workers=1 ns/op
+		exact := make(map[exactKey]float64) // (workers, σ, mode, coarsen) → ε=0 ns/op
+		seq := make(map[seqKey]float64)     // (workers, ε, σ, coarsen) → sequential f64 ns/op
+		fine := make(map[fineKey]float64)   // (workers, ε, σ, mode) → coarsen=off ns/op
 		for i, cl := range cells {
 			if cl.w == 1 {
-				base[baseKey{cl.eps, cl.sigma, cl.mode}] = mins[i]
+				base[baseKey{cl.eps, cl.sigma, cl.mode, cl.coarsen}] = mins[i]
 			}
 			if cl.eps == 0 {
-				exact[exactKey{cl.w, cl.sigma, cl.mode}] = mins[i]
+				exact[exactKey{cl.w, cl.sigma, cl.mode, cl.coarsen}] = mins[i]
 			}
 			if !cl.mode.batched && cl.mode.prec == dist.F64 {
-				seq[seqKey{cl.w, cl.eps, cl.sigma}] = mins[i]
+				seq[seqKey{cl.w, cl.eps, cl.sigma, cl.coarsen}] = mins[i]
+			}
+			if cl.coarsen == core.CoarsenOff {
+				fine[fineKey{cl.w, cl.eps, cl.sigma, cl.mode}] = mins[i]
 			}
 		}
 		for i, cl := range cells {
@@ -411,10 +499,11 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 			if engine != "moment" {
 				row.Batched = cl.mode.label()
 				row.Precision = cl.mode.prec.String()
+				row.Coarsen = cl.coarsen.String()
 			}
-			if cl.w != 1 && base[baseKey{cl.eps, cl.sigma, cl.mode}] > 0 {
-				row.SpeedupV1 = base[baseKey{cl.eps, cl.sigma, cl.mode}] / mins[i]
-				if inlined, err := allInline(engine, c, in, cl.w, cl.eps, cl.sigma, cl.mode); err != nil {
+			if cl.w != 1 && base[baseKey{cl.eps, cl.sigma, cl.mode, cl.coarsen}] > 0 {
+				row.SpeedupV1 = base[baseKey{cl.eps, cl.sigma, cl.mode, cl.coarsen}] / mins[i]
+				if inlined, err := allInline(engine, c, in, cl.w, cl.eps, cl.sigma, cl.mode, cl.coarsen); err != nil {
 					return nil, err
 				} else if inlined {
 					// Identical instruction stream as workers=1: the
@@ -425,9 +514,11 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 				}
 			}
 			if cl.eps > 0 {
-				if e := exact[exactKey{cl.w, cl.sigma, cl.mode}]; e > 0 {
+				if e := exact[exactKey{cl.w, cl.sigma, cl.mode, cl.coarsen}]; e > 0 {
 					row.SpeedupVsExact = e / mins[i]
 				}
+			}
+			if cl.eps > 0 || cl.coarsen != core.CoarsenOff {
 				pruned, budget, err := certificate(c, in, cl)
 				if err != nil {
 					return nil, fmt.Errorf("%s %s: %w", c.Name, vs[i].name, err)
@@ -435,11 +526,27 @@ func benchAnalyzer(engine string, circuits []*netlist.Circuit, workers []int, ep
 				row.PrunedMass, row.MaxBudget = pruned, budget
 			}
 			if cl.mode.batched {
-				if s := seq[seqKey{cl.w, cl.eps, cl.sigma}]; s > 0 {
+				if s := seq[seqKey{cl.w, cl.eps, cl.sigma, cl.coarsen}]; s > 0 {
 					row.SpeedupVsSequential = s / mins[i]
 				}
 			}
-			if withMetrics {
+			if cl.coarsen != core.CoarsenOff {
+				if f := fine[fineKey{cl.w, cl.eps, cl.sigma, cl.mode}]; f > 0 {
+					row.SpeedupVsNoCoarsen = f / mins[i]
+				}
+			}
+			if engine != "moment" {
+				bins, widest, snap, err := gridProbe(c, in, cl)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", c.Name, vs[i].name, err)
+				}
+				row.GridBins = bins
+				row.MaxSupportWidth = widest
+				if withMetrics {
+					row.Metrics = snap
+					row.CostUnits = snap.Cost.Total
+				}
+			} else if withMetrics {
 				snap, err := snapshotAnalyzer(engine, c, in, cl.w, cl.eps, cl.sigma, cl.mode)
 				if err != nil {
 					return nil, fmt.Errorf("%s %s: %w", c.Name, vs[i].name, err)
@@ -595,14 +702,15 @@ func measureInterleaved(vs []variant, minTime time.Duration, rounds int) ([]floa
 // allInline reports whether an instrumented Run with the given worker
 // count dispatched no level to the pool (every gate was attributed to
 // worker 0 by the cost-aware serial fallback).
-func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64, mode schedMode) (bool, error) {
+func allInline(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, w int, eps, sigma float64, mode schedMode, coarsen core.CoarsenMode) (bool, error) {
 	scope := obs.NewScope()
 	m := scope.Metrics
 	var err error
 	if engine == "moment" {
 		_, err = (&core.MomentTiming{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Obs: scope}).Run(c, in)
 	} else {
-		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Batched: mode.batchMode(), Precision: mode.prec, Obs: scope}).Run(c, in)
+		_, err = (&core.Analyzer{Workers: w, ErrorBudget: eps, Delay: delayFor(sigma), Batched: mode.batchMode(), Precision: mode.prec,
+			Coarsen: core.CoarsenPolicy{Mode: coarsen}, Obs: scope}).Run(c, in)
 	}
 	if err != nil {
 		return false, err

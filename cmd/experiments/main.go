@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -37,10 +38,16 @@ func run() error {
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all nine)")
 	packed := flag.Bool("packed", true, "use the word-packed bit-parallel Monte Carlo engine (bit-identical to -packed=false for the same seed and workers)")
 	epsilon := flag.Float64("epsilon", 0, "SPSTA per-net adaptive-pruning error budget (0 = exact); reported probabilities deviate from exact by at most the consumed budget")
+	coarsen := flag.String("coarsen", "off", "SPSTA depth-adaptive grid coarsening: off, fixed or auto (re-binning deviation is folded into the consumed budget; DESIGN.md \u00a715)")
 	metricsOut := flag.String("metrics", "", "write an aggregated engine-metrics snapshot of every run as JSON to this file (- for stdout)")
 	flag.Parse()
 
-	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers, Packed: *packed, Epsilon: *epsilon}
+	cmode, err := core.ParseCoarsenMode(*coarsen)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{MCRuns: *runs, Seed: *seed, Workers: *workers, Packed: *packed, Epsilon: *epsilon,
+		Coarsen: core.CoarsenPolicy{Mode: cmode}}
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
@@ -51,7 +58,6 @@ func run() error {
 
 	needTables := *what == "all" || *what == "table2" || *what == "table3" || *what == "summary"
 	var analysesI, analysesII []experiments.Analysis
-	var err error
 	if needTables {
 		if analysesI, err = experiments.RunAll(cfg, experiments.ScenarioI); err != nil {
 			return err

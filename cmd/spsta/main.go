@@ -60,6 +60,8 @@ func run() error {
 	epsilon := flag.Float64("epsilon", 0, "per-net error budget for adaptive pruning in the spsta and spsta-moments engines (0 = exact; results deviate from the exact run by at most the consumed budget reported per net)")
 	batched := flag.Bool("batched", true, "use the batched level scheduler in the spsta engine (struct-of-arrays slabs, shared delay kernels; bit-identical to -batched=false on float64 grids)")
 	precision := flag.String("precision", "f64", "spsta grid precision: f64 (exact) or f32 (packed batch kernels with bounded deviation; see DESIGN.md §13)")
+	coarsen := flag.String("coarsen", "off", "depth-adaptive grid coarsening in the spsta engine: off, fixed (re-bin 2x once at the first level boundary) or auto (re-bin whenever supports outgrow the threshold); the re-binning deviation is folded into the per-net consumed budget (DESIGN.md §15)")
+	coarsenFactor := flag.Int("coarsen-factor", 0, "re-binning factor for -coarsen fixed/auto: 2 or 4 (0 = default 2)")
 	costFlag := flag.Bool("cost", false, "report per-engine deterministic work-unit cost (DESIGN.md §14) in the -analyzer all footer (enables the metrics scope)")
 	metricsOut := flag.String("metrics", "", "append a JSON engine-metrics snapshot to the run report: - for stdout, or a file path")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the level schedule to this file (open in chrome://tracing or Perfetto)")
@@ -142,10 +144,18 @@ func run() error {
 	if prec == dist.F32 && mode == core.BatchOff {
 		return fmt.Errorf("-precision f32 requires the batched scheduler (drop -batched=false)")
 	}
+	cmode, err := core.ParseCoarsenMode(*coarsen)
+	if err != nil {
+		return err
+	}
+	pol := core.CoarsenPolicy{Mode: cmode, Factor: *coarsenFactor}
+	if err := pol.Validate(); err != nil {
+		return err
+	}
 	dispatch := func() error {
 		switch *analyzer {
 		case "spsta":
-			_, err := runSPSTA(c, in, targets, *workers, *epsilon, delay, mode, prec, scope)
+			_, err := runSPSTA(c, in, targets, *workers, *epsilon, delay, mode, prec, pol, scope)
 			return err
 		case "spsta-moments":
 			_, err := runSPSTAMoments(c, in, targets, *workers, *epsilon, delay, scope)
@@ -163,7 +173,7 @@ func run() error {
 		case "yield":
 			return runYield(c, in, *workers, delay, scope)
 		case "all":
-			return runAll(c, in, targets, *runs, *seed, *workers, *packed, *epsilon, delay, mode, prec, scope)
+			return runAll(c, in, targets, *runs, *seed, *workers, *packed, *epsilon, delay, mode, prec, pol, scope)
 		}
 		return fmt.Errorf("unknown analyzer %q", *analyzer)
 	}
@@ -187,13 +197,13 @@ type pruneStats struct {
 // with per-engine wall time, the peak HeapAlloc growth observed while
 // the engine ran (sampled concurrently), and — for the pruning-capable
 // SPSTA engines — the total pruned mass and max consumed error budget.
-func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, epsilon float64, delay ssta.DelayModel, mode core.BatchMode, prec dist.Precision, scope *obs.Scope) error {
+func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, runs int, seed int64, workers int, packed bool, epsilon float64, delay ssta.DelayModel, mode core.BatchMode, prec dist.Precision, pol core.CoarsenPolicy, scope *obs.Scope) error {
 	engines := []struct {
 		name string
 		f    func() (pruneStats, error)
 	}{
 		{"spsta", func() (pruneStats, error) {
-			return runSPSTA(c, in, targets, workers, epsilon, delay, mode, prec, scope)
+			return runSPSTA(c, in, targets, workers, epsilon, delay, mode, prec, pol, scope)
 		}},
 		{"spsta-moments", func() (pruneStats, error) { return runSPSTAMoments(c, in, targets, workers, epsilon, delay, scope) }},
 		{"ssta", func() (pruneStats, error) { return pruneStats{}, runSSTA(c, in, targets, delay) }},
@@ -239,11 +249,14 @@ func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 	if err := footer.Render(os.Stdout); err != nil {
 		return err
 	}
-	// Batch-scheduler counters, when a metrics scope is live: how many
-	// nets the batched levels carried, how the FFT plan cache fared and
-	// how much slab storage the runs reused.
+	// Batch-scheduler and grid counters, when a metrics scope is live:
+	// how many nets the batched levels carried, how the FFT plan cache
+	// fared, how much slab storage the runs reused, and the peak
+	// support/storage footprint alongside any re-binning the coarsening
+	// policy performed.
 	if m := scope.M(); m != nil {
-		b := m.Snapshot().Batch
+		snap := m.Snapshot()
+		b := snap.Batch
 		var levels, nets int64
 		for _, bk := range b.NetsHist {
 			levels += bk.Count
@@ -251,6 +264,9 @@ func runAll(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets 
 		}
 		fmt.Printf("\nbatch kernels: %d levels batched (>=%d nets), fft plans %d hit / %d miss, %s slab reuse\n",
 			levels, nets, b.FFTPlanHits, b.FFTPlanMisses, formatBytes(uint64(b.SlabBytesReused)))
+		g := snap.Grid
+		fmt.Printf("grid: peak support %d bins, peak slab %s, %d re-bin boundaries (%d rebins, deviation %.3g)\n",
+			g.SupportWidthPeak, formatBytes(uint64(g.SlabBytesPeak)), g.RebinLevels, g.RebinCalls, g.RebinDeviation)
 	}
 	return nil
 }
@@ -405,8 +421,8 @@ func targetNets(c *netlist.Circuit, net string) ([]netlist.NodeID, error) {
 	return []netlist.NodeID{n.ID}, nil
 }
 
-func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel, mode core.BatchMode, prec dist.Precision, scope *obs.Scope) (pruneStats, error) {
-	a := core.Analyzer{Workers: workers, Delay: delay, ErrorBudget: epsilon, Batched: mode, Precision: prec, Obs: scope}
+func runSPSTA(c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, targets []netlist.NodeID, workers int, epsilon float64, delay ssta.DelayModel, mode core.BatchMode, prec dist.Precision, pol core.CoarsenPolicy, scope *obs.Scope) (pruneStats, error) {
+	a := core.Analyzer{Workers: workers, Delay: delay, ErrorBudget: epsilon, Batched: mode, Precision: prec, Coarsen: pol, Obs: scope}
 	res, err := a.Run(c, in)
 	if err != nil {
 		return pruneStats{}, err

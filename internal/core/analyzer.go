@@ -114,6 +114,13 @@ type Analyzer struct {
 	// are quantized to float32 and the batch convolution streams the
 	// packed mirror. An explicit Grid carries its own Precision tag.
 	Precision dist.Precision
+	// Coarsen configures depth-adaptive grid coarsening (DESIGN.md
+	// §15): at level boundaries the stored t.o.p. functions are
+	// re-binned onto a 2×/4×-coarser grid with a certified deviation
+	// bound folded into each net's Budget. The zero value (CoarsenOff)
+	// keeps the whole analysis on one grid, bit-identical to the
+	// single-resolution engine.
+	Coarsen CoarsenPolicy
 }
 
 // DefaultAnalyzerSerialCutoff is the default serial-fallback
@@ -192,6 +199,14 @@ type runCtx struct {
 	// when eps > 0).
 	eps   float64
 	empty *dist.PMF
+	// certify is true when the run maintains the per-net Budget
+	// certificates: under ε-pruning, and under grid coarsening even at
+	// ε=0 (the re-binning deviation must still flow fanin→fanout).
+	certify bool
+	// coarsen is the run's grid-coarsening policy; coarsened records
+	// that a fixed-mode boundary already fired.
+	coarsen   CoarsenPolicy
+	coarsened bool
 	// arena backs the stored t.o.p. functions of a full Run (nil for
 	// single-node recomputation, which falls back to NewPMF).
 	arena *dist.Arena
@@ -215,6 +230,9 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 	maxParity := a.MaxParityFanin
 	if maxParity == 0 {
 		maxParity = DefaultMaxParityFanin
+	}
+	if err := a.Coarsen.Validate(); err != nil {
+		return nil, err
 	}
 	delay := a.Delay
 	if delay == nil {
@@ -259,9 +277,11 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 	}
 	rc := &runCtx{
 		grid: grid, delay: delay, maxParity: maxParity, kernels: res.kernels,
-		eps:   a.ErrorBudget,
-		arena: dist.NewArena(grid, 2*len(c.Nodes)),
-		met:   a.Obs.M(),
+		eps:     a.ErrorBudget,
+		certify: a.ErrorBudget > 0 || a.Coarsen.Mode != CoarsenOff,
+		coarsen: a.Coarsen,
+		arena:   dist.NewArena(grid, 2*len(c.Nodes)),
+		met:     a.Obs.M(),
 	}
 	res.arena = rc.arena
 	if rc.eps > 0 {
@@ -273,9 +293,11 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 		cutoff = DefaultAnalyzerSerialCutoff
 	}
 	// Per-gate work scales with the number of fanin t.o.p. functions
-	// combined and the width of the shared grid they live on.
+	// combined and the width of the grid they currently live on
+	// (rc.grid, not the captured launch grid — coarsening narrows it
+	// mid-run).
 	cost := func(id netlist.NodeID) int64 {
-		return int64(len(c.Nodes[id].Fanin)+1) * int64(grid.N)
+		return int64(len(c.Nodes[id].Fanin)+1) * int64(rc.grid.N)
 	}
 	if rc.eps > 0 {
 		// Post-pruning estimate: the kernels only visit the union of
@@ -285,7 +307,7 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 		// so reading them here is race-free.
 		cost = func(id netlist.NodeID) int64 {
 			n := c.Nodes[id]
-			lo, hi := grid.N, 0
+			lo, hi := rc.grid.N, 0
 			for _, f := range n.Fanin {
 				for d := range res.State[f].TOP {
 					if top := res.State[f].TOP[d]; top != nil {
@@ -307,19 +329,42 @@ func (a *Analyzer) Run(c *netlist.Circuit, inputs map[netlist.NodeID]logic.Input
 			return int64(len(n.Fanin)+1) * int64(w)
 		}
 	}
+	node := func(id netlist.NodeID) error {
+		if err := a.computeNode(res, id, inputs, rc); err != nil {
+			return err
+		}
+		if exact != nil {
+			correctToExact(&res.State[id], exact[id])
+		}
+		return nil
+	}
 	var err error
-	if a.Batched.On() {
+	switch {
+	case a.Batched.On():
 		err = a.runBatched(res, c, inputs, rc, exact, resolveWorkers(a.Workers), cost, cutoff)
-	} else {
-		err = runLevels(a.Obs.M(), a.Obs.T(), a.Obs.SpanID(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, func(id netlist.NodeID) error {
-			if err := a.computeNode(res, id, inputs, rc); err != nil {
-				return err
+	case a.Coarsen.Mode != CoarsenOff:
+		// Escape-hatch parity: -batched=false under coarsening follows
+		// the same boundary policy as the batch scheduler by walking
+		// the schedule one level per runLevels call with maybeCoarsen
+		// between the calls. Per-level spans and metrics then label
+		// every level L0 — an accepted observability degradation on
+		// this path; results are identical to the batched run.
+		levels := c.Levelize()
+		for li, level := range levels {
+			if m := rc.met; m != nil {
+				m.GridBinsPerLevel.Observe(rc.grid.N)
 			}
-			if exact != nil {
-				correctToExact(&res.State[id], exact[id])
+			err = runLevels(a.Obs.M(), a.Obs.T(), a.Obs.SpanID(), resolveWorkers(a.Workers),
+				[][]netlist.NodeID{level}, len(c.Nodes), name, cost, cutoff, node)
+			if err != nil {
+				break
 			}
-			return nil
-		})
+			if li < len(levels)-1 {
+				rc.maybeCoarsen(res, level)
+			}
+		}
+	default:
+		err = runLevels(a.Obs.M(), a.Obs.T(), a.Obs.SpanID(), resolveWorkers(a.Workers), c.Levelize(), len(c.Nodes), name, cost, cutoff, node)
 	}
 	if err != nil {
 		return nil, err
@@ -349,7 +394,14 @@ func (a *Analyzer) ComputeNode(res *Result, id netlist.NodeID, inputs map[netlis
 	}
 	// Incremental recomputation records into the scope the result was
 	// built with: res.Grid carries the registry Run attached.
-	rc := &runCtx{grid: res.Grid, delay: delay, maxParity: maxParity, kernels: res.kernels, eps: a.ErrorBudget, met: res.Grid.Metrics()}
+	rc := &runCtx{
+		grid: res.Grid, delay: delay, maxParity: maxParity, kernels: res.kernels,
+		eps: a.ErrorBudget, met: res.Grid.Metrics(),
+		// Single-node recomputation replays the fanin budget sums the
+		// original run performed (the grid never changes here, so the
+		// coarsening policy itself stays idle).
+		certify: a.ErrorBudget > 0 || a.Coarsen.Mode != CoarsenOff,
+	}
 	if rc.eps > 0 {
 		rc.empty = dist.NewPMF(res.Grid)
 	}
@@ -390,16 +442,19 @@ func (a *Analyzer) computeNode(res *Result, id netlist.NodeID, inputs map[netlis
 		if err := a.gate(res, n, rc); err != nil {
 			return err
 		}
-		if rc.eps > 0 {
+		if rc.certify {
 			// Cumulative certificate: the gate's probability map is
 			// multilinear in its fanin probabilities with coefficients
 			// in [0,1], so fanin deviation bounds add. gate() stored
-			// the local bound; fanins are final (earlier levels).
+			// the local bound (zero at ε=0, where only re-binning
+			// deviations flow through); fanins are final (earlier
+			// levels).
 			for _, f := range n.Fanin {
 				st.Budget += res.State[f].Budget
 			}
 		}
 	}
+	recordSupportPeak(rc.met, st)
 	return nil
 }
 

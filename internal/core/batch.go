@@ -175,6 +175,9 @@ func (a *Analyzer) runBatched(res *Result, c *netlist.Circuit, inputs map[netlis
 			lid = tr.NewSpan()
 			cost0 = m.CostUnits()
 		}
+		if m != nil {
+			m.GridBinsPerLevel.Observe(rc.grid.N)
+		}
 		if err := bx.runLevel(level, lw, tr, lid); err != nil {
 			return err
 		}
@@ -183,6 +186,14 @@ func (a *Analyzer) runBatched(res *Result, c *netlist.Circuit, inputs map[netlis
 				m.AddWorkerChunk(0, len(level), int64(time.Since(lt0)))
 			}
 			recordLevel(m, tr, parent, lid, li, len(level), lt0, m.CostUnits()-cost0)
+		}
+		// Level boundary: the coarsening policy may re-bin every stored
+		// t.o.p. onto a coarser grid (all workers have hit the barrier;
+		// slab rows are dead between levels, so the staging slab is
+		// simply swapped for a coarse one).
+		if li < len(levels)-1 && rc.maybeCoarsen(res, level) && bx.slab != nil {
+			bx.slab.Recycle()
+			bx.slab = dist.NewSlab(rc.grid, 2*maxBatch)
 		}
 	}
 	return nil
@@ -253,10 +264,17 @@ func (bx *batchExec) runLevel(level []netlist.NodeID, workers int, tr *obs.Trace
 	}
 
 	// Phase T: ε trims, certificates and the exact correction, in
-	// level order (cheap scalar work; serial keeps it simple).
-	if bx.rc.eps > 0 || bx.exact != nil {
+	// level order (cheap scalar work; serial keeps it simple). The
+	// certificate sums run whenever the run certifies — including
+	// ε=0 coarsened runs, where only re-binning deviations flow.
+	if bx.rc.certify || bx.exact != nil {
 		for _, bi := range bx.batch {
 			bx.phaseT(&bx.recs[bi])
+		}
+	}
+	if m != nil {
+		for _, bi := range bx.batch {
+			recordSupportPeak(m, &bx.res.State[bx.recs[bi].id])
 		}
 	}
 
@@ -457,8 +475,11 @@ func (bx *batchExec) runGroup(g *delayGroup, workers int) {
 		return
 	}
 	kernel := rc.kernels.FromNormal(g.d)
-	if bx.plan == nil {
-		bx.plan = dist.NewConvPlan(rc.grid)
+	if bx.plan == nil || !bx.plan.Grid().Equal(rc.grid) {
+		// Per-geometry plan cache: each resolution level builds (or
+		// shares) its split tables once, so coarsening never pays the
+		// plan construction per level.
+		bx.plan = dist.PlanFor(rc.grid)
 	}
 	if f32 {
 		bx.k32 = dist.KernelF32(kernel, bx.k32)
@@ -490,6 +511,8 @@ func (bx *batchExec) phaseT(rec *batchRec) {
 			st.P[boolVal(!rec.ncdOut)] = clampProb(1 - rec.pNCD - st.P[logic.Rise] - st.P[logic.Fall])
 			st.Budget = st.PrunedMass
 		}
+	}
+	if rc.certify {
 		for _, f := range res.C.Nodes[rec.id].Fanin {
 			st.Budget += res.State[f].Budget
 		}

@@ -1,0 +1,226 @@
+// Depth-adaptive grid coarsening (DESIGN.md §15). As pruned t.o.p.
+// supports widen with circuit depth, the per-bin kernels pay for
+// resolution the deep levels no longer need: the launch-point shapes
+// were discretized at dt = 1/16, but after a dozen unit-delay
+// convolutions the distributions are many σ wide and a 2× or 4×
+// coarser grid represents them essentially as well for half (or a
+// quarter) of the bin work. The scheduler therefore re-bins every
+// stored t.o.p. function onto a coarser grid at a level boundary —
+// between the barrier of one level and the first gate of the next,
+// when no worker is running — and continues the analysis entirely on
+// the coarse grid: the kernel cache re-discretizes delay kernels once
+// per resolution level, the FFT/convolution plans come from the
+// per-geometry plan cache, and the slab/arena storage is retargeted.
+//
+// Re-binning is certified like ε-pruning: dist.Rebin conserves mass
+// exactly and returns the Kolmogorov-distance bound (the largest
+// single coarse-bin mass), which maybeCoarsen folds into every net's
+// cumulative Budget so ConsumedBudget / MaxConsumedBudget remain
+// sound deviation certificates. With Coarsen off the analysis never
+// touches any of this and stays bit-identical to the single-grid
+// engine.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// CoarsenMode selects the multi-resolution grid policy of
+// Analyzer.Run.
+type CoarsenMode int
+
+const (
+	// CoarsenOff (the zero value) keeps the whole analysis on one
+	// grid — bit-identical to the pre-§15 engine.
+	CoarsenOff CoarsenMode = iota
+	// CoarsenFixed re-bins once, at the first level boundary, by the
+	// configured factor — the predictable policy for benchmarking the
+	// re-binning machinery itself.
+	CoarsenFixed
+	// CoarsenAuto re-bins at a level boundary whenever the finished
+	// level's widest t.o.p. support exceeds the threshold (in bins),
+	// repeatedly if supports keep widening — the adaptive default for
+	// deep circuits.
+	CoarsenAuto
+)
+
+// String returns the CLI spelling of the mode.
+func (m CoarsenMode) String() string {
+	switch m {
+	case CoarsenOff:
+		return "off"
+	case CoarsenFixed:
+		return "fixed"
+	case CoarsenAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("CoarsenMode(%d)", int(m))
+}
+
+// ParseCoarsenMode parses the CLI spelling of a coarsening mode; the
+// empty string selects CoarsenOff.
+func ParseCoarsenMode(s string) (CoarsenMode, error) {
+	switch s {
+	case "", "off":
+		return CoarsenOff, nil
+	case "fixed":
+		return CoarsenFixed, nil
+	case "auto":
+		return CoarsenAuto, nil
+	}
+	return CoarsenOff, fmt.Errorf("core: unknown coarsen mode %q (want off, fixed or auto)", s)
+}
+
+// DefaultCoarsenFactor is the per-boundary re-binning factor when
+// CoarsenPolicy.Factor is zero.
+const DefaultCoarsenFactor = 2
+
+// DefaultCoarsenThreshold is the auto-mode support-width trigger (in
+// bins) when CoarsenPolicy.Threshold is zero: 1.5× the bin width of
+// the widest launch kernel on the default dt=1/16 grid, so auto never
+// fires before convolution growth actually widens the supports.
+const DefaultCoarsenThreshold = 96
+
+// CoarsenPolicy configures depth-adaptive grid coarsening.
+type CoarsenPolicy struct {
+	// Mode selects the policy (off, fixed, auto).
+	Mode CoarsenMode
+	// Factor is the per-boundary coarsening factor: 2 or 4 (0 selects
+	// DefaultCoarsenFactor). Other values are rejected by Run.
+	Factor int
+	// Threshold is the auto-mode trigger: a boundary coarsens when
+	// the finished level's max t.o.p. support width exceeds this many
+	// bins (0 selects DefaultCoarsenThreshold). Ignored by the other
+	// modes.
+	Threshold int
+}
+
+// Validate rejects malformed policies; Run calls it, and the CLI /
+// service layers call it early to fail requests before any work.
+func (p CoarsenPolicy) Validate() error {
+	switch p.Mode {
+	case CoarsenOff, CoarsenFixed, CoarsenAuto:
+	default:
+		return fmt.Errorf("core: invalid coarsen mode %d", int(p.Mode))
+	}
+	switch p.Factor {
+	case 0, 2, 4:
+	default:
+		return fmt.Errorf("core: coarsen factor %d (want 2 or 4)", p.Factor)
+	}
+	if p.Threshold < 0 {
+		return fmt.Errorf("core: coarsen threshold %d < 0", p.Threshold)
+	}
+	return nil
+}
+
+// factor resolves the effective re-binning factor.
+func (p CoarsenPolicy) factor() int {
+	if p.Factor == 0 {
+		return DefaultCoarsenFactor
+	}
+	return p.Factor
+}
+
+// threshold resolves the effective auto trigger.
+func (p CoarsenPolicy) threshold() int {
+	if p.Threshold == 0 {
+		return DefaultCoarsenThreshold
+	}
+	return p.Threshold
+}
+
+// maxSupportWidth returns the widest t.o.p. support (in bins) among
+// the given nets' stored directions. The nets are final (their level's
+// barrier has passed), so the scan is race-free and deterministic.
+func maxSupportWidth(res *Result, level []netlist.NodeID) int {
+	w := 0
+	for _, id := range level {
+		for d := range res.State[id].TOP {
+			if top := res.State[id].TOP[d]; top != nil {
+				if lo, hi := top.Support(); hi-lo > w {
+					w = hi - lo
+				}
+			}
+		}
+	}
+	return w
+}
+
+// maybeCoarsen runs on the scheduling goroutine at a level boundary
+// (after the barrier of `level`, before the next level's first gate;
+// never after the last level) and applies the run's coarsening
+// policy. When it fires, every stored t.o.p. function in res is
+// re-binned in place onto the factor×-coarser grid, each net's Budget
+// absorbs its rise+fall deviation bounds (PrunedMass is untouched —
+// no occurrence mass is removed, only displaced within a bin group),
+// and the run context, result grid, kernel cache, arena and shared
+// empty PMF are retargeted so everything downstream lives on the
+// coarse grid. Reports whether the grid changed.
+func (rc *runCtx) maybeCoarsen(res *Result, level []netlist.NodeID) bool {
+	pol := rc.coarsen
+	switch pol.Mode {
+	case CoarsenOff:
+		return false
+	case CoarsenFixed:
+		if rc.coarsened {
+			return false
+		}
+	case CoarsenAuto:
+		if maxSupportWidth(res, level) <= pol.threshold() {
+			return false
+		}
+	}
+	f := pol.factor()
+	cg := rc.grid.Coarsen(f)
+	if cg.N < 2 {
+		// Nothing left to halve; keep the current resolution.
+		return false
+	}
+	for i := range res.State {
+		st := &res.State[i]
+		dev := 0.0
+		for d := range st.TOP {
+			if top := st.TOP[d]; top != nil {
+				dev += top.Rebin(cg, f)
+			}
+		}
+		st.Budget += dev
+	}
+	rc.grid = cg
+	res.Grid = cg
+	rc.kernels.Rebind(cg)
+	rc.arena.Retarget(cg)
+	if rc.empty != nil {
+		// Absorbed mixture inputs must point at an empty t.o.p. on the
+		// current grid; the old one stays valid for already-built nets.
+		rc.empty = dist.NewPMF(cg)
+	}
+	rc.coarsened = true
+	if m := rc.met; m != nil {
+		m.RebinLevels.Add(1)
+	}
+	return true
+}
+
+// recordSupportPeak folds one net's widest stored support into the
+// run's peak-support-width gauge (metrics-gated; obs.ObserveMax is a
+// monotone CAS, so concurrent workers may record freely).
+func recordSupportPeak(m *obs.Metrics, st *NetState) {
+	if m == nil {
+		return
+	}
+	w := 0
+	for d := range st.TOP {
+		if top := st.TOP[d]; top != nil {
+			if lo, hi := top.Support(); hi-lo > w {
+				w = hi - lo
+			}
+		}
+	}
+	obs.ObserveMax(&m.SupportWidthPeak, int64(w))
+}

@@ -20,7 +20,8 @@ import (
 // slab allocation and the full-width zeroing (only the dirtied
 // supports are cleared, which is what pruning makes narrow).
 type Arena struct {
-	grid Grid
+	grid Grid // construction grid: the geometry the rows were carved for
+	cur  Grid // grid Take tags rows with; Retarget narrows it mid-run
 	w    []float64
 	hdr  []PMF
 	cnt  atomic.Int64
@@ -40,7 +41,7 @@ func NewArena(g Grid, n int) *Arena {
 			return a
 		}
 	}
-	a := &Arena{grid: g, w: make([]float64, n*g.N), hdr: make([]PMF, n)}
+	a := &Arena{grid: g, cur: g, w: make([]float64, n*g.N), hdr: make([]PMF, n)}
 	for i := range a.hdr {
 		lo := i * g.N
 		a.hdr[i] = PMF{grid: g, w: a.w[lo : lo+g.N : lo+g.N]}
@@ -48,8 +49,10 @@ func NewArena(g Grid, n int) *Arena {
 	return a
 }
 
-// Take returns an empty PMF backed by the arena. A nil or exhausted
-// arena returns nil; the caller falls back to NewPMF.
+// Take returns an empty PMF backed by the arena, tagged with the
+// arena's current grid (the construction grid, or whatever Retarget
+// last set). A nil or exhausted arena returns nil; the caller falls
+// back to NewPMF.
 func (a *Arena) Take() *PMF {
 	if a == nil {
 		return nil
@@ -58,7 +61,27 @@ func (a *Arena) Take() *PMF {
 	if int(i) >= len(a.hdr) {
 		return nil
 	}
-	return &a.hdr[i]
+	p := &a.hdr[i]
+	if p.grid != a.cur {
+		p.grid = a.cur
+	}
+	return p
+}
+
+// Retarget makes subsequent Takes hand out rows tagged with g, which
+// must not need more bins than the construction grid (the backing
+// rows keep their original width; a coarser grid simply uses a
+// prefix). The multi-resolution scheduler calls it at level
+// boundaries after re-binning, when no worker is running — Retarget
+// must not race with Take.
+func (a *Arena) Retarget(g Grid) {
+	if a == nil {
+		return
+	}
+	if g.N > a.grid.N {
+		panic("dist: Arena.Retarget to a grid wider than the construction grid")
+	}
+	a.cur = g
 }
 
 // Recycle clears every PMF handed out so far and returns the arena to
@@ -73,8 +96,14 @@ func (a *Arena) Recycle() {
 		n = len(a.hdr)
 	}
 	for i := 0; i < n; i++ {
+		// Reset clears whatever support the row's current (possibly
+		// retargeted or rebinned) grid tracked; restoring the
+		// construction grid afterwards re-establishes the pool
+		// invariant for the next run.
 		a.hdr[i].Reset()
+		a.hdr[i].grid = a.grid
 	}
 	a.cnt.Store(0)
+	a.cur = a.grid
 	arenaPool.Put(a)
 }

@@ -1,6 +1,9 @@
 package dist
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // ConvPlan precomputes the bin-split tables of the direct convolution
 // kernel for one grid. The direct kernel places the product mass of
@@ -56,6 +59,48 @@ func NewConvPlan(g Grid) *ConvPlan {
 
 // Grid returns the grid the plan was built for.
 func (pl *ConvPlan) Grid() Grid { return pl.grid }
+
+// planKey identifies one cached ConvPlan: grid geometry plus storage
+// precision, the same identity KernelCache keys on. The tables depend
+// on geometry only, but keeping precision in the key means a run's
+// plan lookups mirror its kernel lookups one for one.
+type planKey struct {
+	lo, dt float64
+	n      int
+	prec   Precision
+}
+
+// convPlans caches split-table plans by grid for the process
+// lifetime, like fftPlans: plans are immutable once built and shared
+// freely, so each (geometry, precision) — each resolution level of a
+// coarsening run included — builds its tables once per process. The
+// per-run hit/miss counters ride on the requesting grid's metrics
+// handle; the cached plan itself carries a metrics-free grid so a
+// plan built under one request's scope never records into another's
+// (the convolution kernels read the operand grid's handle, not the
+// plan's).
+var convPlans sync.Map // planKey → *ConvPlan
+
+// PlanFor returns the (possibly cached) convolution plan for g,
+// recording a plan-cache hit or miss on g's metrics handle.
+func PlanFor(g Grid) *ConvPlan {
+	key := planKey{lo: g.Lo, dt: g.Dt, n: g.N, prec: g.Precision}
+	m := g.met
+	if v, ok := convPlans.Load(key); ok {
+		if m != nil {
+			m.ConvPlanHits.Add(1)
+		}
+		return v.(*ConvPlan)
+	}
+	if m != nil {
+		m.ConvPlanMisses.Add(1)
+	}
+	pl := NewConvPlan(g.WithMetrics(nil))
+	if v, loaded := convPlans.LoadOrStore(key, pl); loaded {
+		return v.(*ConvPlan)
+	}
+	return pl
+}
 
 // ConvolveInto is the plan-driven equivalent of p.ConvolveInto(dst, q):
 // same FFT dispatch, same metrics, and a bit-identical result — the

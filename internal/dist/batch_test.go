@@ -222,13 +222,24 @@ func TestSlabRowsAndQuantize(t *testing.T) {
 func TestSlabRecycleReuse(t *testing.T) {
 	m := obs.NewMetrics()
 	g := NewGrid(-1, 7, 0.125).WithMetrics(m)
-	// Drain any pooled slab from other tests so Get returns ours.
-	for v := slabPool.Get(); v != nil; v = slabPool.Get() {
+	// Under the race detector sync.Pool deliberately drops a fraction
+	// of Puts, so retry the round trip until one lands (a handful of
+	// attempts makes a spurious miss vanishingly unlikely).
+	var s, s2 *Slab
+	for try := 0; try < 32; try++ {
+		// Drain the pool — slabs from other tests or from a failed
+		// attempt — so Get can only return this attempt's candidate
+		// and the reuse counter advances exactly once, on success.
+		for v := slabPool.Get(); v != nil; v = slabPool.Get() {
+		}
+		s = NewSlab(g, 6)
+		s.Row(2).SetBin(5, 0.5)
+		s.Recycle()
+		s2 = NewSlab(g, 4)
+		if s2 == s {
+			break
+		}
 	}
-	s := NewSlab(g, 6)
-	s.Row(2).SetBin(5, 0.5)
-	s.Recycle()
-	s2 := NewSlab(g, 4)
 	if s2 != s {
 		t.Fatal("compatible slab was not reused")
 	}

@@ -22,22 +22,28 @@ import "sync"
 // entry already inserted — exactly the lookups that used to waste a
 // discretization).
 //
-// Entries are keyed on the Normal AND the grid's storage precision:
-// an F32 grid's kernels are quantized to float32-representable bins
-// at discretization time, so a float32 run must never pick up a
-// full-precision kernel discretized for a float64 grid of the same
-// geometry (or vice versa), even if a caller rebinds the cache's grid
-// tag between runs.
+// Entries are keyed on the Normal AND the grid's geometry AND its
+// storage precision: an F32 grid's kernels are quantized to
+// float32-representable bins at discretization time, so a float32 run
+// must never pick up a full-precision kernel discretized for a
+// float64 grid of the same geometry (or vice versa) — and under
+// multi-resolution coarsening (Rebind) a kernel discretized for one
+// resolution level must never serve another, since the same Normal
+// lands on different bins on each grid. Each resolution level thus
+// discretizes its delay kernels exactly once.
 type KernelCache struct {
 	grid Grid
 	mu   sync.RWMutex
 	m    map[kernelKey]*cacheEntry
 }
 
-// kernelKey identifies one cached discretization.
+// kernelKey identifies one cached discretization: the Normal plus the
+// geometry and precision of the grid it was discretized on.
 type kernelKey struct {
-	n    Normal
-	prec Precision
+	n      Normal
+	lo, dt float64
+	bins   int
+	prec   Precision
 }
 
 // cacheEntry is one once-per-key cache slot; p is written inside once
@@ -53,8 +59,16 @@ func NewKernelCache(g Grid) *KernelCache {
 	return &KernelCache{grid: g, m: make(map[kernelKey]*cacheEntry)}
 }
 
-// Grid returns the grid the cached kernels live on.
+// Grid returns the grid new discretizations land on.
 func (kc *KernelCache) Grid() Grid { return kc.grid }
+
+// Rebind switches the grid new discretizations land on, e.g. after
+// the scheduler coarsens the analysis grid at a level boundary.
+// Kernels already discretized stay cached under their own grid's key
+// and are never returned for the new grid. Rebind must not race with
+// FromNormal — the analyzers call it only at level boundaries, when
+// no worker is running.
+func (kc *KernelCache) Rebind(g Grid) { kc.grid = g }
 
 // FromNormal returns the discretization of n on the cache's grid,
 // computing it on first use. The result is shared: read-only. On an
@@ -62,7 +76,7 @@ func (kc *KernelCache) Grid() Grid { return kc.grid }
 // discretization, so the packed batch loops read exactly the values
 // the float64 mirror holds.
 func (kc *KernelCache) FromNormal(n Normal) *PMF {
-	key := kernelKey{n: n, prec: kc.grid.Precision}
+	key := kernelKey{n: n, lo: kc.grid.Lo, dt: kc.grid.Dt, bins: kc.grid.N, prec: kc.grid.Precision}
 	kc.mu.RLock()
 	e := kc.m[key]
 	kc.mu.RUnlock()

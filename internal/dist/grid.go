@@ -122,6 +122,21 @@ func (g Grid) WithPrecision(p Precision) Grid {
 	return g
 }
 
+// Coarsen returns the factor×-coarser grid sharing the same left
+// edge: bin width Dt·factor and ceil(N/factor) bins, so every fine
+// bin i maps wholly into coarse bin i/factor. Precision and the
+// metrics handle carry over. The multi-resolution scheduler walks
+// TimingGrid resolutions down through Coarsen(2)/Coarsen(4) as
+// supports widen with depth (DESIGN.md §15).
+func (g Grid) Coarsen(factor int) Grid {
+	if factor < 1 {
+		panic(fmt.Sprintf("dist: Coarsen factor %d < 1", factor))
+	}
+	g.N = (g.N + factor - 1) / factor
+	g.Dt *= float64(factor)
+	return g
+}
+
 // Equal reports whether two grids have identical geometry. The
 // metrics handle is ignored: a caller-built bare grid and the same
 // grid tagged by an analyzer are the same grid. Precision is also

@@ -463,9 +463,11 @@ func unionSupport(a, b *PMF) (lo, hi int) {
 // accounting (see core's ε-bounded pruning, DESIGN.md §11). Every
 // downstream kernel iterates only the support, so trimming the
 // low-mass tails is what pushes mixture, MIN/MAX and convolution
-// costs down. eps <= 0 is a no-op returning 0.
+// costs down. eps <= 0 is a no-op returning 0, as is a PMF whose
+// support is empty or a single bin — there is no tail to trim around
+// a point mass, so the scan is skipped entirely.
 func (p *PMF) TruncateTail(eps float64) float64 {
-	if eps <= 0 || p.lo == p.hi {
+	if eps <= 0 || p.hi-p.lo <= 1 {
 		return 0
 	}
 	removed := 0.0

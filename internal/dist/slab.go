@@ -1,6 +1,10 @@
 package dist
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Slab is the struct-of-arrays sibling of Arena: N same-grid PMF rows
 // carved from one contiguous float64 backing array, with per-row
@@ -44,6 +48,7 @@ func NewSlab(g Grid, n int) *Slab {
 					reused += int64(len(s.w32)) * 4
 				}
 				m.SlabBytesReused.Add(reused)
+				obs.ObserveMax(&m.SlabBytesPeak, reused)
 			}
 			// Retag the rows with the caller's grid so kernel calls on
 			// them record into the caller's metrics scope.
@@ -59,6 +64,10 @@ func NewSlab(g Grid, n int) *Slab {
 	s := &Slab{grid: g, w: make([]float64, n*g.N), rows: make([]PMF, n)}
 	if g.Precision == F32 {
 		s.w32 = make([]float32, n*g.N)
+	}
+	if m := g.met; m != nil {
+		bytes := int64(len(s.w))*8 + int64(len(s.w32))*4
+		obs.ObserveMax(&m.SlabBytesPeak, bytes)
 	}
 	for i := range s.rows {
 		lo := i * g.N

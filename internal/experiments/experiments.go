@@ -84,6 +84,11 @@ type Config struct {
 	// runs carry a certificate: every reported probability deviates
 	// from exact by at most the consumed budget.
 	Epsilon float64
+	// Coarsen is the SPSTA depth-adaptive grid-coarsening policy
+	// (core.Analyzer.Coarsen); the zero value keeps every run on one
+	// grid. Re-binning deviations are folded into the same consumed
+	// budget certificate as pruning.
+	Coarsen core.CoarsenPolicy
 	// Obs, when non-nil, collects engine metrics from every analyzer
 	// and Monte Carlo run the harness performs. All runs of one
 	// harness invocation share the scope, so its snapshot aggregates
@@ -145,7 +150,7 @@ func RunAll(cfg Config, s Scenario) ([]Analysis, error) {
 		a := Analysis{Circuit: c}
 
 		t0 := time.Now()
-		an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon, Obs: cfg.Obs}
+		an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon, Coarsen: cfg.Coarsen, Obs: cfg.Obs}
 		a.SPSTA, err = an.Run(c, in)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SPSTA on %s: %w", c.Name, err)
@@ -350,7 +355,7 @@ func Fig1(w io.Writer, cfg Config, s Scenario) error {
 	sta := ssta.AnalyzeSTA(c, in, nil, 3)
 
 	grid := dist.TimingGrid(c.Depth(), 0, 1)
-	an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon, Obs: cfg.Obs}
+	an := core.Analyzer{Workers: cfg.Workers, ErrorBudget: cfg.Epsilon, Coarsen: cfg.Coarsen, Obs: cfg.Obs}
 	an.Grid = grid
 	spsta, err := an.Run(c, in)
 	if err != nil {

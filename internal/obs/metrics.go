@@ -182,7 +182,26 @@ type Metrics struct {
 	BatchNets       Pow2Hist
 	FFTPlanHits     atomic.Int64
 	FFTPlanMisses   atomic.Int64
+	ConvPlanHits    atomic.Int64
+	ConvPlanMisses  atomic.Int64
 	SlabBytesReused atomic.Int64
+
+	// Multi-resolution grid coarsening (DESIGN.md §15): RebinCalls
+	// counts PMF re-binning kernel invocations, RebinDeviationFP their
+	// summed worst-case deviation bounds (MassFPUnit fixed point),
+	// RebinLevels the level boundaries at which a scheduler coarsened
+	// the analysis grid, GridBinsPerLevel a power-of-two histogram of
+	// the grid bin count each scheduled level ran on (flat without
+	// coarsening, stepping down with it), SupportWidthPeak the widest
+	// t.o.p. support produced by any net (bins, monotone max), and
+	// SlabBytesPeak the largest slab footprint any level allocated or
+	// reused (monotone max).
+	RebinCalls       atomic.Int64
+	RebinLevels      atomic.Int64
+	RebinDeviationFP atomic.Int64
+	GridBinsPerLevel Pow2Hist
+	SupportWidthPeak atomic.Int64
+	SlabBytesPeak    atomic.Int64
 
 	// MCRuns counts Monte Carlo runs simulated.
 	MCRuns atomic.Int64
@@ -243,6 +262,18 @@ func MassFP(m float64) int64 {
 		return 0
 	}
 	return int64(m/MassFPUnit + 0.5)
+}
+
+// ObserveMax raises a monotone-max counter to v if v exceeds its
+// current value (lock-free CAS loop; concurrent observers converge on
+// the true maximum).
+func ObserveMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // CostUnits returns the registry's total work-unit cost: the sum of
@@ -333,8 +364,18 @@ type Snapshot struct {
 		NetsHist        []HistBucket `json:"batch_nets_hist,omitempty"`
 		FFTPlanHits     int64        `json:"fft_plan_hits"`
 		FFTPlanMisses   int64        `json:"fft_plan_misses"`
+		ConvPlanHits    int64        `json:"conv_plan_hits"`
+		ConvPlanMisses  int64        `json:"conv_plan_misses"`
 		SlabBytesReused int64        `json:"slab_bytes_reused"`
 	} `json:"batch,omitzero"`
+	Grid struct {
+		RebinCalls       int64        `json:"rebin_calls"`
+		RebinLevels      int64        `json:"rebin_levels"`
+		RebinDeviation   float64      `json:"rebin_deviation"`
+		BinsPerLevelHist []HistBucket `json:"bins_per_level_hist,omitempty"`
+		SupportWidthPeak int64        `json:"support_width_peak"`
+		SlabBytesPeak    int64        `json:"slab_bytes_peak"`
+	} `json:"grid,omitzero"`
 	Cost struct {
 		BinOps     int64 `json:"bin_ops"`
 		MixtureOps int64 `json:"mixture_ops"`
@@ -376,7 +417,15 @@ func (m *Metrics) Snapshot() *Snapshot {
 	s.Batch.NetsHist = m.BatchNets.snapshot()
 	s.Batch.FFTPlanHits = m.FFTPlanHits.Load()
 	s.Batch.FFTPlanMisses = m.FFTPlanMisses.Load()
+	s.Batch.ConvPlanHits = m.ConvPlanHits.Load()
+	s.Batch.ConvPlanMisses = m.ConvPlanMisses.Load()
 	s.Batch.SlabBytesReused = m.SlabBytesReused.Load()
+	s.Grid.RebinCalls = m.RebinCalls.Load()
+	s.Grid.RebinLevels = m.RebinLevels.Load()
+	s.Grid.RebinDeviation = float64(m.RebinDeviationFP.Load()) * MassFPUnit
+	s.Grid.BinsPerLevelHist = m.GridBinsPerLevel.snapshot()
+	s.Grid.SupportWidthPeak = m.SupportWidthPeak.Load()
+	s.Grid.SlabBytesPeak = m.SlabBytesPeak.Load()
 	s.Cost.BinOps = m.CostBinOps.Load()
 	s.Cost.MixtureOps = m.CostMixtureOps.Load()
 	s.Cost.LeafOps = m.CostLeafOps.Load()
@@ -438,7 +487,17 @@ func (m *Metrics) Reset() {
 	}
 	m.FFTPlanHits.Store(0)
 	m.FFTPlanMisses.Store(0)
+	m.ConvPlanHits.Store(0)
+	m.ConvPlanMisses.Store(0)
 	m.SlabBytesReused.Store(0)
+	m.RebinCalls.Store(0)
+	m.RebinLevels.Store(0)
+	m.RebinDeviationFP.Store(0)
+	for i := range m.GridBinsPerLevel.b {
+		m.GridBinsPerLevel.b[i].Store(0)
+	}
+	m.SupportWidthPeak.Store(0)
+	m.SlabBytesPeak.Store(0)
 	m.CostBinOps.Store(0)
 	m.CostMixtureOps.Store(0)
 	m.CostLeafOps.Store(0)
@@ -484,7 +543,21 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.Batch.NetsHist = mergeHist(s.Batch.NetsHist, o.Batch.NetsHist)
 	s.Batch.FFTPlanHits += o.Batch.FFTPlanHits
 	s.Batch.FFTPlanMisses += o.Batch.FFTPlanMisses
+	s.Batch.ConvPlanHits += o.Batch.ConvPlanHits
+	s.Batch.ConvPlanMisses += o.Batch.ConvPlanMisses
 	s.Batch.SlabBytesReused += o.Batch.SlabBytesReused
+	s.Grid.RebinCalls += o.Grid.RebinCalls
+	s.Grid.RebinLevels += o.Grid.RebinLevels
+	s.Grid.RebinDeviation += o.Grid.RebinDeviation
+	s.Grid.BinsPerLevelHist = mergeHist(s.Grid.BinsPerLevelHist, o.Grid.BinsPerLevelHist)
+	// Peaks aggregate as maxima: the merged view reports the largest
+	// support width and slab footprint any merged request reached.
+	if o.Grid.SupportWidthPeak > s.Grid.SupportWidthPeak {
+		s.Grid.SupportWidthPeak = o.Grid.SupportWidthPeak
+	}
+	if o.Grid.SlabBytesPeak > s.Grid.SlabBytesPeak {
+		s.Grid.SlabBytesPeak = o.Grid.SlabBytesPeak
+	}
 	s.Cost.BinOps += o.Cost.BinOps
 	s.Cost.MixtureOps += o.Cost.MixtureOps
 	s.Cost.LeafOps += o.Cost.LeafOps

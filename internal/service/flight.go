@@ -31,6 +31,7 @@ type RequestSummary struct {
 	Runs      int     `json:"runs,omitempty"`
 	Batched   string  `json:"batched,omitempty"`
 	Precision string  `json:"precision,omitempty"`
+	Coarsen   string  `json:"coarsen,omitempty"`
 
 	Status int `json:"status"`
 	// Rejected marks a load-shed request (429 queue-full or 503

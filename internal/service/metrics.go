@@ -241,6 +241,32 @@ func (r *registry) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "spstad_engine_fft_plans_total{result=\"miss\"} %d\n", agg.Batch.FFTPlanMisses)
 	counter("spstad_engine_slab_bytes_reused_total", "Slab backing bytes served from the recycle pool across all requests.")
 	fmt.Fprintf(w, "spstad_engine_slab_bytes_reused_total %d\n", agg.Batch.SlabBytesReused)
+	counter("spstad_engine_conv_plans_total", "Per-grid convolution plan-cache lookups across all requests, by result.")
+	fmt.Fprintf(w, "spstad_engine_conv_plans_total{result=\"hit\"} %d\n", agg.Batch.ConvPlanHits)
+	fmt.Fprintf(w, "spstad_engine_conv_plans_total{result=\"miss\"} %d\n", agg.Batch.ConvPlanMisses)
+
+	// Depth-adaptive grid-coarsening counters (DESIGN.md §15).
+	counter("spstad_engine_rebin_calls_total", "PMF re-binning kernel invocations across all requests.")
+	fmt.Fprintf(w, "spstad_engine_rebin_calls_total %d\n", agg.Grid.RebinCalls)
+	counter("spstad_engine_rebin_levels_total", "Level boundaries at which a run stepped to a coarser grid, across all requests.")
+	fmt.Fprintf(w, "spstad_engine_rebin_levels_total %d\n", agg.Grid.RebinLevels)
+	counter("spstad_engine_rebin_deviation_total", "Certified re-binning deviation folded into consumed budgets across all requests.")
+	fmt.Fprintf(w, "spstad_engine_rebin_deviation_total %g\n", agg.Grid.RebinDeviation)
+	fmt.Fprintf(w, "# HELP spstad_engine_grid_bins_per_level Grid resolution (bins) each scheduled level ran at, across all requests.\n")
+	fmt.Fprintf(w, "# TYPE spstad_engine_grid_bins_per_level histogram\n")
+	if len(agg.Grid.BinsPerLevelHist) > 0 {
+		cum := int64(0)
+		for _, bk := range agg.Grid.BinsPerLevelHist {
+			cum += bk.Count
+			fmt.Fprintf(w, "spstad_engine_grid_bins_per_level_bucket{le=%q} %d\n", trimFloat(float64(bk.Hi)), cum)
+		}
+		fmt.Fprintf(w, "spstad_engine_grid_bins_per_level_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "spstad_engine_grid_bins_per_level_count %d\n", cum)
+	}
+	gauge("spstad_engine_support_width_peak_bins", "Widest t.o.p. support (bins) observed by any request.")
+	fmt.Fprintf(w, "spstad_engine_support_width_peak_bins %d\n", agg.Grid.SupportWidthPeak)
+	gauge("spstad_engine_slab_bytes_peak", "Largest live slab allocation (bytes) observed by any request.")
+	fmt.Fprintf(w, "spstad_engine_slab_bytes_peak %d\n", agg.Grid.SlabBytesPeak)
 
 	counter("spstad_engine_cost_units_total", "Work units accumulated across all requests, by kind (DESIGN.md §14).")
 	fmt.Fprintf(w, "spstad_engine_cost_units_total{kind=\"bin_ops\"} %d\n", agg.Cost.BinOps)

@@ -197,6 +197,10 @@ type Request struct {
 	// (default) or "f32" (requires the batched scheduler; see
 	// DESIGN.md §13 for the rounding model).
 	Precision string `json:"precision,omitempty"`
+	// Coarsen selects the spsta engine's depth-adaptive grid-coarsening
+	// policy: "off" (default), "fixed" or "auto" (DESIGN.md §15). The
+	// re-binning deviation is certified through max_budget.
+	Coarsen string `json:"coarsen,omitempty"`
 	// Trace requests a per-request trace file (requires the service
 	// to be configured with a TraceDir).
 	Trace bool `json:"trace,omitempty"`
@@ -374,9 +378,16 @@ func decode(r *http.Request) (*Request, error) {
 	default:
 		return nil, errBadRequest("unknown precision %q (want f64 or f32)", req.Precision)
 	}
-	if (req.Batched == "off" || req.Precision == "f32") &&
+	switch req.Coarsen {
+	case "":
+		req.Coarsen = "off"
+	case "off", "fixed", "auto":
+	default:
+		return nil, errBadRequest("unknown coarsen mode %q (want off, fixed or auto)", req.Coarsen)
+	}
+	if (req.Batched == "off" || req.Precision == "f32" || req.Coarsen != "off") &&
 		req.Engine != "spsta" && req.Engine != "all" {
-		return nil, errBadRequest("batched/precision apply only to the spsta engine (engine %q)", req.Engine)
+		return nil, errBadRequest("batched/precision/coarsen apply only to the spsta engine (engine %q)", req.Engine)
 	}
 	if req.Runs == 0 {
 		req.Runs = 10000
@@ -425,6 +436,13 @@ func (req *Request) precision() dist.Precision {
 		return dist.F32
 	}
 	return dist.F64
+}
+
+func (req *Request) coarsenPolicy() core.CoarsenPolicy {
+	// decode has already validated the spelling; ParseCoarsenMode only
+	// translates it.
+	mode, _ := core.ParseCoarsenMode(req.Coarsen)
+	return core.CoarsenPolicy{Mode: mode}
 }
 
 func (req *Request) delay() ssta.DelayModel {
@@ -502,6 +520,7 @@ func (rc *reqCtx) summary(engine string, status int, errMsg string, cost int64) 
 		sum.Runs = req.Runs
 		sum.Batched = req.Batched
 		sum.Precision = req.Precision
+		sum.Coarsen = req.Coarsen
 	}
 	return sum
 }
@@ -618,7 +637,8 @@ func runEngine(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.In
 	case "spsta":
 		a := core.Analyzer{
 			Workers: req.Workers, Delay: req.delay(), ErrorBudget: req.Epsilon,
-			Batched: req.batchMode(), Precision: req.precision(), Obs: scope,
+			Batched: req.batchMode(), Precision: req.precision(),
+			Coarsen: req.coarsenPolicy(), Obs: scope,
 		}
 		res, err := a.Run(c, in)
 		if err != nil {

@@ -300,6 +300,52 @@ func TestBatchedRequestKnobs(t *testing.T) {
 	sampleValue(t, samples, "spstad_engine_batch_nets_total")
 }
 
+// TestCoarsenRequestKnob exercises the coarsen request field end to
+// end: fixed and auto analyzes succeed (auto on the deepest circuit so
+// it actually fires), the invalid spellings and engine combinations
+// 400, and the re-binning counters show up in /metrics afterwards.
+func TestCoarsenRequestKnob(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{"circuit":"s1196","coarsen":"auto","epsilon":0.0001}`,
+		`{"circuit":"s208","coarsen":"fixed"}`,
+		`{"circuit":"s208","engine":"all","runs":200,"coarsen":"auto"}`,
+	} {
+		resp, b := post(t, srv.URL+"/v1/analyze", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("body %s: status = %d (%s)", body, resp.StatusCode, b)
+		}
+	}
+	for _, body := range []string{
+		`{"circuit":"s208","coarsen":"maybe"}`,
+		`{"circuit":"s208","engine":"mc","coarsen":"auto"}`,
+		`{"circuit":"s208","engine":"moment","coarsen":"fixed"}`,
+	} {
+		resp, b := post(t, srv.URL+"/v1/analyze", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d, want 400 (%s)", body, resp.StatusCode, b)
+		}
+	}
+
+	var buf bytes.Buffer
+	svc.reg.writePrometheus(&buf)
+	samples := checkPrometheus(t, buf.String())
+	if got := sampleValue(t, samples, "spstad_engine_rebin_calls_total"); got == "0" {
+		t.Error("rebin_calls_total = 0 after coarsening requests")
+	}
+	if got := sampleValue(t, samples, "spstad_engine_rebin_levels_total"); got == "0" {
+		t.Error("rebin_levels_total = 0 after coarsening requests")
+	}
+	sampleValue(t, samples, "spstad_engine_rebin_deviation_total")
+	sampleValue(t, samples, "spstad_engine_support_width_peak_bins")
+	sampleValue(t, samples, "spstad_engine_slab_bytes_peak")
+	sampleValue(t, samples, `spstad_engine_conv_plans_total{result="hit"}`)
+}
+
 // TestDriftMonitor samples a request and runs one drift replay: the
 // deviation gauges and sample counter must show up in /metrics.
 func TestDriftMonitor(t *testing.T) {
