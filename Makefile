@@ -34,6 +34,11 @@ bench:
 #     without coarsening on the two deepest cells at epsilon=1e-4
 #     under variational delays, with every measured deviation checked
 #     against the re-binning certificate in the same run.
+#   - TestBenchGuardCacheAndDelta: serving-layer contracts
+#     (DESIGN.md 16) on the two deepest cells, end to end over HTTP:
+#     cache-hit p99 >= 50x the cold request, warm single-edit
+#     /v1/delta >= 5x a full uncached re-analysis, and N concurrent
+#     identical requests run the engine exactly once (single-flight).
 bench-guard:
 	BENCH_GUARD=1 $(GO) test -run TestBenchGuard -v -timeout 20m .
 

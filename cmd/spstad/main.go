@@ -4,6 +4,8 @@
 //
 //	POST /v1/analyze          run one or all engines on a circuit
 //	POST /v1/compare          SPSTA vs Monte Carlo deviation per endpoint
+//	POST /v1/netlists         register a netlist; returns its content digest
+//	POST /v1/delta            incremental re-analysis of an edited netlist
 //	GET  /metrics             Prometheus text exposition (RED + engine totals)
 //	GET  /debug/requests      flight recorder: recent request summaries
 //	GET  /debug/requests/{id} one recorded request; captured slow requests
@@ -53,6 +55,10 @@ func run() error {
 	flightSize := flag.Int("flight-size", 128, "flight recorder ring size (recent request summaries kept for /debug/requests)")
 	slowLatency := flag.Duration("slow-latency", 2*time.Second, "flight recorder full-capture latency threshold (0 disables)")
 	slowCost := flag.Int64("slow-cost", 0, "flight recorder full-capture work-unit cost threshold (0 disables)")
+	registrySize := flag.Int("registry-size", service.DefaultRegistrySize, "parsed netlists kept in the content-addressed registry (LRU)")
+	cacheBytes := flag.Int64("cache-bytes", service.DefaultCacheBytes, "result cache budget in bytes (0 = default, negative disables)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = no expiry)")
+	sessionCache := flag.Int("session-cache", service.DefaultSessionCacheSize, "warm incremental /v1/delta sessions kept (LRU)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
@@ -70,15 +76,19 @@ func run() error {
 	}
 
 	svc := service.New(service.Config{
-		Logger:        log,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		TraceDir:      *traceDir,
-		DriftInterval: *driftInterval,
-		DriftRuns:     *driftRuns,
-		FlightSize:    *flightSize,
-		SlowLatency:   *slowLatency,
-		SlowCost:      *slowCost,
+		Logger:           log,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		TraceDir:         *traceDir,
+		DriftInterval:    *driftInterval,
+		DriftRuns:        *driftRuns,
+		FlightSize:       *flightSize,
+		SlowLatency:      *slowLatency,
+		SlowCost:         *slowCost,
+		RegistrySize:     *registrySize,
+		CacheBytes:       *cacheBytes,
+		CacheTTL:         *cacheTTL,
+		SessionCacheSize: *sessionCache,
 	})
 	defer svc.Close()
 

@@ -1,0 +1,247 @@
+// Command spstaload is a closed-loop load generator for spstad. It
+// drives a running daemon with a configurable mix of traffic classes
+// and reports per-class latency percentiles, making cache and
+// single-flight wins visible as a hot/cold latency gap:
+//
+//	hot    repeated identical /v1/analyze requests (cache hits after
+//	       the first; concurrent cold starts collapse via single-flight)
+//	cold   /v1/analyze with a fresh Monte Carlo seed per request
+//	       (never cache-hits; each one runs the engine)
+//	delta  /v1/delta with one random gate-delay edit per request
+//	       (warm incremental sessions after the first per circuit)
+//
+// Each worker runs its own closed loop — it issues a request, waits
+// for the response, then draws the next class from the -mix weights —
+// so concurrency, not arrival rate, is the controlled variable.
+//
+// Usage:
+//
+//	spstad &
+//	spstaload -duration 15s -concurrency 8 -mix hot=0.6,cold=0.2,delta=0.2
+//	spstaload -addr http://host:8321 -circuits s1196,s1238
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/synth"
+)
+
+type sample struct {
+	class string
+	d     time.Duration
+	err   error
+}
+
+type target struct {
+	name  string
+	gates []string // combinational gate names for delta edits
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spstaload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://localhost:8321", "spstad base URL")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers")
+	circuits := flag.String("circuits", "s344,s1196", "comma-separated benchmark circuits")
+	mix := flag.String("mix", "hot=0.6,cold=0.2,delta=0.2", "traffic mix weights (hot, cold, delta)")
+	runs := flag.Int("runs", 5000, "Monte Carlo runs for cold requests")
+	seed := flag.Int64("seed", 1, "load-pattern seed")
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	var targets []target
+	for _, name := range strings.Split(*circuits, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := synth.ProfileByName(name)
+		if !ok {
+			return fmt.Errorf("unknown circuit %q", name)
+		}
+		c, err := synth.Generate(p)
+		if err != nil {
+			return err
+		}
+		var gates []string
+		for _, n := range c.Nodes {
+			if n.Type.Combinational() {
+				gates = append(gates, n.Name)
+			}
+		}
+		if len(gates) == 0 {
+			return fmt.Errorf("circuit %q has no combinational gates", name)
+		}
+		targets = append(targets, target{name: name, gates: gates})
+	}
+
+	client := &http.Client{Timeout: time.Minute}
+	if _, err := get(client, *addr+"/healthz"); err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+
+	deadline := time.Now().Add(*duration)
+	results := make(chan sample, 4096)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed*1000 + int64(w)))
+			for time.Now().Before(deadline) {
+				tgt := targets[rng.Intn(len(targets))]
+				class, body, path := nextRequest(rng, weights, tgt, *runs)
+				start := time.Now()
+				err := post(client, *addr+path, body)
+				results <- sample{class: class, d: time.Since(start), err: err}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	byClass := map[string][]time.Duration{}
+	errs := map[string]int{}
+	total := 0
+	for s := range results {
+		total++
+		if s.err != nil {
+			errs[s.class]++
+			continue
+		}
+		byClass[s.class] = append(byClass[s.class], s.d)
+	}
+
+	fmt.Printf("%d requests in %s (%.0f req/s, %d workers)\n",
+		total, *duration, float64(total)/duration.Seconds(), *concurrency)
+	fmt.Printf("%-6s %8s %6s  %10s %10s %10s %10s\n",
+		"class", "count", "errs", "p50", "p90", "p99", "max")
+	for _, class := range []string{"hot", "cold", "delta"} {
+		ds := byClass[class]
+		if len(ds) == 0 && errs[class] == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Printf("%-6s %8d %6d  %10s %10s %10s %10s\n", class, len(ds), errs[class],
+			pct(ds, 0.50), pct(ds, 0.90), pct(ds, 0.99), pct(ds, 1.0))
+	}
+
+	if body, err := get(client, *addr+"/metrics"); err == nil {
+		for _, m := range []string{"spstad_cache_hits_total", "spstad_cache_misses_total",
+			"spstad_singleflight_shared_total", "spstad_delta_nets_recomputed_total"} {
+			if v, ok := scrape(body, m); ok {
+				fmt.Printf("%-36s %s\n", m, v)
+			}
+		}
+	}
+	return nil
+}
+
+// nextRequest draws a traffic class and builds its request body. Hot
+// requests are identical per circuit; cold requests carry a fresh MC
+// seed; delta requests perturb one random gate's delay.
+func nextRequest(rng *rand.Rand, weights map[string]float64, tgt target, runs int) (class, body, path string) {
+	x := rng.Float64() * (weights["hot"] + weights["cold"] + weights["delta"])
+	switch {
+	case x < weights["hot"]:
+		return "hot", fmt.Sprintf(`{"circuit":%q,"engine":"spsta"}`, tgt.name), "/v1/analyze"
+	case x < weights["hot"]+weights["cold"]:
+		return "cold", fmt.Sprintf(`{"circuit":%q,"engine":"mc","runs":%d,"seed":%d}`,
+			tgt.name, runs, rng.Int63()), "/v1/analyze"
+	default:
+		gate := tgt.gates[rng.Intn(len(tgt.gates))]
+		mu := 0.5 + rng.Float64()*2
+		return "delta", fmt.Sprintf(`{"circuit":%q,"edits":[{"gate":%q,"mu":%s}]}`,
+			tgt.name, gate, strconv.FormatFloat(mu, 'g', -1, 64)), "/v1/delta"
+	}
+}
+
+func parseMix(s string) (map[string]float64, error) {
+	w := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q", part)
+		}
+		if k != "hot" && k != "cold" && k != "delta" {
+			return nil, fmt.Errorf("unknown traffic class %q", k)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", part)
+		}
+		w[k] = f
+	}
+	if w["hot"]+w["cold"]+w["delta"] <= 0 {
+		return nil, fmt.Errorf("-mix weights sum to zero")
+	}
+	return w, nil
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(10 * time.Microsecond)
+}
+
+func post(client *http.Client, url, body string) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(b, &e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	return nil
+}
+
+func get(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func scrape(exposition, metric string) (string, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, metric+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/ssta"
 )
 
@@ -68,6 +69,7 @@ func (q *levelQueue) take() (netlist.NodeID, bool) {
 type SSTA struct {
 	c      *netlist.Circuit
 	inputs map[netlist.NodeID]logic.InputStats
+	baseIn map[netlist.NodeID]logic.InputStats
 	base   ssta.DelayModel
 	over   map[netlist.NodeID]dist.Normal
 	res    *ssta.Result
@@ -85,6 +87,7 @@ func NewSSTA(c *netlist.Circuit, inputs map[netlist.NodeID]logic.InputStats, bas
 	s := &SSTA{
 		c:      c,
 		inputs: cloneStats(inputs),
+		baseIn: cloneStats(inputs),
 		base:   base,
 		over:   make(map[netlist.NodeID]dist.Normal),
 	}
@@ -127,6 +130,28 @@ func (s *SSTA) SetInput(id netlist.NodeID, st logic.InputStats) int {
 	return s.update(id)
 }
 
+// ClearDelay removes a delay override, restoring the base model for
+// the gate and propagating through its fanout cone. A no-op (zero
+// recomputations) when the gate has no override.
+func (s *SSTA) ClearDelay(id netlist.NodeID) int {
+	if _, ok := s.over[id]; !ok {
+		return 0
+	}
+	delete(s.over, id)
+	return s.update(id)
+}
+
+// ClearInput restores one launch point's original statistics (the
+// map NewSSTA was given) and propagates.
+func (s *SSTA) ClearInput(id netlist.NodeID) int {
+	if st, ok := s.baseIn[id]; ok {
+		s.inputs[id] = st
+	} else {
+		delete(s.inputs, id)
+	}
+	return s.update(id)
+}
+
 func (s *SSTA) update(seed netlist.NodeID) int {
 	q := newLevelQueue(s.c)
 	q.add(seed)
@@ -161,6 +186,7 @@ type SPSTA struct {
 	a      core.Analyzer
 	c      *netlist.Circuit
 	inputs map[netlist.NodeID]logic.InputStats
+	baseIn map[netlist.NodeID]logic.InputStats
 	base   ssta.DelayModel
 	over   map[netlist.NodeID]dist.Normal
 	res    *core.Result
@@ -178,7 +204,7 @@ func NewSPSTA(a core.Analyzer, c *netlist.Circuit, inputs map[netlist.NodeID]log
 	if a.ExactProbabilities {
 		return nil, fmt.Errorf("incr: ExactProbabilities is a whole-circuit correction; run core.Analyzer directly")
 	}
-	s := &SPSTA{a: a, c: c, inputs: cloneStats(inputs), Eps: 1e-12}
+	s := &SPSTA{a: a, c: c, inputs: cloneStats(inputs), baseIn: cloneStats(inputs), Eps: 1e-12}
 	s.base = a.Delay
 	if s.base == nil {
 		s.base = ssta.UnitDelay
@@ -217,6 +243,45 @@ func (s *SPSTA) SetInput(id netlist.NodeID, st logic.InputStats) (int, error) {
 	}
 	s.inputs[id] = st
 	return s.update(id)
+}
+
+// ClearDelay removes a delay override, restoring the base model for
+// the gate and propagating through its fanout cone. A no-op (zero
+// recomputations) when the gate has no override.
+func (s *SPSTA) ClearDelay(id netlist.NodeID) (int, error) {
+	if _, ok := s.over[id]; !ok {
+		return 0, nil
+	}
+	delete(s.over, id)
+	return s.update(id)
+}
+
+// ClearInput restores one launch point's original statistics (the
+// map NewSPSTA was given) and propagates.
+func (s *SPSTA) ClearInput(id netlist.NodeID) (int, error) {
+	if st, ok := s.baseIn[id]; ok {
+		s.inputs[id] = st
+	} else {
+		delete(s.inputs, id)
+	}
+	return s.update(id)
+}
+
+// Circuit returns the analyzed circuit.
+func (s *SPSTA) Circuit() *netlist.Circuit { return s.c }
+
+// SetObs re-attaches the session to an observability scope: later
+// SetDelay/SetInput/Clear* recomputations record their metrics (cost
+// units, kernel counters) and spans into the given scope instead of
+// the one the session was built with. This is what lets a service
+// hold one long-lived session and still attribute each delta
+// request's work to that request's scope. nil detaches.
+func (s *SPSTA) SetObs(scope *obs.Scope) {
+	s.a.Obs = scope
+	// ComputeNode reads the metrics handle off the result's grid (the
+	// dist kernels have no config struct), so the re-attachment must
+	// rewrite it there too.
+	s.res.Grid = s.res.Grid.WithMetrics(scope.M())
 }
 
 func (s *SPSTA) update(seed netlist.NodeID) (int, error) {

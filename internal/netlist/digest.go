@@ -1,0 +1,78 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Digest returns the canonical SHA-256 content digest of a frozen
+// circuit, optionally extended with launch-point statistics. The
+// encoding covers everything that determines an analysis result —
+// node names, gate types, fanin wiring (in gate-input order), output
+// markings and, when inputs is non-nil, each launch point's
+// four-value probabilities and arrival-time parameters — and nothing
+// that does not (the circuit's display Name, fanout ordering,
+// construction order of MarkOutput calls). Two circuits with the
+// same digest are therefore interchangeable for every engine in this
+// module, which is what lets a service cache results and registries
+// deduplicate uploads by content rather than by name.
+//
+// The digest is stable across processes and releases of this package
+// as long as the canonical encoding below is unchanged; it is a
+// 64-character lowercase hex string.
+func Digest(c *Circuit, inputs map[NodeID]logic.InputStats) string {
+	c.mustFreeze("Digest")
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	wInt(int64(len(c.Nodes)))
+	for _, n := range c.Nodes {
+		wStr(n.Name)
+		wInt(int64(n.Type))
+		wInt(int64(len(n.Fanin)))
+		for _, f := range n.Fanin {
+			wInt(int64(f))
+		}
+		if n.Output {
+			wInt(1)
+		} else {
+			wInt(0)
+		}
+	}
+
+	if inputs != nil {
+		ids := make([]NodeID, 0, len(inputs))
+		for id := range inputs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		wInt(int64(len(ids)))
+		for _, id := range ids {
+			st := inputs[id]
+			wInt(int64(id))
+			for _, p := range st.P {
+				wFloat(p)
+			}
+			wFloat(st.Mu)
+			wFloat(st.Sigma)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,101 @@
+package netlist
+
+import (
+	"regexp"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// digestCircuit builds a small frozen circuit for digest tests.
+// rename swaps one net name; retype swaps one gate type.
+func digestCircuit(t *testing.T, name string, retype bool) *Circuit {
+	t.Helper()
+	c := New(name)
+	mustAdd := func(n string, g logic.GateType, fanin ...string) {
+		if _, err := c.AddNode(n, g, fanin...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("a", logic.Input)
+	mustAdd("b", logic.Input)
+	g := logic.And
+	if retype {
+		g = logic.Or
+	}
+	mustAdd("g1", g, "a", "b")
+	mustAdd("g2", logic.Not, "g1")
+	c.MarkOutput("g2")
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDigestStableAndNameIndependent(t *testing.T) {
+	c1 := digestCircuit(t, "left", false)
+	c2 := digestCircuit(t, "right", false)
+	d1, d2 := Digest(c1, nil), Digest(c2, nil)
+	if d1 != d2 {
+		t.Errorf("digest depends on the circuit's display name: %s vs %s", d1, d2)
+	}
+	if d1 != Digest(c1, nil) {
+		t.Error("digest is not deterministic across calls")
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(d1) {
+		t.Errorf("digest %q is not 64 lowercase hex chars", d1)
+	}
+}
+
+func TestDigestSeesStructure(t *testing.T) {
+	base := Digest(digestCircuit(t, "c", false), nil)
+	if got := Digest(digestCircuit(t, "c", true), nil); got == base {
+		t.Error("changing a gate type did not change the digest")
+	}
+
+	// Net names are content: delta edits and endpoint reports refer to
+	// nets by name, so a rename is a different netlist.
+	c := New("c")
+	for _, n := range []struct {
+		name  string
+		g     logic.GateType
+		fanin []string
+	}{
+		{"a", logic.Input, nil}, {"b", logic.Input, nil},
+		{"x1", logic.And, []string{"a", "b"}}, {"g2", logic.Not, []string{"x1"}},
+	} {
+		if _, err := c.AddNode(n.name, n.g, n.fanin...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MarkOutput("g2")
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Digest(c, nil); got == base {
+		t.Error("renaming a net did not change the digest")
+	}
+}
+
+func TestDigestSeesInputs(t *testing.T) {
+	c := digestCircuit(t, "c", false)
+	structOnly := Digest(c, nil)
+	a, _ := c.Node("a")
+	b, _ := c.Node("b")
+	in := map[NodeID]logic.InputStats{
+		a.ID: logic.UniformStats(),
+		b.ID: logic.UniformStats(),
+	}
+	withIn := Digest(c, in)
+	if withIn == structOnly {
+		t.Error("input stats did not change the digest")
+	}
+	// Map iteration order must not matter.
+	if got := Digest(c, in); got != withIn {
+		t.Error("digest with inputs is not deterministic")
+	}
+	in[b.ID] = logic.SkewedStats()
+	if got := Digest(c, in); got == withIn {
+		t.Error("changing one launch point's stats did not change the digest")
+	}
+}

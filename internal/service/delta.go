@@ -1,0 +1,545 @@
+// POST /v1/delta: incremental re-analysis against a registered
+// netlist. A delta request names a base netlist (by netlist_ref,
+// profile name, or inline bench) plus the complete set of gate-delay
+// and launch-statistics overrides it wants relative to that base; the
+// service keeps a cached incr.SPSTA / incr.SSTA session per (digest,
+// scenario, engine, epsilon, sigma), diffs the requested override set
+// against what the session currently has applied — clearing dropped
+// overrides, applying changed ones — and re-converges only the
+// affected fanout cones. The API is stateless (every request carries
+// its full edit set) while the expensive state, the converged
+// analysis, lives server-side and is invalidated when the registry
+// evicts the underlying netlist.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"container/list"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/incr"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/ssta"
+)
+
+// DefaultSessionCacheSize is the default number of cached delta
+// sessions.
+const DefaultSessionCacheSize = 32
+
+// DeltaEdit is one override in a delta request. Exactly one of Gate
+// and Input names the target net. A gate edit overrides that gate's
+// delay to N(mu, sigma^2); an input edit replaces that launch point's
+// statistics (p is the four-value probability vector [p0, p1, pr,
+// pf], mu/sigma the arrival-time parameters). When the same net is
+// edited twice, the last edit wins.
+type DeltaEdit struct {
+	Gate  string    `json:"gate,omitempty"`
+	Input string    `json:"input,omitempty"`
+	Mu    float64   `json:"mu"`
+	Sigma float64   `json:"sigma"`
+	P     []float64 `json:"p,omitempty"`
+}
+
+// DeltaRequest is the body of /v1/delta. Edits is the complete
+// desired override set relative to the base netlist — an override
+// present in an earlier request but absent here is reverted — so a
+// client replays its current state every time and never depends on
+// which session instance serves it. An empty edit list is valid and
+// returns the base analysis.
+type DeltaRequest struct {
+	// Exactly one of Circuit, Bench, NetlistRef selects the base
+	// netlist, with the same spelling as /v1/analyze.
+	Circuit    string `json:"circuit,omitempty"`
+	Bench      string `json:"bench,omitempty"`
+	NetlistRef string `json:"netlist_ref,omitempty"`
+	// Scenario: "I" (default) or "II".
+	Scenario string `json:"scenario,omitempty"`
+	// Engine: "spsta" (default) or "ssta" (the Gaussian baseline).
+	Engine string `json:"engine,omitempty"`
+	// Epsilon is the spsta engine's pruning budget (0 = exact; delta
+	// results at epsilon 0 are bit-identical to a full re-analysis).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Sigma > 0 selects variational N(1, sigma^2) base gate delays.
+	Sigma float64     `json:"sigma,omitempty"`
+	Edits []DeltaEdit `json:"edits"`
+}
+
+// DeltaResponse is the body of a successful /v1/delta.
+type DeltaResponse struct {
+	RequestID     string       `json:"request_id"`
+	TraceID       string       `json:"trace_id"`
+	NetlistDigest string       `json:"netlist_digest"`
+	Circuit       CircuitInfo  `json:"circuit"`
+	Scenario      string       `json:"scenario"`
+	Engine        EngineResult `json:"engine"`
+	// Edits is the number of overrides in effect after this request;
+	// NetsRecomputed the node recomputations the reconciliation cost.
+	Edits          int `json:"edits"`
+	NetsRecomputed int `json:"nets_recomputed"`
+	// Session is "cold" when this request paid the initial full
+	// analysis, "warm" when it reused a cached session.
+	Session   string `json:"session"`
+	CostUnits int64  `json:"cost_units"`
+}
+
+// decodeDelta parses and validates a delta request body.
+func decodeDelta(r *http.Request) (*DeltaRequest, error) {
+	var req DeltaRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, errBadRequest("bad request body: %v", err)
+	}
+	n := 0
+	for _, set := range []bool{req.Circuit != "", req.Bench != "", req.NetlistRef != ""} {
+		if set {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, errBadRequest("exactly one of circuit, bench or netlist_ref must be set")
+	}
+	switch req.Scenario {
+	case "", "I":
+		req.Scenario = "I"
+	case "II":
+	default:
+		return nil, errBadRequest("unknown scenario %q (want I or II)", req.Scenario)
+	}
+	switch req.Engine {
+	case "":
+		req.Engine = "spsta"
+	case "spsta", "ssta":
+	default:
+		return nil, errBadRequest("unknown delta engine %q (want spsta or ssta)", req.Engine)
+	}
+	if req.Epsilon < 0 {
+		return nil, errBadRequest("epsilon must be >= 0")
+	}
+	if req.Engine == "ssta" && req.Epsilon != 0 {
+		return nil, errBadRequest("epsilon applies only to the spsta engine")
+	}
+	if req.Sigma < 0 {
+		return nil, errBadRequest("sigma must be >= 0")
+	}
+	for i, e := range req.Edits {
+		if (e.Gate == "") == (e.Input == "") {
+			return nil, errBadRequest("edit %d: exactly one of gate or input must be set", i)
+		}
+		if e.Sigma < 0 {
+			return nil, errBadRequest("edit %d: sigma must be >= 0", i)
+		}
+		if e.Gate != "" {
+			if e.P != nil {
+				return nil, errBadRequest("edit %d: p applies only to input edits", i)
+			}
+			if e.Mu < 0 {
+				return nil, errBadRequest("edit %d: gate delay mu must be >= 0", i)
+			}
+		}
+	}
+	return &req, nil
+}
+
+// resolveEdits translates the request's edit list into the desired
+// override maps, validating each target against the circuit.
+func (req *DeltaRequest) resolveEdits(c *netlist.Circuit) (map[netlist.NodeID]dist.Normal, map[netlist.NodeID]logic.InputStats, error) {
+	launch := make(map[netlist.NodeID]bool)
+	for _, id := range c.LaunchPoints() {
+		launch[id] = true
+	}
+	delay := make(map[netlist.NodeID]dist.Normal)
+	input := make(map[netlist.NodeID]logic.InputStats)
+	for i, e := range req.Edits {
+		if e.Gate != "" {
+			node, ok := c.Node(e.Gate)
+			if !ok {
+				return nil, nil, errBadRequest("edit %d: unknown net %q", i, e.Gate)
+			}
+			if !node.Type.Combinational() {
+				return nil, nil, errBadRequest("edit %d: %q is not a gate (launch-point statistics are edited via input)", i, e.Gate)
+			}
+			delay[node.ID] = dist.Normal{Mu: e.Mu, Sigma: e.Sigma}
+			continue
+		}
+		node, ok := c.Node(e.Input)
+		if !ok {
+			return nil, nil, errBadRequest("edit %d: unknown net %q", i, e.Input)
+		}
+		if !launch[node.ID] {
+			return nil, nil, errBadRequest("edit %d: %q is not a launch point", i, e.Input)
+		}
+		if len(e.P) != int(logic.NumValues) {
+			return nil, nil, errBadRequest("edit %d: input edits need p with %d probabilities [p0, p1, pr, pf]", i, logic.NumValues)
+		}
+		st := logic.InputStats{Mu: e.Mu, Sigma: e.Sigma}
+		copy(st.P[:], e.P)
+		if err := st.Validate(); err != nil {
+			return nil, nil, errBadRequest("edit %d: %v", i, err)
+		}
+		input[node.ID] = st
+	}
+	return delay, input, nil
+}
+
+// sessionKey identifies a delta session: everything that shapes the
+// converged base analysis the session holds.
+func (req *DeltaRequest) sessionKey(digest string) string {
+	return fmt.Sprintf("%s|%s|%s|%g|%g", digest, req.Scenario, req.Engine, req.Epsilon, req.Sigma)
+}
+
+// deltaSession is one cached incremental analysis. The outer cache
+// hands out the same session to every request with the same key;
+// requests serialize on mu, the first one hydrates (pays the full
+// initial run), and each later one reconciles the session's applied
+// override set with the request's desired one.
+type deltaSession struct {
+	key    string
+	digest string
+
+	mu       sync.Mutex
+	hydrated bool
+	sp       *incr.SPSTA
+	ss       *incr.SSTA
+	curDelay map[netlist.NodeID]dist.Normal
+	curInput map[netlist.NodeID]logic.InputStats
+}
+
+// hydrate runs the session's initial full analysis under the calling
+// request's scope (a cold session's cost is attributed to the request
+// that paid it).
+func (sess *deltaSession) hydrate(req *DeltaRequest, c *netlist.Circuit, in map[netlist.NodeID]logic.InputStats, scope *obs.Scope) error {
+	switch req.Engine {
+	case "spsta":
+		sp, err := incr.NewSPSTA(core.Analyzer{
+			ErrorBudget: req.Epsilon,
+			Delay:       delayModel(req.Sigma),
+			Batched:     core.BatchAuto,
+			Obs:         scope,
+		}, c, in)
+		if err != nil {
+			return err
+		}
+		// Exact propagation cutoff: recomputing an unchanged cone is
+		// deterministic, so equality is always reached, and epsilon-0
+		// requests stay bit-identical to a full re-analysis.
+		sp.Eps = 0
+		sess.sp = sp
+	default:
+		sess.ss = incr.NewSSTA(c, in, delayModel(req.Sigma))
+	}
+	sess.curDelay = make(map[netlist.NodeID]dist.Normal)
+	sess.curInput = make(map[netlist.NodeID]logic.InputStats)
+	sess.hydrated = true
+	return nil
+}
+
+// attach points the session's instrumentation at the calling
+// request's scope.
+func (sess *deltaSession) attach(scope *obs.Scope) {
+	if sess.sp != nil {
+		sess.sp.SetObs(scope)
+	}
+}
+
+func (sess *deltaSession) setDelay(id netlist.NodeID, d dist.Normal) (int, error) {
+	if sess.sp != nil {
+		return sess.sp.SetDelay(id, d)
+	}
+	return sess.ss.SetDelay(id, d), nil
+}
+
+func (sess *deltaSession) clearDelay(id netlist.NodeID) (int, error) {
+	if sess.sp != nil {
+		return sess.sp.ClearDelay(id)
+	}
+	return sess.ss.ClearDelay(id), nil
+}
+
+func (sess *deltaSession) setInput(id netlist.NodeID, st logic.InputStats) (int, error) {
+	if sess.sp != nil {
+		return sess.sp.SetInput(id, st)
+	}
+	return sess.ss.SetInput(id, st), nil
+}
+
+func (sess *deltaSession) clearInput(id netlist.NodeID) (int, error) {
+	if sess.sp != nil {
+		return sess.sp.ClearInput(id)
+	}
+	return sess.ss.ClearInput(id), nil
+}
+
+// reconcile drives the session from its currently-applied override
+// set to the desired one: dropped overrides are cleared (reverting to
+// the base netlist), new or changed ones applied, unchanged ones
+// skipped entirely. Returns the total node recomputations.
+func (sess *deltaSession) reconcile(delay map[netlist.NodeID]dist.Normal, input map[netlist.NodeID]logic.InputStats) (int, error) {
+	evals := 0
+	for id := range sess.curDelay {
+		if _, ok := delay[id]; ok {
+			continue
+		}
+		n, err := sess.clearDelay(id)
+		evals += n
+		if err != nil {
+			return evals, err
+		}
+		delete(sess.curDelay, id)
+	}
+	for id := range sess.curInput {
+		if _, ok := input[id]; ok {
+			continue
+		}
+		n, err := sess.clearInput(id)
+		evals += n
+		if err != nil {
+			return evals, err
+		}
+		delete(sess.curInput, id)
+	}
+	for id, d := range delay {
+		if cur, ok := sess.curDelay[id]; ok && cur == d {
+			continue
+		}
+		n, err := sess.setDelay(id, d)
+		evals += n
+		if err != nil {
+			return evals, err
+		}
+		sess.curDelay[id] = d
+	}
+	for id, st := range input {
+		if cur, ok := sess.curInput[id]; ok && cur == st {
+			continue
+		}
+		n, err := sess.setInput(id, st)
+		evals += n
+		if err != nil {
+			return evals, err
+		}
+		sess.curInput[id] = st
+	}
+	return evals, nil
+}
+
+// engineResult formats the session's current analysis.
+func (sess *deltaSession) engineResult(c *netlist.Circuit) EngineResult {
+	if sess.sp != nil {
+		res := sess.sp.Result()
+		er := EngineResult{Engine: "spsta", Endpoints: spstaEndpoints(res, c)}
+		er.PrunedMass = res.TotalPrunedMass()
+		er.MaxBudget = res.MaxConsumedBudget()
+		return er
+	}
+	er := EngineResult{Engine: "ssta"}
+	res := sess.ss.Result()
+	for _, ep := range c.Endpoints() {
+		r, f := res.At(ep, ssta.DirRise), res.At(ep, ssta.DirFall)
+		er.Endpoints = append(er.Endpoints, EndpointStat{
+			Net:  c.Nodes[ep].Name,
+			Rise: DirStat{Mu: r.Mu, Sigma: r.Sigma},
+			Fall: DirStat{Mu: f.Mu, Sigma: f.Sigma},
+		})
+	}
+	return er
+}
+
+// sessionCache is the LRU of delta sessions, keyed by sessionKey and
+// indexed by digest so a registry eviction can invalidate every
+// session built on the evicted netlist.
+type sessionCache struct {
+	mu       sync.Mutex
+	max      int
+	lru      *list.List // *deltaSession
+	entries  map[string]*list.Element
+	byDigest map[string]map[string]struct{}
+}
+
+func newSessionCache(max int) *sessionCache {
+	if max <= 0 {
+		max = DefaultSessionCacheSize
+	}
+	return &sessionCache{
+		max:      max,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		byDigest: make(map[string]map[string]struct{}),
+	}
+}
+
+// getOrCreate returns the session for key, creating an unhydrated one
+// (and evicting the least-recently-used beyond capacity) if needed.
+// Eviction only unlinks a session from the cache — a request already
+// holding the session pointer finishes on it safely and later
+// requests simply pay a fresh hydration.
+func (sc *sessionCache) getOrCreate(key, digest string) *deltaSession {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if el, ok := sc.entries[key]; ok {
+		sc.lru.MoveToFront(el)
+		return el.Value.(*deltaSession)
+	}
+	sess := &deltaSession{key: key, digest: digest}
+	sc.entries[key] = sc.lru.PushFront(sess)
+	if sc.byDigest[digest] == nil {
+		sc.byDigest[digest] = make(map[string]struct{})
+	}
+	sc.byDigest[digest][key] = struct{}{}
+	for sc.lru.Len() > sc.max {
+		sc.removeLocked(sc.lru.Back())
+	}
+	return sess
+}
+
+func (sc *sessionCache) removeLocked(el *list.Element) {
+	sess := el.Value.(*deltaSession)
+	sc.lru.Remove(el)
+	delete(sc.entries, sess.key)
+	if keys := sc.byDigest[sess.digest]; keys != nil {
+		delete(keys, sess.key)
+		if len(keys) == 0 {
+			delete(sc.byDigest, sess.digest)
+		}
+	}
+}
+
+// drop removes one session (a request poisoned it mid-reconcile).
+func (sc *sessionCache) drop(key string) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if el, ok := sc.entries[key]; ok {
+		sc.removeLocked(el)
+	}
+}
+
+// invalidateDigest removes every session built on the given netlist;
+// the registry calls this when it evicts the digest.
+func (sc *sessionCache) invalidateDigest(digest string) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for key := range sc.byDigest[digest] {
+		if el, ok := sc.entries[key]; ok {
+			sc.removeLocked(el)
+		}
+	}
+}
+
+// len returns the number of cached sessions (for tests).
+func (sc *sessionCache) len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.lru.Len()
+}
+
+func (s *Service) handleDelta(w http.ResponseWriter, r *http.Request) {
+	rc := s.begin(w, r, "/v1/delta")
+	dreq, err := decodeDelta(r)
+	if err != nil {
+		s.fail(w, rc, "delta", err)
+		return
+	}
+	// A pseudo-Request carries the delta knobs into the shared flight
+	// summary and scope plumbing.
+	rc.req = &Request{
+		Circuit: dreq.Circuit, Bench: dreq.Bench, NetlistRef: dreq.NetlistRef,
+		Scenario: dreq.Scenario, Engine: dreq.Engine,
+		Epsilon: dreq.Epsilon, Sigma: dreq.Sigma,
+	}
+	rc.delta = true
+	c, digest, in, err := s.resolveSource(dreq.Circuit, dreq.Bench, dreq.NetlistRef, dreq.Scenario)
+	if err != nil {
+		s.fail(w, rc, "delta", err)
+		return
+	}
+	desiredDelay, desiredInput, err := dreq.resolveEdits(c)
+	if err != nil {
+		s.fail(w, rc, "delta", err)
+		return
+	}
+	q0 := time.Now()
+	release, err := s.acquire(r)
+	rc.queueNS = time.Since(q0).Nanoseconds()
+	if err != nil {
+		s.fail(w, rc, "delta", err)
+		return
+	}
+	defer release()
+	s.reg.inflight.Add(1)
+	defer s.reg.inflight.Add(-1)
+
+	s.newScope(rc)
+	tr := rc.scope.Tracer
+	root := tr.NewSpan()
+	rc.scope.Span = root
+
+	sess := s.sessions.getOrCreate(dreq.sessionKey(digest), digest)
+	sess.mu.Lock()
+	cold := !sess.hydrated
+	e0 := time.Now()
+	if cold {
+		err = sess.hydrate(dreq, c, in, rc.scope)
+	} else {
+		sess.attach(rc.scope)
+	}
+	var evals int
+	if err == nil {
+		evals, err = sess.reconcile(desiredDelay, desiredInput)
+	}
+	var er EngineResult
+	if err == nil {
+		er = sess.engineResult(c)
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		// A mid-reconcile failure leaves the session's analysis out of
+		// sync with its bookkeeping; drop it so the next request
+		// re-hydrates from scratch.
+		s.sessions.drop(sess.key)
+		s.fail(w, rc, "delta", err)
+		return
+	}
+	cost := rc.scope.M().CostUnits()
+	er.ElapsedNS = time.Since(e0).Nanoseconds()
+	er.CostUnits = cost
+	rc.netsRecomputed = evals
+	sessState := "warm"
+	if cold {
+		sessState = "cold"
+	}
+	resp := &DeltaResponse{
+		RequestID:      rc.id,
+		TraceID:        rc.traceID,
+		NetlistDigest:  digest,
+		Circuit:        CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
+		Scenario:       dreq.Scenario,
+		Engine:         er,
+		Edits:          len(desiredDelay) + len(desiredInput),
+		NetsRecomputed: evals,
+		Session:        sessState,
+		CostUnits:      cost,
+	}
+	tr.RecordSpan(root, 0, "POST "+rc.path, "request", 0, rc.t0, time.Since(rc.t0),
+		map[string]any{"request_id": rc.id, "engine": "delta", "cost_units": cost,
+			"nets_recomputed": evals, "session": sessState})
+	s.reg.merge(rc.scope.Snapshot())
+	s.reg.cost.observe(cost)
+	s.reg.deltaNets.Add(int64(evals))
+	s.reg.observe("delta", time.Since(rc.t0), false)
+	captured := s.flight.record(rc.summary("delta", http.StatusOK, "", cost), rc.scope)
+	s.log.Info("request",
+		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
+		"engine", "delta", "circuit", resp.Circuit.Name, "status", http.StatusOK,
+		"duration_ms", float64(time.Since(rc.t0).Microseconds())/1e3,
+		"cost_units", cost, "nets_recomputed", evals, "session", sessState,
+		"captured", captured)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+)
+
+func postDelta(t *testing.T, url string, req *DeltaRequest) (*http.Response, *DeltaResponse, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, b := post(t, url+"/v1/delta", string(bytes.TrimSpace(body)))
+	var dr DeltaResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, &dr); err != nil {
+			t.Fatalf("bad delta response: %v\n%s", err, b)
+		}
+	}
+	return resp, &dr, b
+}
+
+// overrideModel layers a delta edit set's gate-delay overrides on the
+// request's base model, reproducing what the server's incremental
+// session computes with a plain full analysis.
+func overrideModel(sigma float64, over map[netlist.NodeID]dist.Normal) ssta.DelayModel {
+	base := delayModel(sigma)
+	if base == nil {
+		base = ssta.UnitDelay
+	}
+	return func(n *netlist.Node) dist.Normal {
+		if d, ok := over[n.ID]; ok {
+			return d
+		}
+		return base(n)
+	}
+}
+
+// deltaRefInputs applies the edit set's launch-point overrides to the
+// scenario inputs.
+func deltaRefInputs(c *netlist.Circuit, scenario string, over map[netlist.NodeID]logic.InputStats) map[netlist.NodeID]logic.InputStats {
+	scen := experiments.ScenarioI
+	if scenario == "II" {
+		scen = experiments.ScenarioII
+	}
+	in := experiments.Inputs(c, scen)
+	for id, st := range over {
+		in[id] = st
+	}
+	return in
+}
+
+// TestDeltaMatchesFullAnalysis is the delta-vs-full equivalence
+// property: for every benchmark circuit and both scenarios, a random
+// sequence of growing/shrinking edit sets served through /v1/delta
+// must match a from-scratch full analysis with the same overrides —
+// bit-identically at ε = 0 (the JSON float encoding round-trips
+// float64 exactly), and within the combined pruning certificates at
+// ε > 0. The final step reverts every edit and must land back on the
+// base analysis.
+func TestDeltaMatchesFullAnalysis(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 4, SessionCacheSize: 64})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, p := range synth.Profiles() {
+		c, err := synth.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gates []*netlist.Node
+		for i := range c.Nodes {
+			if c.Nodes[i].Type.Combinational() {
+				gates = append(gates, c.Nodes[i])
+			}
+		}
+		launches := c.LaunchPoints()
+		for _, scenario := range []string{"I", "II"} {
+			sigma := 0.0
+			if scenario == "II" {
+				sigma = 0.15
+			}
+			for _, eps := range []float64{0, 1e-4} {
+				rng := rand.New(rand.NewSource(int64(len(p.Name))*1000 + int64(len(scenario)) + int64(eps*1e6)))
+				baseIn := deltaRefInputs(c, scenario, nil)
+
+				// Edit-set sizes per step: grow, grow, shrink, revert.
+				for step, nEdits := range []int{2, 5, 1, 0} {
+					var edits []DeltaEdit
+					over := make(map[netlist.NodeID]dist.Normal)
+					inOver := make(map[netlist.NodeID]logic.InputStats)
+					for i := 0; i < nEdits; i++ {
+						if i%3 == 2 && len(launches) > 0 {
+							id := launches[rng.Intn(len(launches))]
+							st := baseIn[id]
+							st.Mu = rng.Float64() * 2
+							st.Sigma = rng.Float64() * 0.4
+							edits = append(edits, DeltaEdit{
+								Input: c.Nodes[id].Name,
+								Mu:    st.Mu, Sigma: st.Sigma, P: st.P[:],
+							})
+							inOver[id] = st
+						} else {
+							g := gates[rng.Intn(len(gates))]
+							d := dist.Normal{Mu: 0.5 + rng.Float64()*2, Sigma: rng.Float64() * 0.3}
+							edits = append(edits, DeltaEdit{Gate: g.Name, Mu: d.Mu, Sigma: d.Sigma})
+							over[g.ID] = d
+						}
+					}
+					resp, dr, b := postDelta(t, srv.URL, &DeltaRequest{
+						Circuit: p.Name, Scenario: scenario,
+						Epsilon: eps, Sigma: sigma, Edits: edits,
+					})
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("%s/%s ε=%g step %d: %d %s", p.Name, scenario, eps, step, resp.StatusCode, b)
+					}
+					wantSession := "warm"
+					if step == 0 {
+						wantSession = "cold"
+					}
+					if dr.Session != wantSession {
+						t.Fatalf("%s/%s ε=%g step %d: session %q, want %q", p.Name, scenario, eps, step, dr.Session, wantSession)
+					}
+
+					ref, err := (&core.Analyzer{
+						ErrorBudget: eps,
+						Delay:       overrideModel(sigma, over), Batched: core.BatchAuto,
+					}).Run(c, deltaRefInputs(c, scenario, inOver))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := spstaEndpoints(ref, c)
+					if len(dr.Engine.Endpoints) != len(want) {
+						t.Fatalf("%s/%s ε=%g step %d: %d endpoints, want %d",
+							p.Name, scenario, eps, step, len(dr.Engine.Endpoints), len(want))
+					}
+					bound := 0.0
+					if eps > 0 {
+						// Two independently-pruned runs each certify
+						// their own deviation from exact.
+						bound = dr.Engine.MaxBudget + ref.MaxConsumedBudget() + 1e-12
+					}
+					for i, w := range want {
+						g := dr.Engine.Endpoints[i]
+						if g.Net != w.Net {
+							t.Fatalf("%s/%s step %d: endpoint %d is %q, want %q", p.Name, scenario, step, i, g.Net, w.Net)
+						}
+						if eps == 0 {
+							if g != w {
+								t.Fatalf("%s/%s ε=0 step %d %s: delta %+v\nfull %+v", p.Name, scenario, step, w.Net, g, w)
+							}
+							continue
+						}
+						for _, d := range []float64{
+							abs(g.P0 - w.P0), abs(g.P1 - w.P1),
+							abs(g.Rise.P - w.Rise.P), abs(g.Fall.P - w.Fall.P),
+						} {
+							if d > bound {
+								t.Fatalf("%s/%s ε=%g step %d %s: probability deviates by %g, certificate %g",
+									p.Name, scenario, eps, step, w.Net, d, bound)
+							}
+						}
+					}
+
+					// Replaying the same edit set must be free: the
+					// session already has every override applied.
+					resp2, dr2, b2 := postDelta(t, srv.URL, &DeltaRequest{
+						Circuit: p.Name, Scenario: scenario,
+						Epsilon: eps, Sigma: sigma, Edits: edits,
+					})
+					if resp2.StatusCode != http.StatusOK {
+						t.Fatalf("replay: %d %s", resp2.StatusCode, b2)
+					}
+					if dr2.NetsRecomputed != 0 {
+						t.Fatalf("%s/%s ε=%g step %d replay recomputed %d nets, want 0",
+							p.Name, scenario, eps, step, dr2.NetsRecomputed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSSTAEngine checks the Gaussian-baseline delta engine the
+// same way: bit-identical to a full ssta.Analyze with the overrides
+// applied.
+func TestDeltaSSTAEngine(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	p, _ := synth.ProfileByName("s344")
+	c, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gate *netlist.Node
+	for i := range c.Nodes {
+		if c.Nodes[i].Type.Combinational() {
+			gate = c.Nodes[i]
+			break
+		}
+	}
+	over := map[netlist.NodeID]dist.Normal{gate.ID: {Mu: 2.5, Sigma: 0.2}}
+	resp, dr, b := postDelta(t, srv.URL, &DeltaRequest{
+		Circuit: "s344", Engine: "ssta", Sigma: 0.1,
+		Edits: []DeltaEdit{{Gate: gate.Name, Mu: 2.5, Sigma: 0.2}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta: %d %s", resp.StatusCode, b)
+	}
+	if dr.Engine.Engine != "ssta" {
+		t.Fatalf("engine %q, want ssta", dr.Engine.Engine)
+	}
+	ref := ssta.Analyze(c, deltaRefInputs(c, "I", nil), overrideModel(0.1, over))
+	for i, ep := range c.Endpoints() {
+		g := dr.Engine.Endpoints[i]
+		r, f := ref.At(ep, ssta.DirRise), ref.At(ep, ssta.DirFall)
+		if g.Rise.Mu != r.Mu || g.Rise.Sigma != r.Sigma || g.Fall.Mu != f.Mu || g.Fall.Sigma != f.Sigma {
+			t.Fatalf("%s: delta (%v,%v)/(%v,%v), full (%v,%v)/(%v,%v)", g.Net,
+				g.Rise.Mu, g.Rise.Sigma, g.Fall.Mu, g.Fall.Sigma, r.Mu, r.Sigma, f.Mu, f.Sigma)
+		}
+	}
+}
+
+// TestDeltaValidation exercises the delta decoder's error paths.
+func TestDeltaValidation(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{"circuit":"s208","bench":"x"}`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"circuit":"s208","engine":"mc"}`, http.StatusBadRequest},
+		{`{"circuit":"s208","engine":"ssta","epsilon":0.1}`, http.StatusBadRequest},
+		{`{"circuit":"s208","edits":[{"gate":"g","input":"i","mu":1,"sigma":0}]}`, http.StatusBadRequest},
+		{`{"circuit":"s208","edits":[{"gate":"no-such-net","mu":1,"sigma":0}]}`, http.StatusBadRequest},
+		{`{"circuit":"s208","edits":[{"input":"no-such-net","mu":1,"sigma":0}]}`, http.StatusBadRequest},
+		{`{"netlist_ref":"0000000000000000000000000000000000000000000000000000000000000000"}`, http.StatusNotFound},
+	} {
+		resp, b := post(t, srv.URL+"/v1/delta", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.status, b)
+		}
+	}
+}
+
+// TestDeltaSessionInvalidation: evicting a netlist from the registry
+// must drop the delta sessions built on it, and a later delta request
+// for the same circuit re-registers and re-hydrates.
+func TestDeltaSessionInvalidation(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 2, RegistrySize: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	_, dr, _ := postDelta(t, srv.URL, &DeltaRequest{Circuit: "s208"})
+	if dr.Session != "cold" {
+		t.Fatalf("first delta session %q, want cold", dr.Session)
+	}
+	_, dr, _ = postDelta(t, srv.URL, &DeltaRequest{Circuit: "s208"})
+	if dr.Session != "warm" {
+		t.Fatalf("second delta session %q, want warm", dr.Session)
+	}
+	// Registering another netlist evicts s208 (capacity 1) and must
+	// invalidate its session.
+	if resp, b := post(t, srv.URL+"/v1/analyze", `{"circuit":"s298"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, b)
+	}
+	if n := svc.sessions.len(); n != 0 {
+		t.Fatalf("%d sessions survived the registry eviction, want 0", n)
+	}
+	_, dr, _ = postDelta(t, srv.URL, &DeltaRequest{Circuit: "s208"})
+	if dr.Session != "cold" {
+		t.Fatalf("post-eviction delta session %q, want cold", dr.Session)
+	}
+}

@@ -62,7 +62,7 @@ func (s *Service) runDriftCheck(did, tid string) error {
 	if req == nil {
 		return nil
 	}
-	c, in, err := req.load()
+	c, _, in, err := s.resolveSource(req.Circuit, req.Bench, req.NetlistRef, req.Scenario)
 	if err != nil {
 		return err
 	}

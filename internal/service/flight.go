@@ -48,6 +48,14 @@ type RequestSummary struct {
 	PrunedMass float64 `json:"pruned_mass,omitempty"`
 	MaxBudget  float64 `json:"max_budget,omitempty"`
 
+	// Cached marks a request served entirely from the result cache
+	// (CostUnits is then the near-zero serving cost, not the original
+	// run's); Delta marks a /v1/delta request with the node
+	// recomputations its reconciliation performed.
+	Cached         bool `json:"cached,omitempty"`
+	Delta          bool `json:"delta,omitempty"`
+	NetsRecomputed int  `json:"nets_recomputed,omitempty"`
+
 	// Captured marks entries holding a full span tree and metrics
 	// snapshot (the request exceeded the slow-latency or slow-cost
 	// threshold); /debug/requests/{id} serves them.

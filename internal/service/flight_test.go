@@ -193,6 +193,10 @@ func TestPrometheusExpositionValid(t *testing.T) {
 	// The new series must be present.
 	for _, want := range []string{
 		"spstad_request_cost_units", "spstad_engine_cost_units_total",
+		"spstad_cache_hits_total", "spstad_cache_misses_total",
+		"spstad_cache_evictions_total", "spstad_cache_bytes",
+		"spstad_singleflight_shared_total", "spstad_registry_entries",
+		"spstad_registry_evictions_total", "spstad_delta_nets_recomputed_total",
 		"go_goroutines", "go_memstats_heap_inuse_bytes", "go_gc_pause_seconds_total",
 	} {
 		if _, ok := types[want]; !ok {

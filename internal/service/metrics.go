@@ -20,8 +20,12 @@ import (
 
 // Engines accepted by the analyze endpoint, in label order. The extra
 // "compare" label counts /v1/compare requests, which always run the
-// spsta and mc engines as a pair.
-var engineLabels = []string{"spsta", "moment", "mc", "all", "compare"}
+// spsta and mc engines as a pair, and "delta" counts /v1/delta
+// incremental requests.
+var engineLabels = []string{"spsta", "moment", "mc", "all", "compare", "delta"}
+
+// numEngineLabels sizes the per-engine atomics arrays.
+const numEngineLabels = 6
 
 func engineIndex(engine string) int {
 	for i, l := range engineLabels {
@@ -89,13 +93,25 @@ func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load
 
 // registry is the service-level metrics store.
 type registry struct {
-	requests [5]atomic.Int64
-	errors   [5]atomic.Int64
-	latency  [5]latencyHist
+	requests [numEngineLabels]atomic.Int64
+	errors   [numEngineLabels]atomic.Int64
+	latency  [numEngineLabels]latencyHist
 
 	queueDepth atomic.Int64
 	inflight   atomic.Int64
 	rejected   atomic.Int64
+
+	// Result-cache, single-flight, netlist-registry and delta
+	// counters; the resultCache / netRegistry update these directly so
+	// /metrics has a single source of truth.
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheEvictions     atomic.Int64
+	cacheBytes         atomic.Int64
+	singleflightShared atomic.Int64
+	registryEntries    atomic.Int64
+	registryEvictions  atomic.Int64
+	deltaNets          atomic.Int64
 
 	// cost observes each successful request's total work-unit cost.
 	cost costHist
@@ -192,6 +208,23 @@ func (r *registry) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "spstad_inflight_requests %d\n", r.inflight.Load())
 	counter("spstad_requests_rejected_total", "Requests rejected because the queue was full or the service was shutting down.")
 	fmt.Fprintf(w, "spstad_requests_rejected_total %d\n", r.rejected.Load())
+
+	counter("spstad_cache_hits_total", "Engine results served from the content-addressed result cache.")
+	fmt.Fprintf(w, "spstad_cache_hits_total %d\n", r.cacheHits.Load())
+	counter("spstad_cache_misses_total", "Engine runs the result cache could not serve.")
+	fmt.Fprintf(w, "spstad_cache_misses_total %d\n", r.cacheMisses.Load())
+	counter("spstad_cache_evictions_total", "Results evicted from the result cache (size or TTL).")
+	fmt.Fprintf(w, "spstad_cache_evictions_total %d\n", r.cacheEvictions.Load())
+	gauge("spstad_cache_bytes", "Estimated bytes held by the result cache.")
+	fmt.Fprintf(w, "spstad_cache_bytes %d\n", r.cacheBytes.Load())
+	counter("spstad_singleflight_shared_total", "Requests that shared a concurrent identical engine run instead of starting their own.")
+	fmt.Fprintf(w, "spstad_singleflight_shared_total %d\n", r.singleflightShared.Load())
+	gauge("spstad_registry_entries", "Netlists currently held by the registry.")
+	fmt.Fprintf(w, "spstad_registry_entries %d\n", r.registryEntries.Load())
+	counter("spstad_registry_evictions_total", "Netlists evicted from the registry.")
+	fmt.Fprintf(w, "spstad_registry_evictions_total %d\n", r.registryEvictions.Load())
+	counter("spstad_delta_nets_recomputed_total", "Node recomputations performed by /v1/delta reconciliations.")
+	fmt.Fprintf(w, "spstad_delta_nets_recomputed_total %d\n", r.deltaNets.Load())
 
 	counter("spstad_drift_samples_total", "Accuracy-drift monitor replays performed.")
 	fmt.Fprintf(w, "spstad_drift_samples_total %d\n", r.driftSamples.Load())

@@ -1,0 +1,148 @@
+// The netlist registry: a content-addressed, LRU-bounded store of
+// parsed circuits. Clients upload (or first reference) a netlist
+// once; every later request names it by its canonical SHA-256 digest
+// (netlist.Digest) via "netlist_ref" and skips parsing entirely.
+// Named benchmark profiles and inline .bench bodies are interned
+// through the same store under alias keys, so a hot circuit is
+// generated or parsed exactly once no matter how it is spelled.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// DefaultRegistrySize is the registry's default LRU capacity in
+// circuits.
+const DefaultRegistrySize = 256
+
+// netEntry is one registered circuit with the alias keys that point
+// at it (cleaned up together on eviction).
+type netEntry struct {
+	digest  string
+	c       *netlist.Circuit
+	aliases []string
+}
+
+// netRegistry is the digest → circuit LRU. All methods are safe for
+// concurrent use. onEvict runs outside the lock after each eviction
+// so dependents (the delta session cache) can invalidate state tied
+// to the digest without lock-ordering constraints.
+type netRegistry struct {
+	reg     *registry
+	onEvict func(digest string)
+
+	mu       sync.Mutex
+	max      int
+	lru      *list.List // *netEntry, front = most recently used
+	byDigest map[string]*list.Element
+	byAlias  map[string]string
+}
+
+func newNetRegistry(max int, reg *registry, onEvict func(string)) *netRegistry {
+	if max <= 0 {
+		max = DefaultRegistrySize
+	}
+	return &netRegistry{
+		reg:      reg,
+		onEvict:  onEvict,
+		max:      max,
+		lru:      list.New(),
+		byDigest: make(map[string]*list.Element),
+		byAlias:  make(map[string]string),
+	}
+}
+
+// get returns the circuit registered under digest, refreshing its LRU
+// position.
+func (r *netRegistry) get(digest string) (*netlist.Circuit, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byDigest[digest]
+	if !ok {
+		return nil, false
+	}
+	r.lru.MoveToFront(el)
+	return el.Value.(*netEntry).c, true
+}
+
+// getAlias resolves an alias ("profile:s208", "bench:<sha256>") to
+// its registered circuit and digest.
+func (r *netRegistry) getAlias(alias string) (*netlist.Circuit, string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	digest, ok := r.byAlias[alias]
+	if !ok {
+		return nil, "", false
+	}
+	el, ok := r.byDigest[digest]
+	if !ok {
+		// Alias left dangling by a racing eviction; drop it.
+		delete(r.byAlias, alias)
+		return nil, "", false
+	}
+	r.lru.MoveToFront(el)
+	return el.Value.(*netEntry).c, digest, true
+}
+
+// put registers a circuit under its digest, optionally recording an
+// alias, and evicts least-recently-used entries beyond the capacity.
+// Registering an existing digest only refreshes it (and adds the
+// alias); the stored circuit wins, so concurrent duplicate parses
+// converge on one shared *Circuit.
+func (r *netRegistry) put(digest string, c *netlist.Circuit, alias string) *netlist.Circuit {
+	var evicted []*netEntry
+	r.mu.Lock()
+	if el, ok := r.byDigest[digest]; ok {
+		e := el.Value.(*netEntry)
+		r.lru.MoveToFront(el)
+		if alias != "" && r.byAlias[alias] != digest {
+			r.byAlias[alias] = digest
+			e.aliases = append(e.aliases, alias)
+		}
+		r.mu.Unlock()
+		return e.c
+	}
+	e := &netEntry{digest: digest, c: c}
+	if alias != "" {
+		r.byAlias[alias] = digest
+		e.aliases = append(e.aliases, alias)
+	}
+	r.byDigest[digest] = r.lru.PushFront(e)
+	for r.lru.Len() > r.max {
+		back := r.lru.Back()
+		old := back.Value.(*netEntry)
+		r.lru.Remove(back)
+		delete(r.byDigest, old.digest)
+		for _, a := range old.aliases {
+			if r.byAlias[a] == old.digest {
+				delete(r.byAlias, a)
+			}
+		}
+		evicted = append(evicted, old)
+	}
+	if r.reg != nil {
+		r.reg.registryEntries.Store(int64(r.lru.Len()))
+	}
+	r.mu.Unlock()
+	for range evicted {
+		if r.reg != nil {
+			r.reg.registryEvictions.Add(1)
+		}
+	}
+	if r.onEvict != nil {
+		for _, old := range evicted {
+			r.onEvict(old.digest)
+		}
+	}
+	return c
+}
+
+// len returns the number of registered circuits.
+func (r *netRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}

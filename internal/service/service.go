@@ -15,6 +15,7 @@ package service
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -75,15 +76,32 @@ type Config struct {
 	// SlowCost is the capture threshold in work-unit cost (see
 	// DESIGN.md §14); 0 disables cost-triggered capture.
 	SlowCost int64
+	// RegistrySize bounds the netlist registry (parsed circuits kept
+	// for netlist_ref requests and parse-once interning); 0 means
+	// DefaultRegistrySize.
+	RegistrySize int
+	// CacheBytes bounds the content-addressed result cache; 0 means
+	// DefaultCacheBytes, negative disables storage (single-flight
+	// dedup of concurrent identical requests stays on).
+	CacheBytes int64
+	// CacheTTL expires cached results after the given age; 0 keeps
+	// them until evicted by size.
+	CacheTTL time.Duration
+	// SessionCacheSize bounds the cached /v1/delta incremental
+	// sessions; 0 means DefaultSessionCacheSize.
+	SessionCacheSize int
 }
 
 // Service is the spstad request handler and its shared state.
 type Service struct {
-	cfg    Config
-	log    *slog.Logger
-	reg    registry
-	slots  chan struct{}
-	flight *flightRecorder
+	cfg      Config
+	log      *slog.Logger
+	reg      registry
+	slots    chan struct{}
+	flight   *flightRecorder
+	netreg   *netRegistry
+	cache    *resultCache
+	sessions *sessionCache
 
 	mu      sync.Mutex
 	sampled *Request // most recent analyze request, for drift replays
@@ -109,12 +127,19 @@ func New(cfg Config) *Service {
 		log = slog.New(slog.DiscardHandler)
 	}
 	s := &Service{
-		cfg:    cfg,
-		log:    log,
-		slots:  make(chan struct{}, cfg.MaxConcurrent),
-		flight: newFlightRecorder(cfg.FlightSize, cfg.SlowLatency, cfg.SlowCost),
-		stop:   make(chan struct{}),
+		cfg:      cfg,
+		log:      log,
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		flight:   newFlightRecorder(cfg.FlightSize, cfg.SlowLatency, cfg.SlowCost),
+		sessions: newSessionCache(cfg.SessionCacheSize),
+		stop:     make(chan struct{}),
 	}
+	s.cache = newResultCache(cfg.CacheBytes, cfg.CacheTTL, &s.reg)
+	// Evicting a netlist invalidates the delta sessions built on it:
+	// they hold the evicted *Circuit, and serving from them after the
+	// registry forgot the digest would let "stateless" delta requests
+	// outlive the netlist they reference.
+	s.netreg = newNetRegistry(cfg.RegistrySize, &s.reg, s.sessions.invalidateDigest)
 	if cfg.DriftInterval > 0 {
 		s.wg.Add(1)
 		go s.driftLoop()
@@ -148,6 +173,8 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/delta", s.handleDelta)
+	mux.HandleFunc("POST /v1/netlists", s.handleNetlistUpload)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/requests", s.handleFlightList)
 	mux.HandleFunc("GET /debug/requests/{id}", s.handleFlightGet)
@@ -168,9 +195,12 @@ func (s *Service) Handler() http.Handler {
 type Request struct {
 	// Circuit names a built-in synthetic benchmark profile (s208 …
 	// s1238); Bench alternatively carries an inline ISCAS-style
-	// .bench netlist. Exactly one must be set.
-	Circuit string `json:"circuit,omitempty"`
-	Bench   string `json:"bench,omitempty"`
+	// .bench netlist; NetlistRef names a previously-registered
+	// netlist by its content digest (POST /v1/netlists, or the
+	// netlist_digest of any prior response). Exactly one must be set.
+	Circuit    string `json:"circuit,omitempty"`
+	Bench      string `json:"bench,omitempty"`
+	NetlistRef string `json:"netlist_ref,omitempty"`
 	// Scenario selects the launch-point statistics: "I" (uniform,
 	// default) or "II" (skewed).
 	Scenario string `json:"scenario,omitempty"`
@@ -235,6 +265,11 @@ type EngineResult struct {
 	// discrete engines.
 	PrunedMass float64 `json:"pruned_mass,omitempty"`
 	MaxBudget  float64 `json:"max_budget,omitempty"`
+	// Cached marks a result served from the content-addressed result
+	// cache (or shared from a concurrent identical request) instead of
+	// a fresh engine run. CostUnits then reports the original run's
+	// cost; the serving request did ~no work.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // CircuitInfo describes the analyzed circuit.
@@ -246,13 +281,16 @@ type CircuitInfo struct {
 
 // Response is the body of a successful /v1/analyze.
 type Response struct {
-	RequestID string         `json:"request_id"`
-	TraceID   string         `json:"trace_id"`
-	Circuit   CircuitInfo    `json:"circuit"`
-	Scenario  string         `json:"scenario"`
-	Engines   []EngineResult `json:"engines"`
-	CostUnits int64          `json:"cost_units"`
-	TraceFile string         `json:"trace_file,omitempty"`
+	RequestID string      `json:"request_id"`
+	TraceID   string      `json:"trace_id"`
+	Circuit   CircuitInfo `json:"circuit"`
+	// NetlistDigest is the circuit's canonical content digest, usable
+	// as netlist_ref in later requests.
+	NetlistDigest string         `json:"netlist_digest"`
+	Scenario      string         `json:"scenario"`
+	Engines       []EngineResult `json:"engines"`
+	CostUnits     int64          `json:"cost_units"`
+	TraceFile     string         `json:"trace_file,omitempty"`
 }
 
 // CompareRow is one endpoint/direction line of /v1/compare: the
@@ -271,14 +309,18 @@ type CompareRow struct {
 
 // CompareResponse is the body of a successful /v1/compare.
 type CompareResponse struct {
-	RequestID   string       `json:"request_id"`
-	TraceID     string       `json:"trace_id"`
-	Circuit     CircuitInfo  `json:"circuit"`
-	Scenario    string       `json:"scenario"`
-	Rows        []CompareRow `json:"rows"`
-	MaxMuDev    float64      `json:"max_mu_dev"`
-	MaxSigmaDev float64      `json:"max_sigma_dev"`
-	CostUnits   int64        `json:"cost_units"`
+	RequestID     string       `json:"request_id"`
+	TraceID       string       `json:"trace_id"`
+	Circuit       CircuitInfo  `json:"circuit"`
+	NetlistDigest string       `json:"netlist_digest"`
+	Scenario      string       `json:"scenario"`
+	Rows          []CompareRow `json:"rows"`
+	MaxMuDev      float64      `json:"max_mu_dev"`
+	MaxSigmaDev   float64      `json:"max_sigma_dev"`
+	CostUnits     int64        `json:"cost_units"`
+	// Cached marks a comparison whose spsta and mc results both came
+	// from the result cache.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // httpError carries a status code out of request decoding/validation.
@@ -339,8 +381,14 @@ func decode(r *http.Request) (*Request, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, errBadRequest("bad request body: %v", err)
 	}
-	if (req.Circuit == "") == (req.Bench == "") {
-		return nil, errBadRequest("exactly one of circuit or bench must be set")
+	n := 0
+	for _, set := range []bool{req.Circuit != "", req.Bench != "", req.NetlistRef != ""} {
+		if set {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, errBadRequest("exactly one of circuit, bench or netlist_ref must be set")
 	}
 	if req.Engine == "" {
 		req.Engine = "spsta"
@@ -401,27 +449,63 @@ func decode(r *http.Request) (*Request, error) {
 	return &req, nil
 }
 
-// load resolves the request's circuit and inputs.
-func (req *Request) load() (*netlist.Circuit, map[netlist.NodeID]logic.InputStats, error) {
+// resolveSource resolves a request's circuit through the netlist
+// registry: a netlist_ref is a straight digest lookup (404 when the
+// registry no longer holds it); profile names and inline bench bodies
+// are interned under alias keys so each distinct netlist is generated
+// or parsed once and every spelling of it shares one digest and one
+// *Circuit. The returned digest is the canonical content address used
+// by the result cache, the delta session cache, and the
+// netlist_digest response field.
+func (s *Service) resolveSource(circuit, benchText, ref, scenario string) (*netlist.Circuit, string, map[netlist.NodeID]logic.InputStats, error) {
 	var c *netlist.Circuit
-	var err error
-	if req.Circuit != "" {
-		p, ok := synth.ProfileByName(req.Circuit)
+	var digest string
+	switch {
+	case ref != "":
+		var ok bool
+		c, ok = s.netreg.get(ref)
 		if !ok {
-			return nil, nil, errBadRequest("unknown circuit %q (want a built-in profile, s208 … s1238)", req.Circuit)
+			return nil, "", nil, &httpError{
+				status: http.StatusNotFound,
+				msg:    fmt.Sprintf("unknown netlist_ref %q (upload it via POST /v1/netlists)", ref),
+			}
 		}
-		c, err = synth.Generate(p)
-	} else {
-		c, err = bench.Parse(strings.NewReader(req.Bench), "inline")
-	}
-	if err != nil {
-		return nil, nil, errBadRequest("%v", err)
+		digest = ref
+	case circuit != "":
+		alias := "profile:" + circuit
+		if cc, d, ok := s.netreg.getAlias(alias); ok {
+			c, digest = cc, d
+			break
+		}
+		p, ok := synth.ProfileByName(circuit)
+		if !ok {
+			return nil, "", nil, errBadRequest("unknown circuit %q (want a built-in profile, s208 … s1238)", circuit)
+		}
+		cc, err := synth.Generate(p)
+		if err != nil {
+			return nil, "", nil, errBadRequest("%v", err)
+		}
+		digest = netlist.Digest(cc, nil)
+		c = s.netreg.put(digest, cc, alias)
+	default:
+		sum := sha256.Sum256([]byte(benchText))
+		alias := "bench:" + hex.EncodeToString(sum[:])
+		if cc, d, ok := s.netreg.getAlias(alias); ok {
+			c, digest = cc, d
+			break
+		}
+		cc, err := bench.Parse(strings.NewReader(benchText), "inline")
+		if err != nil {
+			return nil, "", nil, errBadRequest("%v", err)
+		}
+		digest = netlist.Digest(cc, nil)
+		c = s.netreg.put(digest, cc, alias)
 	}
 	scen := experiments.ScenarioI
-	if req.Scenario == "II" {
+	if scenario == "II" {
 		scen = experiments.ScenarioII
 	}
-	return c, experiments.Inputs(c, scen), nil
+	return c, digest, experiments.Inputs(c, scen), nil
 }
 
 func (req *Request) batchMode() core.BatchMode {
@@ -445,11 +529,14 @@ func (req *Request) coarsenPolicy() core.CoarsenPolicy {
 	return core.CoarsenPolicy{Mode: mode}
 }
 
-func (req *Request) delay() ssta.DelayModel {
-	if req.Sigma <= 0 {
+func (req *Request) delay() ssta.DelayModel { return delayModel(req.Sigma) }
+
+// delayModel returns the variational N(1, sigma^2) gate-delay model,
+// or nil (unit delays) for sigma <= 0.
+func delayModel(sigma float64) ssta.DelayModel {
+	if sigma <= 0 {
 		return nil
 	}
-	sigma := req.Sigma
 	return func(n *netlist.Node) dist.Normal { return dist.Normal{Mu: 1, Sigma: sigma} }
 }
 
@@ -463,6 +550,12 @@ type reqCtx struct {
 	queueNS int64
 	req     *Request // nil until decode succeeds
 	scope   *obs.Scope
+	// cached / delta / netsRecomputed feed the flight-recorder summary:
+	// a fully cache-served analyze, and a delta request's recompute
+	// footprint.
+	cached         bool
+	delta          bool
+	netsRecomputed int
 }
 
 // begin starts a request context: a fresh request ID, and a trace ID
@@ -507,9 +600,17 @@ func (rc *reqCtx) summary(engine string, status int, errMsg string, cost int64) 
 		Rejected: status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable,
 		Start:    rc.t0, LatencyNS: time.Since(rc.t0).Nanoseconds(), QueueNS: rc.queueNS,
 		CostUnits: cost,
+		Cached:    rc.cached, Delta: rc.delta, NetsRecomputed: rc.netsRecomputed,
 	}
 	if req := rc.req; req != nil {
 		sum.Circuit = req.Circuit
+		if sum.Circuit == "" && req.NetlistRef != "" {
+			ref := req.NetlistRef
+			if len(ref) > 12 {
+				ref = ref[:12]
+			}
+			sum.Circuit = "ref:" + ref
+		}
 		if sum.Circuit == "" {
 			sum.Circuit = "inline"
 		}
@@ -525,6 +626,14 @@ func (rc *reqCtx) summary(engine string, status int, errMsg string, cost int64) 
 	return sum
 }
 
+// engineList expands the request's engine selector.
+func (req *Request) engineList() []string {
+	if req.Engine == "all" {
+		return []string{"spsta", "moment", "mc"}
+	}
+	return []string{req.Engine}
+}
+
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	rc := s.begin(w, r, "/v1/analyze")
 	req, err := decode(r)
@@ -533,65 +642,114 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rc.req = req
-	q0 := time.Now()
-	release, err := s.acquire(r)
-	rc.queueNS = time.Since(q0).Nanoseconds()
+	c, digest, in, err := s.resolveSource(req.Circuit, req.Bench, req.NetlistRef, req.Scenario)
 	if err != nil {
 		s.fail(w, rc, req.Engine, err)
 		return
 	}
-	defer release()
-	s.reg.inflight.Add(1)
-	defer s.reg.inflight.Add(-1)
-
-	resp, err := s.analyze(rc)
-	if err != nil {
-		s.fail(w, rc, req.Engine, err)
-		return
+	// Fully-cached requests are served before the worker pool: a hot
+	// repeat never queues behind cold analyses and costs no slot.
+	resp, ok := s.analyzeCached(rc, c, digest)
+	if !ok {
+		q0 := time.Now()
+		release, err := s.acquire(r)
+		rc.queueNS = time.Since(q0).Nanoseconds()
+		if err != nil {
+			s.fail(w, rc, req.Engine, err)
+			return
+		}
+		s.reg.inflight.Add(1)
+		resp, err = s.analyze(rc, c, digest, in)
+		s.reg.inflight.Add(-1)
+		release()
+		if err != nil {
+			s.fail(w, rc, req.Engine, err)
+			return
+		}
 	}
+	actual := rc.scope.M().CostUnits()
 	s.reg.merge(rc.scope.Snapshot())
-	s.reg.cost.observe(resp.CostUnits)
+	s.reg.cost.observe(actual)
 	s.sample(req)
 	s.reg.observe(req.Engine, time.Since(rc.t0), false)
-	captured := s.flight.record(rc.summary(req.Engine, http.StatusOK, "", resp.CostUnits), rc.scope)
+	captured := s.flight.record(rc.summary(req.Engine, http.StatusOK, "", actual), rc.scope)
 	s.log.Info("request",
 		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
 		"engine", req.Engine, "circuit", resp.Circuit.Name, "status", http.StatusOK,
 		"duration_ms", float64(time.Since(rc.t0).Microseconds())/1e3,
-		"cost_units", resp.CostUnits, "captured", captured)
+		"cost_units", actual, "cached", rc.cached, "captured", captured)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// analyze runs the requested engines under the request's scope,
-// recording the request → engine span levels of the trace tree.
-func (s *Service) analyze(rc *reqCtx) (*Response, error) {
+// analyzeCached serves a request whose every engine result is already
+// in the result cache. Traced requests always run for real (a trace
+// of a cache lookup is useless), and a partial hit falls through to
+// the normal path, which still reuses whatever is cached per engine.
+func (s *Service) analyzeCached(rc *reqCtx, c *netlist.Circuit, digest string) (*Response, bool) {
 	req := rc.req
-	c, in, err := req.load()
-	if err != nil {
-		return nil, err
+	if req.Trace {
+		return nil, false
 	}
+	engines := req.engineList()
+	keys := make([]string, len(engines))
+	for i, engine := range engines {
+		keys[i] = cacheKey(digest, req, engine)
+	}
+	ers, ok := s.cache.peekAll(keys)
+	if !ok {
+		return nil, false
+	}
+	s.newScope(rc)
+	tr := rc.scope.Tracer
+	root := tr.NewSpan()
+	rc.scope.Span = root
+	resp := &Response{
+		RequestID:     rc.id,
+		TraceID:       rc.traceID,
+		Circuit:       CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
+		NetlistDigest: digest,
+		Scenario:      req.Scenario,
+	}
+	for i := range ers {
+		ers[i].Cached = true
+		resp.Engines = append(resp.Engines, ers[i])
+		resp.CostUnits += ers[i].CostUnits
+	}
+	rc.cached = true
+	tr.RecordSpan(root, 0, "POST "+rc.path, "request", 0, rc.t0, time.Since(rc.t0),
+		map[string]any{"request_id": rc.id, "engine": req.Engine, "cached": true})
+	return resp, true
+}
+
+// analyze runs the requested engines under the request's scope,
+// recording the request → engine span levels of the trace tree. Each
+// engine goes through the result cache: a hit skips the run, a miss
+// runs it under single-flight so concurrent identical requests share
+// one execution.
+func (s *Service) analyze(rc *reqCtx, c *netlist.Circuit, digest string, in map[netlist.NodeID]logic.InputStats) (*Response, error) {
+	req := rc.req
 	traced := s.newScope(rc)
 	tr := rc.scope.Tracer
 	root := tr.NewSpan()
 	rc.scope.Span = root
 	resp := &Response{
-		RequestID: rc.id,
-		TraceID:   rc.traceID,
-		Circuit:   CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
-		Scenario:  req.Scenario,
+		RequestID:     rc.id,
+		TraceID:       rc.traceID,
+		Circuit:       CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
+		NetlistDigest: digest,
+		Scenario:      req.Scenario,
 	}
-	engines := []string{req.Engine}
-	if req.Engine == "all" {
-		engines = []string{"spsta", "moment", "mc"}
-	}
-	for _, engine := range engines {
-		er, err := s.runEngineSpanned(engine, c, in, rc)
+	allCached := true
+	for _, engine := range req.engineList() {
+		er, err := s.cachedEngine(engine, c, digest, in, rc)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", engine, err)
 		}
+		allCached = allCached && er.Cached
 		resp.Engines = append(resp.Engines, er)
 		resp.CostUnits += er.CostUnits
 	}
+	rc.cached = allCached
 	tr.RecordSpan(root, 0, "POST "+rc.path, "request", 0, rc.t0, time.Since(rc.t0),
 		map[string]any{"request_id": rc.id, "engine": req.Engine, "cost_units": resp.CostUnits})
 	if traced {
@@ -610,6 +768,76 @@ func (s *Service) analyze(rc *reqCtx) (*Response, error) {
 		resp.TraceFile = path
 	}
 	return resp, nil
+}
+
+// cachedEngine returns one engine's result through the result cache.
+// Traced requests bypass the read side (they exist to produce fresh
+// spans) but still publish their result for later requests.
+func (s *Service) cachedEngine(engine string, c *netlist.Circuit, digest string, in map[netlist.NodeID]logic.InputStats, rc *reqCtx) (EngineResult, error) {
+	key := cacheKey(digest, rc.req, engine)
+	if rc.req.Trace {
+		er, err := s.runEngineSpanned(engine, c, in, rc)
+		if err == nil {
+			s.cache.store(key, er)
+		}
+		return er, err
+	}
+	er, src, err := s.cache.getOrCompute(key, func() (EngineResult, error) {
+		return s.runEngineSpanned(engine, c, in, rc)
+	})
+	if err == nil && src != cacheComputed {
+		er.Cached = true
+		// A zero-duration engine span keeps the request's trace tree
+		// complete even when the engine never ran here.
+		tr := rc.scope.Tracer
+		eid := tr.NewSpan()
+		tr.RecordSpan(eid, rc.scope.SpanID(), "engine "+engine, "engine", 0, time.Now(), 0,
+			map[string]any{"cached": true, "shared": src == cacheShared, "cost_units": er.CostUnits})
+	}
+	return er, err
+}
+
+// NetlistUploadRequest is the body of POST /v1/netlists: an inline
+// .bench netlist or a built-in profile name to register.
+type NetlistUploadRequest struct {
+	Circuit string `json:"circuit,omitempty"`
+	Bench   string `json:"bench,omitempty"`
+}
+
+// NetlistUploadResponse returns the registered netlist's digest,
+// usable as netlist_ref in analyze/compare/delta requests.
+type NetlistUploadResponse struct {
+	NetlistDigest string      `json:"netlist_digest"`
+	Circuit       CircuitInfo `json:"circuit"`
+}
+
+// handleNetlistUpload parses and registers a netlist without
+// analyzing it.
+func (s *Service) handleNetlistUpload(w http.ResponseWriter, r *http.Request) {
+	rc := s.begin(w, r, "/v1/netlists")
+	var req NetlistUploadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, rc, "", errBadRequest("bad request body: %v", err))
+		return
+	}
+	if (req.Circuit == "") == (req.Bench == "") {
+		s.fail(w, rc, "", errBadRequest("exactly one of circuit or bench must be set"))
+		return
+	}
+	c, digest, _, err := s.resolveSource(req.Circuit, req.Bench, "", "I")
+	if err != nil {
+		s.fail(w, rc, "", err)
+		return
+	}
+	s.log.Info("netlist registered",
+		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
+		"circuit", c.Name, "digest", digest, "registry_entries", s.netreg.len())
+	writeJSON(w, http.StatusOK, &NetlistUploadResponse{
+		NetlistDigest: digest,
+		Circuit:       CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
+	})
 }
 
 // runEngineSpanned wraps one engine run in an engine span parented
@@ -644,16 +872,7 @@ func runEngine(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.In
 		if err != nil {
 			return er, err
 		}
-		for _, ep := range eps {
-			rm, rs, rp := res.Arrival(ep, ssta.DirRise)
-			fm, fs, fp := res.Arrival(ep, ssta.DirFall)
-			er.Endpoints = append(er.Endpoints, EndpointStat{
-				Net: c.Nodes[ep].Name,
-				P0:  res.Probability(ep, logic.Zero), P1: res.Probability(ep, logic.One),
-				Rise: DirStat{Mu: rm, Sigma: rs, P: rp},
-				Fall: DirStat{Mu: fm, Sigma: fs, P: fp},
-			})
-		}
+		er.Endpoints = spstaEndpoints(res, c)
 		er.PrunedMass = res.TotalPrunedMass()
 		er.MaxBudget = res.MaxConsumedBudget()
 	case "moment":
@@ -702,6 +921,23 @@ func runEngine(engine string, c *netlist.Circuit, in map[netlist.NodeID]logic.In
 	return er, nil
 }
 
+// spstaEndpoints formats a core.Result's endpoint statistics; shared
+// by the analyze engines and the delta endpoint.
+func spstaEndpoints(res *core.Result, c *netlist.Circuit) []EndpointStat {
+	var out []EndpointStat
+	for _, ep := range c.Endpoints() {
+		rm, rs, rp := res.Arrival(ep, ssta.DirRise)
+		fm, fs, fp := res.Arrival(ep, ssta.DirFall)
+		out = append(out, EndpointStat{
+			Net: c.Nodes[ep].Name,
+			P0:  res.Probability(ep, logic.Zero), P1: res.Probability(ep, logic.One),
+			Rise: DirStat{Mu: rm, Sigma: rs, P: rp},
+			Fall: DirStat{Mu: fm, Sigma: fs, P: fp},
+		})
+	}
+	return out
+}
+
 func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	rc := s.begin(w, r, "/v1/compare")
 	req, err := decode(r)
@@ -721,7 +957,7 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.reg.inflight.Add(1)
 	defer s.reg.inflight.Add(-1)
 
-	c, in, err := req.load()
+	c, digest, in, err := s.resolveSource(req.Circuit, req.Bench, req.NetlistRef, req.Scenario)
 	if err != nil {
 		s.fail(w, rc, "compare", err)
 		return
@@ -730,22 +966,28 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	tr := rc.scope.Tracer
 	root := tr.NewSpan()
 	rc.scope.Span = root
-	sp, err := s.runEngineSpanned("spsta", c, in, rc)
+	// The circuit is resolved once and both engine runs go through the
+	// result cache, so a repeated comparison reuses the analyze path's
+	// cached results (and vice versa).
+	sp, err := s.cachedEngine("spsta", c, digest, in, rc)
 	if err != nil {
 		s.fail(w, rc, "compare", err)
 		return
 	}
-	mc, err := s.runEngineSpanned("mc", c, in, rc)
+	mc, err := s.cachedEngine("mc", c, digest, in, rc)
 	if err != nil {
 		s.fail(w, rc, "compare", err)
 		return
 	}
+	rc.cached = sp.Cached && mc.Cached
 	resp := &CompareResponse{
-		RequestID: rc.id,
-		TraceID:   rc.traceID,
-		Circuit:   CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
-		Scenario:  req.Scenario,
-		CostUnits: sp.CostUnits + mc.CostUnits,
+		RequestID:     rc.id,
+		TraceID:       rc.traceID,
+		Circuit:       CircuitInfo{Name: c.Name, Gates: len(c.Nodes), Depth: c.Depth()},
+		NetlistDigest: digest,
+		Scenario:      req.Scenario,
+		CostUnits:     sp.CostUnits + mc.CostUnits,
+		Cached:        sp.Cached && mc.Cached,
 	}
 	for i := range sp.Endpoints {
 		for _, dir := range []string{"rise", "fall"} {
@@ -772,16 +1014,17 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.RecordSpan(root, 0, "POST "+rc.path, "request", 0, rc.t0, time.Since(rc.t0),
 		map[string]any{"request_id": rc.id, "engine": "compare", "cost_units": resp.CostUnits})
+	actual := rc.scope.M().CostUnits()
 	s.reg.merge(rc.scope.Snapshot())
-	s.reg.cost.observe(resp.CostUnits)
+	s.reg.cost.observe(actual)
 	s.sample(req)
 	s.reg.observe("compare", time.Since(rc.t0), false)
-	captured := s.flight.record(rc.summary("compare", http.StatusOK, "", resp.CostUnits), rc.scope)
+	captured := s.flight.record(rc.summary("compare", http.StatusOK, "", actual), rc.scope)
 	s.log.Info("request",
 		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
 		"circuit", resp.Circuit.Name, "status", http.StatusOK,
 		"duration_ms", float64(time.Since(rc.t0).Microseconds())/1e3,
-		"cost_units", resp.CostUnits, "captured", captured)
+		"cost_units", actual, "cached", rc.cached, "captured", captured)
 	writeJSON(w, http.StatusOK, resp)
 }
 
