@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-guard bench-json smoke check
+.PHONY: build test bench bench-guard bench-json smoke soak check
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ bench:
 #     cache-hit p99 >= 50x the cold request, warm single-edit
 #     /v1/delta >= 5x a full uncached re-analysis, and N concurrent
 #     identical requests run the engine exactly once (single-flight).
+#   - TestBenchGuardTimelineOverhead: the timeline sampler + SLO
+#     burn-rate evaluator ticking at 10ms (100x production rate)
+#     adds <= 2% to the served request path (DESIGN.md §17).
+#   - TestBenchGuardSoak: 8-second short-mode of `make soak` — mixed
+#     hot/cold/delta load with no SLO objective burning, client p99
+#     <= 500ms, rejections <= 1%.
 bench-guard:
 	BENCH_GUARD=1 $(GO) test -run TestBenchGuard -v -timeout 20m .
 
@@ -57,6 +63,15 @@ bench-json:
 smoke:
 	$(GO) test -run TestSpstadSmoke -v ./internal/service/
 
+# SLO soak: one minute of closed-loop mixed hot/cold/delta load
+# against an in-process spstad with soak-tuned burn windows
+# (DESIGN.md §17). Exits nonzero when any SLO objective burns, client
+# p99 exceeds 500ms, or rejections exceed 1%; a failing run lists the
+# daemon's auto-capture bundles. bench-guard runs an 8-second
+# short-mode version of the same gate (TestBenchGuardSoak).
+soak:
+	$(GO) run ./cmd/spstasoak -duration 60s
+
 # CI gate: vet, the full suite under the race detector (which
 # includes the spstad smoke test and the concurrent scope-isolation
 # tests), an explicit spstad smoke run, then the instrumentation
@@ -72,4 +87,5 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) smoke
+	$(MAKE) soak
 	$(MAKE) bench-guard

@@ -8,9 +8,16 @@
 //	POST /v1/delta            incremental re-analysis of an edited netlist
 //	GET  /metrics             Prometheus text exposition (RED + engine totals)
 //	GET  /debug/requests      flight recorder: recent request summaries
+//	                          (?since= filters by start time)
 //	GET  /debug/requests/{id} one recorded request; captured slow requests
 //	                          include the span tree (?format=trace downloads
 //	                          the Chrome trace_event JSON)
+//	GET  /debug/timeline      in-process metrics timeline: windowed,
+//	                          downsampled series (?series= ?window= ?points=)
+//	GET  /debug/slo           SLO burn-rate state and windowed latency
+//	                          percentiles
+//	GET  /debug/captures      SLO auto-capture bundles (-debug-dir);
+//	                          /{name}/{file} serves one artifact
 //	GET  /healthz             liveness
 //	GET  /readyz              readiness (503 once shutdown has begun)
 //
@@ -59,6 +66,21 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", service.DefaultCacheBytes, "result cache budget in bytes (0 = default, negative disables)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = no expiry)")
 	sessionCache := flag.Int("session-cache", service.DefaultSessionCacheSize, "warm incremental /v1/delta sessions kept (LRU)")
+	timelineInterval := flag.Duration("timeline-interval", time.Second, "metrics timeline sampling period (0 disables the sampler)")
+	timelineCapacity := flag.Int("timeline-capacity", 0, "timeline samples kept per series (0 = 2048, ~34min at 1s)")
+	sloAvailability := flag.Float64("slo-availability", 0.99, "availability SLO: good-request fraction target")
+	sloLatencyThreshold := flag.Float64("slo-latency-threshold", 0.5, "latency SLO: per-request threshold in seconds")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "latency SLO: fraction of requests that must finish under the threshold")
+	sloRejectionBudget := flag.Float64("slo-rejection-budget", 0.01, "rejection SLO: tolerable rejected-request fraction")
+	sloCacheFloor := flag.Float64("slo-cache-floor", 0, "cache SLO: minimum result-cache hit rate (0 disables)")
+	sloDriftBound := flag.Float64("slo-drift-bound", 0, "drift SLO: bound on the mean-deviation gauge (0 disables)")
+	sloFastWindow := flag.Duration("slo-fast-window", time.Minute, "burn-rate fast window")
+	sloSlowWindow := flag.Duration("slo-slow-window", 5*time.Minute, "burn-rate slow window")
+	sloFastBurn := flag.Float64("slo-fast-burn", 2, "burn-rate threshold for the fast window")
+	sloSlowBurn := flag.Float64("slo-slow-burn", 1, "burn-rate threshold for the slow window")
+	debugDir := flag.String("debug-dir", "", "directory for SLO auto-capture bundles (empty disables auto-capture)")
+	captureCPU := flag.Duration("capture-cpu", 2*time.Second, "CPU-profile duration per capture bundle")
+	captureMinInterval := flag.Duration("capture-min-interval", time.Minute, "minimum time between capture bundles")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
@@ -71,6 +93,11 @@ func run() error {
 
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *debugDir != "" {
+		if err := os.MkdirAll(*debugDir, 0o755); err != nil {
 			return err
 		}
 	}
@@ -89,6 +116,22 @@ func run() error {
 		CacheBytes:       *cacheBytes,
 		CacheTTL:         *cacheTTL,
 		SessionCacheSize: *sessionCache,
+
+		TimelineInterval:    *timelineInterval,
+		TimelineCapacity:    *timelineCapacity,
+		SLOAvailability:     *sloAvailability,
+		SLOLatencyThreshold: *sloLatencyThreshold,
+		SLOLatencyTarget:    *sloLatencyTarget,
+		SLORejectionBudget:  *sloRejectionBudget,
+		SLOCacheHitFloor:    *sloCacheFloor,
+		SLODriftBound:       *sloDriftBound,
+		SLOFastWindow:       *sloFastWindow,
+		SLOSlowWindow:       *sloSlowWindow,
+		SLOFastBurn:         *sloFastBurn,
+		SLOSlowBurn:         *sloSlowBurn,
+		DebugDir:            *debugDir,
+		CaptureCPU:          *captureCPU,
+		CaptureMinInterval:  *captureMinInterval,
 	})
 	defer svc.Close()
 

@@ -1,54 +1,30 @@
 // Command spstaload is a closed-loop load generator for spstad. It
 // drives a running daemon with a configurable mix of traffic classes
 // and reports per-class latency percentiles, making cache and
-// single-flight wins visible as a hot/cold latency gap:
-//
-//	hot    repeated identical /v1/analyze requests (cache hits after
-//	       the first; concurrent cold starts collapse via single-flight)
-//	cold   /v1/analyze with a fresh Monte Carlo seed per request
-//	       (never cache-hits; each one runs the engine)
-//	delta  /v1/delta with one random gate-delay edit per request
-//	       (warm incremental sessions after the first per circuit)
-//
-// Each worker runs its own closed loop — it issues a request, waits
-// for the response, then draws the next class from the -mix weights —
-// so concurrency, not arrival rate, is the controlled variable.
+// single-flight wins visible as a hot/cold latency gap. The load
+// machinery lives in internal/loadgen, shared with cmd/spstasoak.
 //
 // Usage:
 //
 //	spstad &
 //	spstaload -duration 15s -concurrency 8 -mix hot=0.6,cold=0.2,delta=0.2
 //	spstaload -addr http://host:8321 -circuits s1196,s1238
+//	spstaload -json BENCH_service.json
+//
+// -json writes the per-class counts, rejections and percentiles as
+// JSON (the schema shared with spstasoak's soak reports).
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"math/rand"
 	"net/http"
 	"os"
-	"sort"
-	"strconv"
 	"strings"
-	"sync"
 	"time"
 
-	"repro/internal/synth"
+	"repro/internal/loadgen"
 )
-
-type sample struct {
-	class string
-	d     time.Duration
-	err   error
-}
-
-type target struct {
-	name  string
-	gates []string // combinational gate names for delta edits
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -65,183 +41,59 @@ func run() error {
 	mix := flag.String("mix", "hot=0.6,cold=0.2,delta=0.2", "traffic mix weights (hot, cold, delta)")
 	runs := flag.Int("runs", 5000, "Monte Carlo runs for cold requests")
 	seed := flag.Int64("seed", 1, "load-pattern seed")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this path")
 	flag.Parse()
 
-	weights, err := parseMix(*mix)
+	weights, err := loadgen.ParseMix(*mix)
 	if err != nil {
 		return err
 	}
-	var targets []target
-	for _, name := range strings.Split(*circuits, ",") {
-		name = strings.TrimSpace(name)
-		p, ok := synth.ProfileByName(name)
-		if !ok {
-			return fmt.Errorf("unknown circuit %q", name)
-		}
-		c, err := synth.Generate(p)
-		if err != nil {
-			return err
-		}
-		var gates []string
-		for _, n := range c.Nodes {
-			if n.Type.Combinational() {
-				gates = append(gates, n.Name)
-			}
-		}
-		if len(gates) == 0 {
-			return fmt.Errorf("circuit %q has no combinational gates", name)
-		}
-		targets = append(targets, target{name: name, gates: gates})
-	}
-
-	client := &http.Client{Timeout: time.Minute}
-	if _, err := get(client, *addr+"/healthz"); err != nil {
-		return fmt.Errorf("daemon not reachable: %w", err)
-	}
-
-	deadline := time.Now().Add(*duration)
-	results := make(chan sample, 4096)
-	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed*1000 + int64(w)))
-			for time.Now().Before(deadline) {
-				tgt := targets[rng.Intn(len(targets))]
-				class, body, path := nextRequest(rng, weights, tgt, *runs)
-				start := time.Now()
-				err := post(client, *addr+path, body)
-				results <- sample{class: class, d: time.Since(start), err: err}
-			}
-		}(w)
-	}
-	go func() { wg.Wait(); close(results) }()
-
-	byClass := map[string][]time.Duration{}
-	errs := map[string]int{}
-	total := 0
-	for s := range results {
-		total++
-		if s.err != nil {
-			errs[s.class]++
-			continue
-		}
-		byClass[s.class] = append(byClass[s.class], s.d)
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     *addr,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Circuits:    strings.Split(*circuits, ","),
+		Mix:         weights,
+		Runs:        *runs,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("%d requests in %s (%.0f req/s, %d workers)\n",
-		total, *duration, float64(total)/duration.Seconds(), *concurrency)
-	fmt.Printf("%-6s %8s %6s  %10s %10s %10s %10s\n",
-		"class", "count", "errs", "p50", "p90", "p99", "max")
-	for _, class := range []string{"hot", "cold", "delta"} {
-		ds := byClass[class]
-		if len(ds) == 0 && errs[class] == 0 {
+		rep.Requests, *duration, rep.ReqPerSec, rep.Workers)
+	fmt.Printf("%-6s %8s %6s %6s  %10s %10s %10s %10s\n",
+		"class", "count", "errs", "rej", "p50", "p90", "p99", "max")
+	for _, class := range append(loadgen.Classes, loadgen.ClassAll) {
+		cr := rep.Class(class)
+		if cr == nil {
 			continue
 		}
-		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-		fmt.Printf("%-6s %8d %6d  %10s %10s %10s %10s\n", class, len(ds), errs[class],
-			pct(ds, 0.50), pct(ds, 0.90), pct(ds, 0.99), pct(ds, 1.0))
+		fmt.Printf("%-6s %8d %6d %6d  %10s %10s %10s %10s\n", cr.Class,
+			cr.Count, cr.Errors, cr.Rejected,
+			fmtSec(cr.P50Sec), fmtSec(cr.P90Sec), fmtSec(cr.P99Sec), fmtSec(cr.MaxSec))
 	}
 
-	if body, err := get(client, *addr+"/metrics"); err == nil {
+	client := &http.Client{Timeout: 10 * time.Second}
+	if body, err := loadgen.Get(client, *addr+"/metrics"); err == nil {
 		for _, m := range []string{"spstad_cache_hits_total", "spstad_cache_misses_total",
 			"spstad_singleflight_shared_total", "spstad_delta_nets_recomputed_total"} {
-			if v, ok := scrape(body, m); ok {
+			if v, ok := loadgen.Scrape(body, m); ok {
 				fmt.Printf("%-36s %s\n", m, v)
 			}
 		}
 	}
-	return nil
-}
 
-// nextRequest draws a traffic class and builds its request body. Hot
-// requests are identical per circuit; cold requests carry a fresh MC
-// seed; delta requests perturb one random gate's delay.
-func nextRequest(rng *rand.Rand, weights map[string]float64, tgt target, runs int) (class, body, path string) {
-	x := rng.Float64() * (weights["hot"] + weights["cold"] + weights["delta"])
-	switch {
-	case x < weights["hot"]:
-		return "hot", fmt.Sprintf(`{"circuit":%q,"engine":"spsta"}`, tgt.name), "/v1/analyze"
-	case x < weights["hot"]+weights["cold"]:
-		return "cold", fmt.Sprintf(`{"circuit":%q,"engine":"mc","runs":%d,"seed":%d}`,
-			tgt.name, runs, rng.Int63()), "/v1/analyze"
-	default:
-		gate := tgt.gates[rng.Intn(len(tgt.gates))]
-		mu := 0.5 + rng.Float64()*2
-		return "delta", fmt.Sprintf(`{"circuit":%q,"edits":[{"gate":%q,"mu":%s}]}`,
-			tgt.name, gate, strconv.FormatFloat(mu, 'g', -1, 64)), "/v1/delta"
-	}
-}
-
-func parseMix(s string) (map[string]float64, error) {
-	w := map[string]float64{}
-	for _, part := range strings.Split(s, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("bad -mix entry %q", part)
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			return err
 		}
-		if k != "hot" && k != "cold" && k != "delta" {
-			return nil, fmt.Errorf("unknown traffic class %q", k)
-		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f < 0 {
-			return nil, fmt.Errorf("bad -mix weight %q", part)
-		}
-		w[k] = f
-	}
-	if w["hot"]+w["cold"]+w["delta"] <= 0 {
-		return nil, fmt.Errorf("-mix weights sum to zero")
-	}
-	return w, nil
-}
-
-func pct(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i].Round(10 * time.Microsecond)
-}
-
-func post(client *http.Client, url, body string) error {
-	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.Unmarshal(b, &e)
-		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+		fmt.Printf("report written to %s\n", *jsonPath)
 	}
 	return nil
 }
 
-func get(client *http.Client, url string) (string, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return string(b), nil
-}
-
-func scrape(exposition, metric string) (string, bool) {
-	for _, line := range strings.Split(exposition, "\n") {
-		if rest, ok := strings.CutPrefix(line, metric+" "); ok {
-			return strings.TrimSpace(rest), true
-		}
-	}
-	return "", false
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
 }

@@ -1,0 +1,115 @@
+// Shared bounded-histogram percentile estimation. The service's RED
+// latency histograms, the in-process timeline (obs/timeline), the
+// /debug/slo summary and the spstasoak harness all reduce the same
+// fixed-bucket shape — per-bucket counts under increasing finite
+// upper bounds plus one +Inf overflow bucket — to quantiles, so the
+// interpolation lives here once and every consumer agrees on the
+// estimate to the bit.
+package obs
+
+// HistQuantile returns the q-quantile (0 <= q <= 1) of a bounded
+// histogram by exact linear interpolation within buckets.
+//
+// bounds are the strictly increasing finite upper bounds; counts has
+// len(bounds)+1 entries, where counts[i] is the number of
+// observations in (bounds[i-1], bounds[i]] (bucket 0 spans
+// (0, bounds[0]], matching the service's non-negative latency and
+// cost histograms) and the final entry is the +Inf overflow bucket.
+//
+// Within the bucket containing the target rank the estimate
+// interpolates linearly between the bucket's edges — exact for mass
+// spread uniformly inside a bucket, and never off by more than one
+// bucket width otherwise. A rank landing in the +Inf bucket clamps to
+// the largest finite bound: the histogram carries no upper edge
+// there, so the bound is the only defensible value and keeps the
+// estimate monotone in q. An empty histogram returns 0.
+func HistQuantile(bounds []float64, counts []int64, q float64) float64 {
+	if len(bounds) == 0 || len(counts) != len(bounds)+1 {
+		return 0
+	}
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank && i < len(counts)-1 {
+			continue
+		}
+		if i == len(bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*(hi-lo)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// HistFractionBelow returns the fraction of observations at or below
+// v, interpolating linearly within the bucket containing v (the same
+// uniform-within-bucket model HistQuantile uses, so the two are
+// mutually consistent: HistFractionBelow(HistQuantile(q)) == q
+// whenever the quantile lands in a finite bucket).
+//
+// Observations in the +Inf bucket count as above every finite v. A
+// v at or beyond the largest finite bound returns the finite mass
+// fraction; an empty histogram returns 0.
+func HistFractionBelow(bounds []float64, counts []int64, v float64) float64 {
+	if len(bounds) == 0 || len(counts) != len(bounds)+1 {
+		return 0
+	}
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if v <= 0 {
+		return 0
+	}
+	below := 0.0
+	for i, c := range counts[:len(bounds)] {
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if v >= hi {
+			below += float64(c)
+			continue
+		}
+		if v > lo {
+			below += float64(c) * (v - lo) / (hi - lo)
+		}
+		break
+	}
+	return below / float64(total)
+}

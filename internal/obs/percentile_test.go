@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+// TestHistQuantileUniform checks exact interpolation against a
+// uniform distribution: equal mass in every bucket makes every
+// quantile recoverable exactly.
+func TestHistQuantileUniform(t *testing.T) {
+	bounds := []float64{1, 2, 3, 4}
+	counts := []int64{10, 10, 10, 10, 0} // uniform on (0, 4]
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0}, {0.25, 1}, {0.5, 2}, {0.625, 2.5}, {0.75, 3}, {0.99, 3.96}, {1, 4},
+	} {
+		almost(t, "uniform q", HistQuantile(bounds, counts, tc.q), tc.want, 1e-12)
+	}
+}
+
+// TestHistQuantileSingleBucket pins interpolation inside one bucket.
+func TestHistQuantileSingleBucket(t *testing.T) {
+	bounds := []float64{10, 20}
+	counts := []int64{0, 100, 0} // all mass in (10, 20]
+	almost(t, "q0.5", HistQuantile(bounds, counts, 0.5), 15, 1e-12)
+	almost(t, "q0", HistQuantile(bounds, counts, 0), 10, 1e-12)
+	almost(t, "q1", HistQuantile(bounds, counts, 1), 20, 1e-12)
+}
+
+// TestHistQuantileInfClamp: mass beyond the last finite bound clamps
+// to it rather than inventing an upper edge.
+func TestHistQuantileInfClamp(t *testing.T) {
+	bounds := []float64{1, 2}
+	counts := []int64{1, 1, 98}
+	almost(t, "q0.99 in +Inf", HistQuantile(bounds, counts, 0.99), 2, 1e-12)
+	almost(t, "q1 in +Inf", HistQuantile(bounds, counts, 1), 2, 1e-12)
+	// Low quantiles still resolve in the finite buckets.
+	almost(t, "q0.005", HistQuantile(bounds, counts, 0.005), 0.5, 1e-12)
+}
+
+// TestHistQuantileEmptyAndDegenerate covers the zero cases.
+func TestHistQuantileEmptyAndDegenerate(t *testing.T) {
+	if got := HistQuantile([]float64{1, 2}, []int64{0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	if got := HistQuantile(nil, nil, 0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", got)
+	}
+	if got := HistQuantile([]float64{1}, []int64{5}, 0.5); got != 0 {
+		t.Errorf("mis-sized counts quantile = %g, want 0", got)
+	}
+}
+
+// TestHistQuantileVsExactSamples buckets random exponential samples
+// and checks the histogram estimate stays within one bucket width of
+// the exact sample quantile — the resolution contract the /debug/slo
+// vs client-side comparison relies on.
+func TestHistQuantileVsExactSamples(t *testing.T) {
+	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	samples := make([]float64, n)
+	counts := make([]int64, len(bounds)+1)
+	for i := range samples {
+		v := rng.ExpFloat64() * 0.05
+		samples[i] = v
+		j := 0
+		for j < len(bounds) && v > bounds[j] {
+			j++
+		}
+		counts[j]++
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := samples[int(q*float64(n-1))]
+		est := HistQuantile(bounds, counts, q)
+		// Locate the bucket containing the exact quantile; the
+		// estimate must land within that bucket's edges.
+		j := 0
+		for j < len(bounds) && exact > bounds[j] {
+			j++
+		}
+		lo := 0.0
+		if j > 0 {
+			lo = bounds[j-1]
+		}
+		hi := bounds[len(bounds)-1]
+		if j < len(bounds) {
+			hi = bounds[j]
+		}
+		if est < lo || est > hi {
+			t.Errorf("q%.2f estimate %g outside exact quantile's bucket [%g, %g] (exact %g)",
+				q, est, lo, hi, exact)
+		}
+	}
+}
+
+// TestHistFractionBelow checks the CDF view agrees with the quantile
+// view and handles the edges.
+func TestHistFractionBelow(t *testing.T) {
+	bounds := []float64{1, 2, 3, 4}
+	counts := []int64{10, 10, 10, 10, 0}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v := HistQuantile(bounds, counts, q)
+		almost(t, "roundtrip q", HistFractionBelow(bounds, counts, v), q, 1e-12)
+	}
+	almost(t, "below 0", HistFractionBelow(bounds, counts, -1), 0, 0)
+	almost(t, "beyond last bound", HistFractionBelow(bounds, counts, 100), 1, 1e-12)
+
+	// +Inf mass counts as above any finite threshold.
+	withInf := []int64{10, 10, 10, 10, 40}
+	almost(t, "inf mass", HistFractionBelow(bounds, withInf, 4), 0.5, 1e-12)
+	if got := HistFractionBelow(bounds, []int64{0, 0, 0, 0, 0}, 1); got != 0 {
+		t.Errorf("empty fraction = %g, want 0", got)
+	}
+}

@@ -534,7 +534,7 @@ func (s *Service) handleDelta(w http.ResponseWriter, r *http.Request) {
 	s.reg.cost.observe(cost)
 	s.reg.deltaNets.Add(int64(evals))
 	s.reg.observe("delta", time.Since(rc.t0), false)
-	captured := s.flight.record(rc.summary("delta", http.StatusOK, "", cost), rc.scope)
+	captured := s.recordFlight(rc.summary("delta", http.StatusOK, "", cost), rc.scope)
 	s.log.Info("request",
 		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
 		"engine", "delta", "circuit", resp.Circuit.Name, "status", http.StatusOK,

@@ -56,6 +56,11 @@ type RequestSummary struct {
 	Delta          bool `json:"delta,omitempty"`
 	NetsRecomputed int  `json:"nets_recomputed,omitempty"`
 
+	// SLOBurning lists the SLO objectives that were in violation when
+	// the request finished — a request summary from inside an incident
+	// carries the incident with it.
+	SLOBurning []string `json:"slo_burning,omitempty"`
+
 	// Captured marks entries holding a full span tree and metrics
 	// snapshot (the request exceeded the slow-latency or slow-cost
 	// threshold); /debug/requests/{id} serves them.
@@ -125,6 +130,13 @@ func (f *flightRecorder) record(sum RequestSummary, scope *obs.Scope) bool {
 // list returns the ring's summaries newest-first and the lifetime
 // total of recorded requests.
 func (f *flightRecorder) list() ([]RequestSummary, int64) {
+	return f.listSince(time.Time{})
+}
+
+// listSince returns the ring's summaries newest-first, keeping only
+// requests that started at or after since (zero keeps everything),
+// along with the lifetime total of recorded requests.
+func (f *flightRecorder) listSince(since time.Time) ([]RequestSummary, int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := int64(len(f.ring))
@@ -134,7 +146,11 @@ func (f *flightRecorder) list() ([]RequestSummary, int64) {
 	out := make([]RequestSummary, 0, n)
 	for i := int64(0); i < n; i++ {
 		slot := (f.next - 1 - int(i) + len(f.ring)) % len(f.ring)
-		out = append(out, f.ring[slot].sum)
+		sum := f.ring[slot].sum
+		if !since.IsZero() && sum.Start.Before(since) {
+			continue
+		}
+		out = append(out, sum)
 	}
 	return out, f.total
 }

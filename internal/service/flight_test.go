@@ -49,7 +49,9 @@ var (
 // under their base name), and histogram buckets must be cumulative
 // (monotone in le order, ending at +Inf == _count).
 func TestPrometheusExpositionValid(t *testing.T) {
-	svc := New(Config{MaxConcurrent: 2})
+	// DebugDir enables the capture manager so spstad_slo_captures_total
+	// renders too.
+	svc := New(Config{MaxConcurrent: 2, DebugDir: t.TempDir()})
 	defer svc.Close()
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
@@ -62,6 +64,9 @@ func TestPrometheusExpositionValid(t *testing.T) {
 			t.Fatalf("analyze %s: %d %s", body, resp.StatusCode, b)
 		}
 	}
+	// One timeline tick so the spstad_slo_* series carry evaluated
+	// burn-rate windows, not just declaration-time zeros.
+	svc.Timeline().Sample()
 
 	mr, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -198,6 +203,9 @@ func TestPrometheusExpositionValid(t *testing.T) {
 		"spstad_singleflight_shared_total", "spstad_registry_entries",
 		"spstad_registry_evictions_total", "spstad_delta_nets_recomputed_total",
 		"go_goroutines", "go_memstats_heap_inuse_bytes", "go_gc_pause_seconds_total",
+		"spstad_timeline_samples_total", "spstad_slo_burning",
+		"spstad_slo_burn_rate", "spstad_slo_transitions_total",
+		"spstad_slo_captures_total",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("metric %s missing from /metrics", want)

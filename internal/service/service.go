@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/ssta"
 	"repro/internal/synth"
 )
@@ -90,6 +92,49 @@ type Config struct {
 	// SessionCacheSize bounds the cached /v1/delta incremental
 	// sessions; 0 means DefaultSessionCacheSize.
 	SessionCacheSize int
+
+	// TimelineInterval is the in-process metrics timeline's sampling
+	// period (DESIGN.md §17); 0 disables the sampler goroutine (the
+	// store still exists and tests may drive Sample directly through
+	// Timeline).
+	TimelineInterval time.Duration
+	// TimelineCapacity bounds each timeline series' ring (samples
+	// kept); 0 means timeline.DefaultCapacity.
+	TimelineCapacity int
+	// Objectives overrides the default SLO set; nil applies
+	// defaultObjectives(cfg), an explicit empty slice disables SLO
+	// evaluation.
+	Objectives []timeline.Objective
+	// SLO knobs consumed by defaultObjectives (zero values pick the
+	// documented defaults). Availability and LatencyTarget are
+	// good-event fractions; LatencyThreshold is seconds;
+	// RejectionBudget is the tolerable rejected fraction;
+	// CacheHitFloor (0 disables) is the minimum cache hit rate;
+	// DriftBound (0 disables) bounds the drift monitor's mean
+	// deviation gauge.
+	SLOAvailability     float64
+	SLOLatencyThreshold float64
+	SLOLatencyTarget    float64
+	SLORejectionBudget  float64
+	SLOCacheHitFloor    float64
+	SLODriftBound       float64
+	// SLOFastWindow/SLOSlowWindow and their burn thresholds
+	// parameterize the two-window burn-rate rule (defaults 1m/5m at
+	// burn 2/1).
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
+	SLOFastBurn   float64
+	SLOSlowBurn   float64
+
+	// DebugDir, when non-empty, enables SLO auto-capture: an objective
+	// transitioning to burning snapshots a diagnostic bundle (CPU and
+	// heap profiles, flight-recorder ring, the offending timeline
+	// window) into DebugDir, listed at /debug/captures.
+	DebugDir string
+	// CaptureCPU is the bundle's CPU-profile duration (default 2s).
+	CaptureCPU time.Duration
+	// CaptureMinInterval rate-limits bundles (default 1m).
+	CaptureMinInterval time.Duration
 }
 
 // Service is the spstad request handler and its shared state.
@@ -102,6 +147,8 @@ type Service struct {
 	netreg   *netRegistry
 	cache    *resultCache
 	sessions *sessionCache
+	tl       *timeline.Store
+	captures *captureManager
 
 	mu      sync.Mutex
 	sampled *Request // most recent analyze request, for drift replays
@@ -140,12 +187,44 @@ func New(cfg Config) *Service {
 	// registry forgot the digest would let "stateless" delta requests
 	// outlive the netlist they reference.
 	s.netreg = newNetRegistry(cfg.RegistrySize, &s.reg, s.sessions.invalidateDigest)
+
+	// The timeline store always exists (its endpoints and SLO state are
+	// part of the service surface); only the sampler goroutine is
+	// optional. Tests drive Sample directly through Timeline().
+	s.tl = timeline.NewStore(
+		timeline.Config{Capacity: cfg.TimelineCapacity},
+		s.registryCollector, runtimeCollector,
+	)
+	objectives := cfg.Objectives
+	if objectives == nil {
+		objectives = defaultObjectives(cfg)
+	}
+	eng := timeline.NewSLOEngine(s.tl, objectives)
+	s.captures = newCaptureManager(s, cfg)
+	eng.OnTransition = func(st timeline.ObjectiveStatus) {
+		if s.captures != nil {
+			s.captures.onTransition(st)
+		} else if st.Burning {
+			s.log.Warn("slo burning", "objective", st.Name, "since", st.Since, "windows", st.Windows)
+		} else {
+			s.log.Info("slo recovered", "objective", st.Name, "since", st.Since)
+		}
+	}
+	s.tl.SetSLO(eng)
+	if cfg.TimelineInterval > 0 {
+		s.tl.Start(cfg.TimelineInterval)
+	}
+
 	if cfg.DriftInterval > 0 {
 		s.wg.Add(1)
 		go s.driftLoop()
 	}
 	return s
 }
+
+// Timeline exposes the metrics timeline store (tests sample it
+// directly; cmd/spstasoak reads it over HTTP instead).
+func (s *Service) Timeline() *timeline.Store { return s.tl }
 
 // Close stops the drift monitor and marks the service not ready. It
 // does not stop an http.Server serving the handler — that is the
@@ -159,6 +238,7 @@ func (s *Service) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.stop)
+	s.tl.Stop()
 	s.wg.Wait()
 }
 
@@ -178,6 +258,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/requests", s.handleFlightList)
 	mux.HandleFunc("GET /debug/requests/{id}", s.handleFlightGet)
+	mux.HandleFunc("GET /debug/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /debug/slo", s.handleSLO)
+	mux.HandleFunc("GET /debug/captures", s.handleCaptures)
+	mux.HandleFunc("GET /debug/captures/{name}/{file}", s.handleCaptureFile)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -672,7 +756,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.reg.cost.observe(actual)
 	s.sample(req)
 	s.reg.observe(req.Engine, time.Since(rc.t0), false)
-	captured := s.flight.record(rc.summary(req.Engine, http.StatusOK, "", actual), rc.scope)
+	captured := s.recordFlight(rc.summary(req.Engine, http.StatusOK, "", actual), rc.scope)
 	s.log.Info("request",
 		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
 		"engine", req.Engine, "circuit", resp.Circuit.Name, "status", http.StatusOK,
@@ -1019,7 +1103,7 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.reg.cost.observe(actual)
 	s.sample(req)
 	s.reg.observe("compare", time.Since(rc.t0), false)
-	captured := s.flight.record(rc.summary("compare", http.StatusOK, "", actual), rc.scope)
+	captured := s.recordFlight(rc.summary("compare", http.StatusOK, "", actual), rc.scope)
 	s.log.Info("request",
 		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path,
 		"circuit", resp.Circuit.Name, "status", http.StatusOK,
@@ -1031,6 +1115,7 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.writePrometheus(w)
+	s.writeSLOMetrics(w)
 }
 
 // sample stores the request for the drift monitor. Inline-bench
@@ -1059,7 +1144,7 @@ func (s *Service) fail(w http.ResponseWriter, rc *reqCtx, engine string, err err
 	if m := rc.scope.M(); m != nil {
 		cost = m.CostUnits()
 	}
-	s.flight.record(rc.summary(engine, status, err.Error(), cost), rc.scope)
+	s.recordFlight(rc.summary(engine, status, err.Error(), cost), rc.scope)
 	s.log.Error("request failed",
 		"request_id", rc.id, "trace_id", rc.traceID, "path", rc.path, "engine", engine,
 		"status", status, "error", err.Error())
@@ -1067,12 +1152,41 @@ func (s *Service) fail(w http.ResponseWriter, rc *reqCtx, engine string, err err
 }
 
 // handleFlightList serves the flight recorder's ring, newest first.
+// ?since= keeps only requests that started at or after the given
+// time: an RFC3339 timestamp, unix seconds, or a Go duration measured
+// back from now ("5m" = the last five minutes).
 func (s *Service) handleFlightList(w http.ResponseWriter, r *http.Request) {
-	sums, total := s.flight.list()
+	var since time.Time
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		var err error
+		since, err = parseSince(raw, time.Now())
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "bad since: want RFC3339, unix seconds, or a duration like 5m",
+			})
+			return
+		}
+	}
+	sums, total := s.flight.listSince(since)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"total_recorded": total,
 		"requests":       sums,
 	})
+}
+
+// parseSince interprets a ?since= value relative to now.
+func parseSince(raw string, now time.Time) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339, raw); err == nil {
+		return t, nil
+	}
+	if secs, err := strconv.ParseFloat(raw, 64); err == nil && secs > 0 {
+		sec := int64(secs)
+		return time.Unix(sec, int64((secs-float64(sec))*1e9)), nil
+	}
+	if d, err := time.ParseDuration(raw); err == nil && d > 0 {
+		return now.Add(-d), nil
+	}
+	return time.Time{}, fmt.Errorf("unparseable since %q", raw)
 }
 
 // handleFlightGet serves one recorded request: the summary plus, for
